@@ -1,0 +1,246 @@
+//! MetaCF — Fast adaptation for cold-start CF with meta-learning
+//! (Wei et al., ICDM 2020).
+//!
+//! MetaCF's two signature ideas, reproduced here:
+//!
+//! 1. **Dynamic task construction** with **potential-interaction
+//!    expansion**: each meta-training task's support set is enriched with
+//!    items the user has *not* rated but that frequently co-occur with the
+//!    user's rated items (a neighborhood expansion of the interaction
+//!    graph). These enter as soft positives, counteracting overfitting to
+//!    the few true interactions — the paper notes this is why MetaCF holds
+//!    up well on the sparse CDs dataset.
+//! 2. **Full-parameter MAML** (unlike MeLU's decision-layer-only local
+//!    update), which we run first-order via `metadpa-core`'s meta-learner.
+//!
+//! Scale-down: the original samples dynamic subgraphs around each user
+//! per-step from a GNN; here the co-occurrence neighborhood is precomputed
+//! once per fit, which preserves the "extend historical interactions with
+//! potential interactions" mechanism at a fraction of the cost (the paper
+//! itself flags MetaCF's training cost as its drawback).
+
+use metadpa_core::eval::Recommender;
+use metadpa_core::maml::{MamlConfig, MetaLearner};
+use metadpa_core::preference::PreferenceConfig;
+use metadpa_data::domain::{Domain, World};
+use metadpa_data::splits::Scenario;
+use metadpa_data::task::Task;
+use metadpa_nn::module::{restore, snapshot};
+use metadpa_tensor::Matrix;
+use metadpa_tensor::SeededRng;
+
+/// MetaCF hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MetaCfConfig {
+    /// Embedding size of the preference net.
+    pub embed_dim: usize,
+    /// Hidden widths of the preference net.
+    pub hidden: [usize; 2],
+    /// MAML schedule.
+    pub maml: MamlConfig,
+    /// Potential interactions added per task.
+    pub n_potential: usize,
+    /// Soft label assigned to potential interactions.
+    pub potential_label: f32,
+}
+
+impl MetaCfConfig {
+    /// Standard or reduced schedule.
+    pub fn preset(fast: bool) -> Self {
+        Self {
+            embed_dim: if fast { 16 } else { 32 },
+            hidden: if fast { [24, 12] } else { [48, 24] },
+            maml: MamlConfig {
+                epochs: if fast { 10 } else { 25 },
+                ..MamlConfig::default()
+            },
+            n_potential: 3,
+            potential_label: 0.8,
+        }
+    }
+}
+
+/// The MetaCF recommender.
+pub struct MetaCf {
+    config: MetaCfConfig,
+    seed: u64,
+    learner: Option<MetaLearner>,
+}
+
+impl MetaCf {
+    /// Creates an unfitted MetaCF.
+    pub fn new(config: MetaCfConfig, seed: u64) -> Self {
+        Self { config, seed, learner: None }
+    }
+
+    fn learner_mut(&mut self) -> &mut MetaLearner {
+        self.learner.as_mut().expect("MetaCf: call fit first")
+    }
+
+    /// Item-item co-occurrence counts from the training interactions.
+    fn co_occurrence(domain: &Domain, users: impl Iterator<Item = usize>) -> Vec<Vec<(usize, u32)>> {
+        let n = domain.n_items();
+        let mut counts: Vec<std::collections::HashMap<usize, u32>> = vec![Default::default(); n];
+        for u in users {
+            let items = &domain.interactions[u];
+            for (a_pos, &a) in items.iter().enumerate() {
+                for &b in &items[a_pos + 1..] {
+                    *counts[a].entry(b).or_insert(0) += 1;
+                    *counts[b].entry(a).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(usize, u32)> = m.into_iter().collect();
+                v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                v.truncate(8);
+                v
+            })
+            .collect()
+    }
+
+    /// Expands each task's support with up to `n_potential` co-occurring
+    /// unrated items as soft positives.
+    fn expand_tasks(&self, tasks: &[Task], domain: &Domain) -> Vec<Task> {
+        let neighbors = Self::co_occurrence(domain, tasks.iter().map(|t| t.user));
+        tasks
+            .iter()
+            .map(|t| {
+                let mut expanded = t.clone();
+                let rated = &domain.interactions[t.user];
+                let already: std::collections::HashSet<usize> =
+                    t.support.iter().chain(t.query.iter()).map(|&(i, _)| i).collect();
+                let mut votes: std::collections::HashMap<usize, u32> = Default::default();
+                for &(item, label) in &t.support {
+                    if label < 1.0 {
+                        continue;
+                    }
+                    for &(nb, c) in &neighbors[item] {
+                        *votes.entry(nb).or_insert(0) += c;
+                    }
+                }
+                let mut ranked: Vec<(usize, u32)> = votes
+                    .into_iter()
+                    .filter(|&(i, _)| {
+                        rated.binary_search(&i).is_err() && !already.contains(&i)
+                    })
+                    .collect();
+                ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                for &(item, _) in ranked.iter().take(self.config.n_potential) {
+                    expanded.support.push((item, self.config.potential_label));
+                }
+                expanded
+            })
+            .collect()
+    }
+}
+
+impl Recommender for MetaCf {
+    fn name(&self) -> String {
+        "MetaCF".into()
+    }
+
+    fn fit(&mut self, world: &World, scenario: &Scenario) {
+        let mut rng = SeededRng::new(self.seed);
+        let pref = PreferenceConfig {
+            content_dim: world.target.user_content.cols(),
+            embed_dim: self.config.embed_dim,
+            hidden: self.config.hidden,
+        };
+        let mut learner = MetaLearner::new(pref, self.config.maml, &mut rng);
+        let expanded = self.expand_tasks(&scenario.train_tasks, &world.target);
+        let _ = learner.meta_train(
+            &expanded,
+            &world.target.user_content,
+            &world.target.item_content,
+        );
+        self.learner = Some(learner);
+    }
+
+    fn fine_tune(&mut self, tasks: &[Task], domain: &Domain) {
+        // MetaCF also expands the adaptation supports with potential
+        // interactions before fast adaptation.
+        let expanded = self.expand_tasks(tasks, domain);
+        self.learner_mut().fine_tune(&expanded, &domain.user_content, &domain.item_content);
+    }
+
+    fn score(&mut self, domain: &Domain, user: usize, items: &[usize]) -> Vec<f32> {
+        let uc: Vec<f32> = domain.user_content.row(user).to_vec();
+        self.learner_mut().score(&uc, &domain.item_content, items)
+    }
+
+    fn snapshot_state(&mut self) -> Vec<Matrix> {
+        snapshot(self.learner_mut().model_mut())
+    }
+
+    fn restore_state(&mut self, state: &[Matrix]) {
+        restore(self.learner_mut().model_mut(), state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metadpa_core::eval::evaluate_scenario;
+    use metadpa_data::generator::generate_world;
+    use metadpa_data::presets::tiny_world;
+    use metadpa_data::splits::{ScenarioKind, SplitConfig, Splitter};
+
+    #[test]
+    fn expansion_adds_soft_positives_only_for_unrated_items() {
+        let w = generate_world(&tiny_world(71));
+        let sp = Splitter::new(&w.target, SplitConfig::default());
+        let warm = sp.scenario(ScenarioKind::Warm);
+        let model = MetaCf::new(MetaCfConfig::preset(true), 1);
+        let expanded = model.expand_tasks(&warm.train_tasks, &w.target);
+        assert_eq!(expanded.len(), warm.train_tasks.len());
+        let mut any_expanded = false;
+        for (orig, exp) in warm.train_tasks.iter().zip(expanded.iter()) {
+            assert!(exp.support.len() >= orig.support.len());
+            for &(item, label) in &exp.support[orig.support.len()..] {
+                any_expanded = true;
+                assert_eq!(label, 0.8, "potential interactions carry the soft label");
+                assert!(
+                    !w.target.has_interaction(exp.user, item),
+                    "potential interactions must be unrated"
+                );
+            }
+            // Query untouched.
+            assert_eq!(orig.query, exp.query);
+        }
+        assert!(any_expanded, "at least some tasks should gain potential interactions");
+    }
+
+    #[test]
+    fn co_occurrence_is_symmetric_and_sorted() {
+        let w = generate_world(&tiny_world(72));
+        let neighbors = MetaCf::co_occurrence(&w.target, 0..w.target.n_users());
+        for (item, nbs) in neighbors.iter().enumerate() {
+            for w2 in nbs.windows(2) {
+                assert!(w2[0].1 >= w2[1].1, "neighbors must be sorted by count");
+            }
+            for &(nb, c) in nbs {
+                // Symmetry: the reverse edge exists with the same count
+                // (possibly truncated out of the top-8; only check presence
+                // when it survived).
+                if let Some(&(_, c2)) = neighbors[nb].iter().find(|&&(i, _)| i == item) {
+                    assert_eq!(c, c2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metacf_beats_chance_on_cold_users() {
+        let w = generate_world(&tiny_world(73));
+        let sp = Splitter::new(&w.target, SplitConfig::default());
+        let warm = sp.scenario(ScenarioKind::Warm);
+        let cu = sp.scenario(ScenarioKind::ColdUser);
+        let mut model = MetaCf::new(MetaCfConfig::preset(true), 2);
+        model.fit(&w, &warm);
+        let s = evaluate_scenario(&mut model, &w, &cu, 10);
+        assert!(s.auc > 0.5, "C-U AUC {} should beat chance", s.auc);
+    }
+}

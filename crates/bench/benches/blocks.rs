@@ -1,0 +1,91 @@
+//! Criterion microbenchmarks of the three pipeline blocks (the
+//! fine-grained counterpart of Fig. 6): one Dual-CVAE training step at
+//! several catalogue sizes (Block 1, expected to scale linearly), one
+//! augmentation pass (Block 2), and one MAML task step (Block 3), both
+//! expected to be independent of the catalogue size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metadpa_core::dual_cvae::{DualCvae, DualCvaeConfig};
+use metadpa_core::maml::{MamlConfig, MetaLearner};
+use metadpa_core::preference::PreferenceConfig;
+use metadpa_data::task::Task;
+use metadpa_nn::module::zero_grad;
+use metadpa_tensor::{Matrix, SeededRng};
+
+const BATCH: usize = 32;
+const CONTENT_DIM: usize = 48;
+
+fn make_batch(rng: &mut SeededRng, n_items: usize) -> (Matrix, Matrix, Matrix, Matrix) {
+    let r_s = Matrix::from_fn(BATCH, n_items, |_, _| if rng.bernoulli(0.05) { 1.0 } else { 0.0 });
+    let r_t = Matrix::from_fn(BATCH, n_items, |_, _| if rng.bernoulli(0.05) { 1.0 } else { 0.0 });
+    let x_s = rng.uniform_matrix(BATCH, CONTENT_DIM, 0.0, 0.4);
+    let x_t = rng.uniform_matrix(BATCH, CONTENT_DIM, 0.0, 0.4);
+    (r_s, r_t, x_s, x_t)
+}
+
+/// Block 1: one Dual-CVAE train step; catalogue size is the sweep axis.
+fn bench_block1_dual_cvae_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block1_dual_cvae_step");
+    for n_items in [100usize, 200, 400, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_items), &n_items, |b, &n| {
+            let mut rng = SeededRng::new(1);
+            let mut dual = DualCvae::new(n, n, CONTENT_DIM, DualCvaeConfig::default(), &mut rng);
+            let (r_s, r_t, x_s, x_t) = make_batch(&mut rng, n);
+            b.iter(|| {
+                zero_grad(&mut dual);
+                std::hint::black_box(dual.train_step(&r_s, &r_t, &x_s, &x_t, &mut rng));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Block 2: generate diverse ratings from content for a batch of users.
+fn bench_block2_augmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block2_generate_ratings");
+    for n_items in [100usize, 400, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_items), &n_items, |b, &n| {
+            let mut rng = SeededRng::new(2);
+            let mut dual = DualCvae::new(n, n, CONTENT_DIM, DualCvaeConfig::default(), &mut rng);
+            let content = rng.uniform_matrix(64, CONTENT_DIM, 0.0, 0.4);
+            b.iter(|| std::hint::black_box(dual.generate_target_ratings(&content)));
+        });
+    }
+    group.finish();
+}
+
+/// Block 3: one full MAML meta-training epoch over a fixed task set —
+/// independent of catalogue size by construction (content-width networks).
+fn bench_block3_maml_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block3_maml_epoch");
+    for n_tasks in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_tasks), &n_tasks, |b, &nt| {
+            let mut rng = SeededRng::new(3);
+            let uc = rng.uniform_matrix(nt, CONTENT_DIM, 0.0, 0.4);
+            let ic = rng.uniform_matrix(200, CONTENT_DIM, 0.0, 0.4);
+            let tasks: Vec<Task> = (0..nt)
+                .map(|u| Task {
+                    user: u,
+                    support: (0..8).map(|i| (i * 3 % 200, ((i % 2) as f32))).collect(),
+                    query: (0..8).map(|i| ((i * 7 + 1) % 200, ((i % 2) as f32))).collect(),
+                })
+                .collect();
+            b.iter(|| {
+                let mut learner = MetaLearner::new(
+                    PreferenceConfig { content_dim: CONTENT_DIM, embed_dim: 32, hidden: [48, 24] },
+                    MamlConfig { epochs: 1, ..MamlConfig::default() },
+                    &mut rng,
+                );
+                std::hint::black_box(learner.meta_train(&tasks, &uc, &ic));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = blocks;
+    config = Criterion::default().sample_size(10);
+    targets = bench_block1_dual_cvae_step, bench_block2_augmentation, bench_block3_maml_epoch
+}
+criterion_main!(blocks);

@@ -1,0 +1,94 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! Hand-rolled on purpose: the sanctioned dependency set has no argument
+//! parser, and the experiments only need three flags.
+
+/// Common experiment options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpArgs {
+    /// Reduced schedules and a smaller world (smoke mode).
+    pub fast: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Split count for the significance experiment (paper: 30).
+    pub splits: usize,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self { fast: false, seed: 2022, splits: 30 }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `--fast`, `--seed <n>`, `--splits <n>` from an iterator of
+    /// arguments (typically `std::env::args().skip(1)`).
+    ///
+    /// # Panics
+    /// Panics with a usage message on unknown flags or malformed values —
+    /// appropriate for experiment binaries, where a typo should not
+    /// silently run the wrong configuration.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--fast" => out.fast = true,
+                "--seed" => {
+                    let v = it.next().unwrap_or_else(|| panic!("--seed needs a value"));
+                    out.seed = v.parse().unwrap_or_else(|_| panic!("invalid --seed: {v}"));
+                }
+                "--splits" => {
+                    let v = it.next().unwrap_or_else(|| panic!("--splits needs a value"));
+                    out.splits = v.parse().unwrap_or_else(|_| panic!("invalid --splits: {v}"));
+                }
+                other => panic!(
+                    "unknown flag {other}; supported: --fast, --seed <n>, --splits <n>"
+                ),
+            }
+        }
+        out
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(items: &[&str]) -> ExpArgs {
+        ExpArgs::parse(items.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(!a.fast);
+        assert_eq!(a.seed, 2022);
+        assert_eq!(a.splits, 30);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--fast", "--seed", "7", "--splits", "5"]);
+        assert!(a.fast);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.splits, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        let _ = parse(&["--bogus"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --seed")]
+    fn rejects_bad_seed() {
+        let _ = parse(&["--seed", "xyz"]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Extension experiment: augmentation strategies head-to-head.
+//!
+//! The paper motivates MetaDPA with meta-augmentation (Rajendran et al.):
+//! adding label noise prevents meta-overfitting, but unstructured noise
+//! carries no preference information. This experiment makes that argument
+//! quantitative: the *same* meta-learner is trained with
+//!
+//! * no augmentation (`Meta-NoAug`),
+//! * label-noise augmentation (`Meta-NoiseAug`, k = 3 noisy copies),
+//! * diverse preference augmentation (`MetaDPA`, k = 3 source domains),
+//!
+//! and evaluated on all four scenarios of the CDs world.
+
+use metadpa_bench::args::ExpArgs;
+use metadpa_bench::harness::{build_scenarios, run_method_on_world, world_by_name};
+use metadpa_bench::table::TextTable;
+use metadpa_core::noise_aug::NoiseAugConfig;
+use metadpa_core::pipeline::{AugmentationStrategy, MetaDpa, MetaDpaConfig};
+use metadpa_data::splits::ScenarioKind;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    println!(
+        "== Extension: augmentation strategies on CDs (seed {}, fast={}) ==",
+        args.seed, args.fast
+    );
+    let world = world_by_name(if args.fast { "tiny" } else { "cds" }, args.seed);
+    let scenarios = build_scenarios(&world, args.seed);
+
+    let strategies = [
+        AugmentationStrategy::None,
+        AugmentationStrategy::LabelNoise(NoiseAugConfig::default()),
+        AugmentationStrategy::DiversePreference,
+    ];
+
+    let mut table = TextTable::new(&[
+        "Strategy",
+        "C-U N@10",
+        "C-I N@10",
+        "C-UI N@10",
+        "Warm N@10",
+        "mean",
+    ]);
+    for strategy in strategies {
+        let mut cfg = if args.fast { MetaDpaConfig::fast() } else { MetaDpaConfig::default() };
+        cfg.seed = args.seed;
+        cfg.augmentation = strategy;
+        let mut model = MetaDpa::new(cfg);
+        let results = run_method_on_world(&mut model, &world, &scenarios, &[10]);
+        let idx_of = |k: ScenarioKind| {
+            ScenarioKind::ALL.iter().position(|&x| x == k).expect("scenario present")
+        };
+        let ndcg = |k: ScenarioKind| results[idx_of(k)].summary().ndcg;
+        let row = [
+            ndcg(ScenarioKind::ColdUser),
+            ndcg(ScenarioKind::ColdItem),
+            ndcg(ScenarioKind::ColdUserItem),
+            ndcg(ScenarioKind::Warm),
+        ];
+        table.row(vec![
+            results[0].method.clone(),
+            format!("{:.4}", row[0]),
+            format!("{:.4}", row[1]),
+            format!("{:.4}", row[2]),
+            format!("{:.4}", row[3]),
+            format!("{:.4}", row.iter().sum::<f32>() / 4.0),
+        ]);
+        eprintln!("[augstrat] {} done", results[0].method);
+    }
+    println!("\n{}", table.render());
+    println!(
+        "Expected (the paper's §I argument): structured diversity (MetaDPA) beats\n\
+         unstructured label noise, which in turn regularizes relative to no\n\
+         augmentation under cold-start."
+    );
+}

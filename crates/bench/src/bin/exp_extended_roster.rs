@@ -1,0 +1,46 @@
+//! Extension experiment: Table III's roster plus the classical anchors
+//! CMF (Singh & Gordon 2008) and CDL (Wang et al. 2015) from the paper's
+//! Related Work, on the CDs world.
+//!
+//! These two systems bound the modern families from below: CMF is linear
+//! multi-source CF (expect: decent warm, chance-level C-I/C-UI), CDL is
+//! classical content-coupled CF (expect: survives cold items through its
+//! content encoder but trails the deep content towers).
+
+use metadpa_baselines::extended_roster;
+use metadpa_bench::args::ExpArgs;
+use metadpa_bench::harness::{build_scenarios, run_roster_on_world, world_by_name};
+use metadpa_bench::table::{best_two, mark_value, TextTable};
+use metadpa_data::splits::ScenarioKind;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    println!(
+        "== Extension: extended roster (+CMF, +CDL) on CDs (seed {}, fast={}) ==",
+        args.seed, args.fast
+    );
+    let world = world_by_name(if args.fast { "tiny" } else { "cds" }, args.seed);
+    let scenarios = build_scenarios(&world, args.seed);
+    let mut roster = extended_roster(args.seed, args.fast);
+    let results = run_roster_on_world(&mut roster, &world, &scenarios, &[10]);
+
+    for (s_idx, kind) in ScenarioKind::ALL.iter().enumerate() {
+        let mut table = TextTable::new(&["Method", "HR@10", "NDCG@10", "AUC"]);
+        let hrs: Vec<f32> = results.iter().map(|m| m[s_idx].summary().hr).collect();
+        let ndcgs: Vec<f32> = results.iter().map(|m| m[s_idx].summary().ndcg).collect();
+        let aucs: Vec<f32> = results.iter().map(|m| m[s_idx].summary().auc).collect();
+        let (bh, sh) = best_two(&hrs);
+        let (bn, sn) = best_two(&ndcgs);
+        let (ba, sa) = best_two(&aucs);
+        for (m_idx, per_method) in results.iter().enumerate() {
+            table.row(vec![
+                per_method[s_idx].method.clone(),
+                mark_value(hrs[m_idx], bh, sh),
+                mark_value(ndcgs[m_idx], bn, sn),
+                mark_value(aucs[m_idx], ba, sa),
+            ]);
+        }
+        println!("\n{}:", kind.label());
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,66 @@
+//! Tables I-II: dataset statistics of the multi-domain worlds.
+//!
+//! Paper reference: Table I reports, per source domain, the users shared
+//! with each target plus item/rating counts and sparsity; Table II reports
+//! the targets' statistics. This binary prints the same rows for the
+//! SynthAmazon presets (absolute counts are laptop-scale by design; the
+//! *orderings* — Movies sharing the most users, Music the fewest with
+//! Books, Books being the largest and sparsest target — follow the paper).
+
+use metadpa_bench::args::ExpArgs;
+use metadpa_bench::harness::world_by_name;
+use metadpa_bench::table::TextTable;
+use metadpa_data::stats::{domain_stats, source_stats};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    println!("== Tables I-II: SynthAmazon dataset statistics (seed {}) ==\n", args.seed);
+
+    let books = world_by_name(if args.fast { "tiny" } else { "books" }, args.seed);
+    let cds = world_by_name(if args.fast { "tiny" } else { "cds" }, args.seed);
+
+    // Table I: source domains, shared users with each target.
+    let mut t1 = TextTable::new(&[
+        "Source (S)",
+        "#shared (Books)",
+        "#shared (CDs)",
+        "#users",
+        "#items",
+        "#ratings",
+        "sparsity",
+    ]);
+    let books_sources = source_stats(&books);
+    let cds_sources = source_stats(&cds);
+    for (bs, cs) in books_sources.iter().zip(cds_sources.iter()) {
+        t1.row(vec![
+            bs.stats.name.clone(),
+            bs.shared_with_target.to_string(),
+            cs.shared_with_target.to_string(),
+            bs.stats.n_users.to_string(),
+            bs.stats.n_items.to_string(),
+            bs.stats.n_ratings.to_string(),
+            format!("{:.2}%", bs.stats.sparsity * 100.0),
+        ]);
+    }
+    println!("Table I — source domains:\n{}", t1.render());
+
+    // Table II: target domains.
+    let mut t2 = TextTable::new(&["Dataset", "#users", "#items", "#ratings", "sparsity"]);
+    for world in [&books, &cds] {
+        let s = domain_stats(&world.target);
+        t2.row(vec![
+            s.name,
+            s.n_users.to_string(),
+            s.n_items.to_string(),
+            s.n_ratings.to_string(),
+            format!("{:.2}%", s.sparsity * 100.0),
+        ]);
+    }
+    println!("Table II — target domains:\n{}", t2.render());
+
+    println!(
+        "Paper shapes to check: Movies shares the most users with Books, Music the fewest;\n\
+         Books is the larger target; every domain is >90% sparse at this scale\n\
+         (the paper's 99.97-99.99% corresponds to catalogues 1000x larger)."
+    );
+}

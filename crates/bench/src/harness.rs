@@ -1,0 +1,122 @@
+//! Shared experiment machinery: build a world, fit every method once on
+//! the warm tasks, evaluate all four scenarios.
+
+use metadpa_core::eval::{evaluate_scenario_at_ks, Recommender};
+use metadpa_data::domain::World;
+use metadpa_data::generator::generate_world;
+use metadpa_data::presets;
+use metadpa_data::splits::{Scenario, ScenarioKind, SplitConfig, Splitter};
+use metadpa_metrics::MetricSummary;
+
+/// One method's metrics on one scenario, at each requested cutoff.
+#[derive(Clone, Debug)]
+pub struct MethodScenarioResult {
+    /// Method display name.
+    pub method: String,
+    /// Scenario kind.
+    pub kind: ScenarioKind,
+    /// One summary per requested `k`.
+    pub at_k: Vec<MetricSummary>,
+}
+
+impl MethodScenarioResult {
+    /// The summary at the single configured cutoff (for `ks = [10]` runs).
+    pub fn summary(&self) -> &MetricSummary {
+        &self.at_k[0]
+    }
+}
+
+/// Generates a preset world by name ("books" / "cds" / "tiny").
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn world_by_name(name: &str, seed: u64) -> World {
+    let cfg = match name {
+        "books" => presets::books_world(seed),
+        "cds" => presets::cds_world(seed),
+        "tiny" => presets::tiny_world(seed),
+        other => panic!("unknown world preset: {other}"),
+    };
+    generate_world(&cfg)
+}
+
+/// Builds the four scenarios for a world's target domain.
+pub fn build_scenarios(world: &World, split_seed: u64) -> Vec<Scenario> {
+    let splitter = Splitter::new(
+        &world.target,
+        SplitConfig { seed: split_seed, ..SplitConfig::default() },
+    );
+    ScenarioKind::ALL.iter().map(|&k| splitter.scenario(k)).collect()
+}
+
+/// Fits one method on the warm training tasks and evaluates it on every
+/// scenario at the given cutoffs.
+pub fn run_method_on_world(
+    rec: &mut dyn Recommender,
+    world: &World,
+    scenarios: &[Scenario],
+    ks: &[usize],
+) -> Vec<MethodScenarioResult> {
+    // Training tasks are identical across scenarios; fit once on the first.
+    rec.fit(world, &scenarios[0]);
+    scenarios
+        .iter()
+        .map(|s| MethodScenarioResult {
+            method: rec.name(),
+            kind: s.kind,
+            at_k: evaluate_scenario_at_ks(rec, world, s, ks),
+        })
+        .collect()
+}
+
+/// Runs an entire roster over a world; returns results per method, per
+/// scenario. Prints a progress line per method to stderr.
+pub fn run_roster_on_world(
+    roster: &mut [Box<dyn Recommender>],
+    world: &World,
+    scenarios: &[Scenario],
+    ks: &[usize],
+) -> Vec<Vec<MethodScenarioResult>> {
+    roster
+        .iter_mut()
+        .map(|rec| {
+            let started = std::time::Instant::now();
+            let out = run_method_on_world(rec.as_mut(), world, scenarios, ks);
+            eprintln!(
+                "[harness] {:<12} fitted+evaluated in {:.1?}",
+                rec.name(),
+                started.elapsed()
+            );
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metadpa_baselines::full_roster;
+
+    #[test]
+    fn tiny_roster_smoke_run_produces_full_grid() {
+        let world = world_by_name("tiny", 3);
+        let scenarios = build_scenarios(&world, 3);
+        let mut roster = full_roster(3, true);
+        assert_eq!(roster.len(), 8, "seven baselines + MetaDPA");
+        let results = run_roster_on_world(&mut roster, &world, &scenarios, &[10]);
+        assert_eq!(results.len(), 8);
+        for per_method in &results {
+            assert_eq!(per_method.len(), 4, "four scenarios");
+            for r in per_method {
+                assert!(r.summary().count > 0, "{}/{:?}", r.method, r.kind);
+                assert!(r.summary().auc.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown world preset")]
+    fn unknown_world_panics() {
+        let _ = world_by_name("nope", 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # metadpa-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation section, plus Criterion microbenchmarks.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `exp_tables_1_2` | Tables I-II (dataset statistics) |
+//! | `exp_table3` | Table III (overall comparison, 8 methods x 4 scenarios x 2 targets) |
+//! | `exp_figs_3_4` | Figs. 3-4 (NDCG@k curves on Books and CDs) |
+//! | `exp_fig5_ablation` | Fig. 5 (MetaDPA vs -ME vs -MDI on CDs) |
+//! | `exp_fig6_scalability` | Fig. 6 (per-block training time vs data size) |
+//! | `exp_figs_7_8_hyperparams` | Figs. 7-8 (β₁/β₂ sensitivity on CDs) |
+//! | `exp_significance` | §V-D (Wilcoxon signed-rank over 30 splits) |
+//!
+//! Every binary accepts `--fast` (reduced schedules and a smaller world,
+//! for smoke runs) and `--seed <n>`. Run with `--release`; the default
+//! schedules are sized for optimized builds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod harness;
+pub mod table;
+
+pub use args::ExpArgs;
+pub use harness::{run_roster_on_world, MethodScenarioResult};

@@ -1,0 +1,138 @@
+//! Aligned text-table rendering for experiment output.
+//!
+//! The binaries print paper-style tables to stdout; this module keeps the
+//! formatting in one place (fixed-width columns, a rule under the header,
+//! and `best`/`second-best` markers like the paper's bold and °).
+
+/// A simple text table builder.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "TextTable::row: expected {} cells, got {}",
+            self.header.len(),
+            cells.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(c);
+                for _ in c.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a metric value with the paper's convention: best marked with
+/// `*`, second best with `°`.
+pub fn mark_value(value: f32, best: f32, second: f32) -> String {
+    if value == best {
+        format!("{value:.4}*")
+    } else if value == second {
+        format!("{value:.4}°")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+/// Returns `(best, second_best)` of a slice (by value, descending).
+/// Returns `(max, max)` for slices of length 1.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn best_two(values: &[f32]) -> (f32, f32) {
+    assert!(!values.is_empty(), "best_two: empty slice");
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("metric values must not be NaN"));
+    (sorted[0], if sorted.len() > 1 { sorted[1] } else { sorted[0] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["method", "hr"]);
+        t.row(vec!["NeuMF".into(), "0.1".into()]);
+        t.row(vec!["MetaDPA".into(), "0.25".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "hr" starts at the same offset everywhere.
+        let offset = lines[0].find("hr").unwrap();
+        assert_eq!(&lines[2][offset..offset + 3], "0.1");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 cells")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn best_two_and_marking() {
+        let vals = [0.1, 0.5, 0.3];
+        let (best, second) = best_two(&vals);
+        assert_eq!(best, 0.5);
+        assert_eq!(second, 0.3);
+        assert_eq!(mark_value(0.5, best, second), "0.5000*");
+        assert_eq!(mark_value(0.3, best, second), "0.3000°");
+        assert_eq!(mark_value(0.1, best, second), "0.1000");
+    }
+
+    #[test]
+    fn best_two_single_value() {
+        assert_eq!(best_two(&[0.7]), (0.7, 0.7));
+    }
+}

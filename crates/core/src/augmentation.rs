@@ -1,0 +1,156 @@
+//! Diverse preference augmentation (paper §IV-B).
+//!
+//! After the adaptation phase, each of the k learned content-encoder /
+//! target-decoder pairs generates one rating vector per target user from
+//! that user's content alone. This module turns those k generated matrices
+//! into the augmented meta-learning tasks of Eq. 10 (same items and
+//! content as the original task, generated continuous labels) and measures
+//! how *diverse* the generations actually are — the quantity the ME
+//! constraint exists to increase (§V-E's ablation hinges on it).
+
+use metadpa_data::task::Task;
+use metadpa_tensor::stats::mean_pairwise_row_distance;
+use metadpa_tensor::Matrix;
+
+/// Diversity statistics of k generated rating matrices.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiversityReport {
+    /// Mean (over users) of the mean pairwise L2 distance between the k
+    /// generated rating vectors for that user. Zero when k < 2 or all
+    /// generations agree.
+    pub mean_pairwise_distance: f32,
+    /// Mean absolute deviation of generated ratings from the 0.5 midpoint —
+    /// a degenerate generator that outputs 0.5 everywhere scores 0.
+    pub mean_confidence: f32,
+    /// Number of generated variants (k).
+    pub k: usize,
+}
+
+/// Measures the diversity of k generated rating matrices (each
+/// `n_users x n_items`).
+///
+/// # Panics
+/// Panics if the matrices have inconsistent shapes.
+pub fn diversity_report(generated: &[Matrix]) -> DiversityReport {
+    let k = generated.len();
+    if k == 0 {
+        return DiversityReport::default();
+    }
+    let shape = generated[0].shape();
+    for g in generated {
+        assert_eq!(g.shape(), shape, "diversity_report: inconsistent generation shapes");
+    }
+    let (n_users, n_items) = shape;
+
+    let mut confidence = 0.0f64;
+    for g in generated {
+        for &v in g.as_slice() {
+            confidence += ((v - 0.5).abs()) as f64;
+        }
+    }
+    let mean_confidence = (confidence / (k * n_users * n_items) as f64) as f32;
+
+    if k < 2 {
+        return DiversityReport { mean_pairwise_distance: 0.0, mean_confidence, k };
+    }
+    let mut total = 0.0f64;
+    let mut stacked = Matrix::zeros(k, n_items);
+    for u in 0..n_users {
+        for (row, g) in generated.iter().enumerate() {
+            stacked.row_mut(row).copy_from_slice(g.row(u));
+        }
+        total += mean_pairwise_row_distance(&stacked) as f64;
+    }
+    DiversityReport {
+        mean_pairwise_distance: (total / n_users as f64) as f32,
+        mean_confidence,
+        k,
+    }
+}
+
+/// Builds the augmented task set of Eq. 10: for every original task
+/// `T_u = (c_t, r_t)` and every generated matrix `r̂_tk`, emit
+/// `T_uk = (c_t, r̂_tk)` — identical items, generated labels.
+///
+/// The returned vector contains only the augmented tasks; callers
+/// concatenate with the originals for meta-training (Eq. 9 + Eq. 10).
+pub fn build_augmented_tasks(original: &[Task], generated: &[Matrix]) -> Vec<Task> {
+    let mut out = Vec::with_capacity(original.len() * generated.len());
+    for g in generated {
+        for task in original {
+            out.push(task.with_labels_from(g.row(task.user)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_generation_reports_zero() {
+        let r = diversity_report(&[]);
+        assert_eq!(r.k, 0);
+        assert_eq!(r.mean_pairwise_distance, 0.0);
+    }
+
+    #[test]
+    fn identical_generations_have_zero_distance() {
+        let g = Matrix::filled(4, 6, 0.7);
+        let r = diversity_report(&[g.clone(), g.clone(), g]);
+        assert_eq!(r.k, 3);
+        assert_eq!(r.mean_pairwise_distance, 0.0);
+        assert!((r.mean_confidence - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn different_generations_have_positive_distance() {
+        let a = Matrix::filled(4, 6, 0.9);
+        let b = Matrix::filled(4, 6, 0.1);
+        let r = diversity_report(&[a, b]);
+        // Each user: two rows distance sqrt(6 * 0.8^2) = 0.8*sqrt(6).
+        let expect = 0.8 * 6.0f32.sqrt();
+        assert!((r.mean_pairwise_distance - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_half_generator_scores_zero_confidence() {
+        let g = Matrix::filled(3, 5, 0.5);
+        let r = diversity_report(&[g]);
+        assert_eq!(r.mean_confidence, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent generation shapes")]
+    fn rejects_mismatched_shapes() {
+        let _ = diversity_report(&[Matrix::zeros(2, 3), Matrix::zeros(2, 4)]);
+    }
+
+    #[test]
+    fn augmented_tasks_multiply_and_relabel() {
+        let original = vec![
+            Task { user: 0, support: vec![(0, 1.0)], query: vec![(1, 0.0)] },
+            Task { user: 1, support: vec![(2, 1.0)], query: vec![(0, 0.0)] },
+        ];
+        let g1 = Matrix::from_vec(2, 3, vec![0.9, 0.8, 0.7, 0.3, 0.2, 0.1]);
+        let g2 = Matrix::from_vec(2, 3, vec![0.1, 0.2, 0.3, 0.7, 0.8, 0.9]);
+        let aug = build_augmented_tasks(&original, &[g1, g2]);
+        assert_eq!(aug.len(), 4);
+        // First generation, first task: labels from g1 row 0.
+        assert_eq!(aug[0].support, vec![(0, 0.9)]);
+        assert_eq!(aug[0].query, vec![(1, 0.8)]);
+        // Second generation, second task: labels from g2 row 1.
+        assert_eq!(aug[3].support, vec![(2, 0.9)]);
+        assert_eq!(aug[3].query, vec![(0, 0.7)]);
+        // Items are untouched.
+        assert_eq!(aug[0].user, 0);
+        assert_eq!(aug[3].user, 1);
+    }
+
+    #[test]
+    fn no_generations_yield_no_augmented_tasks() {
+        let original = vec![Task { user: 0, support: vec![(0, 1.0)], query: vec![] }];
+        assert!(build_augmented_tasks(&original, &[]).is_empty());
+    }
+}

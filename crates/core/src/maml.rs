@@ -1,0 +1,371 @@
+//! First-order MAML over preference tasks (paper §III-B, §IV-C, Eq. 1).
+//!
+//! The training objective is
+//! `min_θ Σ_{T_u} L(θ - α ∇_θ L(θ, S_u), Q_u)`:
+//! an inner loop adapts θ to each task's support set with a few SGD steps,
+//! an outer loop updates θ from the adapted parameters' query-set loss.
+//!
+//! We use the first-order approximation (FOMAML): the outer gradient is the
+//! query-set gradient evaluated at the adapted parameters, skipping the
+//! second-derivative term. This is the standard practical choice for
+//! MeLU-style recommenders (see DESIGN.md substitutions) and preserves the
+//! inner-adapt / outer-generalize structure the paper's claims rest on.
+//!
+//! Meta-testing (§V-A2) reuses the inner loop: [`MetaLearner::fine_tune`]
+//! adapts the trained θ on cold-start support sets, after which the model
+//! scores the query candidates.
+
+use metadpa_data::task::Task;
+use metadpa_nn::loss::bce_with_logits;
+use metadpa_nn::module::{
+    accumulate_grads, restore, snapshot, snapshot_grads, zero_grad, Mode, Module,
+};
+use metadpa_nn::optim::{Adam, Optimizer, Sgd};
+use metadpa_tensor::{Matrix, SeededRng};
+
+use crate::preference::{PreferenceConfig, PreferenceModel};
+
+/// MAML hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MamlConfig {
+    /// Inner-loop (local update) learning rate α.
+    pub inner_lr: f32,
+    /// Outer-loop (global update) Adam learning rate.
+    pub outer_lr: f32,
+    /// Inner gradient steps per task.
+    pub inner_steps: usize,
+    /// Tasks per outer update.
+    pub meta_batch: usize,
+    /// Passes over the task set.
+    pub epochs: usize,
+    /// Gradient steps used when fine-tuning at meta-test time.
+    pub finetune_steps: usize,
+    /// Seed for task shuffling.
+    pub seed: u64,
+}
+
+impl Default for MamlConfig {
+    fn default() -> Self {
+        Self {
+            inner_lr: 0.1,
+            outer_lr: 3e-3,
+            inner_steps: 2,
+            meta_batch: 8,
+            epochs: 25,
+            finetune_steps: 10,
+            seed: 0x3A31,
+        }
+    }
+}
+
+/// Per-epoch meta-training diagnostics.
+#[derive(Clone, Copy, Debug)]
+pub struct MetaEpochReport {
+    /// Mean query loss *after* inner adaptation (the meta objective).
+    pub post_adapt_query_loss: f32,
+    /// Mean support loss before adaptation (for monitoring).
+    pub pre_adapt_support_loss: f32,
+}
+
+/// The MAML-trained preference meta-learner.
+pub struct MetaLearner {
+    model: PreferenceModel,
+    config: MamlConfig,
+}
+
+impl MetaLearner {
+    /// Builds a fresh meta-learner.
+    pub fn new(pref_config: PreferenceConfig, maml_config: MamlConfig, rng: &mut SeededRng) -> Self {
+        Self { model: PreferenceModel::new(pref_config, rng), config: maml_config }
+    }
+
+    /// Immutable access to the underlying preference model.
+    pub fn model(&self) -> &PreferenceModel {
+        &self.model
+    }
+
+    /// Mutable access (used by the evaluation harness for state snapshots).
+    pub fn model_mut(&mut self) -> &mut PreferenceModel {
+        &mut self.model
+    }
+
+    /// The configured hyper-parameters.
+    pub fn config(&self) -> MamlConfig {
+        self.config
+    }
+
+    /// Computes the loss and (optionally) backpropagates one labelled set.
+    /// Returns the loss; gradients accumulate into the model when
+    /// `backprop` is true.
+    fn run_set(
+        &mut self,
+        user_content: &[f32],
+        item_content: &Matrix,
+        set: &[(usize, f32)],
+        backprop: bool,
+    ) -> f32 {
+        let items: Vec<usize> = set.iter().map(|&(i, _)| i).collect();
+        let labels = Matrix::from_vec(set.len(), 1, set.iter().map(|&(_, l)| l).collect());
+        let input = PreferenceModel::assemble_input(user_content, item_content, &items);
+        let logits = self.model.forward(&input, Mode::Train);
+        let (loss, grad) = bce_with_logits(&logits, &labels);
+        if backprop {
+            let _ = self.model.backward(&grad);
+        }
+        loss
+    }
+
+    /// Inner loop: adapts the current parameters to one task's support set
+    /// with `steps` SGD steps. Returns the pre-adaptation support loss.
+    fn adapt(
+        &mut self,
+        user_content: &[f32],
+        item_content: &Matrix,
+        task: &Task,
+        steps: usize,
+    ) -> f32 {
+        let sgd = Sgd::new(self.config.inner_lr);
+        let mut first_loss = 0.0;
+        for step in 0..steps {
+            zero_grad(&mut self.model);
+            let loss = self.run_set(user_content, item_content, &task.support, true);
+            if step == 0 {
+                first_loss = loss;
+            }
+            self.model.visit_params(&mut |p| sgd.step_param(p));
+        }
+        first_loss
+    }
+
+    /// Meta-trains on a task set (originals plus augmented tasks, Eqs. 9-10).
+    ///
+    /// `user_content` and `item_content` are the target domain's content
+    /// matrices; tasks index into them.
+    ///
+    /// Returns one report per epoch.
+    pub fn meta_train(
+        &mut self,
+        tasks: &[Task],
+        user_content: &Matrix,
+        item_content: &Matrix,
+    ) -> Vec<MetaEpochReport> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = SeededRng::new(self.config.seed);
+        let mut outer = Adam::new(self.config.outer_lr);
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        let mut reports = Vec::with_capacity(self.config.epochs);
+
+        for _epoch in 0..self.config.epochs {
+            rng.shuffle(&mut order);
+            let mut query_total = 0.0f64;
+            let mut support_total = 0.0f64;
+            let mut n_tasks = 0usize;
+
+            for chunk in order.chunks(self.config.meta_batch) {
+                let theta = snapshot(&mut self.model);
+                let mut meta_grads: Option<Vec<Matrix>> = None;
+                let mut used = 0usize;
+
+                for &t_idx in chunk {
+                    let task = &tasks[t_idx];
+                    if task.support.is_empty() || task.query.is_empty() {
+                        continue;
+                    }
+                    let uc: Vec<f32> = user_content.row(task.user).to_vec();
+
+                    // Inner loop from θ.
+                    restore(&mut self.model, &theta);
+                    let support_loss =
+                        self.adapt(&uc, item_content, task, self.config.inner_steps);
+
+                    // Query gradient at the adapted parameters (FOMAML).
+                    zero_grad(&mut self.model);
+                    let query_loss = self.run_set(&uc, item_content, &task.query, true);
+                    let grads = snapshot_grads(&mut self.model);
+                    match &mut meta_grads {
+                        None => meta_grads = Some(grads),
+                        Some(acc) => {
+                            for (a, g) in acc.iter_mut().zip(grads.iter()) {
+                                a.add_inplace(g);
+                            }
+                        }
+                    }
+                    used += 1;
+                    query_total += query_loss as f64;
+                    support_total += support_loss as f64;
+                    n_tasks += 1;
+                }
+
+                // Outer update from θ with the averaged meta-gradient.
+                restore(&mut self.model, &theta);
+                if let Some(mut grads) = meta_grads {
+                    let inv = 1.0 / used as f32;
+                    for g in &mut grads {
+                        *g = g.scale(inv);
+                    }
+                    zero_grad(&mut self.model);
+                    accumulate_grads(&mut self.model, &grads);
+                    outer.step(&mut self.model);
+                }
+            }
+
+            reports.push(MetaEpochReport {
+                post_adapt_query_loss: (query_total / n_tasks.max(1) as f64) as f32,
+                pre_adapt_support_loss: (support_total / n_tasks.max(1) as f64) as f32,
+            });
+        }
+        reports
+    }
+
+    /// Meta-testing adaptation: fine-tunes the current parameters on the
+    /// support sets of the given tasks (the paper fine-tunes the trained
+    /// model with "a few ratings" before cold-start evaluation).
+    ///
+    /// Unlike meta-training this mutates the model in place; the harness
+    /// snapshots/restores around it.
+    pub fn fine_tune(&mut self, tasks: &[Task], user_content: &Matrix, item_content: &Matrix) {
+        let sgd = Sgd::new(self.config.inner_lr);
+        for _ in 0..self.config.finetune_steps {
+            for task in tasks {
+                if task.support.is_empty() {
+                    continue;
+                }
+                let uc: Vec<f32> = user_content.row(task.user).to_vec();
+                zero_grad(&mut self.model);
+                let _ = self.run_set(&uc, item_content, &task.support, true);
+                self.model.visit_params(&mut |p| sgd.step_param(p));
+            }
+        }
+    }
+
+    /// Scores candidate items for a user (higher is better).
+    pub fn score(
+        &mut self,
+        user_content: &[f32],
+        item_content: &Matrix,
+        items: &[usize],
+    ) -> Vec<f32> {
+        self.model.score_items(user_content, item_content, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_config() -> (PreferenceConfig, MamlConfig) {
+        (
+            PreferenceConfig { content_dim: 6, embed_dim: 5, hidden: [8, 4] },
+            MamlConfig {
+                inner_lr: 0.1,
+                outer_lr: 5e-3,
+                inner_steps: 1,
+                meta_batch: 4,
+                epochs: 8,
+                finetune_steps: 3,
+                seed: 1,
+            },
+        )
+    }
+
+    /// A toy task universe: user u likes item i iff their content vectors
+    /// agree in sign on the first coordinate.
+    fn toy_tasks(rng: &mut SeededRng, n_users: usize, n_items: usize) -> (Vec<Task>, Matrix, Matrix) {
+        let user_content = Matrix::from_fn(n_users, 6, |u, c| {
+            let sign = if u % 2 == 0 { 1.0 } else { -1.0 };
+            sign * (0.3 + 0.1 * c as f32) + 0.01 * rng.normal()
+        });
+        let item_content = Matrix::from_fn(n_items, 6, |i, c| {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            sign * (0.3 + 0.05 * c as f32) + 0.01 * rng.normal()
+        });
+        let mut tasks = Vec::new();
+        for u in 0..n_users {
+            let mut pairs: Vec<(usize, f32)> = (0..n_items)
+                .map(|i| (i, if (u % 2) == (i % 2) { 1.0 } else { 0.0 }))
+                .collect();
+            rng.shuffle(&mut pairs);
+            let (s, q) = pairs.split_at(n_items / 2);
+            tasks.push(Task { user: u, support: s.to_vec(), query: q.to_vec() });
+        }
+        (tasks, user_content, item_content)
+    }
+
+    #[test]
+    fn meta_training_reduces_post_adaptation_query_loss() {
+        let mut rng = SeededRng::new(2);
+        let (pc, mc) = toy_config();
+        let mut learner = MetaLearner::new(pc, mc, &mut rng);
+        let (tasks, uc, ic) = toy_tasks(&mut rng, 12, 10);
+        let reports = learner.meta_train(&tasks, &uc, &ic);
+        assert_eq!(reports.len(), 8);
+        let first = reports.first().unwrap().post_adapt_query_loss;
+        let last = reports.last().unwrap().post_adapt_query_loss;
+        assert!(
+            last < first,
+            "meta objective should improve: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn fine_tuning_adapts_to_an_unseen_user() {
+        // Train on even-user tasks; fine-tune on an odd user's support; the
+        // score ordering must flip to match the odd user's preference.
+        let mut rng = SeededRng::new(3);
+        let (pc, mc) = toy_config();
+        let mut learner = MetaLearner::new(pc, mc, &mut rng);
+        let (tasks, uc, ic) = toy_tasks(&mut rng, 12, 10);
+        let train: Vec<Task> = tasks.iter().filter(|t| t.user % 2 == 0).cloned().collect();
+        let _ = learner.meta_train(&train, &uc, &ic);
+
+        let cold = tasks.iter().find(|t| t.user % 2 == 1).unwrap().clone();
+        learner.fine_tune(std::slice::from_ref(&cold), &uc, &ic);
+        let scores = learner.score(uc.row(cold.user), &ic, &[0, 1]);
+        // Odd users like odd items: item 1 must outscore item 0.
+        assert!(
+            scores[1] > scores[0],
+            "fine-tuned model should prefer odd items for odd users: {scores:?}"
+        );
+    }
+
+    #[test]
+    fn meta_train_on_empty_tasks_is_a_noop() {
+        let mut rng = SeededRng::new(4);
+        let (pc, mc) = toy_config();
+        let mut learner = MetaLearner::new(pc, mc, &mut rng);
+        let uc = Matrix::zeros(1, 6);
+        let ic = Matrix::zeros(1, 6);
+        assert!(learner.meta_train(&[], &uc, &ic).is_empty());
+    }
+
+    #[test]
+    fn tasks_with_empty_sets_are_skipped() {
+        let mut rng = SeededRng::new(5);
+        let (pc, mc) = toy_config();
+        let mut learner = MetaLearner::new(pc, mc, &mut rng);
+        let uc = Matrix::zeros(2, 6);
+        let ic = Matrix::zeros(3, 6);
+        let tasks = vec![
+            Task { user: 0, support: vec![], query: vec![(0, 1.0)] },
+            Task { user: 1, support: vec![(1, 1.0)], query: vec![] },
+        ];
+        let reports = learner.meta_train(&tasks, &uc, &ic);
+        // Every task was skipped -> losses are 0 (no contribution).
+        assert!(reports.iter().all(|r| r.post_adapt_query_loss == 0.0));
+    }
+
+    #[test]
+    fn meta_training_is_deterministic() {
+        let run = || {
+            let mut rng = SeededRng::new(6);
+            let (pc, mc) = toy_config();
+            let mut learner = MetaLearner::new(pc, mc, &mut rng);
+            let (tasks, uc, ic) = toy_tasks(&mut rng, 8, 8);
+            let _ = learner.meta_train(&tasks, &uc, &ic);
+            learner.score(uc.row(0), &ic, &[0, 1, 2, 3])
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,146 @@
+//! Label-noise meta-augmentation (Rajendran et al., NeurIPS 2020) — the
+//! prior technique that motivates MetaDPA (paper §I).
+//!
+//! Meta-augmentation "adds noise to labels y without changing inputs x" to
+//! turn non-mutually-exclusive task sets mutually-exclusive and prevent
+//! memorization overfitting. MetaDPA's argument is that for
+//! recommendation, *structured* diversity (ratings generated from other
+//! domains' preference patterns) beats unstructured label noise. This
+//! module implements the label-noise strategy so the claim is testable:
+//! the `exp_augmentation_strategies` experiment compares
+//!
+//! * no augmentation (MeLU-style meta-training),
+//! * label-noise augmentation (this module),
+//! * diverse preference augmentation (the paper's Block 1+2).
+//!
+//! Noise model: for each of the k augmented copies of a task, every label
+//! is shifted by an independent uniform offset in `[-scale, scale]` and
+//! clamped to `[0, 1]` — labels stay valid soft targets for the BCE loss,
+//! and two copies of the same task almost surely disagree on every label
+//! (the mutual-exclusivity construction of the original method).
+
+use metadpa_data::task::Task;
+use metadpa_tensor::SeededRng;
+
+/// Configuration of the label-noise augmenter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseAugConfig {
+    /// Number of augmented copies per original task (plays the role of
+    /// the k source domains in the DPA comparison).
+    pub k: usize,
+    /// Half-width of the uniform label offset.
+    pub scale: f32,
+    /// Seed for the noise stream.
+    pub seed: u64,
+}
+
+impl Default for NoiseAugConfig {
+    fn default() -> Self {
+        Self { k: 3, scale: 0.3, seed: 0x401E }
+    }
+}
+
+/// Builds `k` noise-augmented copies of every task.
+///
+/// Items and the support/query structure are untouched; only labels move.
+///
+/// # Panics
+/// Panics if `scale` is negative.
+pub fn build_noise_augmented_tasks(original: &[Task], config: &NoiseAugConfig) -> Vec<Task> {
+    assert!(config.scale >= 0.0, "noise scale must be non-negative");
+    let mut rng = SeededRng::new(config.seed);
+    let mut out = Vec::with_capacity(original.len() * config.k);
+    for copy in 0..config.k {
+        let mut copy_rng = rng.fork(copy as u64);
+        for task in original {
+            let perturb = |pairs: &[(usize, f32)], rng: &mut SeededRng| {
+                pairs
+                    .iter()
+                    .map(|&(item, label)| {
+                        let offset = rng.uniform_range(-config.scale, config.scale);
+                        (item, (label + offset).clamp(0.0, 1.0))
+                    })
+                    .collect()
+            };
+            out.push(Task {
+                user: task.user,
+                support: perturb(&task.support, &mut copy_rng),
+                query: perturb(&task.query, &mut copy_rng),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_tasks() -> Vec<Task> {
+        vec![
+            Task { user: 0, support: vec![(0, 1.0), (1, 0.0)], query: vec![(2, 1.0)] },
+            Task { user: 1, support: vec![(2, 0.0)], query: vec![(0, 1.0), (1, 0.0)] },
+        ]
+    }
+
+    #[test]
+    fn produces_k_copies_with_same_structure() {
+        let cfg = NoiseAugConfig { k: 3, scale: 0.2, seed: 1 };
+        let aug = build_noise_augmented_tasks(&toy_tasks(), &cfg);
+        assert_eq!(aug.len(), 6);
+        for (i, t) in aug.iter().enumerate() {
+            let orig = &toy_tasks()[i % 2];
+            assert_eq!(t.user, orig.user);
+            assert_eq!(t.support.len(), orig.support.len());
+            assert_eq!(t.query.len(), orig.query.len());
+            // Items identical, labels moved.
+            for (a, o) in t.support.iter().zip(orig.support.iter()) {
+                assert_eq!(a.0, o.0);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_stay_in_unit_interval() {
+        let cfg = NoiseAugConfig { k: 5, scale: 0.9, seed: 2 };
+        let aug = build_noise_augmented_tasks(&toy_tasks(), &cfg);
+        for t in &aug {
+            for &(_, l) in t.support.iter().chain(t.query.iter()) {
+                assert!((0.0..=1.0).contains(&l), "label {l} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn copies_are_mutually_distinct() {
+        // The mutual-exclusivity construction: two copies of the same task
+        // should disagree on labels (with overwhelming probability).
+        let cfg = NoiseAugConfig { k: 2, scale: 0.3, seed: 3 };
+        let aug = build_noise_augmented_tasks(&toy_tasks(), &cfg);
+        let (a, b) = (&aug[0], &aug[2]); // two copies of task 0
+        assert_ne!(a.support, b.support);
+    }
+
+    #[test]
+    fn zero_scale_reproduces_originals() {
+        let cfg = NoiseAugConfig { k: 1, scale: 0.0, seed: 4 };
+        let aug = build_noise_augmented_tasks(&toy_tasks(), &cfg);
+        assert_eq!(aug, toy_tasks());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = NoiseAugConfig::default();
+        assert_eq!(
+            build_noise_augmented_tasks(&toy_tasks(), &cfg),
+            build_noise_augmented_tasks(&toy_tasks(), &cfg)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_scale() {
+        let cfg = NoiseAugConfig { scale: -0.1, ..NoiseAugConfig::default() };
+        let _ = build_noise_augmented_tasks(&toy_tasks(), &cfg);
+    }
+}

@@ -1,0 +1,198 @@
+//! The preference prediction model of Eq. 11 (paper §IV-C).
+//!
+//! A fully connected embedding layer encodes the user content `c_u` and
+//! item content `c_i` into dense embeddings `x_u`, `x_i`; a multi-layer
+//! network scores their concatenation. Implicit feedback means the output
+//! is a single logit trained with binary cross-entropy.
+//!
+//! [`PreferenceModel`] implements [`Module`] over an input of
+//! `[c_u ; c_i]` rows (one row per candidate item, the user row tiled), so
+//! the generic optimizer / snapshot / restore machinery of `metadpa-nn`
+//! — and therefore MAML — drives it without special cases.
+
+use metadpa_nn::dense::Dense;
+use metadpa_nn::mlp::{Activation, Mlp};
+use metadpa_nn::module::{Mode, Module};
+use metadpa_nn::param::Param;
+use metadpa_tensor::{Matrix, SeededRng};
+
+/// Architecture hyper-parameters of the preference model.
+#[derive(Clone, Copy, Debug)]
+pub struct PreferenceConfig {
+    /// Content vector dimensionality (both users and items).
+    pub content_dim: usize,
+    /// Dense embedding size for each side.
+    pub embed_dim: usize,
+    /// Hidden widths of the scorer MLP (two hidden layers in the paper's
+    /// "2-layer network" description).
+    pub hidden: [usize; 2],
+}
+
+impl Default for PreferenceConfig {
+    fn default() -> Self {
+        Self { content_dim: 48, embed_dim: 32, hidden: [48, 24] }
+    }
+}
+
+/// The embedding + multi-layer scorer of Eq. 11.
+pub struct PreferenceModel {
+    config: PreferenceConfig,
+    user_embed: Dense,
+    item_embed: Dense,
+    scorer: Mlp,
+}
+
+impl PreferenceModel {
+    /// Builds the model.
+    pub fn new(config: PreferenceConfig, rng: &mut SeededRng) -> Self {
+        let user_embed = Dense::new(config.content_dim, config.embed_dim, rng);
+        let item_embed = Dense::new(config.content_dim, config.embed_dim, rng);
+        let scorer = Mlp::new(
+            &[2 * config.embed_dim, config.hidden[0], config.hidden[1], 1],
+            Activation::Relu,
+            rng,
+        );
+        Self { config, user_embed, item_embed, scorer }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> PreferenceConfig {
+        self.config
+    }
+
+    /// Assembles the `[c_u ; c_i]` input batch for one user and a set of
+    /// candidate items: the user's content row is tiled across all rows.
+    pub fn assemble_input(user_content: &[f32], item_content: &Matrix, items: &[usize]) -> Matrix {
+        let d = user_content.len();
+        let mut input = Matrix::zeros(items.len(), d + item_content.cols());
+        for (row, &item) in items.iter().enumerate() {
+            input.row_mut(row)[..d].copy_from_slice(user_content);
+            input.row_mut(row)[d..].copy_from_slice(item_content.row(item));
+        }
+        input
+    }
+
+    /// Scores one user against candidate items, returning per-item logits.
+    pub fn score_items(
+        &mut self,
+        user_content: &[f32],
+        item_content: &Matrix,
+        items: &[usize],
+    ) -> Vec<f32> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let input = Self::assemble_input(user_content, item_content, items);
+        self.forward(&input, Mode::Eval).into_vec()
+    }
+}
+
+impl Module for PreferenceModel {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            2 * self.config.content_dim,
+            "PreferenceModel::forward: input must be [c_u ; c_i] rows of width {}",
+            2 * self.config.content_dim
+        );
+        let (cu, ci) = input.hsplit(self.config.content_dim);
+        let xu = self.user_embed.forward(&cu, mode);
+        let xi = self.item_embed.forward(&ci, mode);
+        self.scorer.forward(&xu.hstack(&xi), mode)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let d_concat = self.scorer.backward(grad_output);
+        let (dxu, dxi) = d_concat.hsplit(self.config.embed_dim);
+        let dcu = self.user_embed.backward(&dxu);
+        let dci = self.item_embed.backward(&dxi);
+        dcu.hstack(&dci)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.user_embed.visit_params(visitor);
+        self.item_embed.visit_params(visitor);
+        self.scorer.visit_params(visitor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metadpa_nn::grad_check::check_module;
+    use metadpa_nn::loss::bce_with_logits;
+    use metadpa_nn::module::zero_grad;
+    use metadpa_nn::optim::{Adam, Optimizer};
+
+    fn small() -> PreferenceConfig {
+        PreferenceConfig { content_dim: 6, embed_dim: 5, hidden: [8, 4] }
+    }
+
+    #[test]
+    fn scores_one_logit_per_item() {
+        let mut rng = SeededRng::new(1);
+        let mut model = PreferenceModel::new(small(), &mut rng);
+        let item_content = rng.uniform_matrix(10, 6, 0.0, 1.0);
+        let user = vec![0.1; 6];
+        let scores = model.score_items(&user, &item_content, &[0, 3, 7]);
+        assert_eq!(scores.len(), 3);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        assert!(model.score_items(&user, &item_content, &[]).is_empty());
+    }
+
+    #[test]
+    fn assemble_input_tiles_user_row() {
+        let item_content = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let input = PreferenceModel::assemble_input(&[9.0, 8.0], &item_content, &[1, 0]);
+        assert_eq!(input.row(0), &[9.0, 8.0, 3.0, 4.0]);
+        assert_eq!(input.row(1), &[9.0, 8.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn gradients_verify_numerically() {
+        let mut rng = SeededRng::new(2);
+        let mut model = PreferenceModel::new(small(), &mut rng);
+        let input = rng.normal_matrix(4, 12);
+        let upstream = rng.normal_matrix(4, 1);
+        let report = check_module(&mut model, &input, &upstream, 1e-2);
+        assert!(report.passes(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn can_fit_a_simple_preference_rule() {
+        // Label = 1 iff user content and item content point the same way.
+        let mut rng = SeededRng::new(3);
+        let mut model = PreferenceModel::new(small(), &mut rng);
+        let n = 40;
+        let mut input = Matrix::zeros(n, 12);
+        let mut labels = Matrix::zeros(n, 1);
+        for r in 0..n {
+            let sign_u = if r % 2 == 0 { 1.0 } else { -1.0 };
+            let sign_i = if (r / 2) % 2 == 0 { 1.0 } else { -1.0 };
+            for c in 0..6 {
+                input.set(r, c, sign_u * (0.5 + 0.1 * c as f32));
+                input.set(r, 6 + c, sign_i * (0.5 + 0.05 * c as f32));
+            }
+            labels.set(r, 0, if sign_u == sign_i { 1.0 } else { 0.0 });
+        }
+        let mut opt = Adam::new(0.02);
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            zero_grad(&mut model);
+            let logits = model.forward(&input, Mode::Train);
+            let (loss, grad) = bce_with_logits(&logits, &labels);
+            let _ = model.backward(&grad);
+            opt.step(&mut model);
+            last = loss;
+        }
+        assert!(last < 0.1, "preference rule should be learnable, loss {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input must be")]
+    fn forward_rejects_wrong_width() {
+        let mut rng = SeededRng::new(4);
+        let mut model = PreferenceModel::new(small(), &mut rng);
+        let _ = model.forward(&Matrix::zeros(1, 5), Mode::Train);
+    }
+}

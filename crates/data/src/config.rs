@@ -1,0 +1,172 @@
+//! Configuration for the SynthAmazon world generator.
+
+/// Parameters of one synthetic domain (a product category in the paper's
+/// Amazon terms).
+#[derive(Clone, Debug)]
+pub struct DomainConfig {
+    /// Human-readable domain name ("Books", "Electronics", ...).
+    pub name: String,
+    /// Number of users native to the domain.
+    pub n_users: usize,
+    /// Number of items in the domain's catalogue.
+    pub n_items: usize,
+    /// Mean of the (long-tailed) ratings-per-user distribution. Actual
+    /// counts are sampled per user, so some users land below the
+    /// existing-user threshold and become cold-start users.
+    pub mean_ratings_per_user: f32,
+    /// Popularity skew exponent: item base popularity follows
+    /// `rank^-skew`. Higher values concentrate interactions on few items.
+    pub popularity_skew: f32,
+}
+
+impl DomainConfig {
+    /// Creates a domain config with the default popularity skew of 0.8.
+    pub fn new(name: &str, n_users: usize, n_items: usize, mean_ratings_per_user: f32) -> Self {
+        Self {
+            name: name.to_string(),
+            n_users,
+            n_items,
+            mean_ratings_per_user,
+            popularity_skew: 0.8,
+        }
+    }
+
+    /// Validates the configuration, panicking with a descriptive message on
+    /// nonsense values.
+    pub fn validate(&self) {
+        assert!(self.n_users >= 2, "domain {}: need at least 2 users", self.name);
+        assert!(self.n_items >= 10, "domain {}: need at least 10 items", self.name);
+        assert!(
+            self.mean_ratings_per_user >= 1.0,
+            "domain {}: mean ratings per user must be >= 1",
+            self.name
+        );
+        assert!(
+            (self.mean_ratings_per_user as usize) < self.n_items,
+            "domain {}: mean ratings per user must be below the catalogue size",
+            self.name
+        );
+        assert!(self.popularity_skew >= 0.0, "domain {}: popularity skew must be >= 0", self.name);
+    }
+}
+
+/// Parameters of the whole multi-domain world: one target domain plus k
+/// source domains, with pairwise shared users.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Dimensionality of the global latent taste space.
+    pub latent_dim: usize,
+    /// Dimensionality of the bag-of-words content vectors (the "dense
+    /// embedding" granularity of review text).
+    pub content_dim: usize,
+    /// Number of latent review topics per domain.
+    pub n_topics: usize,
+    /// Strength of the content/preference inconsistency in `[0, 1]`:
+    /// 0 means content is a deterministic function of latent taste, 1 means
+    /// content is pure noise. The paper's motivation (§I) corresponds to a
+    /// middling value; presets use 0.35.
+    pub content_gap: f32,
+    /// The target domain (Books or CDs in the paper).
+    pub target: DomainConfig,
+    /// The k source domains.
+    pub sources: Vec<DomainConfig>,
+    /// Number of users shared between each source and the target
+    /// (one entry per source; clamped to the smaller domain's user count).
+    pub shared_users: Vec<usize>,
+    /// Master seed for the generator.
+    pub seed: u64,
+}
+
+impl WorldConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on structurally invalid configurations (mismatched lengths,
+    /// zero dimensions, out-of-range gap).
+    pub fn validate(&self) {
+        assert!(self.latent_dim > 0, "latent_dim must be positive");
+        assert!(self.content_dim > 0, "content_dim must be positive");
+        assert!(self.n_topics > 0, "n_topics must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.content_gap),
+            "content_gap must be in [0, 1], got {}",
+            self.content_gap
+        );
+        assert_eq!(
+            self.sources.len(),
+            self.shared_users.len(),
+            "shared_users must have one entry per source domain ({} vs {})",
+            self.sources.len(),
+            self.shared_users.len()
+        );
+        assert!(!self.sources.is_empty(), "need at least one source domain");
+        self.target.validate();
+        for s in &self.sources {
+            s.validate();
+        }
+        for (s, &n) in self.sources.iter().zip(self.shared_users.iter()) {
+            assert!(
+                n <= s.n_users && n <= self.target.n_users,
+                "shared users between {} and {} ({n}) exceed a domain's user count",
+                s.name,
+                self.target.name
+            );
+            assert!(n >= 2, "need at least 2 shared users between {} and target", s.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> WorldConfig {
+        WorldConfig {
+            latent_dim: 8,
+            content_dim: 32,
+            n_topics: 6,
+            content_gap: 0.3,
+            target: DomainConfig::new("T", 100, 80, 8.0),
+            sources: vec![DomainConfig::new("S", 100, 60, 8.0)],
+            shared_users: vec![30],
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        valid().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "content_gap")]
+    fn rejects_out_of_range_gap() {
+        let mut c = valid();
+        c.content_gap = 1.5;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per source")]
+    fn rejects_mismatched_shared_users() {
+        let mut c = valid();
+        c.shared_users = vec![];
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed a domain's user count")]
+    fn rejects_too_many_shared_users() {
+        let mut c = valid();
+        c.shared_users = vec![1000];
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "below the catalogue size")]
+    fn rejects_dense_domain() {
+        let mut c = valid();
+        c.target.mean_ratings_per_user = 100.0;
+        c.validate();
+    }
+}

@@ -1,0 +1,189 @@
+//! The materialized dataset types produced by the generator.
+
+use metadpa_tensor::Matrix;
+
+/// One materialized domain: implicit-feedback interactions plus review
+/// content for every user and item.
+#[derive(Clone, Debug)]
+pub struct Domain {
+    /// Domain name.
+    pub name: String,
+    /// Per-user sorted item-id lists (the positive interactions). Implicit
+    /// feedback: presence means `r_ui = 1`.
+    pub interactions: Vec<Vec<usize>>,
+    /// `n_users x content_dim` dense user review-content embeddings
+    /// (the paper's `c_u`, a bag-of-words over the user's reviews).
+    pub user_content: Matrix,
+    /// `n_items x content_dim` dense item review-content embeddings
+    /// (the paper's `c_i`).
+    pub item_content: Matrix,
+}
+
+impl Domain {
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.item_content.rows()
+    }
+
+    /// Total number of positive interactions.
+    pub fn n_ratings(&self) -> usize {
+        self.interactions.iter().map(Vec::len).sum()
+    }
+
+    /// True when user `u` has rated item `i`.
+    pub fn has_interaction(&self, u: usize, i: usize) -> bool {
+        self.interactions[u].binary_search(&i).is_ok()
+    }
+
+    /// Dense 0/1 rating vector of user `u` over the full catalogue
+    /// (the CVAE input `r` of the paper).
+    pub fn rating_vector(&self, u: usize) -> Matrix {
+        let mut r = Matrix::zeros(1, self.n_items());
+        for &item in &self.interactions[u] {
+            r.set(0, item, 1.0);
+        }
+        r
+    }
+
+    /// Number of ratings received by each item.
+    pub fn item_rating_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_items()];
+        for items in &self.interactions {
+            for &i in items {
+                counts[i] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Checks internal consistency (sorted, deduplicated, in-range
+    /// interactions; matching matrix shapes). Used by tests and debug
+    /// assertions.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.user_content.rows(),
+            self.n_users(),
+            "domain {}: user_content rows must match user count",
+            self.name
+        );
+        for (u, items) in self.interactions.iter().enumerate() {
+            assert!(
+                items.windows(2).all(|w| w[0] < w[1]),
+                "domain {}: user {u} interactions must be sorted and unique",
+                self.name
+            );
+            if let Some(&last) = items.last() {
+                assert!(
+                    last < self.n_items(),
+                    "domain {}: user {u} references item {last} beyond catalogue",
+                    self.name
+                );
+            }
+        }
+    }
+}
+
+/// A full multi-domain world: the target domain, its k source domains, and
+/// the shared-user alignment between each source and the target.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// The target domain (where recommendations are evaluated).
+    pub target: Domain,
+    /// The k source domains.
+    pub sources: Vec<Domain>,
+    /// For each source, the list of `(source_user, target_user)` index pairs
+    /// referring to the same underlying person.
+    pub shared_users: Vec<Vec<(usize, usize)>>,
+}
+
+impl World {
+    /// Number of source domains.
+    pub fn n_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Checks cross-domain consistency.
+    pub fn validate(&self) {
+        assert_eq!(self.sources.len(), self.shared_users.len());
+        self.target.validate();
+        for (s, pairs) in self.sources.iter().zip(self.shared_users.iter()) {
+            s.validate();
+            for &(su, tu) in pairs {
+                assert!(su < s.n_users(), "shared source user {su} out of range in {}", s.name);
+                assert!(tu < self.target.n_users(), "shared target user {tu} out of range");
+            }
+            // A person appears at most once per pairing.
+            let mut src_ids: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            src_ids.sort_unstable();
+            src_ids.dedup();
+            assert_eq!(src_ids.len(), pairs.len(), "duplicate shared source users in {}", s.name);
+            let mut tgt_ids: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            tgt_ids.sort_unstable();
+            tgt_ids.dedup();
+            assert_eq!(tgt_ids.len(), pairs.len(), "duplicate shared target users for {}", s.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_domain() -> Domain {
+        Domain {
+            name: "tiny".into(),
+            interactions: vec![vec![0, 2], vec![1], vec![]],
+            user_content: Matrix::zeros(3, 4),
+            item_content: Matrix::zeros(3, 4),
+        }
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let d = tiny_domain();
+        assert_eq!(d.n_users(), 3);
+        assert_eq!(d.n_items(), 3);
+        assert_eq!(d.n_ratings(), 3);
+        assert!(d.has_interaction(0, 2));
+        assert!(!d.has_interaction(0, 1));
+        assert!(!d.has_interaction(2, 0));
+    }
+
+    #[test]
+    fn rating_vector_is_dense_binary() {
+        let d = tiny_domain();
+        let r = d.rating_vector(0);
+        assert_eq!(r.as_slice(), &[1.0, 0.0, 1.0]);
+        let empty = d.rating_vector(2);
+        assert_eq!(empty.sum(), 0.0);
+    }
+
+    #[test]
+    fn item_rating_counts_sum_to_total() {
+        let d = tiny_domain();
+        let counts = d.item_rating_counts();
+        assert_eq!(counts, vec![1, 1, 1]);
+        assert_eq!(counts.iter().sum::<usize>(), d.n_ratings());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn validate_rejects_unsorted_interactions() {
+        let mut d = tiny_domain();
+        d.interactions[0] = vec![2, 0];
+        d.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond catalogue")]
+    fn validate_rejects_out_of_range_item() {
+        let mut d = tiny_domain();
+        d.interactions[1] = vec![99];
+        d.validate();
+    }
+}

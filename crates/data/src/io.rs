@@ -1,0 +1,328 @@
+//! Plain-text dataset interchange.
+//!
+//! The reproduction ships with the SynthAmazon generator, but a downstream
+//! user's first question is "how do I run this on *my* data?". This module
+//! defines a simple TSV layout and round-trippable readers/writers for it:
+//!
+//! ```text
+//! <dir>/
+//!   target/                       one directory per domain
+//!     interactions.tsv            user_id \t item_id       (implicit positives)
+//!     user_content.tsv            user_id \t v0 v1 v2 ...  (dense content row)
+//!     item_content.tsv            item_id \t v0 v1 v2 ...
+//!   sources/<name>/               same three files per source domain
+//!   shared_<name>.tsv             source_user_id \t target_user_id
+//! ```
+//!
+//! Ids must be dense `0..n`; content rows must all have the same width;
+//! interactions may arrive unsorted and with duplicates (they are sorted
+//! and deduplicated on read). Malformed input yields an
+//! `io::ErrorKind::InvalidData` error naming the file and line.
+
+use std::fs;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use metadpa_tensor::Matrix;
+
+use crate::domain::{Domain, World};
+
+fn invalid(path: &Path, line: usize, msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}:{}: {}", path.display(), line, msg),
+    )
+}
+
+/// Writes one domain into `dir` (created if absent).
+pub fn write_domain(domain: &Domain, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+
+    let mut w = BufWriter::new(fs::File::create(dir.join("interactions.tsv"))?);
+    for (user, items) in domain.interactions.iter().enumerate() {
+        for item in items {
+            writeln!(w, "{user}\t{item}")?;
+        }
+    }
+    w.flush()?;
+
+    write_content(&domain.user_content, &dir.join("user_content.tsv"))?;
+    write_content(&domain.item_content, &dir.join("item_content.tsv"))?;
+    Ok(())
+}
+
+fn write_content(content: &Matrix, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(fs::File::create(path)?);
+    for row in 0..content.rows() {
+        let values: Vec<String> =
+            content.row(row).iter().map(|v| format!("{v}")).collect();
+        writeln!(w, "{row}\t{}", values.join(" "))?;
+    }
+    w.flush()
+}
+
+/// Reads one domain from `dir`; `name` is attached to the result.
+pub fn read_domain(name: &str, dir: &Path) -> io::Result<Domain> {
+    let user_content = read_content(&dir.join("user_content.tsv"))?;
+    let item_content = read_content(&dir.join("item_content.tsv"))?;
+    let n_users = user_content.rows();
+    let n_items = item_content.rows();
+
+    let path = dir.join("interactions.tsv");
+    let reader = BufReader::new(fs::File::open(&path)?);
+    let mut interactions: Vec<Vec<usize>> = vec![Vec::new(); n_users];
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let user: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| invalid(&path, idx + 1, "expected user_id"))?;
+        let item: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| invalid(&path, idx + 1, "expected item_id"))?;
+        if user >= n_users {
+            return Err(invalid(&path, idx + 1, &format!("user {user} >= {n_users} users")));
+        }
+        if item >= n_items {
+            return Err(invalid(&path, idx + 1, &format!("item {item} >= {n_items} items")));
+        }
+        interactions[user].push(item);
+    }
+    for items in &mut interactions {
+        items.sort_unstable();
+        items.dedup();
+    }
+
+    let domain = Domain { name: name.to_string(), interactions, user_content, item_content };
+    domain.validate();
+    Ok(domain)
+}
+
+fn read_content(path: &Path) -> io::Result<Matrix> {
+    let reader = BufReader::new(fs::File::open(path)?);
+    let mut rows: Vec<(usize, Vec<f32>)> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(2, '\t');
+        let id: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| invalid(path, idx + 1, "expected id"))?;
+        let values: Result<Vec<f32>, _> = parts
+            .next()
+            .ok_or_else(|| invalid(path, idx + 1, "expected content values"))?
+            .split_whitespace()
+            .map(str::parse::<f32>)
+            .collect();
+        let values = values.map_err(|_| invalid(path, idx + 1, "non-numeric content value"))?;
+        match width {
+            None => width = Some(values.len()),
+            Some(w) if w != values.len() => {
+                return Err(invalid(
+                    path,
+                    idx + 1,
+                    &format!("content width {} differs from {}", values.len(), w),
+                ));
+            }
+            _ => {}
+        }
+        rows.push((id, values));
+    }
+    let n = rows.len();
+    let width = width.ok_or_else(|| invalid(path, 0, "empty content file"))?;
+    let mut seen = vec![false; n];
+    let mut out = Matrix::zeros(n, width);
+    for (id, values) in rows {
+        if id >= n {
+            return Err(invalid(path, 0, &format!("id {id} not dense in 0..{n}")));
+        }
+        if seen[id] {
+            return Err(invalid(path, 0, &format!("duplicate id {id}")));
+        }
+        seen[id] = true;
+        out.row_mut(id).copy_from_slice(&values);
+    }
+    Ok(out)
+}
+
+/// Writes a whole world (target, sources, shared-user maps) into `dir`.
+pub fn write_world(world: &World, dir: &Path) -> io::Result<()> {
+    write_domain(&world.target, &dir.join("target"))?;
+    for (source, pairs) in world.sources.iter().zip(world.shared_users.iter()) {
+        write_domain(source, &dir.join("sources").join(&source.name))?;
+        let path = dir.join(format!("shared_{}.tsv", source.name));
+        let mut w = BufWriter::new(fs::File::create(path)?);
+        for &(su, tu) in pairs {
+            writeln!(w, "{su}\t{tu}")?;
+        }
+        w.flush()?;
+    }
+    Ok(())
+}
+
+/// Reads a world written by [`write_world`]. `target_name` labels the
+/// target domain; sources are discovered from the `sources/` directory
+/// (sorted by name for determinism).
+pub fn read_world(target_name: &str, dir: &Path) -> io::Result<World> {
+    let target = read_domain(target_name, &dir.join("target"))?;
+    let mut source_names: Vec<String> = Vec::new();
+    let sources_dir = dir.join("sources");
+    if sources_dir.exists() {
+        for entry in fs::read_dir(&sources_dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                source_names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+    }
+    source_names.sort();
+
+    let mut sources = Vec::with_capacity(source_names.len());
+    let mut shared_users = Vec::with_capacity(source_names.len());
+    for name in &source_names {
+        let source = read_domain(name, &sources_dir.join(name))?;
+        let path = dir.join(format!("shared_{name}.tsv"));
+        let reader = BufReader::new(fs::File::open(&path)?);
+        let mut pairs = Vec::new();
+        for (idx, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let su: usize = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| invalid(&path, idx + 1, "expected source user id"))?;
+            let tu: usize = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| invalid(&path, idx + 1, "expected target user id"))?;
+            pairs.push((su, tu));
+        }
+        sources.push(source);
+        shared_users.push(pairs);
+    }
+
+    let world = World { target, sources, shared_users };
+    world.validate();
+    Ok(world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_world;
+    use crate::presets::tiny_world;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "metadpa_io_test_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn domain_roundtrip_is_exact_in_structure() {
+        let w = generate_world(&tiny_world(201));
+        let dir = temp_dir("domain");
+        write_domain(&w.target, &dir).expect("write");
+        let back = read_domain(&w.target.name, &dir).expect("read");
+        assert_eq!(back.interactions, w.target.interactions);
+        assert_eq!(back.n_users(), w.target.n_users());
+        assert_eq!(back.n_items(), w.target.n_items());
+        // Content roundtrips through decimal text: compare within epsilon.
+        for (a, b) in back
+            .user_content
+            .as_slice()
+            .iter()
+            .zip(w.target.user_content.as_slice().iter())
+        {
+            assert!((a - b).abs() < 1e-6);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn world_roundtrip_preserves_sources_and_shared_users() {
+        let w = generate_world(&tiny_world(202));
+        let dir = temp_dir("world");
+        write_world(&w, &dir).expect("write");
+        let back = read_world(&w.target.name, &dir).expect("read");
+        assert_eq!(back.sources.len(), w.sources.len());
+        // Sources are sorted by name on read; match by name.
+        for src in &w.sources {
+            let idx = back
+                .sources
+                .iter()
+                .position(|s| s.name == src.name)
+                .expect("source present");
+            assert_eq!(back.sources[idx].interactions, src.interactions);
+        }
+        let orig_pairs: usize = w.shared_users.iter().map(Vec::len).sum();
+        let back_pairs: usize = back.shared_users.iter().map(Vec::len).sum();
+        assert_eq!(orig_pairs, back_pairs);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_rejects_out_of_range_interaction() {
+        let w = generate_world(&tiny_world(203));
+        let dir = temp_dir("bad_item");
+        write_domain(&w.target, &dir).expect("write");
+        // Append an interaction referencing a non-existent item.
+        let path = dir.join("interactions.tsv");
+        let mut content = fs::read_to_string(&path).unwrap();
+        content.push_str("0\t999999\n");
+        fs::write(&path, content).unwrap();
+        let err = read_domain("x", &dir).expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("item 999999"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_rejects_ragged_content() {
+        let dir = temp_dir("ragged");
+        fs::write(dir.join("user_content.tsv"), "0\t1 2 3\n1\t4 5\n").unwrap();
+        fs::write(dir.join("item_content.tsv"), "0\t1 2 3\n").unwrap();
+        fs::write(dir.join("interactions.tsv"), "0\t0\n").unwrap();
+        let err = read_domain("x", &dir).expect_err("must reject ragged rows");
+        assert!(err.to_string().contains("content width"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_rejects_duplicate_ids() {
+        let dir = temp_dir("dup");
+        fs::write(dir.join("user_content.tsv"), "0\t1 2\n0\t3 4\n").unwrap();
+        fs::write(dir.join("item_content.tsv"), "0\t1 2\n").unwrap();
+        fs::write(dir.join("interactions.tsv"), "").unwrap();
+        let err = read_domain("x", &dir).expect_err("must reject duplicates");
+        assert!(err.to_string().contains("duplicate id") || err.to_string().contains("not dense"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_interactions_are_deduplicated() {
+        let dir = temp_dir("dedup");
+        fs::write(dir.join("user_content.tsv"), "0\t1 2\n").unwrap();
+        fs::write(dir.join("item_content.tsv"), "0\t1 2\n1\t3 4\n").unwrap();
+        fs::write(dir.join("interactions.tsv"), "0\t1\n0\t0\n0\t1\n").unwrap();
+        let d = read_domain("x", &dir).expect("read");
+        assert_eq!(d.interactions[0], vec![0, 1]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,494 @@
+//! The four recommendation problems of §III-A: Warm-start, C-U, C-I, C-UI.
+//!
+//! [`Splitter`] partitions a target domain's users and items into
+//! existing/new by the paper's ≥5-rating rule, then materializes each
+//! problem as a [`Scenario`]:
+//!
+//! * shared **meta-training tasks** built from the warm ratings
+//!   `R_w = {r_ui : u ∈ U_e, i ∈ I_e}` (identical across scenarios — the
+//!   paper trains once on `R_w` and fine-tunes per cold setting);
+//! * **fine-tune tasks** carrying the support sets of the testing tasks
+//!   (empty for Warm-start);
+//! * **evaluation instances** under leave-one-out with sampled negatives.
+//!
+//! One detail deviates deliberately from the paper's §V-A2 wording: the
+//! paper evaluates Warm-start "on the query set of T_tr", i.e. on examples
+//! the outer loop has already optimized. We instead hold the Warm-start
+//! evaluation positive *out* of the training tasks (the standard
+//! leave-one-out protocol of He et al. 2017, which the paper cites as its
+//! evaluation basis). This avoids train/test leakage and affects all
+//! methods identically.
+
+use metadpa_tensor::SeededRng;
+
+use crate::domain::Domain;
+use crate::task::{EvalInstance, Task};
+
+/// Which of the four §III-A problems a scenario instantiates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Existing users x existing items with sparse interactions.
+    Warm,
+    /// New (cold-start) users x existing items.
+    ColdUser,
+    /// Existing users x new (cold-start) items.
+    ColdItem,
+    /// New users x new items.
+    ColdUserItem,
+}
+
+impl ScenarioKind {
+    /// All four scenarios, in the paper's presentation order.
+    pub const ALL: [ScenarioKind; 4] =
+        [ScenarioKind::Warm, ScenarioKind::ColdUser, ScenarioKind::ColdItem, ScenarioKind::ColdUserItem];
+
+    /// The paper's shorthand label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioKind::Warm => "Warm-start",
+            ScenarioKind::ColdUser => "C-U",
+            ScenarioKind::ColdItem => "C-I",
+            ScenarioKind::ColdUserItem => "C-UI",
+        }
+    }
+}
+
+/// Protocol parameters.
+#[derive(Clone, Debug)]
+pub struct SplitConfig {
+    /// Minimum ratings for a user/item to count as "existing" (paper: 5).
+    pub existing_threshold: usize,
+    /// Number of sampled negatives per evaluation positive (paper: 99).
+    pub n_eval_negatives: usize,
+    /// Negatives sampled per positive in training/fine-tuning tasks.
+    pub train_negatives_per_positive: usize,
+    /// Maximum positives in a task's support set (the "few ratings" used
+    /// for fine-tuning in cold settings).
+    pub max_support_positives: usize,
+    /// Seed for split and negative-sampling randomness.
+    pub seed: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        Self {
+            existing_threshold: 5,
+            n_eval_negatives: 99,
+            train_negatives_per_positive: 4,
+            max_support_positives: 8,
+            seed: 0xC01D,
+        }
+    }
+}
+
+/// A materialized recommendation problem.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Which §III-A problem this is.
+    pub kind: ScenarioKind,
+    /// Meta-training tasks built from the warm ratings `R_w`.
+    pub train_tasks: Vec<Task>,
+    /// Per-test-user support tasks for cold-start fine-tuning (empty for
+    /// Warm-start, whose evaluation needs no adaptation step).
+    pub finetune_tasks: Vec<Task>,
+    /// Leave-one-out evaluation instances.
+    pub eval: Vec<EvalInstance>,
+}
+
+/// Partitions a domain per §III-A and materializes scenarios.
+pub struct Splitter<'a> {
+    domain: &'a Domain,
+    config: SplitConfig,
+    existing_users: Vec<usize>,
+    new_users: Vec<usize>,
+    existing_items: Vec<usize>,
+    new_items: Vec<usize>,
+}
+
+impl<'a> Splitter<'a> {
+    /// Computes the existing/new partitions for `domain`.
+    pub fn new(domain: &'a Domain, config: SplitConfig) -> Self {
+        let threshold = config.existing_threshold;
+        let mut existing_users = Vec::new();
+        let mut new_users = Vec::new();
+        for (u, items) in domain.interactions.iter().enumerate() {
+            if items.len() >= threshold {
+                existing_users.push(u);
+            } else {
+                new_users.push(u);
+            }
+        }
+        let item_counts = domain.item_rating_counts();
+        let mut existing_items = Vec::new();
+        let mut new_items = Vec::new();
+        for (i, &c) in item_counts.iter().enumerate() {
+            if c >= threshold {
+                existing_items.push(i);
+            } else {
+                new_items.push(i);
+            }
+        }
+        Self { domain, config, existing_users, new_users, existing_items, new_items }
+    }
+
+    /// Users with at least `existing_threshold` ratings (`U_e`).
+    pub fn existing_users(&self) -> &[usize] {
+        &self.existing_users
+    }
+
+    /// Cold-start users (`U_n`).
+    pub fn new_users(&self) -> &[usize] {
+        &self.new_users
+    }
+
+    /// Items with at least `existing_threshold` ratings (`I_e`).
+    pub fn existing_items(&self) -> &[usize] {
+        &self.existing_items
+    }
+
+    /// Cold-start items (`I_n`).
+    pub fn new_items(&self) -> &[usize] {
+        &self.new_items
+    }
+
+    /// Materializes one of the four problems.
+    pub fn scenario(&self, kind: ScenarioKind) -> Scenario {
+        let mut rng = SeededRng::new(self.config.seed ^ (kind as u64).wrapping_mul(0x9E37));
+        let is_existing_item = membership_mask(self.domain.n_items(), &self.existing_items);
+        let is_new_item = membership_mask(self.domain.n_items(), &self.new_items);
+
+        // -------------------------------------------------------------
+        // Evaluation users / item pools per scenario.
+        // -------------------------------------------------------------
+        let (eval_users, item_pool_mask, item_pool): (&[usize], &[bool], &[usize]) = match kind {
+            ScenarioKind::Warm | ScenarioKind::ColdItem => {
+                (&self.existing_users, &is_existing_item, &self.existing_items)
+            }
+            ScenarioKind::ColdUser | ScenarioKind::ColdUserItem => {
+                (&self.new_users, &is_existing_item, &self.existing_items)
+            }
+        };
+        // C-I and C-UI evaluate on new items.
+        let (item_pool_mask, item_pool): (&[bool], &[usize]) = match kind {
+            ScenarioKind::ColdItem | ScenarioKind::ColdUserItem => (&is_new_item, &self.new_items),
+            _ => (item_pool_mask, item_pool),
+        };
+
+        // -------------------------------------------------------------
+        // Build eval instances and (for cold settings) fine-tune tasks.
+        // Warm-start eval positives must also be excluded from training
+        // tasks, so collect them keyed by user.
+        // -------------------------------------------------------------
+        let mut eval = Vec::new();
+        let mut finetune_tasks = Vec::new();
+        let mut warm_holdout: Vec<Option<usize>> = vec![None; self.domain.n_users()];
+
+        for &u in eval_users {
+            let in_pool: Vec<usize> = self.domain.interactions[u]
+                .iter()
+                .copied()
+                .filter(|&i| item_pool_mask[i])
+                .collect();
+            // Warm-start needs two in-pool positives: one held out for
+            // evaluation and at least one left for the training task.
+            // Cold settings need one in-pool positive to evaluate plus
+            // something to fine-tune on (see support fallback below).
+            if in_pool.is_empty() || (kind == ScenarioKind::Warm && in_pool.len() < 2) {
+                continue;
+            }
+            let mut shuffled = in_pool.clone();
+            rng.shuffle(&mut shuffled);
+            let positive = shuffled[0];
+            let mut support_pos: Vec<usize> = shuffled[1..]
+                .iter()
+                .copied()
+                .take(self.config.max_support_positives)
+                .collect();
+            // Support fallback for the scarcest settings (C-I/C-UI at small
+            // scale): when a user's only in-pool rating is the held-out
+            // positive, fine-tune on their remaining out-of-pool ratings —
+            // a new user/item is adapted with whatever few ratings exist.
+            if support_pos.is_empty() && kind != ScenarioKind::Warm {
+                support_pos = self.domain.interactions[u]
+                    .iter()
+                    .copied()
+                    .filter(|&i| i != positive && !item_pool_mask[i])
+                    .take(self.config.max_support_positives)
+                    .collect();
+            }
+            if support_pos.is_empty() && kind != ScenarioKind::Warm {
+                continue;
+            }
+
+            let negatives = self.sample_negatives(
+                u,
+                item_pool,
+                self.config.n_eval_negatives,
+                &mut rng,
+            );
+            if negatives.is_empty() {
+                continue;
+            }
+            eval.push(EvalInstance { user: u, positive, negatives });
+
+            if kind != ScenarioKind::Warm {
+                let support = self.label_with_negatives(u, &support_pos, item_pool, &mut rng);
+                finetune_tasks.push(Task { user: u, support, query: Vec::new() });
+            } else {
+                warm_holdout[u] = Some(positive);
+            }
+        }
+
+        // -------------------------------------------------------------
+        // Meta-training tasks from R_w (existing users x existing items),
+        // excluding Warm-start holdout positives.
+        // -------------------------------------------------------------
+        let mut train_tasks = Vec::new();
+        for &u in &self.existing_users {
+            let mut positives: Vec<usize> = self.domain.interactions[u]
+                .iter()
+                .copied()
+                .filter(|&i| is_existing_item[i] && warm_holdout[u] != Some(i))
+                .collect();
+            if positives.len() < 2 {
+                continue;
+            }
+            rng.shuffle(&mut positives);
+            // Half support (capped), half query — both non-empty.
+            let n_support = (positives.len() / 2)
+                .clamp(1, self.config.max_support_positives)
+                .min(positives.len() - 1);
+            let (sup_pos, qry_pos) = positives.split_at(n_support);
+            let support = self.label_with_negatives(u, sup_pos, &self.existing_items, &mut rng);
+            let query = self.label_with_negatives(u, qry_pos, &self.existing_items, &mut rng);
+            train_tasks.push(Task { user: u, support, query });
+        }
+
+        Scenario { kind, train_tasks, finetune_tasks, eval }
+    }
+
+    /// Labels positives with 1.0 and appends sampled negatives labelled 0.0.
+    fn label_with_negatives(
+        &self,
+        user: usize,
+        positives: &[usize],
+        pool: &[usize],
+        rng: &mut SeededRng,
+    ) -> Vec<(usize, f32)> {
+        let mut out: Vec<(usize, f32)> =
+            positives.iter().map(|&i| (i, 1.0)).collect();
+        let n_neg = positives.len() * self.config.train_negatives_per_positive;
+        let negatives = self.sample_negatives(user, pool, n_neg, rng);
+        out.extend(negatives.into_iter().map(|i| (i, 0.0)));
+        out
+    }
+
+    /// Samples up to `count` items from `pool` that the user has never
+    /// interacted with. Returns fewer when the pool is too small.
+    fn sample_negatives(
+        &self,
+        user: usize,
+        pool: &[usize],
+        count: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<usize> {
+        let rated = &self.domain.interactions[user];
+        let candidates: Vec<usize> = pool
+            .iter()
+            .copied()
+            .filter(|i| rated.binary_search(i).is_err())
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let take = count.min(candidates.len());
+        rng.sample_indices(candidates.len(), take)
+            .into_iter()
+            .map(|idx| candidates[idx])
+            .collect()
+    }
+}
+
+fn membership_mask(n: usize, members: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &m in members {
+        mask[m] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DomainConfig, WorldConfig};
+    use crate::generator::generate_world;
+
+    fn world() -> crate::domain::World {
+        generate_world(&WorldConfig {
+            latent_dim: 8,
+            content_dim: 24,
+            n_topics: 5,
+            content_gap: 0.3,
+            target: DomainConfig::new("T", 200, 120, 9.0),
+            sources: vec![DomainConfig::new("S", 150, 90, 10.0)],
+            shared_users: vec![50],
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn partitions_respect_threshold_and_cover_everything() {
+        let w = world();
+        let sp = Splitter::new(&w.target, SplitConfig::default());
+        assert_eq!(sp.existing_users().len() + sp.new_users().len(), w.target.n_users());
+        assert_eq!(sp.existing_items().len() + sp.new_items().len(), w.target.n_items());
+        for &u in sp.existing_users() {
+            assert!(w.target.interactions[u].len() >= 5);
+        }
+        for &u in sp.new_users() {
+            assert!(w.target.interactions[u].len() < 5);
+        }
+        assert!(!sp.new_users().is_empty(), "need cold users for C-U");
+        assert!(!sp.new_items().is_empty(), "need cold items for C-I");
+    }
+
+    #[test]
+    fn warm_scenario_has_no_finetune_tasks_and_no_leakage() {
+        let w = world();
+        let sp = Splitter::new(&w.target, SplitConfig::default());
+        let s = sp.scenario(ScenarioKind::Warm);
+        assert!(s.finetune_tasks.is_empty());
+        assert!(!s.eval.is_empty());
+        assert!(!s.train_tasks.is_empty());
+        // No training task may contain its user's eval positive.
+        for e in &s.eval {
+            for t in s.train_tasks.iter().filter(|t| t.user == e.user) {
+                assert!(
+                    t.support.iter().chain(t.query.iter()).all(|&(i, _)| i != e.positive),
+                    "user {} eval positive {} leaked into training",
+                    e.user,
+                    e.positive
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cold_user_scenario_only_evaluates_new_users_on_existing_items() {
+        let w = world();
+        let sp = Splitter::new(&w.target, SplitConfig::default());
+        let s = sp.scenario(ScenarioKind::ColdUser);
+        let new_users: std::collections::HashSet<_> = sp.new_users().iter().copied().collect();
+        let existing_items: std::collections::HashSet<_> =
+            sp.existing_items().iter().copied().collect();
+        assert!(!s.eval.is_empty(), "C-U needs eval instances");
+        for e in &s.eval {
+            assert!(new_users.contains(&e.user));
+            assert!(existing_items.contains(&e.positive));
+            for &n in &e.negatives {
+                assert!(existing_items.contains(&n));
+            }
+        }
+        // Every eval user has a fine-tune task with a non-empty support.
+        for e in &s.eval {
+            let ft = s
+                .finetune_tasks
+                .iter()
+                .find(|t| t.user == e.user)
+                .expect("missing finetune task");
+            assert!(!ft.support.is_empty());
+            // Support must not contain the eval positive.
+            assert!(ft.support.iter().all(|&(i, _)| i != e.positive));
+        }
+    }
+
+    #[test]
+    fn cold_item_scenario_evaluates_existing_users_on_new_items() {
+        let w = world();
+        let sp = Splitter::new(&w.target, SplitConfig::default());
+        let s = sp.scenario(ScenarioKind::ColdItem);
+        let existing_users: std::collections::HashSet<_> =
+            sp.existing_users().iter().copied().collect();
+        let new_items: std::collections::HashSet<_> = sp.new_items().iter().copied().collect();
+        for e in &s.eval {
+            assert!(existing_users.contains(&e.user));
+            assert!(new_items.contains(&e.positive));
+            for &n in &e.negatives {
+                assert!(new_items.contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn eval_negatives_are_unobserved_and_distinct() {
+        let w = world();
+        let sp = Splitter::new(&w.target, SplitConfig::default());
+        for kind in ScenarioKind::ALL {
+            let s = sp.scenario(kind);
+            for e in &s.eval {
+                let rated = &w.target.interactions[e.user];
+                let mut seen = std::collections::HashSet::new();
+                for &n in &e.negatives {
+                    assert!(rated.binary_search(&n).is_err(), "{:?}: negative was rated", kind);
+                    assert!(seen.insert(n), "{kind:?}: duplicate negative");
+                    assert_ne!(n, e.positive);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn train_tasks_have_nonempty_support_and_query() {
+        let w = world();
+        let sp = Splitter::new(&w.target, SplitConfig::default());
+        let s = sp.scenario(ScenarioKind::Warm);
+        for t in &s.train_tasks {
+            assert!(!t.support.is_empty());
+            assert!(!t.query.is_empty());
+            // Positives carry label 1, negatives 0.
+            for &(_, l) in t.support.iter().chain(t.query.iter()) {
+                assert!(l == 0.0 || l == 1.0);
+            }
+            // Support size respects the cap.
+            let sup_pos = t.support.iter().filter(|&&(_, l)| l == 1.0).count();
+            assert!(sup_pos <= SplitConfig::default().max_support_positives);
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let w = world();
+        let sp = Splitter::new(&w.target, SplitConfig::default());
+        let a = sp.scenario(ScenarioKind::ColdUser);
+        let b = sp.scenario(ScenarioKind::ColdUser);
+        assert_eq!(a.eval, b.eval);
+        assert_eq!(a.train_tasks, b.train_tasks);
+    }
+
+    #[test]
+    fn different_seeds_give_different_splits() {
+        let w = world();
+        let a = Splitter::new(&w.target, SplitConfig::default()).scenario(ScenarioKind::Warm);
+        let b = Splitter::new(&w.target, SplitConfig { seed: 999, ..SplitConfig::default() })
+            .scenario(ScenarioKind::Warm);
+        assert_ne!(a.eval, b.eval);
+    }
+
+    #[test]
+    fn eval_negative_count_matches_protocol_when_pool_allows() {
+        let w = world();
+        let sp = Splitter::new(&w.target, SplitConfig::default());
+        let s = sp.scenario(ScenarioKind::Warm);
+        // Existing-item pool is comfortably larger than 99 in this world?
+        // If not, negatives are capped at pool size — assert consistency.
+        let pool = sp.existing_items().len();
+        for e in &s.eval {
+            let rated_in_pool = w.target.interactions[e.user]
+                .iter()
+                .filter(|i| sp.existing_items().binary_search(i).is_ok())
+                .count();
+            let available = pool - rated_in_pool;
+            assert_eq!(e.negatives.len(), 99.min(available));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Dataset statistics (Tables I and II of the paper).
+
+use metadpa_tensor::stats::sparsity;
+
+use crate::domain::{Domain, World};
+
+/// Summary statistics for one domain, the columns of Tables I-II.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DomainStats {
+    /// Domain name.
+    pub name: String,
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Number of positive interactions.
+    pub n_ratings: usize,
+    /// `1 - ratings / (users * items)`.
+    pub sparsity: f64,
+}
+
+/// Computes the Table-II style statistics of a domain.
+pub fn domain_stats(domain: &Domain) -> DomainStats {
+    let n_ratings = domain.n_ratings();
+    DomainStats {
+        name: domain.name.clone(),
+        n_users: domain.n_users(),
+        n_items: domain.n_items(),
+        n_ratings,
+        sparsity: sparsity(n_ratings, domain.n_users(), domain.n_items()),
+    }
+}
+
+/// The Table-I style row for one source: shared-user count with the target
+/// plus the source's own statistics.
+#[derive(Clone, Debug)]
+pub struct SourceStats {
+    /// Source domain statistics.
+    pub stats: DomainStats,
+    /// Number of users shared with the target domain.
+    pub shared_with_target: usize,
+}
+
+/// Computes per-source statistics for a world (Table I).
+pub fn source_stats(world: &World) -> Vec<SourceStats> {
+    world
+        .sources
+        .iter()
+        .zip(world.shared_users.iter())
+        .map(|(s, pairs)| SourceStats { stats: domain_stats(s), shared_with_target: pairs.len() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metadpa_tensor::Matrix;
+
+    fn domain() -> Domain {
+        Domain {
+            name: "d".into(),
+            interactions: vec![vec![0, 1], vec![2], vec![0, 1, 2]],
+            user_content: Matrix::zeros(3, 4),
+            item_content: Matrix::zeros(3, 4),
+        }
+    }
+
+    #[test]
+    fn stats_count_correctly() {
+        let s = domain_stats(&domain());
+        assert_eq!(s.n_users, 3);
+        assert_eq!(s.n_items, 3);
+        assert_eq!(s.n_ratings, 6);
+        // 6 of 9 cells filled -> sparsity 1/3.
+        assert!((s.sparsity - (1.0 - 6.0 / 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_stats_report_shared_counts() {
+        let w = World {
+            target: domain(),
+            sources: vec![domain()],
+            shared_users: vec![vec![(0, 1), (2, 0)]],
+        };
+        let ss = source_stats(&w);
+        assert_eq!(ss.len(), 1);
+        assert_eq!(ss[0].shared_with_target, 2);
+        assert_eq!(ss[0].stats.n_ratings, 6);
+    }
+}

@@ -1,0 +1,111 @@
+//! Meta-learning tasks and evaluation instances.
+//!
+//! Following §III-B of the paper, a *task* is one user's preference over
+//! items, split into a support set (for the MAML inner update / cold-start
+//! fine-tuning) and a query set (for the outer update / testing). Labels are
+//! `f32` because augmented tasks (Eq. 10) carry *continuous* generated
+//! ratings in `[0, 1]`, not just the binary originals.
+
+/// One user-preference task: `(item, label)` pairs split into support and
+/// query sets (paper Eq. 12).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Task {
+    /// The target-domain user this task belongs to.
+    pub user: usize,
+    /// Support set: `(item, label)` pairs used for the local/inner update.
+    pub support: Vec<(usize, f32)>,
+    /// Query set: `(item, label)` pairs used for the global/outer update.
+    pub query: Vec<(usize, f32)>,
+}
+
+impl Task {
+    /// Total number of labelled examples in the task.
+    pub fn len(&self) -> usize {
+        self.support.len() + self.query.len()
+    }
+
+    /// True when both sets are empty.
+    pub fn is_empty(&self) -> bool {
+        self.support.is_empty() && self.query.is_empty()
+    }
+
+    /// Returns a copy with the labels of both sets replaced by
+    /// `new_labels`, which must be keyed by item id. Used to build the
+    /// augmented tasks of Eq. 10 (same items/content, generated ratings).
+    ///
+    /// # Panics
+    /// Panics if `new_labels` is shorter than the largest referenced item.
+    pub fn with_labels_from(&self, new_labels: &[f32]) -> Task {
+        let relabel = |pairs: &[(usize, f32)]| {
+            pairs
+                .iter()
+                .map(|&(item, _)| {
+                    assert!(
+                        item < new_labels.len(),
+                        "with_labels_from: item {item} beyond label vector of {}",
+                        new_labels.len()
+                    );
+                    (item, new_labels[item])
+                })
+                .collect()
+        };
+        Task { user: self.user, support: relabel(&self.support), query: relabel(&self.query) }
+    }
+}
+
+/// One leave-one-out evaluation instance: a held-out positive ranked
+/// against sampled negatives (99 in the paper's protocol).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalInstance {
+    /// The user under evaluation.
+    pub user: usize,
+    /// The held-out positive item.
+    pub positive: usize,
+    /// The sampled unobserved negatives.
+    pub negatives: Vec<usize>,
+}
+
+impl EvalInstance {
+    /// All candidate items: the positive followed by the negatives.
+    pub fn candidates(&self) -> Vec<usize> {
+        let mut c = Vec::with_capacity(1 + self.negatives.len());
+        c.push(self.positive);
+        c.extend_from_slice(&self.negatives);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_len_counts_both_sets() {
+        let t = Task { user: 0, support: vec![(1, 1.0), (2, 0.0)], query: vec![(3, 1.0)] };
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn relabelling_preserves_items() {
+        let t = Task { user: 5, support: vec![(0, 1.0), (2, 0.0)], query: vec![(1, 1.0)] };
+        let labels = vec![0.9, 0.1, 0.4];
+        let aug = t.with_labels_from(&labels);
+        assert_eq!(aug.user, 5);
+        assert_eq!(aug.support, vec![(0, 0.9), (2, 0.4)]);
+        assert_eq!(aug.query, vec![(1, 0.1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond label vector")]
+    fn relabelling_rejects_short_labels() {
+        let t = Task { user: 0, support: vec![(10, 1.0)], query: vec![] };
+        let _ = t.with_labels_from(&[0.5]);
+    }
+
+    #[test]
+    fn candidates_lead_with_positive() {
+        let e = EvalInstance { user: 1, positive: 7, negatives: vec![3, 4] };
+        assert_eq!(e.candidates(), vec![7, 3, 4]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # metadpa-metrics
+//!
+//! Evaluation metrics for the MetaDPA reproduction.
+//!
+//! The paper evaluates top-k recommendation under the leave-one-out protocol
+//! of He et al. (2017): each test instance is one positive item ranked
+//! against 99 sampled negatives. Four metrics are reported (§V-A2):
+//!
+//! * [`ranking::hr_at_k`] — hit ratio,
+//! * [`ranking::mrr_at_k`] — mean reciprocal rank,
+//! * [`ranking::ndcg_at_k`] — normalized discounted cumulative gain,
+//! * [`ranking::auc`] — area under the ROC curve.
+//!
+//! [`wilcoxon`] implements the one-sided Wilcoxon signed-rank test used in
+//! §V-D to establish significance over the second-best baseline across 30
+//! random splits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ranking;
+pub mod summary;
+pub mod wilcoxon;
+
+pub use ranking::{auc, hr_at_k, mrr_at_k, ndcg_at_k, rank_of_positive};
+pub use summary::{evaluate_instance, MetricSummary};
+pub use wilcoxon::{wilcoxon_signed_rank, WilcoxonOutcome};

@@ -1,0 +1,150 @@
+//! Per-instance ranking metrics under the leave-one-out protocol.
+//!
+//! Every function takes the score of the single positive item and the scores
+//! of the sampled negatives (99 of them in the paper's protocol) and returns
+//! the metric for that one test instance; [`crate::summary`] aggregates over
+//! instances. Ties are broken pessimistically (a negative with an equal
+//! score ranks ahead of the positive), so a model scoring everything
+//! identically receives the worst rank rather than a lucky one — this keeps
+//! degenerate models from looking competent.
+
+/// Rank of the positive item among `1 + negatives.len()` candidates,
+/// 1-indexed; equal-scoring negatives count against the positive.
+pub fn rank_of_positive(positive_score: f32, negative_scores: &[f32]) -> usize {
+    1 + negative_scores.iter().filter(|&&s| s >= positive_score).count()
+}
+
+/// Hit ratio at `k`: 1 if the positive ranks within the top `k`, else 0.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn hr_at_k(positive_score: f32, negative_scores: &[f32], k: usize) -> f32 {
+    assert!(k > 0, "hr_at_k: k must be positive");
+    if rank_of_positive(positive_score, negative_scores) <= k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Reciprocal rank at `k`: `1/rank` if the positive ranks within the top
+/// `k`, else 0.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn mrr_at_k(positive_score: f32, negative_scores: &[f32], k: usize) -> f32 {
+    assert!(k > 0, "mrr_at_k: k must be positive");
+    let rank = rank_of_positive(positive_score, negative_scores);
+    if rank <= k {
+        1.0 / rank as f32
+    } else {
+        0.0
+    }
+}
+
+/// NDCG at `k` for a single positive: `1 / log2(rank + 1)` if the positive
+/// ranks within the top `k`, else 0. (With one relevant item the ideal DCG
+/// is 1, so DCG equals NDCG.)
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn ndcg_at_k(positive_score: f32, negative_scores: &[f32], k: usize) -> f32 {
+    assert!(k > 0, "ndcg_at_k: k must be positive");
+    let rank = rank_of_positive(positive_score, negative_scores);
+    if rank <= k {
+        1.0 / ((rank as f32) + 1.0).log2()
+    } else {
+        0.0
+    }
+}
+
+/// AUC for a single positive: the fraction of negatives scored strictly
+/// below the positive, with ties counted half.
+///
+/// Returns 0.5 for an empty negative set (no information).
+pub fn auc(positive_score: f32, negative_scores: &[f32]) -> f32 {
+    if negative_scores.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0f32;
+    for &s in negative_scores {
+        if positive_score > s {
+            wins += 1.0;
+        } else if positive_score == s {
+            wins += 0.5;
+        }
+    }
+    wins / negative_scores.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_ties_pessimistically() {
+        assert_eq!(rank_of_positive(0.5, &[0.4, 0.5, 0.6]), 3);
+        assert_eq!(rank_of_positive(1.0, &[0.1, 0.2]), 1);
+        assert_eq!(rank_of_positive(0.0, &[]), 1);
+    }
+
+    #[test]
+    fn hr_boundary_at_k() {
+        // Positive ranked exactly k-th counts as a hit.
+        let negatives = [0.9, 0.8, 0.7]; // positive 0.75 -> rank 3
+        assert_eq!(rank_of_positive(0.75, &negatives), 3);
+        assert_eq!(hr_at_k(0.75, &negatives, 3), 1.0);
+        assert_eq!(hr_at_k(0.75, &negatives, 2), 0.0);
+    }
+
+    #[test]
+    fn mrr_is_reciprocal_rank_within_k() {
+        let negatives = [0.9]; // positive 0.5 -> rank 2
+        assert_eq!(mrr_at_k(0.5, &negatives, 10), 0.5);
+        assert_eq!(mrr_at_k(0.5, &negatives, 1), 0.0);
+        assert_eq!(mrr_at_k(1.0, &negatives, 10), 1.0);
+    }
+
+    #[test]
+    fn ndcg_known_values() {
+        // rank 1 -> 1/log2(2) = 1; rank 2 -> 1/log2(3) ~ 0.6309.
+        assert!((ndcg_at_k(1.0, &[0.5], 10) - 1.0).abs() < 1e-6);
+        assert!((ndcg_at_k(0.4, &[0.5], 10) - 1.0 / 3.0f32.log2()).abs() < 1e-6);
+        assert_eq!(ndcg_at_k(0.4, &[0.5], 1), 0.0);
+    }
+
+    #[test]
+    fn ndcg_decreases_with_rank() {
+        let mut last = f32::INFINITY;
+        for n_better in 0..9 {
+            let negatives: Vec<f32> = (0..9)
+                .map(|i| if i < n_better { 1.0 } else { 0.0 })
+                .collect();
+            let v = ndcg_at_k(0.5, &negatives, 10);
+            assert!(v < last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn auc_perfect_and_worst() {
+        assert_eq!(auc(1.0, &[0.0, 0.1, 0.2]), 1.0);
+        assert_eq!(auc(0.0, &[0.5, 0.6]), 0.0);
+        assert_eq!(auc(0.5, &[0.5, 0.5]), 0.5);
+        assert_eq!(auc(0.5, &[]), 0.5);
+    }
+
+    #[test]
+    fn random_scores_have_auc_near_half() {
+        // Deterministic pseudo-random: positive in the middle of a spread.
+        let negatives: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let v = auc(0.505, &negatives);
+        assert!((v - 0.51).abs() < 0.02, "auc {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn hr_rejects_zero_k() {
+        let _ = hr_at_k(0.5, &[0.1], 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Aggregation of per-instance metrics into the HR/MRR/NDCG/AUC summary
+//! rows reported in Table III and Figs. 3-5 of the paper.
+
+use crate::ranking::{auc, hr_at_k, mrr_at_k, ndcg_at_k};
+
+/// Averaged metrics over a set of leave-one-out test instances.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricSummary {
+    /// Hit ratio at the configured cutoff.
+    pub hr: f32,
+    /// Mean reciprocal rank at the cutoff.
+    pub mrr: f32,
+    /// Normalized discounted cumulative gain at the cutoff.
+    pub ndcg: f32,
+    /// Area under the ROC curve (cutoff-free).
+    pub auc: f32,
+    /// Number of instances aggregated.
+    pub count: usize,
+}
+
+impl MetricSummary {
+    /// Accumulates one test instance's metrics.
+    pub fn add_instance(&mut self, positive_score: f32, negative_scores: &[f32], k: usize) {
+        let n = self.count as f32;
+        let denom = n + 1.0;
+        self.hr = (self.hr * n + hr_at_k(positive_score, negative_scores, k)) / denom;
+        self.mrr = (self.mrr * n + mrr_at_k(positive_score, negative_scores, k)) / denom;
+        self.ndcg = (self.ndcg * n + ndcg_at_k(positive_score, negative_scores, k)) / denom;
+        self.auc = (self.auc * n + auc(positive_score, negative_scores)) / denom;
+        self.count += 1;
+    }
+
+    /// Merges another summary (weighted by instance counts).
+    pub fn merge(&mut self, other: &MetricSummary) {
+        if other.count == 0 {
+            return;
+        }
+        let a = self.count as f32;
+        let b = other.count as f32;
+        let denom = a + b;
+        self.hr = (self.hr * a + other.hr * b) / denom;
+        self.mrr = (self.mrr * a + other.mrr * b) / denom;
+        self.ndcg = (self.ndcg * a + other.ndcg * b) / denom;
+        self.auc = (self.auc * a + other.auc * b) / denom;
+        self.count += other.count;
+    }
+}
+
+/// Evaluates a single instance and returns its four metrics as a summary
+/// with `count == 1`.
+pub fn evaluate_instance(positive_score: f32, negative_scores: &[f32], k: usize) -> MetricSummary {
+    let mut s = MetricSummary::default();
+    s.add_instance(positive_score, negative_scores, k);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_instance_summary_matches_direct_metrics() {
+        let s = evaluate_instance(0.9, &[0.1, 0.95, 0.2], 10);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.hr, 1.0);
+        assert_eq!(s.mrr, 0.5);
+        assert!((s.ndcg - 1.0 / 3.0f32.log2()).abs() < 1e-6);
+        assert!((s.auc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulation_averages() {
+        let mut s = MetricSummary::default();
+        s.add_instance(1.0, &[0.0], 10); // all metrics best
+        s.add_instance(0.0, &[1.0], 1); // all metrics worst (rank 2 > k=1)
+        assert_eq!(s.count, 2);
+        assert_eq!(s.hr, 0.5);
+        assert_eq!(s.mrr, 0.5);
+        assert!((s.auc - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_is_count_weighted() {
+        let mut a = MetricSummary { hr: 1.0, mrr: 1.0, ndcg: 1.0, auc: 1.0, count: 1 };
+        let b = MetricSummary { hr: 0.0, mrr: 0.0, ndcg: 0.0, auc: 0.0, count: 3 };
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert!((a.hr - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merging_empty_is_noop() {
+        let mut a = MetricSummary { hr: 0.7, mrr: 0.4, ndcg: 0.5, auc: 0.6, count: 10 };
+        let before = a;
+        a.merge(&MetricSummary::default());
+        assert_eq!(a, before);
+    }
+}

@@ -1,0 +1,230 @@
+//! One-sided Wilcoxon signed-rank test (paper §V-D).
+//!
+//! The paper tests, over 30 independent train/test splits, the null
+//! hypothesis that the median of the paired differences `x_i - y_i`
+//! (our method minus the second-best method) is non-positive, against the
+//! alternative that it is positive. We implement the standard signed-rank
+//! statistic with zero-difference removal (Wilcoxon's convention), average
+//! ranks for ties, and a normal approximation with tie correction and
+//! continuity correction for the p-value — accurate for n ≥ ~10, and the
+//! paper's n = 30.
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Clone, Copy, Debug)]
+pub struct WilcoxonOutcome {
+    /// Sum of ranks of positive differences (`W+`).
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences (`W-`).
+    pub w_minus: f64,
+    /// Effective sample size after dropping zero differences.
+    pub n_effective: usize,
+    /// One-sided p-value for the alternative "median difference > 0".
+    pub p_value: f64,
+}
+
+impl WilcoxonOutcome {
+    /// True when the improvement is significant at the given level.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Standard normal survival function `P(Z > z)` via the complementary error
+/// function (Abramowitz–Stegun 7.1.26 approximation, |error| < 1.5e-7).
+fn normal_sf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    0.5 * erfc(x)
+}
+
+fn erfc(x: f64) -> f64 {
+    // A&S 7.1.26 on |x|, reflected for negative arguments.
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs());
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let e = poly * (-x * x).exp();
+    if x >= 0.0 {
+        e
+    } else {
+        2.0 - e
+    }
+}
+
+/// Runs the one-sided Wilcoxon signed-rank test on paired samples.
+///
+/// Tests H0: median(x - y) <= 0 against H1: median(x - y) > 0.
+/// Pairs with zero difference are dropped (Wilcoxon's convention); tied
+/// absolute differences receive average ranks, with the tie correction
+/// applied to the variance.
+///
+/// Returns `p_value = 1.0` when fewer than 5 non-zero differences remain
+/// (too few to ever reach significance, and the normal approximation is
+/// meaningless).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> WilcoxonOutcome {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "wilcoxon_signed_rank: paired samples must have equal length ({} vs {})",
+        x.len(),
+        y.len()
+    );
+    // Non-zero differences with their absolute values.
+    let diffs: Vec<f64> = x
+        .iter()
+        .zip(y.iter())
+        .map(|(&a, &b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n < 5 {
+        return WilcoxonOutcome { w_plus: 0.0, w_minus: 0.0, n_effective: n, p_value: 1.0 };
+    }
+
+    // Rank by |d| with average ranks for ties.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        diffs[a].abs().partial_cmp(&diffs[b].abs()).expect("differences must not be NaN")
+    });
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[order[j + 1]].abs() == diffs[order[i]].abs() {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share ranks i+1..=j+1: average them.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_correction += t * t * t - t;
+        }
+        i = j + 1;
+    }
+
+    let mut w_plus = 0.0f64;
+    let mut w_minus = 0.0f64;
+    for (d, r) in diffs.iter().zip(ranks.iter()) {
+        if *d > 0.0 {
+            w_plus += r;
+        } else {
+            w_minus += r;
+        }
+    }
+
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    // One-sided (greater): large W+ is evidence for H1. Continuity
+    // correction of 0.5.
+    let z = (w_plus - mean - 0.5) / var.sqrt();
+    let p_value = normal_sf(z).clamp(0.0, 1.0);
+    WilcoxonOutcome { w_plus, w_minus, n_effective: n, p_value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_better_method_is_significant() {
+        // x beats y by a consistent margin on 30 "splits".
+        let x: Vec<f64> = (0..30).map(|i| 0.5 + 0.01 * (i % 5) as f64 + 0.05).collect();
+        let y: Vec<f64> = (0..30).map(|i| 0.5 + 0.01 * (i % 5) as f64).collect();
+        let out = wilcoxon_signed_rank(&x, &y);
+        assert_eq!(out.n_effective, 30);
+        assert_eq!(out.w_minus, 0.0);
+        assert!(out.p_value < 1e-5, "p={}", out.p_value);
+        assert!(out.significant(0.05));
+    }
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let x = vec![0.5; 30];
+        let out = wilcoxon_signed_rank(&x, &x);
+        assert_eq!(out.n_effective, 0);
+        assert_eq!(out.p_value, 1.0);
+    }
+
+    #[test]
+    fn clearly_worse_method_is_not_significant() {
+        let x: Vec<f64> = (0..30).map(|i| 0.4 + 0.001 * i as f64).collect();
+        let y: Vec<f64> = (0..30).map(|i| 0.6 + 0.001 * i as f64).collect();
+        let out = wilcoxon_signed_rank(&x, &y);
+        assert!(out.p_value > 0.99, "p={}", out.p_value);
+    }
+
+    #[test]
+    fn symmetric_differences_give_p_near_half() {
+        // Differences alternate +d, -d with equal magnitudes -> W+ ~ W-.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let d = 0.01 + (i / 2) as f64 * 0.001;
+            if i % 2 == 0 {
+                x.push(0.5 + d);
+                y.push(0.5);
+            } else {
+                x.push(0.5);
+                y.push(0.5 + d);
+            }
+        }
+        let out = wilcoxon_signed_rank(&x, &y);
+        assert!((out.p_value - 0.5).abs() < 0.15, "p={}", out.p_value);
+    }
+
+    #[test]
+    fn known_small_example() {
+        // Classic textbook example (Woolson): differences with known W+.
+        let x = vec![1.83, 0.50, 1.62, 2.48, 1.68, 1.88, 1.55, 3.06, 1.30];
+        let y = vec![0.878, 0.647, 0.598, 2.05, 1.06, 1.29, 1.06, 3.14, 1.29];
+        let out = wilcoxon_signed_rank(&x, &y);
+        // 8 positive differences of 9; W+ + W- = n(n+1)/2 = 45.
+        assert_eq!(out.n_effective, 9);
+        assert!((out.w_plus + out.w_minus - 45.0).abs() < 1e-9);
+        assert!(out.p_value < 0.05, "p={}", out.p_value);
+    }
+
+    #[test]
+    fn zero_differences_are_dropped() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 1.0, 1.0];
+        let y = vec![0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 1.0, 1.0];
+        let out = wilcoxon_signed_rank(&x, &y);
+        assert_eq!(out.n_effective, 6);
+    }
+
+    #[test]
+    fn too_few_pairs_returns_p_one() {
+        let out = wilcoxon_signed_rank(&[1.0, 2.0], &[0.5, 1.0]);
+        assert_eq!(out.p_value, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_length_mismatch() {
+        let _ = wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn erfc_sanity() {
+        assert!((super::erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!(super::erfc(3.0) < 3e-5);
+        assert!((super::erfc(-3.0) - 2.0).abs() < 3e-5);
+        // Symmetry: erfc(-x) = 2 - erfc(x).
+        for x in [0.3f64, 0.9, 1.7] {
+            assert!((super::erfc(-x) - (2.0 - super::erfc(x))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normal_sf_median_is_half() {
+        assert!((super::normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!(super::normal_sf(1.6449) - 0.05 < 1e-3);
+    }
+}

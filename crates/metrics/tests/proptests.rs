@@ -1,0 +1,125 @@
+//! Property-based tests for metric invariants.
+
+use metadpa_metrics::{auc, hr_at_k, mrr_at_k, ndcg_at_k, rank_of_positive, wilcoxon_signed_rank};
+use metadpa_metrics::MetricSummary;
+use proptest::prelude::*;
+
+fn scores() -> impl Strategy<Value = (f32, Vec<f32>)> {
+    (
+        -10.0f32..10.0,
+        proptest::collection::vec(-10.0f32..10.0, 1..120),
+    )
+}
+
+proptest! {
+    /// All metrics live in [0, 1].
+    #[test]
+    fn metrics_are_bounded((pos, negs) in scores(), k in 1usize..20) {
+        for v in [
+            hr_at_k(pos, &negs, k),
+            mrr_at_k(pos, &negs, k),
+            ndcg_at_k(pos, &negs, k),
+            auc(pos, &negs),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+        }
+    }
+
+    /// Metric dominance: HR >= NDCG >= 0 and HR >= MRR (each hit contributes
+    /// at most 1 to HR and <= 1 to the others).
+    #[test]
+    fn hr_dominates((pos, negs) in scores(), k in 1usize..20) {
+        let hr = hr_at_k(pos, &negs, k);
+        prop_assert!(hr >= mrr_at_k(pos, &negs, k));
+        prop_assert!(hr >= ndcg_at_k(pos, &negs, k));
+    }
+
+    /// Metrics are monotone in k.
+    #[test]
+    fn metrics_monotone_in_k((pos, negs) in scores()) {
+        let mut prev = (0.0f32, 0.0f32, 0.0f32);
+        for k in 1..=20 {
+            let cur = (hr_at_k(pos, &negs, k), mrr_at_k(pos, &negs, k), ndcg_at_k(pos, &negs, k));
+            prop_assert!(cur.0 >= prev.0);
+            prop_assert!(cur.1 >= prev.1);
+            prop_assert!(cur.2 >= prev.2);
+            prev = cur;
+        }
+    }
+
+    /// Raising the positive score never hurts any metric.
+    #[test]
+    fn metrics_monotone_in_positive_score((pos, negs) in scores(), k in 1usize..20, bump in 0.0f32..5.0) {
+        prop_assert!(hr_at_k(pos + bump, &negs, k) >= hr_at_k(pos, &negs, k));
+        prop_assert!(mrr_at_k(pos + bump, &negs, k) >= mrr_at_k(pos, &negs, k));
+        prop_assert!(ndcg_at_k(pos + bump, &negs, k) >= ndcg_at_k(pos, &negs, k));
+        prop_assert!(auc(pos + bump, &negs) >= auc(pos, &negs));
+    }
+
+    /// Rank is between 1 and 1 + #negatives.
+    #[test]
+    fn rank_bounds((pos, negs) in scores()) {
+        let r = rank_of_positive(pos, &negs);
+        prop_assert!(r >= 1 && r <= negs.len() + 1);
+    }
+
+    /// AUC and rank agree: auc == 1 - (rank-1-ties/2)/n. With no exact
+    /// ties this is exact.
+    #[test]
+    fn auc_consistent_with_rank(pos in -9.9f32..9.9, negs in proptest::collection::vec(-10.0f32..10.0, 1..50)) {
+        prop_assume!(negs.iter().all(|&s| s != pos));
+        let better = negs.iter().filter(|&&s| s > pos).count();
+        let expect = 1.0 - better as f32 / negs.len() as f32;
+        prop_assert!((auc(pos, &negs) - expect).abs() < 1e-6);
+    }
+
+    /// Summary accumulation equals merging per-instance summaries.
+    #[test]
+    fn summary_merge_associative(instances in proptest::collection::vec(scores(), 1..20)) {
+        let k = 10;
+        let mut direct = MetricSummary::default();
+        let mut merged = MetricSummary::default();
+        for (pos, negs) in &instances {
+            direct.add_instance(*pos, negs, k);
+            let single = metadpa_metrics::evaluate_instance(*pos, negs, k);
+            merged.merge(&single);
+        }
+        prop_assert_eq!(direct.count, merged.count);
+        prop_assert!((direct.hr - merged.hr).abs() < 1e-4);
+        prop_assert!((direct.ndcg - merged.ndcg).abs() < 1e-4);
+    }
+
+    /// Wilcoxon p-value is a probability, and the test is antisymmetric-ish:
+    /// swapping the samples flips significance.
+    #[test]
+    fn wilcoxon_pvalue_bounds_and_swap(
+        base in proptest::collection::vec(0.0f64..1.0, 10..40),
+        delta in 0.01f64..0.3,
+    ) {
+        let x: Vec<f64> = base.iter().map(|v| v + delta).collect();
+        let fwd = wilcoxon_signed_rank(&x, &base);
+        let rev = wilcoxon_signed_rank(&base, &x);
+        prop_assert!((0.0..=1.0).contains(&fwd.p_value));
+        prop_assert!((0.0..=1.0).contains(&rev.p_value));
+        // x dominates base everywhere -> strongly significant forward,
+        // not significant reversed.
+        prop_assert!(fwd.p_value < 0.01);
+        prop_assert!(rev.p_value > 0.5);
+    }
+
+    /// W+ + W- always equals n(n+1)/2 over effective pairs.
+    #[test]
+    fn wilcoxon_rank_sum_invariant(
+        x in proptest::collection::vec(0.0f64..1.0, 10..40),
+        y_shift in proptest::collection::vec(-0.5f64..0.5, 10..40),
+    ) {
+        let n = x.len().min(y_shift.len());
+        let x = &x[..n];
+        let y: Vec<f64> = x.iter().zip(&y_shift[..n]).map(|(a, s)| a + s).collect();
+        let out = wilcoxon_signed_rank(x, &y);
+        if out.n_effective >= 5 {
+            let expect = (out.n_effective * (out.n_effective + 1)) as f64 / 2.0;
+            prop_assert!((out.w_plus + out.w_minus - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Index-based embedding table for id-embedding models (NeuMF, TDAR).
+//!
+//! Unlike the content encoders (which are [`crate::Dense`] layers over dense
+//! review vectors), collaborative-filtering baselines embed user/item *ids*.
+//! An embedding lookup is a row gather, and its backward pass is a row
+//! scatter-add, so it does not fit the `Matrix -> Matrix` [`crate::Module`]
+//! contract; it exposes its own `forward`/`backward` pair instead.
+
+use metadpa_tensor::{Matrix, SeededRng};
+
+use crate::init::embedding_normal;
+use crate::param::Param;
+
+/// A `num_entities x dim` embedding table.
+pub struct Embedding {
+    table: Param,
+    cached_indices: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates a table with `N(0, 0.01)` initialization.
+    pub fn new(num_entities: usize, dim: usize, rng: &mut SeededRng) -> Self {
+        Self { table: Param::new(embedding_normal(num_entities, dim, rng)), cached_indices: None }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.table.value.cols()
+    }
+
+    /// Number of entities in the table.
+    pub fn num_entities(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    /// Looks up a batch of ids, returning a `len(indices) x dim` matrix and
+    /// caching the indices for the backward pass.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn forward(&mut self, indices: &[usize]) -> Matrix {
+        let out = self.table.value.gather_rows(indices);
+        self.cached_indices = Some(indices.to_vec());
+        out
+    }
+
+    /// Scatter-adds `grad_output` rows into the rows selected by the last
+    /// forward call.
+    ///
+    /// # Panics
+    /// Panics if called before `forward` or with a mismatched shape.
+    pub fn backward(&mut self, grad_output: &Matrix) {
+        let indices = self
+            .cached_indices
+            .as_ref()
+            .expect("Embedding::backward called before forward");
+        assert_eq!(
+            grad_output.shape(),
+            (indices.len(), self.dim()),
+            "Embedding::backward: grad shape {:?} does not match ({}, {})",
+            grad_output.shape(),
+            indices.len(),
+            self.dim()
+        );
+        for (row, &idx) in indices.iter().enumerate() {
+            let g = grad_output.row(row);
+            let dst = self.table.grad.row_mut(idx);
+            for (d, &v) in dst.iter_mut().zip(g.iter()) {
+                *d += v;
+            }
+        }
+    }
+
+    /// Re-gathers the rows of the most recent forward call (used by models
+    /// whose backward pass needs the looked-up values, e.g. the GMF
+    /// Hadamard product in NeuMF).
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn refetch(&self) -> Matrix {
+        let indices =
+            self.cached_indices.as_ref().expect("Embedding::refetch called before forward");
+        self.table.value.gather_rows(indices)
+    }
+
+    /// Access to the underlying parameter (for optimizers).
+    pub fn param_mut(&mut self) -> &mut Param {
+        &mut self.table
+    }
+
+    /// Immutable access to the underlying parameter.
+    pub fn param(&self) -> &Param {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_gathers_rows() {
+        let mut rng = SeededRng::new(1);
+        let mut emb = Embedding::new(5, 3, &mut rng);
+        let out = emb.forward(&[4, 0, 4]);
+        assert_eq!(out.shape(), (3, 3));
+        assert_eq!(out.row(0), emb.param().value.row(4));
+        assert_eq!(out.row(1), emb.param().value.row(0));
+        assert_eq!(out.row(0), out.row(2));
+    }
+
+    #[test]
+    fn backward_scatter_adds_duplicates() {
+        let mut rng = SeededRng::new(2);
+        let mut emb = Embedding::new(3, 2, &mut rng);
+        let _ = emb.forward(&[1, 1]);
+        let g = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        emb.backward(&g);
+        // Row 1 receives both gradient rows summed.
+        assert_eq!(emb.param().grad.row(1), &[4.0, 6.0]);
+        assert_eq!(emb.param().grad.row(0), &[0.0, 0.0]);
+        assert_eq!(emb.param().grad.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "called before forward")]
+    fn backward_before_forward_panics() {
+        let mut rng = SeededRng::new(3);
+        let mut emb = Embedding::new(3, 2, &mut rng);
+        emb.backward(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,186 @@
+//! Central-difference gradient verification.
+//!
+//! Because every backward pass in this workspace is hand-derived, the test
+//! suite leans on numerical verification: for a module `f` and an arbitrary
+//! upstream gradient `G`, define the scalar `L(x, θ) = Σ f(x; θ) ⊙ G` and
+//! compare the analytic gradients produced by `backward(G)` against central
+//! differences of `L`. This catches transposition, scaling, and caching
+//! bugs that unit tests on tiny known values can miss.
+
+use metadpa_tensor::Matrix;
+
+use crate::module::{snapshot, zero_grad, Mode, Module};
+
+/// Outcome of a gradient check.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Largest relative error over the input gradient.
+    pub max_input_error: f32,
+    /// Largest relative error over all parameter gradients.
+    pub max_param_error: f32,
+}
+
+impl GradCheckReport {
+    /// True when both errors are below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_input_error <= tol && self.max_param_error <= tol
+    }
+}
+
+fn relative_error(numeric: f32, analytic: f32) -> f32 {
+    let scale = 1.0f32.max(numeric.abs()).max(analytic.abs());
+    (numeric - analytic).abs() / scale
+}
+
+/// Verifies `module`'s backward pass at the point `(input, current params)`
+/// against central differences with step `eps`.
+///
+/// The check uses [`Mode::Eval`] so stochastic layers (dropout) behave
+/// deterministically.
+pub fn check_module(module: &mut dyn Module, input: &Matrix, upstream: &Matrix, eps: f32) -> GradCheckReport {
+    // Analytic pass.
+    zero_grad(module);
+    let out = module.forward(input, Mode::Eval);
+    assert_eq!(
+        out.shape(),
+        upstream.shape(),
+        "check_module: upstream gradient shape {:?} must match output {:?}",
+        upstream.shape(),
+        out.shape()
+    );
+    let analytic_input = module.backward(upstream);
+    let mut analytic_params: Vec<Matrix> = Vec::new();
+    module.visit_params(&mut |p| analytic_params.push(p.grad.clone()));
+
+    let loss = |module: &mut dyn Module, x: &Matrix| -> f32 {
+        module.forward(x, Mode::Eval).dot_flat(upstream)
+    };
+
+    // Numeric input gradient.
+    let mut max_input_error = 0.0f32;
+    for i in 0..input.len() {
+        let mut plus = input.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = input.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let numeric = (loss(module, &plus) - loss(module, &minus)) / (2.0 * eps);
+        max_input_error = max_input_error.max(relative_error(numeric, analytic_input.as_slice()[i]));
+    }
+
+    // Numeric parameter gradients: perturb each scalar parameter in turn.
+    let saved = snapshot(module);
+    let mut max_param_error = 0.0f32;
+    let total_params: usize = saved.iter().map(Matrix::len).sum();
+    for flat in 0..total_params {
+        // Locate (matrix, element) for this flat index.
+        let mut remaining = flat;
+        let mut which = 0;
+        while remaining >= saved[which].len() {
+            remaining -= saved[which].len();
+            which += 1;
+        }
+        let perturb_and_eval = |module: &mut dyn Module, delta: f32| -> f32 {
+            let mut idx = 0;
+            module.visit_params(&mut |p| {
+                if idx == which {
+                    p.value.as_mut_slice()[remaining] += delta;
+                }
+                idx += 1;
+            });
+            let v = loss(module, input);
+            // Restore.
+            let mut idx2 = 0;
+            module.visit_params(&mut |p| {
+                if idx2 == which {
+                    p.value.as_mut_slice()[remaining] -= delta;
+                }
+                idx2 += 1;
+            });
+            v
+        };
+        let numeric =
+            (perturb_and_eval(module, eps) - perturb_and_eval(module, -eps)) / (2.0 * eps);
+        let analytic = analytic_params[which].as_slice()[remaining];
+        max_param_error = max_param_error.max(relative_error(numeric, analytic));
+    }
+
+    GradCheckReport { max_input_error, max_param_error }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{Relu, Sigmoid, Softmax, Tanh};
+    use crate::dense::Dense;
+    use crate::mlp::{Activation, Mlp};
+    use crate::sequential::Sequential;
+    use metadpa_tensor::SeededRng;
+
+    fn run(module: &mut dyn Module, in_dim: usize, out_dim: usize, seed: u64) -> GradCheckReport {
+        let mut rng = SeededRng::new(seed);
+        let input = rng.normal_matrix(4, in_dim);
+        let upstream = rng.normal_matrix(4, out_dim);
+        check_module(module, &input, &upstream, 1e-2)
+    }
+
+    #[test]
+    fn dense_gradients_verify() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Dense::new(5, 3, &mut rng);
+        let report = run(&mut layer, 5, 3, 11);
+        assert!(report.passes(1e-3), "{report:?}");
+    }
+
+    #[test]
+    fn sigmoid_gradients_verify() {
+        let mut layer = Sigmoid::new();
+        let report = run(&mut layer, 4, 4, 12);
+        assert!(report.passes(1e-3), "{report:?}");
+    }
+
+    #[test]
+    fn tanh_gradients_verify() {
+        let mut layer = Tanh::new();
+        let report = run(&mut layer, 4, 4, 13);
+        assert!(report.passes(1e-3), "{report:?}");
+    }
+
+    #[test]
+    fn relu_gradients_verify_away_from_kink() {
+        // Shift inputs away from 0 so finite differences do not straddle the
+        // non-differentiable point.
+        let mut layer = Relu::new();
+        let mut rng = SeededRng::new(14);
+        let input = rng.normal_matrix(4, 4).map(|v| if v.abs() < 0.1 { v + 0.5 } else { v });
+        let upstream = rng.normal_matrix(4, 4);
+        let report = check_module(&mut layer, &input, &upstream, 1e-3);
+        assert!(report.passes(1e-3), "{report:?}");
+    }
+
+    #[test]
+    fn softmax_gradients_verify() {
+        let mut layer = Softmax::new();
+        let report = run(&mut layer, 5, 5, 15);
+        assert!(report.passes(1e-3), "{report:?}");
+    }
+
+    #[test]
+    fn deep_mlp_gradients_verify() {
+        let mut rng = SeededRng::new(16);
+        let mut mlp = Mlp::new(&[6, 8, 5, 2], Activation::Tanh, &mut rng);
+        let report = run(&mut mlp, 6, 2, 17);
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn sequential_of_mixed_layers_verifies() {
+        let mut rng = SeededRng::new(18);
+        let mut net = Sequential::new()
+            .push(Dense::new(4, 6, &mut rng))
+            .push(Tanh::new())
+            .push(Dense::new(6, 3, &mut rng))
+            .push(Sigmoid::new());
+        let report = run(&mut net, 4, 3, 19);
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+}

@@ -1,0 +1,222 @@
+//! InfoNCE mutual-information estimator (van den Oord et al., 2018).
+//!
+//! Both paper constraints are built on this estimator:
+//!
+//! * **MDI** (Multi-domain InfoMax, Eq. 6): *maximize* `I(z_s, z_t)` between
+//!   the latent representations of the source and target CVAEs, i.e. add
+//!   `β₁ · L_InfoNCE(z_s, z_t)` to the objective (InfoNCE is a lower bound
+//!   on MI, so minimizing the NCE loss maximizes the bound).
+//! * **ME** (Mutually-Exclusive, Eq. 7): *minimize* `I(r̂_s, r̂_t)` between
+//!   the two decoders' outputs to push generated ratings apart, i.e. add
+//!   `-β₂ · L_InfoNCE(r̂_s, r̂_t)` — the [`InfoNce::forward_negated`] form.
+//!
+//! Given two aligned batches `A, B ∈ R^{n x d}` (row *i* of each side comes
+//! from the same shared user), the loss treats `(A_i, B_i)` as the positive
+//! pair and every other row of `B` as a negative:
+//!
+//! `L = -(1/n) Σ_i log( exp(S_ii) / Σ_j exp(S_ij) )`, `S = A Bᵀ / τ`.
+
+use metadpa_tensor::Matrix;
+
+use crate::activation::softmax_rows;
+
+/// Result of an InfoNCE evaluation.
+pub struct InfoNceResult {
+    /// The scalar loss (negated for the ME form).
+    pub loss: f32,
+    /// Gradient w.r.t. the first batch.
+    pub grad_a: Matrix,
+    /// Gradient w.r.t. the second batch.
+    pub grad_b: Matrix,
+}
+
+/// InfoNCE estimator with a fixed temperature.
+#[derive(Clone, Copy, Debug)]
+pub struct InfoNce {
+    temperature: f32,
+}
+
+impl InfoNce {
+    /// Creates an estimator; `temperature` scales the similarity logits.
+    ///
+    /// # Panics
+    /// Panics if `temperature` is not strictly positive.
+    pub fn new(temperature: f32) -> Self {
+        assert!(temperature > 0.0, "InfoNce::new: temperature must be positive");
+        Self { temperature }
+    }
+
+    /// Computes the InfoNCE loss and its gradients for two `n x d` batches
+    /// whose rows are aligned positive pairs.
+    ///
+    /// # Panics
+    /// Panics if shapes differ or the batch has fewer than 2 rows (a single
+    /// row has no negatives and the loss degenerates to zero).
+    pub fn forward(&self, a: &Matrix, b: &Matrix) -> InfoNceResult {
+        assert_eq!(
+            a.shape(),
+            b.shape(),
+            "InfoNce::forward: shape mismatch {:?} vs {:?}",
+            a.shape(),
+            b.shape()
+        );
+        let n = a.rows();
+        assert!(n >= 2, "InfoNce::forward: need at least 2 rows for negatives, got {n}");
+        let inv_t = 1.0 / self.temperature;
+
+        // Similarity logits S = A B^T / temperature  (n x n).
+        let scores = a.matmul_nt(b).scale(inv_t);
+        let probs = softmax_rows(&scores);
+
+        // Loss: mean over rows of -log p_ii.
+        let mut total = 0.0f64;
+        for i in 0..n {
+            let p = probs.get(i, i).max(1e-30);
+            total -= (p.ln()) as f64;
+        }
+        let loss = (total / n as f64) as f32;
+
+        // dL/dS = (P - I) / n; then dA = dS B / t, dB = dS^T A / t.
+        let mut dscores = probs;
+        for i in 0..n {
+            let v = dscores.get(i, i) - 1.0;
+            dscores.set(i, i, v);
+        }
+        let dscores = dscores.scale(inv_t / n as f32);
+        let grad_a = dscores.matmul(b);
+        let grad_b = dscores.matmul_tn(a);
+        InfoNceResult { loss, grad_a, grad_b }
+    }
+
+    /// The negated form used by the ME constraint: returns `-loss` and
+    /// negated gradients, so *minimizing* the returned value pushes the two
+    /// batches apart (minimizes the MI lower bound).
+    pub fn forward_negated(&self, a: &Matrix, b: &Matrix) -> InfoNceResult {
+        let r = self.forward(a, b);
+        InfoNceResult {
+            loss: -r.loss,
+            grad_a: r.grad_a.scale(-1.0),
+            grad_b: r.grad_b.scale(-1.0),
+        }
+    }
+
+    /// The configured temperature.
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+}
+
+impl Default for InfoNce {
+    /// The conventional temperature of 0.1 used for both constraints.
+    fn default() -> Self {
+        Self::new(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metadpa_tensor::SeededRng;
+
+    #[test]
+    fn aligned_batches_have_lower_loss_than_shuffled() {
+        let mut rng = SeededRng::new(1);
+        let a = rng.normal_matrix(8, 4);
+        // Positive pairs: b ≈ a (high MI). Negative control: rows shuffled.
+        let b = &a + &rng.normal_matrix(8, 4).scale(0.05);
+        let mut shuffled_rows: Vec<usize> = (1..8).chain(std::iter::once(0)).collect();
+        shuffled_rows.rotate_left(3);
+        let b_shuffled = b.gather_rows(&shuffled_rows);
+        let nce = InfoNce::new(0.1);
+        let aligned = nce.forward(&a, &b).loss;
+        let misaligned = nce.forward(&a, &b_shuffled).loss;
+        assert!(
+            aligned < misaligned,
+            "aligned loss {aligned} should be below misaligned {misaligned}"
+        );
+    }
+
+    #[test]
+    fn loss_is_ln_n_for_uninformative_scores() {
+        // If A is all zeros, all logits are equal and p_ii = 1/n.
+        let a = Matrix::zeros(5, 3);
+        let b = Matrix::zeros(5, 3);
+        let nce = InfoNce::new(1.0);
+        let r = nce.forward(&a, &b);
+        assert!((r.loss - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = SeededRng::new(3);
+        let a = rng.normal_matrix(4, 3);
+        let b = rng.normal_matrix(4, 3);
+        let nce = InfoNce::new(0.5);
+        let r = nce.forward(&a, &b);
+        let eps = 1e-2;
+        for i in 0..a.len() {
+            let mut plus = a.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = a.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let numeric = (nce.forward(&plus, &b).loss - nce.forward(&minus, &b).loss)
+                / (2.0 * eps);
+            let got = r.grad_a.as_slice()[i];
+            assert!(
+                (numeric - got).abs() < 5e-3,
+                "grad_a[{i}]: numeric {numeric} vs analytic {got}"
+            );
+        }
+        for i in 0..b.len() {
+            let mut plus = b.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = b.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let numeric = (nce.forward(&a, &plus).loss - nce.forward(&a, &minus).loss)
+                / (2.0 * eps);
+            let got = r.grad_b.as_slice()[i];
+            assert!(
+                (numeric - got).abs() < 5e-3,
+                "grad_b[{i}]: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn negated_form_flips_loss_and_gradients() {
+        let mut rng = SeededRng::new(5);
+        let a = rng.normal_matrix(3, 2);
+        let b = rng.normal_matrix(3, 2);
+        let nce = InfoNce::default();
+        let pos = nce.forward(&a, &b);
+        let neg = nce.forward_negated(&a, &b);
+        assert!((pos.loss + neg.loss).abs() < 1e-6);
+        for (g1, g2) in pos.grad_a.as_slice().iter().zip(neg.grad_a.as_slice().iter()) {
+            assert!((g1 + g2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 rows")]
+    fn single_row_batch_is_rejected() {
+        let nce = InfoNce::default();
+        let _ = nce.forward(&Matrix::zeros(1, 2), &Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn descending_the_loss_increases_alignment() {
+        // One gradient step on A should increase the diagonal similarity
+        // advantage.
+        let mut rng = SeededRng::new(8);
+        let mut a = rng.normal_matrix(6, 4);
+        let b = rng.normal_matrix(6, 4);
+        let nce = InfoNce::new(0.2);
+        let before = nce.forward(&a, &b).loss;
+        for _ in 0..20 {
+            let r = nce.forward(&a, &b);
+            a.add_scaled_inplace(&r.grad_a, -0.5);
+        }
+        let after = nce.forward(&a, &b).loss;
+        assert!(after < before, "loss should decrease: {before} -> {after}");
+    }
+}

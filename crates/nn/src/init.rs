@@ -1,0 +1,69 @@
+//! Parameter initialization schemes.
+//!
+//! Xavier/Glorot uniform is the default for the sigmoid/tanh-heavy CVAE
+//! stacks; He (Kaiming) normal is used ahead of ReLU layers in the MLP
+//! preference model, matching the initializations the paper's reference
+//! implementations inherit from their frameworks.
+
+use metadpa_tensor::{Matrix, SeededRng};
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    rng.uniform_matrix(fan_in, fan_out, -a, a)
+}
+
+/// He/Kaiming normal initialization: `N(0, sqrt(2 / fan_in))`.
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Matrix {
+    let std = (2.0 / fan_in as f32).sqrt();
+    rng.normal_matrix(fan_in, fan_out).scale(std)
+}
+
+/// Small-scale normal initialization for embedding tables: `N(0, 0.01)`,
+/// the convention used by NeuMF-style id embeddings.
+pub fn embedding_normal(rows: usize, cols: usize, rng: &mut SeededRng) -> Matrix {
+    rng.normal_matrix(rows, cols).scale(0.01)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = SeededRng::new(1);
+        let w = xavier_uniform(100, 50, &mut rng);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+        assert_eq!(w.shape(), (100, 50));
+        // Should actually use the range, not cluster at zero.
+        assert!(w.as_slice().iter().any(|v| v.abs() > bound * 0.5));
+    }
+
+    #[test]
+    fn he_normal_std_is_plausible() {
+        let mut rng = SeededRng::new(2);
+        let w = he_normal(200, 100, &mut rng);
+        let std_target = (2.0f32 / 200.0).sqrt();
+        let mean = w.mean();
+        let var = w.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
+            / w.len() as f32;
+        assert!(mean.abs() < 0.01);
+        assert!((var.sqrt() - std_target).abs() < std_target * 0.1);
+    }
+
+    #[test]
+    fn embedding_normal_is_small() {
+        let mut rng = SeededRng::new(3);
+        let w = embedding_normal(50, 16, &mut rng);
+        assert!(w.as_slice().iter().all(|v| v.abs() < 0.1));
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        assert_eq!(xavier_uniform(10, 10, &mut a), xavier_uniform(10, 10, &mut b));
+    }
+}

@@ -1,0 +1,193 @@
+//! Scalar loss functions with analytic gradients.
+//!
+//! Losses are free functions returning `(loss, grad)` pairs rather than
+//! modules: the gradient of a scalar loss with respect to its input is the
+//! natural seed for [`crate::Module::backward`].
+//!
+//! The paper uses binary cross-entropy for all implicit-feedback objectives
+//! (reconstruction in Eq. 2, cross-domain reconstruction in Eq. 5, the
+//! preference model in §IV-C) and mean squared error for the latent
+//! alignment term of Eq. 4.
+
+use metadpa_tensor::Matrix;
+
+use crate::activation::sigmoid;
+
+/// Binary cross-entropy *with logits*, averaged over all elements.
+///
+/// Computes `mean(max(z,0) - z*y + ln(1 + e^-|z|))`, the numerically stable
+/// form, and returns the gradient w.r.t. the logits, `(σ(z) - y) / N`.
+///
+/// Targets may be soft labels in `[0, 1]` — the augmented "diverse ratings"
+/// of §IV-B are continuous values in that interval.
+///
+/// # Panics
+/// Panics if shapes differ or the input is empty.
+pub fn bce_with_logits(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(
+        logits.shape(),
+        targets.shape(),
+        "bce_with_logits: shape mismatch {:?} vs {:?}",
+        logits.shape(),
+        targets.shape()
+    );
+    assert!(!logits.is_empty(), "bce_with_logits: empty input");
+    let n = logits.len() as f32;
+    let total: f64 = logits
+        .as_slice()
+        .iter()
+        .zip(targets.as_slice().iter())
+        .map(|(&z, &y)| (z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln()) as f64)
+        .sum();
+    let grad = logits.zip_map(targets, |z, y| (sigmoid(z) - y) / n);
+    ((total / n as f64) as f32, grad)
+}
+
+/// Weighted binary cross-entropy with logits.
+///
+/// Each element contributes `w_ij * bce_ij`; the average is over the *sum of
+/// weights*. Used when positive interactions should count more than sampled
+/// negatives.
+///
+/// # Panics
+/// Panics if shapes differ or all weights are zero.
+pub fn weighted_bce_with_logits(
+    logits: &Matrix,
+    targets: &Matrix,
+    weights: &Matrix,
+) -> (f32, Matrix) {
+    assert_eq!(logits.shape(), targets.shape(), "weighted_bce: logits/targets shape mismatch");
+    assert_eq!(logits.shape(), weights.shape(), "weighted_bce: logits/weights shape mismatch");
+    let total_w: f32 = weights.sum();
+    assert!(total_w > 0.0, "weighted_bce_with_logits: weights must not all be zero");
+    let mut total = 0.0f64;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.len() {
+        let z = logits.as_slice()[i];
+        let y = targets.as_slice()[i];
+        let w = weights.as_slice()[i];
+        let stable = z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+        total += (w * stable) as f64;
+        grad.as_mut_slice()[i] = w * (sigmoid(z) - y) / total_w;
+    }
+    ((total / total_w as f64) as f32, grad)
+}
+
+/// Mean squared error, averaged over all elements; gradient w.r.t.
+/// `predictions` is `2 (p - t) / N`.
+///
+/// # Panics
+/// Panics if shapes differ or the input is empty.
+pub fn mse(predictions: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(
+        predictions.shape(),
+        targets.shape(),
+        "mse: shape mismatch {:?} vs {:?}",
+        predictions.shape(),
+        targets.shape()
+    );
+    assert!(!predictions.is_empty(), "mse: empty input");
+    let n = predictions.len() as f32;
+    let total: f64 = predictions
+        .as_slice()
+        .iter()
+        .zip(targets.as_slice().iter())
+        .map(|(&p, &t)| ((p - t) * (p - t)) as f64)
+        .sum();
+    let grad = predictions.zip_map(targets, |p, t| 2.0 * (p - t) / n);
+    ((total / n as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_perfect_prediction_is_near_zero() {
+        let logits = Matrix::from_vec(1, 2, vec![20.0, -20.0]);
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let (loss, _) = bce_with_logits(&logits, &targets);
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn bce_at_zero_logit_is_ln2() {
+        let logits = Matrix::zeros(1, 1);
+        let targets = Matrix::from_vec(1, 1, vec![1.0]);
+        let (loss, grad) = bce_with_logits(&logits, &targets);
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!((grad.get(0, 0) + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let logits = Matrix::from_vec(1, 3, vec![0.3, -1.1, 0.8]);
+        let targets = Matrix::from_vec(1, 3, vec![1.0, 0.0, 0.4]);
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let (lp, _) = bce_with_logits(&plus, &targets);
+            let (lm, _) = bce_with_logits(&minus, &targets);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.as_slice()[i]).abs() < 1e-3,
+                "index {i}: numeric {numeric} vs analytic {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let logits = Matrix::from_vec(1, 2, vec![500.0, -500.0]);
+        let targets = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = bce_with_logits(&logits, &targets);
+        assert!(loss.is_finite());
+        assert!(grad.all_finite());
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let p = Matrix::from_vec(1, 2, vec![1.0, 3.0]);
+        let t = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = mse(&p, &t);
+        // ((1)^2 + (2)^2) / 2 = 2.5
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad, Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn weighted_bce_zero_weight_entries_do_not_contribute() {
+        let logits = Matrix::from_vec(1, 2, vec![5.0, -3.0]);
+        let targets = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let weights = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss_w, grad_w) = weighted_bce_with_logits(&logits, &targets, &weights);
+        // Only the second element contributes; compare with plain BCE on it.
+        let (loss_ref, _) = bce_with_logits(
+            &Matrix::from_vec(1, 1, vec![-3.0]),
+            &Matrix::from_vec(1, 1, vec![0.0]),
+        );
+        assert!((loss_w - loss_ref).abs() < 1e-5);
+        assert_eq!(grad_w.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bce_rejects_shape_mismatch() {
+        let _ = bce_with_logits(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1));
+    }
+
+    #[test]
+    fn bce_soft_labels_minimum_at_target() {
+        // For a soft target y, BCE over logits is minimized when sigmoid(z)=y.
+        let y = 0.3f32;
+        let z_opt = (y / (1.0 - y)).ln();
+        let targets = Matrix::from_vec(1, 1, vec![y]);
+        let (_, grad) = bce_with_logits(&Matrix::from_vec(1, 1, vec![z_opt]), &targets);
+        assert!(grad.get(0, 0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,163 @@
+//! The [`Module`] trait: the composition contract for all layers and models.
+
+use metadpa_tensor::Matrix;
+
+use crate::param::Param;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Only [`crate::Dropout`] currently distinguishes the two, but the mode is
+/// threaded through every module so composite models behave like their
+/// framework counterparts (`model.train()` / `model.eval()`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: stochastic regularizers are active.
+    Train,
+    /// Evaluation: the network computes its deterministic function.
+    Eval,
+}
+
+/// A differentiable component with cached activations.
+///
+/// The contract mirrors classic define-by-run layers:
+///
+/// 1. [`Module::forward`] consumes a `batch x in_dim` matrix and returns a
+///    `batch x out_dim` matrix, caching whatever it needs for the backward
+///    pass.
+/// 2. [`Module::backward`] consumes the gradient of the loss with respect to
+///    the output of the *most recent* forward call, **accumulates** parameter
+///    gradients, and returns the gradient with respect to the input.
+/// 3. [`Module::visit_params`] exposes every trainable [`Param`] in a stable
+///    order, which optimizers and the MAML snapshot/restore helpers rely on.
+///
+/// Calling `backward` before `forward`, or with a mismatched batch size, is a
+/// programming error and panics.
+pub trait Module {
+    /// Runs the layer on `input`, caching activations for `backward`.
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix;
+
+    /// Backpropagates `grad_output` (gradient w.r.t. the last forward
+    /// output), accumulating parameter gradients and returning the gradient
+    /// w.r.t. the input.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Visits every trainable parameter in a stable order.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param));
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}
+
+/// Clears the gradient accumulators of every parameter in `module`.
+pub fn zero_grad(module: &mut dyn Module) {
+    module.visit_params(&mut |p| p.zero_grad());
+}
+
+/// Copies the current parameter values out of `module` in visit order.
+///
+/// Together with [`restore`] this implements the cheap "save θ, adapt,
+/// rewind" cycle at the heart of the MAML inner loop (paper Eq. 1).
+pub fn snapshot(module: &mut dyn Module) -> Vec<Matrix> {
+    let mut out = Vec::new();
+    module.visit_params(&mut |p| out.push(p.value.clone()));
+    out
+}
+
+/// Writes parameter values saved by [`snapshot`] back into `module`.
+///
+/// # Panics
+/// Panics if `saved` does not match the module's parameter structure.
+pub fn restore(module: &mut dyn Module, saved: &[Matrix]) {
+    let mut idx = 0;
+    module.visit_params(&mut |p| {
+        assert!(idx < saved.len(), "restore: snapshot has too few parameter matrices");
+        assert_eq!(
+            p.value.shape(),
+            saved[idx].shape(),
+            "restore: shape mismatch at parameter {idx}"
+        );
+        p.value = saved[idx].clone();
+        idx += 1;
+    });
+    assert_eq!(idx, saved.len(), "restore: snapshot has too many parameter matrices");
+}
+
+/// Copies the current gradients out of `module` in visit order.
+///
+/// Used by first-order MAML: query-set gradients computed at the adapted
+/// parameters are harvested with this function and then applied to the
+/// meta-parameters.
+pub fn snapshot_grads(module: &mut dyn Module) -> Vec<Matrix> {
+    let mut out = Vec::new();
+    module.visit_params(&mut |p| out.push(p.grad.clone()));
+    out
+}
+
+/// Accumulates externally harvested gradients into `module`'s accumulators.
+///
+/// # Panics
+/// Panics if `grads` does not match the module's parameter structure.
+pub fn accumulate_grads(module: &mut dyn Module, grads: &[Matrix]) {
+    let mut idx = 0;
+    module.visit_params(&mut |p| {
+        assert!(idx < grads.len(), "accumulate_grads: too few gradient matrices");
+        p.grad.add_inplace(&grads[idx]);
+        idx += 1;
+    });
+    assert_eq!(idx, grads.len(), "accumulate_grads: too many gradient matrices");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use metadpa_tensor::SeededRng;
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let saved = snapshot(&mut layer);
+        // Perturb.
+        layer.visit_params(&mut |p| p.value.map_inplace(|v| v + 1.0));
+        let perturbed = snapshot(&mut layer);
+        assert_ne!(saved, perturbed);
+        restore(&mut layer, &saved);
+        assert_eq!(snapshot(&mut layer), saved);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few parameter matrices")]
+    fn restore_rejects_short_snapshot() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        restore(&mut layer, &[]);
+    }
+
+    #[test]
+    fn param_count_counts_scalars() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        // 3x2 weight + 1x2 bias.
+        assert_eq!(layer.param_count(), 8);
+    }
+
+    #[test]
+    fn accumulate_grads_adds() {
+        let mut rng = SeededRng::new(2);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let ones: Vec<Matrix> = snapshot(&mut layer)
+            .iter()
+            .map(|m| Matrix::filled(m.rows(), m.cols(), 1.0))
+            .collect();
+        accumulate_grads(&mut layer, &ones);
+        accumulate_grads(&mut layer, &ones);
+        layer.visit_params(&mut |p| {
+            assert!(p.grad.as_slice().iter().all(|&g| (g - 2.0).abs() < 1e-6));
+        });
+    }
+}

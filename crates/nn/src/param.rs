@@ -1,0 +1,66 @@
+//! Trainable parameters: a value matrix paired with its gradient accumulator.
+
+use metadpa_tensor::Matrix;
+
+/// A trainable parameter.
+///
+/// `grad` always has the same shape as `value` and is *accumulated into* by
+/// backward passes, so gradients from multiple loss terms (the Dual-CVAE
+/// objective of Eq. 8 sums five of them) combine by simply running several
+/// backward passes before an optimizer step.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Matrix,
+    /// Accumulated gradient of the loss with respect to `value`.
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Creates a parameter with the given initial value and a zero gradient.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// Creates a zero-initialized parameter of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::new(Matrix::zeros(rows, cols))
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_of_same_shape() {
+        let p = Param::new(Matrix::filled(2, 3, 1.5));
+        assert_eq!(p.grad.shape(), (2, 3));
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut p = Param::zeros(2, 2);
+        p.grad.fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Sequential composition of modules.
+
+use metadpa_tensor::Matrix;
+
+use crate::module::{Mode, Module};
+use crate::param::Param;
+
+/// A chain of modules applied in order.
+///
+/// `forward` threads the activation through every layer; `backward` replays
+/// the chain in reverse. An empty `Sequential` is the identity.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer, builder-style.
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn add(&mut self, layer: Box<dyn Module>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the chain contains no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current, mode);
+        }
+        current
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut current = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            current = layer.backward(&current);
+        }
+        current
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::dense::Dense;
+    use metadpa_tensor::SeededRng;
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut seq = Sequential::new();
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(seq.forward(&x, Mode::Train), x);
+        assert_eq!(seq.backward(&x), x);
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    fn chain_composes_forward() {
+        // Dense(identity weights) then ReLU: negative entries clamp.
+        let w = Matrix::identity(2);
+        let b = Matrix::row_vector(&[0.0, 0.0]);
+        let mut seq = Sequential::new().push(Dense::from_parts(w, b)).push(Relu::new());
+        let x = Matrix::from_vec(1, 2, vec![-1.0, 2.0]);
+        let y = seq.forward(&x, Mode::Train);
+        assert_eq!(y, Matrix::from_vec(1, 2, vec![0.0, 2.0]));
+        assert_eq!(seq.len(), 2);
+    }
+
+    #[test]
+    fn backward_reverses_the_chain() {
+        let w = Matrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 2.0]);
+        let b = Matrix::row_vector(&[0.0, 0.0]);
+        let mut seq = Sequential::new().push(Dense::from_parts(w, b)).push(Relu::new());
+        let x = Matrix::from_vec(1, 2, vec![-1.0, 1.0]);
+        let _ = seq.forward(&x, Mode::Train);
+        let dx = seq.backward(&Matrix::filled(1, 2, 1.0));
+        // ReLU gates the first coordinate (pre-activation -2 < 0), Dense
+        // doubles the surviving gradient.
+        assert_eq!(dx, Matrix::from_vec(1, 2, vec![0.0, 2.0]));
+    }
+
+    #[test]
+    fn visit_params_walks_all_layers() {
+        let mut rng = SeededRng::new(1);
+        let mut seq = Sequential::new()
+            .push(Dense::new(4, 3, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(3, 2, &mut rng));
+        // (4*3 + 3) + (3*2 + 2).
+        assert_eq!(seq.param_count(), 23);
+    }
+}

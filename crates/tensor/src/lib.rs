@@ -1,0 +1,31 @@
+//! # metadpa-tensor
+//!
+//! Dense matrix math and deterministic sampling substrate for the MetaDPA
+//! reproduction.
+//!
+//! The paper's models (Dual-CVAEs, MLP preference scorers, attention towers)
+//! only require dense 2-D linear algebra over `f32`, so this crate provides a
+//! single row-major [`Matrix`] type with shape-checked operations, plus a
+//! seeded random-number facade ([`rng::SeededRng`]) so that every experiment
+//! in the repository is exactly reproducible from a `u64` seed.
+//!
+//! Design notes:
+//!
+//! * All shape mismatches are programming errors, not recoverable conditions,
+//!   so operations panic with a descriptive message (the same contract as
+//!   `ndarray`). Each operation documents its shape requirements.
+//! * Hot loops (matmul, elementwise combinators) allocate the output once and
+//!   then iterate over contiguous slices, per the Rust Performance Book
+//!   guidance on avoiding bounds checks and incremental allocation.
+//! * No unsafe code, no threads: determinism and auditability are worth more
+//!   than the last 2x of throughput at the scales of this reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use rng::SeededRng;

@@ -1,0 +1,224 @@
+//! Small statistical helpers shared across crates.
+//!
+//! These functions back the dataset-statistics tables (Tables I-II), the
+//! diversity measurements of the augmentation block (§IV-B), and various
+//! test assertions.
+
+use crate::matrix::Matrix;
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f32>() / values.len() as f32
+    }
+}
+
+/// Population variance of a slice (0 for slices with fewer than 2 elements).
+pub fn variance(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m).powi(2)).sum::<f32>() / values.len() as f32
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f32]) -> f32 {
+    variance(values).sqrt()
+}
+
+/// Pearson correlation of two equal-length slices.
+///
+/// Returns 0 when either side has zero variance.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch {} vs {}", a.len(), b.len());
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0f64;
+    let mut va = 0.0f64;
+    let mut vb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let dx = (x - ma) as f64;
+        let dy = (y - mb) as f64;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        (cov / (va.sqrt() * vb.sqrt())) as f32
+    }
+}
+
+/// Cosine similarity of two equal-length slices (0 when either is all-zero).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine: length mismatch {} vs {}", a.len(), b.len());
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        dot += (x as f64) * (y as f64);
+        na += (x as f64) * (x as f64);
+        nb += (y as f64) * (y as f64);
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na.sqrt() * nb.sqrt())) as f32
+    }
+}
+
+/// Mean pairwise L2 distance between the rows of `m`.
+///
+/// Used to quantify the *diversity* of the k augmented rating vectors
+/// produced by the k Dual-CVAE decoders (paper §IV-B / ablation §V-E):
+/// a higher value means the generated preferences differ more across
+/// source domains.
+pub fn mean_pairwise_row_distance(m: &Matrix) -> f32 {
+    let n = m.rows();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f32 = m
+                .row(i)
+                .iter()
+                .zip(m.row(j).iter())
+                .map(|(&a, &b)| (a - b).powi(2))
+                .sum::<f32>()
+                .sqrt();
+            total += d as f64;
+            pairs += 1;
+        }
+    }
+    (total / pairs as f64) as f32
+}
+
+/// Sparsity of an interaction count: `1 - nnz / (rows * cols)`, as reported
+/// in Tables I-II of the paper.
+///
+/// Returns 1 for an empty matrix shape.
+pub fn sparsity(nnz: usize, rows: usize, cols: usize) -> f64 {
+    let cells = rows as f64 * cols as f64;
+    if cells == 0.0 {
+        1.0
+    } else {
+        1.0 - nnz as f64 / cells
+    }
+}
+
+/// Indices that would sort `values` descending (ties broken by index for
+/// determinism).
+///
+/// # Panics
+/// Panics if any value is NaN.
+pub fn argsort_desc(values: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .expect("argsort_desc: NaN value")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Indices of the `k` largest values, best first. Returns fewer when the
+/// slice is shorter than `k`.
+pub fn topk_indices(values: &[f32], k: usize) -> Vec<usize> {
+    let mut idx = argsort_desc(values);
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-6);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-5);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn pairwise_distance_identical_rows_is_zero() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(mean_pairwise_row_distance(&m), 0.0);
+    }
+
+    #[test]
+    fn pairwise_distance_known_value() {
+        // Rows (0,0) and (3,4): distance 5. Single pair.
+        let m = Matrix::from_vec(2, 2, vec![0.0, 0.0, 3.0, 4.0]);
+        assert!((mean_pairwise_row_distance(&m) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pairwise_distance_single_row_is_zero() {
+        let m = Matrix::from_vec(1, 4, vec![1.0; 4]);
+        assert_eq!(mean_pairwise_row_distance(&m), 0.0);
+    }
+
+    #[test]
+    fn sparsity_matches_paper_form() {
+        // 100 ratings in a 100x100 matrix -> 99% sparse.
+        assert!((sparsity(100, 100, 100) - 0.99).abs() < 1e-12);
+        assert_eq!(sparsity(0, 0, 10), 1.0);
+    }
+
+    #[test]
+    fn argsort_desc_orders_and_breaks_ties_by_index() {
+        let v = [1.0f32, 3.0, 2.0, 3.0];
+        assert_eq!(argsort_desc(&v), vec![1, 3, 2, 0]);
+        assert!(argsort_desc(&[]).is_empty());
+    }
+
+    #[test]
+    fn topk_truncates_and_handles_short_slices() {
+        let v = [0.1f32, 0.9, 0.5];
+        assert_eq!(topk_indices(&v, 2), vec![1, 2]);
+        assert_eq!(topk_indices(&v, 10), vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn argsort_rejects_nan() {
+        let _ = argsort_desc(&[0.0, f32::NAN]);
+    }
+}

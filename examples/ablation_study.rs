@@ -1,0 +1,52 @@
+//! Ablation walk-through (paper §V-E): how the ME and MDI constraints each
+//! contribute, measured on the CDs world.
+//!
+//! This is a compact version of `exp_fig5_ablation`; it reports NDCG@10 on
+//! the cold-user scenario plus the augmentation diversity each variant
+//! produces, making the paper's narrative observable: ME alone generates
+//! diverse-but-less-meaningful ratings, MDI alone generates meaningful-but-
+//! similar ratings, and the combination wins.
+//!
+//! ```sh
+//! cargo run --release --example ablation_study
+//! ```
+
+use metadpa::core::eval::{evaluate_scenario, Recommender};
+use metadpa::core::pipeline::{MetaDpa, MetaDpaConfig, Variant};
+use metadpa::data::generator::generate_world;
+use metadpa::data::presets::cds_world;
+use metadpa::data::splits::{ScenarioKind, SplitConfig, Splitter};
+
+fn main() {
+    let seed = 2022;
+    let world = generate_world(&cds_world(seed));
+    let splitter = Splitter::new(&world.target, SplitConfig::default());
+    let warm = splitter.scenario(ScenarioKind::Warm);
+    let cold_user = splitter.scenario(ScenarioKind::ColdUser);
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "variant", "C-U NDCG@10", "diversity", "confidence"
+    );
+    println!("{}", "-".repeat(54));
+    for variant in [Variant::Full, Variant::MdiOnly, Variant::MeOnly, Variant::Plain] {
+        let mut cfg = MetaDpaConfig::fast();
+        cfg.variant = variant;
+        cfg.seed = seed;
+        let mut model = MetaDpa::new(cfg);
+        model.fit(&world, &warm);
+        let ndcg = evaluate_scenario(&mut model, &world, &cold_user, 10).ndcg;
+        let d = model.diversity();
+        println!(
+            "{:<14} {:>12.4} {:>12.4} {:>12.4}",
+            variant.label(),
+            ndcg,
+            d.mean_pairwise_distance,
+            d.mean_confidence
+        );
+    }
+    println!(
+        "\n(expected ordering per the paper: Full best; MDI-only close behind;\n\
+         ME-only lowest of the constraint variants.)"
+    );
+}

@@ -1,0 +1,104 @@
+//! A look inside Block 1 and Block 2: multi-source domain adaptation with
+//! Dual-CVAEs, and the diverse preference augmentation it enables.
+//!
+//! Trains one Dual-CVAE per source, reports the per-term losses of the
+//! Eq. 8 objective as they fall, then generates the k diverse rating
+//! matrices and measures how much they actually disagree — the quantity
+//! the ME constraint exists to increase.
+//!
+//! ```sh
+//! cargo run --release --example multi_domain_transfer
+//! ```
+
+use metadpa::core::adaptation::{AdapterTrainConfig, MultiSourceAdapter};
+use metadpa::core::augmentation::diversity_report;
+use metadpa::core::dual_cvae::DualCvaeConfig;
+use metadpa::data::adaptation::{build_adaptation_pairs, AdaptationConfig};
+use metadpa::data::generator::generate_world;
+use metadpa::data::presets::cds_world;
+use metadpa::tensor::SeededRng;
+
+fn main() {
+    let world = generate_world(&cds_world(2022));
+    println!(
+        "target '{}' with sources: {}",
+        world.target.name,
+        world
+            .sources
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let pairs = build_adaptation_pairs(&world, &AdaptationConfig::default());
+    for p in &pairs {
+        println!(
+            "  pair {} -> {}: {} shared users after filtering ({} train / {} eval)",
+            p.source_name,
+            world.target.name,
+            p.n_shared(),
+            p.train_rows.len(),
+            p.eval_rows.len()
+        );
+    }
+
+    let mut rng = SeededRng::new(7);
+    let mut adapter = MultiSourceAdapter::new(
+        &pairs,
+        world.target.user_content.cols(),
+        DualCvaeConfig::default(),
+        AdapterTrainConfig { epochs: 20, ..AdapterTrainConfig::default() },
+        &mut rng,
+    );
+
+    println!("\ntraining {} Dual-CVAEs...", adapter.n_sources());
+    let reports = adapter.train(&pairs);
+    for r in &reports {
+        let first = r.train_losses.first().expect("at least one epoch");
+        let last = r.train_losses.last().expect("at least one epoch");
+        println!(
+            "  {:<12} reconstruction {:.3} -> {:.3} | cross {:.3} -> {:.3} | MDI {:.3} -> {:.3} | ME {:.3} -> {:.3}",
+            r.source_name,
+            first.reconstruction,
+            last.reconstruction,
+            first.cross_reconstruction,
+            last.cross_reconstruction,
+            first.mdi,
+            last.mdi,
+            first.me,
+            last.me,
+        );
+        println!(
+            "  {:<12} held-out reconstruction {:.3}",
+            "", r.eval_losses.reconstruction
+        );
+    }
+
+    println!("\ngenerating diverse ratings from target content alone (red path of Fig. 1)...");
+    let generated = adapter.generate_diverse_ratings(&world.target.user_content);
+    let report = diversity_report(&generated);
+    println!(
+        "  k = {} rating matrices of shape {} x {}",
+        report.k,
+        world.target.n_users(),
+        world.target.n_items()
+    );
+    println!(
+        "  mean pairwise distance between the k generations per user: {:.4}",
+        report.mean_pairwise_distance
+    );
+    println!("  mean confidence (|rating - 0.5|): {:.4}", report.mean_confidence);
+
+    // Show one user's generated preferences across sources.
+    let user = 0;
+    println!("\nuser {user}: top-5 generated items per source (diverse preferences):");
+    for (g, pair) in generated.iter().zip(pairs.iter()) {
+        let mut ranked: Vec<(usize, f32)> =
+            g.row(user).iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let top: Vec<String> =
+            ranked.iter().take(5).map(|(i, v)| format!("{i}:{v:.2}")).collect();
+        println!("  via {:<12} {}", pair.source_name, top.join("  "));
+    }
+}

@@ -1,0 +1,27 @@
+//! # metadpa
+//!
+//! Umbrella crate for the Rust reproduction of *Diverse Preference
+//! Augmentation with Multiple Domains for Cold-start Recommendations*
+//! (MetaDPA, ICDE 2022).
+//!
+//! This crate re-exports the public API of every workspace member so that
+//! downstream users — and the examples and integration tests in this
+//! repository — can depend on a single crate:
+//!
+//! * [`tensor`] — dense matrix math and seeded randomness,
+//! * [`nn`] — the neural-network substrate with verified backward passes,
+//! * [`data`] — the SynthAmazon multi-domain benchmark and evaluation protocol,
+//! * [`metrics`] — HR/MRR/NDCG/AUC and the Wilcoxon signed-rank test,
+//! * [`core`] — Dual-CVAE adaptation, diverse augmentation, preference
+//!   meta-learning, and the end-to-end [`core::pipeline::MetaDpa`] pipeline,
+//! * [`baselines`] — the seven comparison systems from the paper.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and experiment index.
+
+pub use metadpa_baselines as baselines;
+pub use metadpa_core as core;
+pub use metadpa_data as data;
+pub use metadpa_metrics as metrics;
+pub use metadpa_nn as nn;
+pub use metadpa_tensor as tensor;

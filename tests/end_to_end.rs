@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the full MetaDPA pipeline against
+//! baselines on a synthetic world, exercised through the umbrella crate's
+//! public API exactly as a downstream user would.
+
+use metadpa::baselines::full_roster;
+use metadpa::core::eval::{evaluate_scenario, Recommender};
+use metadpa::core::pipeline::{MetaDpa, MetaDpaConfig};
+use metadpa::data::generator::generate_world;
+use metadpa::data::presets::tiny_world;
+use metadpa::data::splits::{Scenario, ScenarioKind, SplitConfig, Splitter};
+
+fn scenarios(world: &metadpa::data::domain::World, seed: u64) -> Vec<Scenario> {
+    let splitter =
+        Splitter::new(&world.target, SplitConfig { seed, ..SplitConfig::default() });
+    ScenarioKind::ALL.iter().map(|&k| splitter.scenario(k)).collect()
+}
+
+#[test]
+fn metadpa_beats_the_meta_learning_baseline_on_cold_start() {
+    // The paper's central claim (RQ1/RQ2): diverse preference augmentation
+    // lifts the meta-learner above a MeLU-style baseline trained on the
+    // sparse original tasks alone. Single tiny-world splits are noisy
+    // (the paper itself establishes this claim with a 30-split Wilcoxon
+    // test, reproduced in `exp_significance`), so the test asserts on the
+    // mean cold-user AUC across three independent worlds.
+    let cu_idx = ScenarioKind::ALL
+        .iter()
+        .position(|&k| k == ScenarioKind::ColdUser)
+        .unwrap();
+    let mut dpa_total = 0.0f32;
+    let mut melu_total = 0.0f32;
+    for seed in [7u64, 8, 9] {
+        let world = generate_world(&tiny_world(seed));
+        let scenarios = scenarios(&world, seed);
+
+        let mut dpa = MetaDpa::new({
+            let mut c = MetaDpaConfig::fast();
+            c.seed = seed;
+            c
+        });
+        dpa.fit(&world, &scenarios[0]);
+        dpa_total += evaluate_scenario(&mut dpa, &world, &scenarios[cu_idx], 10).auc;
+
+        let mut melu = metadpa::baselines::Melu::new(
+            metadpa::baselines::melu::MeluConfig::preset(true),
+            seed,
+        );
+        melu.fit(&world, &scenarios[0]);
+        melu_total += evaluate_scenario(&mut melu, &world, &scenarios[cu_idx], 10).auc;
+    }
+    let dpa_mean = dpa_total / 3.0;
+    let melu_mean = melu_total / 3.0;
+    assert!(dpa_mean > 0.5, "MetaDPA mean C-U AUC {dpa_mean} must beat chance");
+    assert!(
+        dpa_mean > melu_mean,
+        "MetaDPA mean C-U AUC {dpa_mean} must beat MeLU {melu_mean}"
+    );
+}
+
+#[test]
+fn every_roster_method_completes_all_scenarios_with_valid_metrics() {
+    let world = generate_world(&tiny_world(8));
+    let scenarios = scenarios(&world, 8);
+    let mut roster = full_roster(8, true);
+    for rec in &mut roster {
+        rec.fit(&world, &scenarios[0]);
+        for s in &scenarios {
+            let summary = evaluate_scenario(rec.as_mut(), &world, s, 10);
+            assert!(summary.count > 0, "{} produced no eval instances", rec.name());
+            for v in [summary.hr, summary.mrr, summary.ndcg, summary.auc] {
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "{} metric {v} out of range on {:?}",
+                    rec.name(),
+                    s.kind
+                );
+            }
+            // HR dominates NDCG and MRR by construction.
+            assert!(summary.hr + 1e-6 >= summary.ndcg, "{}", rec.name());
+            assert!(summary.hr + 1e-6 >= summary.mrr, "{}", rec.name());
+        }
+    }
+}
+
+#[test]
+fn evaluation_does_not_mutate_the_fitted_model() {
+    // The harness promises snapshot/restore around fine-tuning: evaluating
+    // a cold scenario twice must give identical numbers, and a warm
+    // evaluation after a cold one must match a warm evaluation before it.
+    let world = generate_world(&tiny_world(9));
+    let scenarios = scenarios(&world, 9);
+    let mut dpa = MetaDpa::new({
+        let mut c = MetaDpaConfig::fast();
+        c.seed = 9;
+        c
+    });
+    dpa.fit(&world, &scenarios[0]);
+
+    let warm_before = evaluate_scenario(&mut dpa, &world, &scenarios[0], 10);
+    let cold_a = evaluate_scenario(&mut dpa, &world, &scenarios[1], 10);
+    let cold_b = evaluate_scenario(&mut dpa, &world, &scenarios[1], 10);
+    let warm_after = evaluate_scenario(&mut dpa, &world, &scenarios[0], 10);
+    assert_eq!(cold_a, cold_b, "cold evaluation must be repeatable");
+    assert_eq!(warm_before, warm_after, "cold evaluation must not leak into warm state");
+}
+
+#[test]
+fn full_pipeline_is_deterministic_per_seed() {
+    let run = || {
+        let world = generate_world(&tiny_world(10));
+        let scenarios = scenarios(&world, 10);
+        let mut dpa = MetaDpa::new({
+            let mut c = MetaDpaConfig::fast();
+            c.seed = 10;
+            c
+        });
+        dpa.fit(&world, &scenarios[0]);
+        evaluate_scenario(&mut dpa, &world, &scenarios[2], 10)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn augmentation_produces_per_source_diversity() {
+    let world = generate_world(&tiny_world(11));
+    let scenarios = scenarios(&world, 11);
+    let mut dpa = MetaDpa::new({
+        let mut c = MetaDpaConfig::fast();
+        c.seed = 11;
+        c
+    });
+    dpa.fit(&world, &scenarios[0]);
+    let d = dpa.diversity();
+    assert_eq!(d.k, world.n_sources());
+    assert!(
+        d.mean_pairwise_distance > 0.0,
+        "distinct sources must generate distinct ratings"
+    );
+    assert!(d.mean_confidence > 0.0, "generator must not be stuck at 0.5");
+}
