@@ -106,12 +106,7 @@ impl Module for CatnNet {
         let proj = a_u.matmul(&self.matching.value); // n x A
         let mut out = Matrix::zeros(input.rows(), 1);
         for r in 0..input.rows() {
-            let s: f32 = proj
-                .row(r)
-                .iter()
-                .zip(a_i.row(r).iter())
-                .map(|(&p, &a)| p * a)
-                .sum();
+            let s: f32 = proj.row(r).iter().zip(a_i.row(r).iter()).map(|(&p, &a)| p * a).sum();
             out.set(r, 0, s + self.bias.value.get(0, 0));
         }
         self.cache = Some(CatnCache { a_u, a_i });
@@ -147,10 +142,10 @@ impl Module for CatnNet {
                 d_au.set(r, p, g * acc_u);
                 d_ai.set(r, p, g * acc_i);
             }
-            for p in 0..a {
-                for q in 0..a {
+            for (p, &au_p) in au.iter().enumerate() {
+                for (q, &ai_q) in ai.iter().enumerate() {
                     let cur = self.matching.grad.get(p, q);
-                    self.matching.grad.set(p, q, cur + g * au[p] * ai[q]);
+                    self.matching.grad.set(p, q, cur + g * au_p * ai_q);
                 }
             }
         }
@@ -216,11 +211,8 @@ impl Recommender for Catn {
 
     fn fit(&mut self, world: &World, scenario: &Scenario) {
         let mut rng = SeededRng::new(self.seed);
-        self.net = Some(CatnNet::new(
-            world.target.user_content.cols(),
-            self.config.n_aspects,
-            &mut rng,
-        ));
+        self.net =
+            Some(CatnNet::new(world.target.user_content.cols(), self.config.n_aspects, &mut rng));
         self.align_aspects(world);
         let cfg = self.config.train;
         let _ = fit_supervised(

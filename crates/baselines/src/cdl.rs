@@ -90,8 +90,7 @@ impl State {
 
     fn score_one(&self, user: usize, item: usize) -> f32 {
         let v = self.item_vector(item);
-        let dot: f32 =
-            self.user_factors.row(user).iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
+        let dot: f32 = self.user_factors.row(user).iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
         dot + self.user_bias[user] + self.item_bias[item]
     }
 }
@@ -167,17 +166,17 @@ impl Recommender for Cdl {
                     let err = pred - label;
                     for f in 0..cfg.factors {
                         let uf = state.user_factors.get(task.user, f);
-                        let vf = state.item_encodings.get(item, f)
-                            + state.item_offsets.get(item, f);
-                        state
-                            .user_factors
-                            .set(task.user, f, uf - cfg.lr * (err * vf + cfg.reg * uf));
+                        let vf =
+                            state.item_encodings.get(item, f) + state.item_offsets.get(item, f);
+                        state.user_factors.set(
+                            task.user,
+                            f,
+                            uf - cfg.lr * (err * vf + cfg.reg * uf),
+                        );
                         // Only the offset moves; the encoder output is the
                         // content prior (CDL's coupling).
                         let off = state.item_offsets.get(item, f);
-                        state
-                            .item_offsets
-                            .set(item, f, off - cfg.lr * (err * uf + cfg.reg * off));
+                        state.item_offsets.set(item, f, off - cfg.lr * (err * uf + cfg.reg * off));
                     }
                     state.user_bias[task.user] -= cfg.lr * err;
                     state.item_bias[item] -= cfg.lr * err;
@@ -197,11 +196,13 @@ impl Recommender for Cdl {
                     let err = pred - label;
                     for f in 0..cfg.factors {
                         let uf = state.user_factors.get(task.user, f);
-                        let vf = state.item_encodings.get(item, f)
-                            + state.item_offsets.get(item, f);
-                        state
-                            .user_factors
-                            .set(task.user, f, uf - cfg.lr * (err * vf + cfg.reg * uf));
+                        let vf =
+                            state.item_encodings.get(item, f) + state.item_offsets.get(item, f);
+                        state.user_factors.set(
+                            task.user,
+                            f,
+                            uf - cfg.lr * (err * vf + cfg.reg * uf),
+                        );
                     }
                     state.user_bias[task.user] -= cfg.lr * err;
                 }

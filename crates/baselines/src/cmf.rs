@@ -84,7 +84,15 @@ impl State {
 
     /// One logistic SGD step on (user, item, label). Optionally freezes the
     /// item side (used for fine-tuning new users).
-    fn sgd_step(&mut self, user: usize, item: usize, label: f32, lr: f32, reg: f32, user_only: bool) {
+    fn sgd_step(
+        &mut self,
+        user: usize,
+        item: usize,
+        label: f32,
+        lr: f32,
+        reg: f32,
+        user_only: bool,
+    ) {
         let pred = sigmoid(self.score_one(user, item));
         let err = pred - label; // d BCE / d logit
         let k = self.user_factors.cols();

@@ -60,11 +60,12 @@ pub fn fit_supervised(
     item_content: &Matrix,
     cfg: &SupervisedConfig,
 ) -> Vec<f32> {
+    let _span = metadpa_obs::span!("baseline.fit_supervised");
     let mut rng = SeededRng::new(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..tasks.len()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
         rng.shuffle(&mut order);
         let mut total = 0.0f64;
         let mut n = 0usize;
@@ -85,7 +86,14 @@ pub fn fit_supervised(
             total += loss as f64;
             n += 1;
         }
-        history.push((total / n.max(1) as f64) as f32);
+        let mean = (total / n.max(1) as f64) as f32;
+        metadpa_obs::event!(
+            "baseline.epoch",
+            "epoch" => epoch,
+            "bce" => mean as f64,
+            "tasks_used" => n,
+        );
+        history.push(mean);
     }
     history
 }
@@ -98,6 +106,7 @@ pub fn finetune_supervised(
     item_content: &Matrix,
     cfg: &SupervisedConfig,
 ) {
+    let _span = metadpa_obs::span!("baseline.finetune");
     let sgd = Sgd::new(cfg.finetune_lr);
     for _ in 0..cfg.finetune_steps {
         for task in tasks {
@@ -155,8 +164,16 @@ mod tests {
 
     fn toy() -> (Vec<Task>, Matrix, Matrix) {
         // User u likes item i iff parity matches; content encodes parity.
-        let uc = Matrix::from_fn(6, 4, |u, c| if u % 2 == 0 { 0.8 } else { -0.8 } * (1.0 + c as f32 * 0.1));
-        let ic = Matrix::from_fn(8, 4, |i, c| if i % 2 == 0 { 0.7 } else { -0.7 } * (1.0 + c as f32 * 0.05));
+        let uc = Matrix::from_fn(
+            6,
+            4,
+            |u, c| if u % 2 == 0 { 0.8 } else { -0.8 } * (1.0 + c as f32 * 0.1),
+        );
+        let ic = Matrix::from_fn(
+            8,
+            4,
+            |i, c| if i % 2 == 0 { 0.7 } else { -0.7 } * (1.0 + c as f32 * 0.05),
+        );
         let tasks = (0..6)
             .map(|u| {
                 let pairs: Vec<(usize, f32)> =

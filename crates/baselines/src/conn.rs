@@ -25,9 +25,7 @@ use metadpa_nn::module::{restore, snapshot, Mode, Module};
 use metadpa_nn::param::Param;
 use metadpa_tensor::{Matrix, SeededRng};
 
-use crate::common::{
-    finetune_supervised, fit_supervised, score_pairs, SupervisedConfig,
-};
+use crate::common::{finetune_supervised, fit_supervised, score_pairs, SupervisedConfig};
 
 /// CoNN hyper-parameters.
 #[derive(Clone, Copy, Debug)]
@@ -177,7 +175,12 @@ mod tests {
     #[test]
     fn conn_net_gradients_verify() {
         let mut rng = SeededRng::new(1);
-        let cfg = ConnConfig { tower_dim: 4, tower_hidden: 6, shared_hidden: 5, train: SupervisedConfig::preset(true) };
+        let cfg = ConnConfig {
+            tower_dim: 4,
+            tower_hidden: 6,
+            shared_hidden: 5,
+            train: SupervisedConfig::preset(true),
+        };
         let mut net = ConnNet::new(5, &cfg, &mut rng);
         let input = rng.normal_matrix(3, 10);
         let upstream = rng.normal_matrix(3, 1);

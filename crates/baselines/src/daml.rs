@@ -82,9 +82,7 @@ impl Gate {
         let target = self.cached_target.take().expect("Gate::backward before forward");
         let d_target = grad.hadamard(&gate);
         // d pre-sigmoid = grad ⊙ target ⊙ g(1-g).
-        let d_pre = grad
-            .hadamard(&target)
-            .zip_map(&gate, |v, g| v * g * (1.0 - g));
+        let d_pre = grad.hadamard(&target).zip_map(&gate, |v, g| v * g * (1.0 - g));
         let d_source = self.dense.backward(&d_pre);
         (d_source, d_target)
     }

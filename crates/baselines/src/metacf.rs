@@ -50,10 +50,7 @@ impl MetaCfConfig {
         Self {
             embed_dim: if fast { 16 } else { 32 },
             hidden: if fast { [24, 12] } else { [48, 24] },
-            maml: MamlConfig {
-                epochs: if fast { 10 } else { 25 },
-                ..MamlConfig::default()
-            },
+            maml: MamlConfig { epochs: if fast { 10 } else { 25 }, ..MamlConfig::default() },
             n_potential: 3,
             potential_label: 0.8,
         }
@@ -78,7 +75,10 @@ impl MetaCf {
     }
 
     /// Item-item co-occurrence counts from the training interactions.
-    fn co_occurrence(domain: &Domain, users: impl Iterator<Item = usize>) -> Vec<Vec<(usize, u32)>> {
+    fn co_occurrence(
+        domain: &Domain,
+        users: impl Iterator<Item = usize>,
+    ) -> Vec<Vec<(usize, u32)>> {
         let n = domain.n_items();
         let mut counts: Vec<std::collections::HashMap<usize, u32>> = vec![Default::default(); n];
         for u in users {
@@ -123,9 +123,7 @@ impl MetaCf {
                 }
                 let mut ranked: Vec<(usize, u32)> = votes
                     .into_iter()
-                    .filter(|&(i, _)| {
-                        rated.binary_search(&i).is_err() && !already.contains(&i)
-                    })
+                    .filter(|&(i, _)| rated.binary_search(&i).is_err() && !already.contains(&i))
                     .collect();
                 ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
                 for &(item, _) in ranked.iter().take(self.config.n_potential) {
@@ -151,11 +149,8 @@ impl Recommender for MetaCf {
         };
         let mut learner = MetaLearner::new(pref, self.config.maml, &mut rng);
         let expanded = self.expand_tasks(&scenario.train_tasks, &world.target);
-        let _ = learner.meta_train(
-            &expanded,
-            &world.target.user_content,
-            &world.target.item_content,
-        );
+        let _ =
+            learner.meta_train(&expanded, &world.target.user_content, &world.target.item_content);
         self.learner = Some(learner);
     }
 

@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks of the three pipeline blocks (the
-//! fine-grained counterpart of Fig. 6): one Dual-CVAE training step at
-//! several catalogue sizes (Block 1, expected to scale linearly), one
-//! augmentation pass (Block 2), and one MAML task step (Block 3), both
-//! expected to be independent of the catalogue size.
+//! Microbenchmarks of the three pipeline blocks (the fine-grained
+//! counterpart of Fig. 6): one Dual-CVAE training step at several
+//! catalogue sizes (Block 1, expected to scale linearly), one augmentation
+//! pass (Block 2), and one MAML task step (Block 3), both expected to be
+//! independent of the catalogue size.
+//!
+//! Hand-rolled `harness = false` binary (no criterion in the offline
+//! dependency set); see [`metadpa_bench::microbench`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metadpa_bench::microbench;
 use metadpa_core::dual_cvae::{DualCvae, DualCvaeConfig};
 use metadpa_core::maml::{MamlConfig, MetaLearner};
 use metadpa_core::preference::PreferenceConfig;
@@ -24,68 +27,59 @@ fn make_batch(rng: &mut SeededRng, n_items: usize) -> (Matrix, Matrix, Matrix, M
 }
 
 /// Block 1: one Dual-CVAE train step; catalogue size is the sweep axis.
-fn bench_block1_dual_cvae_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("block1_dual_cvae_step");
+fn bench_block1_dual_cvae_step() {
     for n_items in [100usize, 200, 400, 800] {
-        group.bench_with_input(BenchmarkId::from_parameter(n_items), &n_items, |b, &n| {
-            let mut rng = SeededRng::new(1);
-            let mut dual = DualCvae::new(n, n, CONTENT_DIM, DualCvaeConfig::default(), &mut rng);
-            let (r_s, r_t, x_s, x_t) = make_batch(&mut rng, n);
-            b.iter(|| {
-                zero_grad(&mut dual);
-                std::hint::black_box(dual.train_step(&r_s, &r_t, &x_s, &x_t, &mut rng));
-            });
+        let mut rng = SeededRng::new(1);
+        let mut dual =
+            DualCvae::new(n_items, n_items, CONTENT_DIM, DualCvaeConfig::default(), &mut rng);
+        let (r_s, r_t, x_s, x_t) = make_batch(&mut rng, n_items);
+        microbench::run(&format!("block1_dual_cvae_step/{n_items}"), 10, || {
+            zero_grad(&mut dual);
+            std::hint::black_box(dual.train_step(&r_s, &r_t, &x_s, &x_t, &mut rng));
         });
     }
-    group.finish();
 }
 
 /// Block 2: generate diverse ratings from content for a batch of users.
-fn bench_block2_augmentation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("block2_generate_ratings");
+fn bench_block2_augmentation() {
     for n_items in [100usize, 400, 800] {
-        group.bench_with_input(BenchmarkId::from_parameter(n_items), &n_items, |b, &n| {
-            let mut rng = SeededRng::new(2);
-            let mut dual = DualCvae::new(n, n, CONTENT_DIM, DualCvaeConfig::default(), &mut rng);
-            let content = rng.uniform_matrix(64, CONTENT_DIM, 0.0, 0.4);
-            b.iter(|| std::hint::black_box(dual.generate_target_ratings(&content)));
+        let mut rng = SeededRng::new(2);
+        let mut dual =
+            DualCvae::new(n_items, n_items, CONTENT_DIM, DualCvaeConfig::default(), &mut rng);
+        let content = rng.uniform_matrix(64, CONTENT_DIM, 0.0, 0.4);
+        microbench::run(&format!("block2_generate_ratings/{n_items}"), 10, || {
+            std::hint::black_box(dual.generate_target_ratings(&content));
         });
     }
-    group.finish();
 }
 
 /// Block 3: one full MAML meta-training epoch over a fixed task set —
 /// independent of catalogue size by construction (content-width networks).
-fn bench_block3_maml_epoch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("block3_maml_epoch");
+fn bench_block3_maml_epoch() {
     for n_tasks in [16usize, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(n_tasks), &n_tasks, |b, &nt| {
-            let mut rng = SeededRng::new(3);
-            let uc = rng.uniform_matrix(nt, CONTENT_DIM, 0.0, 0.4);
-            let ic = rng.uniform_matrix(200, CONTENT_DIM, 0.0, 0.4);
-            let tasks: Vec<Task> = (0..nt)
-                .map(|u| Task {
-                    user: u,
-                    support: (0..8).map(|i| (i * 3 % 200, ((i % 2) as f32))).collect(),
-                    query: (0..8).map(|i| ((i * 7 + 1) % 200, ((i % 2) as f32))).collect(),
-                })
-                .collect();
-            b.iter(|| {
-                let mut learner = MetaLearner::new(
-                    PreferenceConfig { content_dim: CONTENT_DIM, embed_dim: 32, hidden: [48, 24] },
-                    MamlConfig { epochs: 1, ..MamlConfig::default() },
-                    &mut rng,
-                );
-                std::hint::black_box(learner.meta_train(&tasks, &uc, &ic));
-            });
+        let mut rng = SeededRng::new(3);
+        let uc = rng.uniform_matrix(n_tasks, CONTENT_DIM, 0.0, 0.4);
+        let ic = rng.uniform_matrix(200, CONTENT_DIM, 0.0, 0.4);
+        let tasks: Vec<Task> = (0..n_tasks)
+            .map(|u| Task {
+                user: u,
+                support: (0..8).map(|i| (i * 3 % 200, ((i % 2) as f32))).collect(),
+                query: (0..8).map(|i| ((i * 7 + 1) % 200, ((i % 2) as f32))).collect(),
+            })
+            .collect();
+        microbench::run(&format!("block3_maml_epoch/{n_tasks}"), 10, || {
+            let mut learner = MetaLearner::new(
+                PreferenceConfig { content_dim: CONTENT_DIM, embed_dim: 32, hidden: [48, 24] },
+                MamlConfig { epochs: 1, ..MamlConfig::default() },
+                &mut rng,
+            );
+            std::hint::black_box(learner.meta_train(&tasks, &uc, &ic));
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = blocks;
-    config = Criterion::default().sample_size(10);
-    targets = bench_block1_dual_cvae_step, bench_block2_augmentation, bench_block3_maml_epoch
+fn main() {
+    bench_block1_dual_cvae_step();
+    bench_block2_augmentation();
+    bench_block3_maml_epoch();
 }
-criterion_main!(blocks);

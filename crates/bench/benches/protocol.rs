@@ -1,8 +1,11 @@
-//! Criterion microbenchmarks of the evaluation protocol and the data
-//! substrate: metric aggregation over leave-one-out instances (Table III's
-//! inner loop), world generation (Tables I-II), and scenario splitting.
+//! Microbenchmarks of the evaluation protocol and the data substrate:
+//! metric aggregation over leave-one-out instances (Table III's inner
+//! loop), world generation (Tables I-II), and scenario splitting.
+//!
+//! Hand-rolled `harness = false` binary (no criterion in the offline
+//! dependency set); see [`metadpa_bench::microbench`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metadpa_bench::microbench;
 use metadpa_data::generator::generate_world;
 use metadpa_data::presets::{books_world_scaled, tiny_world};
 use metadpa_data::splits::{ScenarioKind, SplitConfig, Splitter};
@@ -11,48 +14,39 @@ use metadpa_tensor::SeededRng;
 
 /// Metric aggregation: the cost of scoring one evaluation instance across
 /// the four metrics (the harness runs this n_users x n_scenarios times).
-fn bench_metric_aggregation(c: &mut Criterion) {
+fn bench_metric_aggregation() {
     let mut rng = SeededRng::new(1);
     let negatives: Vec<f32> = (0..99).map(|_| rng.uniform()).collect();
-    c.bench_function("metrics_add_instance_99_negatives", |b| {
-        b.iter(|| {
-            let mut s = MetricSummary::default();
-            s.add_instance(std::hint::black_box(0.73), &negatives, 10);
-            std::hint::black_box(s)
-        });
+    microbench::run("metrics_add_instance_99_negatives", 1000, || {
+        let mut s = MetricSummary::default();
+        s.add_instance(std::hint::black_box(0.73), &negatives, 10);
+        std::hint::black_box(s);
     });
 }
 
 /// World generation at 20% / 60% / 100% of the Books preset (the Fig. 6
 /// sweep's setup cost).
-fn bench_world_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate_books_world");
-    group.sample_size(10);
+fn bench_world_generation() {
     for pct in [20u32, 60, 100] {
-        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, &p| {
-            let cfg = books_world_scaled(7, p as f32 / 100.0);
-            b.iter(|| std::hint::black_box(generate_world(&cfg)));
+        let cfg = books_world_scaled(7, pct as f32 / 100.0);
+        microbench::run(&format!("generate_books_world/{pct}"), 10, || {
+            std::hint::black_box(generate_world(&cfg));
         });
     }
-    group.finish();
 }
 
 /// Scenario construction for all four problems on the tiny world.
-fn bench_scenario_split(c: &mut Criterion) {
+fn bench_scenario_split() {
     let world = generate_world(&tiny_world(9));
-    c.bench_function("split_four_scenarios_tiny", |b| {
-        b.iter(|| {
-            let splitter = Splitter::new(&world.target, SplitConfig::default());
-            let out: Vec<_> =
-                ScenarioKind::ALL.iter().map(|&k| splitter.scenario(k)).collect();
-            std::hint::black_box(out)
-        });
+    microbench::run("split_four_scenarios_tiny", 50, || {
+        let splitter = Splitter::new(&world.target, SplitConfig::default());
+        let out: Vec<_> = ScenarioKind::ALL.iter().map(|&k| splitter.scenario(k)).collect();
+        std::hint::black_box(out);
     });
 }
 
-criterion_group! {
-    name = protocol;
-    config = Criterion::default().sample_size(20);
-    targets = bench_metric_aggregation, bench_world_generation, bench_scenario_split
+fn main() {
+    bench_metric_aggregation();
+    bench_world_generation();
+    bench_scenario_split();
 }
-criterion_main!(protocol);

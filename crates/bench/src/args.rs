@@ -4,7 +4,7 @@
 //! parser, and the experiments only need three flags.
 
 /// Common experiment options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExpArgs {
     /// Reduced schedules and a smaller world (smoke mode).
     pub fast: bool,
@@ -12,17 +12,22 @@ pub struct ExpArgs {
     pub seed: u64,
     /// Split count for the significance experiment (paper: 30).
     pub splits: usize,
+    /// Write the observability event stream (JSONL) to this path.
+    pub obs_out: Option<String>,
+    /// Disable observability entirely (progress lines included).
+    pub no_obs: bool,
 }
 
 impl Default for ExpArgs {
     fn default() -> Self {
-        Self { fast: false, seed: 2022, splits: 30 }
+        Self { fast: false, seed: 2022, splits: 30, obs_out: None, no_obs: false }
     }
 }
 
 impl ExpArgs {
-    /// Parses `--fast`, `--seed <n>`, `--splits <n>` from an iterator of
-    /// arguments (typically `std::env::args().skip(1)`).
+    /// Parses `--fast`, `--seed <n>`, `--splits <n>`, `--obs-out <path>`
+    /// and `--no-obs` from an iterator of arguments (typically
+    /// `std::env::args().skip(1)`).
     ///
     /// # Panics
     /// Panics with a usage message on unknown flags or malformed values —
@@ -42,8 +47,14 @@ impl ExpArgs {
                     let v = it.next().unwrap_or_else(|| panic!("--splits needs a value"));
                     out.splits = v.parse().unwrap_or_else(|_| panic!("invalid --splits: {v}"));
                 }
+                "--obs-out" => {
+                    let v = it.next().unwrap_or_else(|| panic!("--obs-out needs a value"));
+                    out.obs_out = Some(v);
+                }
+                "--no-obs" => out.no_obs = true,
                 other => panic!(
-                    "unknown flag {other}; supported: --fast, --seed <n>, --splits <n>"
+                    "unknown flag {other}; supported: --fast, --seed <n>, --splits <n>, \
+                     --obs-out <path>, --no-obs"
                 ),
             }
         }
@@ -70,14 +81,19 @@ mod tests {
         assert!(!a.fast);
         assert_eq!(a.seed, 2022);
         assert_eq!(a.splits, 30);
+        assert!(a.obs_out.is_none());
+        assert!(!a.no_obs);
     }
 
     #[test]
     fn parses_all_flags() {
-        let a = parse(&["--fast", "--seed", "7", "--splits", "5"]);
+        let a =
+            parse(&["--fast", "--seed", "7", "--splits", "5", "--obs-out", "x.jsonl", "--no-obs"]);
         assert!(a.fast);
         assert_eq!(a.seed, 7);
         assert_eq!(a.splits, 5);
+        assert_eq!(a.obs_out.as_deref(), Some("x.jsonl"));
+        assert!(a.no_obs);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use metadpa_data::splits::ScenarioKind;
 
 fn main() {
     let args = ExpArgs::from_env();
+    let _obs = metadpa_bench::obs_init("exp_augmentation_strategies", &args);
     println!(
         "== Extension: augmentation strategies on CDs (seed {}, fast={}) ==",
         args.seed, args.fast
@@ -33,14 +34,8 @@ fn main() {
         AugmentationStrategy::DiversePreference,
     ];
 
-    let mut table = TextTable::new(&[
-        "Strategy",
-        "C-U N@10",
-        "C-I N@10",
-        "C-UI N@10",
-        "Warm N@10",
-        "mean",
-    ]);
+    let mut table =
+        TextTable::new(&["Strategy", "C-U N@10", "C-I N@10", "C-UI N@10", "Warm N@10", "mean"]);
     for strategy in strategies {
         let mut cfg = if args.fast { MetaDpaConfig::fast() } else { MetaDpaConfig::default() };
         cfg.seed = args.seed;
@@ -65,7 +60,7 @@ fn main() {
             format!("{:.4}", row[3]),
             format!("{:.4}", row.iter().sum::<f32>() / 4.0),
         ]);
-        eprintln!("[augstrat] {} done", results[0].method);
+        metadpa_obs::event!("augstrat.strategy_done", "strategy" => results[0].method.as_str());
     }
     println!("\n{}", table.render());
     println!(

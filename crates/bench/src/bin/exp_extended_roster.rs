@@ -15,6 +15,7 @@ use metadpa_data::splits::ScenarioKind;
 
 fn main() {
     let args = ExpArgs::from_env();
+    let _obs = metadpa_bench::obs_init("exp_extended_roster", &args);
     println!(
         "== Extension: extended roster (+CMF, +CDL) on CDs (seed {}, fast={}) ==",
         args.seed, args.fast

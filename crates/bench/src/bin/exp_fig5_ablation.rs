@@ -19,6 +19,7 @@ use metadpa_data::splits::ScenarioKind;
 
 fn main() {
     let args = ExpArgs::from_env();
+    let _obs = metadpa_bench::obs_init("exp_fig5_ablation", &args);
     println!("== Fig. 5: ME / MDI ablation on CDs (seed {}, fast={}) ==", args.seed, args.fast);
 
     let world = world_by_name(if args.fast { "tiny" } else { "cds" }, args.seed);
@@ -35,11 +36,11 @@ fn main() {
         let results = run_method_on_world(&mut model, &world, &scenarios, &[10]);
         let ndcgs: Vec<f32> = results.iter().map(|r| r.summary().ndcg).collect();
         let diversity = model.diversity().mean_pairwise_distance;
-        eprintln!(
-            "[fig5] {:<12} diversity={:.4} confidence={:.4}",
-            variant.label(),
-            diversity,
-            model.diversity().mean_confidence
+        metadpa_obs::event!(
+            "fig5.variant_done",
+            "variant" => variant.label(),
+            "diversity" => diversity as f64,
+            "confidence" => model.diversity().mean_confidence as f64,
         );
         rows.push((variant.label().to_string(), ndcgs, Some(diversity)));
     }
@@ -47,20 +48,10 @@ fn main() {
     // MeLU reference line.
     let mut melu = Melu::new(MeluConfig::preset(args.fast), args.seed);
     let melu_results = run_method_on_world(&mut melu, &world, &scenarios, &[10]);
-    rows.push((
-        "MeLU".to_string(),
-        melu_results.iter().map(|r| r.summary().ndcg).collect(),
-        None,
-    ));
+    rows.push(("MeLU".to_string(), melu_results.iter().map(|r| r.summary().ndcg).collect(), None));
 
-    let mut table = TextTable::new(&[
-        "Variant",
-        "C-U N@10",
-        "C-I N@10",
-        "C-UI N@10",
-        "Warm N@10",
-        "diversity",
-    ]);
+    let mut table =
+        TextTable::new(&["Variant", "C-U N@10", "C-I N@10", "C-UI N@10", "Warm N@10", "diversity"]);
     for (name, ndcgs, diversity) in &rows {
         // ScenarioKind::ALL order is Warm, C-U, C-I, C-UI; reorder columns
         // to the paper's presentation (cold first).

@@ -26,13 +26,11 @@ fn per_unit(d: Duration, epochs: usize) -> f64 {
 
 fn main() {
     let args = ExpArgs::from_env();
+    let _obs = metadpa_bench::obs_init("exp_fig6_scalability", &args);
     println!("== Fig. 6: per-block training time vs data size (seed {}) ==", args.seed);
 
-    let fractions: Vec<f32> = if args.fast {
-        vec![0.2, 0.6, 1.0]
-    } else {
-        (1..=10).map(|i| i as f32 / 10.0).collect()
-    };
+    let fractions: Vec<f32> =
+        if args.fast { vec![0.2, 0.6, 1.0] } else { (1..=10).map(|i| i as f32 / 10.0).collect() };
 
     let mut table = TextTable::new(&[
         "data size",
@@ -77,7 +75,7 @@ fn main() {
         ]);
         block1.push(b1);
         sizes.push(world.target.n_items() as f64);
-        eprintln!("[fig6] fraction {:.0}% done", f * 100.0);
+        metadpa_obs::event!("fig6.fraction_done", "fraction" => f);
     }
 
     println!("\n{}", table.render());

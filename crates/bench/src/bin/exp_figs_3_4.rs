@@ -12,6 +12,7 @@ use metadpa_data::splits::ScenarioKind;
 
 fn main() {
     let args = ExpArgs::from_env();
+    let _obs = metadpa_bench::obs_init("exp_figs_3_4", &args);
     let ks: Vec<usize> = (1..=10).collect();
     println!("== Figs. 3-4: NDCG@k curves (seed {}, fast={}) ==", args.seed, args.fast);
 

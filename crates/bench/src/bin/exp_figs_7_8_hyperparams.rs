@@ -21,13 +21,7 @@ fn run_grid(
     world: &metadpa_data::domain::World,
     scenarios: &[metadpa_data::splits::Scenario],
 ) -> (TextTable, Vec<f32>) {
-    let mut table = TextTable::new(&[
-        which,
-        "C-U N@10",
-        "C-I N@10",
-        "C-UI N@10",
-        "Warm N@10",
-    ]);
+    let mut table = TextTable::new(&[which, "C-U N@10", "C-I N@10", "C-UI N@10", "Warm N@10"]);
     let mut all_values = Vec::new();
     for &beta in &GRID {
         let mut cfg = if args.fast { MetaDpaConfig::fast() } else { MetaDpaConfig::default() };
@@ -56,7 +50,7 @@ fn run_grid(
             format!("{:.4}", row[2]),
             format!("{:.4}", row[3]),
         ]);
-        eprintln!("[figs7-8] {which} = {beta} done");
+        metadpa_obs::event!("figs7_8.point_done", "which" => which, "beta" => beta as f64);
     }
     (table, all_values)
 }
@@ -69,6 +63,7 @@ fn spread(values: &[f32]) -> f32 {
 
 fn main() {
     let args = ExpArgs::from_env();
+    let _obs = metadpa_bench::obs_init("exp_figs_7_8_hyperparams", &args);
     println!(
         "== Figs. 7-8: beta1/beta2 sensitivity on CDs (seed {}, fast={}) ==",
         args.seed, args.fast

@@ -16,6 +16,7 @@ use metadpa_data::splits::ScenarioKind;
 
 fn main() {
     let args = ExpArgs::from_env();
+    let _obs = metadpa_bench::obs_init("exp_mix_ablation", &args);
     println!(
         "== Extension: original:augmented mix-ratio ablation on CDs (seed {}, fast={}) ==",
         args.seed, args.fast
@@ -23,14 +24,8 @@ fn main() {
     let world = world_by_name(if args.fast { "tiny" } else { "cds" }, args.seed);
     let scenarios = build_scenarios(&world, args.seed);
 
-    let mut table = TextTable::new(&[
-        "orig copies",
-        "C-U N@10",
-        "C-I N@10",
-        "C-UI N@10",
-        "Warm N@10",
-        "mean",
-    ]);
+    let mut table =
+        TextTable::new(&["orig copies", "C-U N@10", "C-I N@10", "C-UI N@10", "Warm N@10", "mean"]);
     for replication in [1usize, 2, 3, 6] {
         let mut cfg = if args.fast { MetaDpaConfig::fast() } else { MetaDpaConfig::default() };
         cfg.seed = args.seed;
@@ -55,7 +50,7 @@ fn main() {
             format!("{:.4}", row[3]),
             format!("{:.4}", row.iter().sum::<f32>() / 4.0),
         ]);
-        eprintln!("[mix] replication {replication} done");
+        metadpa_obs::event!("mix.replication_done", "replication" => replication);
     }
     println!("\n{}", table.render());
     println!(

@@ -16,6 +16,7 @@ use metadpa_metrics::wilcoxon_signed_rank;
 
 fn main() {
     let args = ExpArgs::from_env();
+    let _obs = metadpa_bench::obs_init("exp_significance", &args);
     let n_splits = args.splits;
     println!(
         "== Significance test (Wilcoxon signed-rank, {n_splits} splits, seed {}) ==",
@@ -46,20 +47,14 @@ fn main() {
         for (s_idx, _) in ScenarioKind::ALL.iter().enumerate() {
             let a = dpa_results[s_idx].summary();
             let b = melu_results[s_idx].summary();
-            for (m_idx, (va, vb)) in [
-                (a.hr, b.hr),
-                (a.mrr, b.mrr),
-                (a.ndcg, b.ndcg),
-                (a.auc, b.auc),
-            ]
-            .iter()
-            .enumerate()
+            for (m_idx, (va, vb)) in
+                [(a.hr, b.hr), (a.mrr, b.mrr), (a.ndcg, b.ndcg), (a.auc, b.auc)].iter().enumerate()
             {
                 ours[s_idx][m_idx].push(*va as f64);
                 theirs[s_idx][m_idx].push(*vb as f64);
             }
         }
-        eprintln!("[significance] split {}/{n_splits} done", split + 1);
+        metadpa_obs::event!("significance.split_done", "split" => split + 1, "of" => n_splits);
     }
 
     let mut table = TextTable::new(&["Scenario", "Metric", "W+", "W-", "p-value", "significant"]);

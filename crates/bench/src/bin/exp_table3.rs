@@ -13,6 +13,7 @@ use metadpa_data::splits::ScenarioKind;
 
 fn main() {
     let args = ExpArgs::from_env();
+    let _obs = metadpa_bench::obs_init("exp_table3", &args);
     println!("== Table III: overall comparison (seed {}, fast={}) ==", args.seed, args.fast);
 
     let targets: &[&str] = if args.fast { &["tiny"] } else { &["books", "cds"] };
@@ -24,8 +25,7 @@ fn main() {
 
         println!("\n--- Target: {} ---", world.target.name);
         for (s_idx, kind) in ScenarioKind::ALL.iter().enumerate() {
-            let mut table =
-                TextTable::new(&["Method", "HR@10", "MRR@10", "NDCG@10", "AUC"]);
+            let mut table = TextTable::new(&["Method", "HR@10", "MRR@10", "NDCG@10", "AUC"]);
             let column = |f: &dyn Fn(&metadpa_metrics::MetricSummary) -> f32| -> Vec<f32> {
                 results.iter().map(|m| f(m[s_idx].summary())).collect()
             };

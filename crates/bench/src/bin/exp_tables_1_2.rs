@@ -14,6 +14,7 @@ use metadpa_data::stats::{domain_stats, source_stats};
 
 fn main() {
     let args = ExpArgs::from_env();
+    let _obs = metadpa_bench::obs_init("exp_tables_1_2", &args);
     println!("== Tables I-II: SynthAmazon dataset statistics (seed {}) ==\n", args.seed);
 
     let books = world_by_name(if args.fast { "tiny" } else { "books" }, args.seed);

@@ -37,15 +37,23 @@ pub fn world_by_name(name: &str, seed: u64) -> World {
         "tiny" => presets::tiny_world(seed),
         other => panic!("unknown world preset: {other}"),
     };
-    generate_world(&cfg)
+    let _span = metadpa_obs::span!("bench.generate_world.{}", name);
+    let world = generate_world(&cfg);
+    metadpa_obs::event!(
+        "bench.world",
+        "preset" => name,
+        "seed" => seed,
+        "sources" => world.n_sources(),
+        "target_users" => world.target.n_users(),
+        "target_items" => world.target.n_items(),
+    );
+    world
 }
 
 /// Builds the four scenarios for a world's target domain.
 pub fn build_scenarios(world: &World, split_seed: u64) -> Vec<Scenario> {
-    let splitter = Splitter::new(
-        &world.target,
-        SplitConfig { seed: split_seed, ..SplitConfig::default() },
-    );
+    let splitter =
+        Splitter::new(&world.target, SplitConfig { seed: split_seed, ..SplitConfig::default() });
     ScenarioKind::ALL.iter().map(|&k| splitter.scenario(k)).collect()
 }
 
@@ -58,19 +66,26 @@ pub fn run_method_on_world(
     ks: &[usize],
 ) -> Vec<MethodScenarioResult> {
     // Training tasks are identical across scenarios; fit once on the first.
-    rec.fit(world, &scenarios[0]);
+    let _method_span = metadpa_obs::span!("bench.method.{}", rec.name());
+    {
+        let _fit_span = metadpa_obs::span!("bench.fit");
+        rec.fit(world, &scenarios[0]);
+    }
     scenarios
         .iter()
-        .map(|s| MethodScenarioResult {
-            method: rec.name(),
-            kind: s.kind,
-            at_k: evaluate_scenario_at_ks(rec, world, s, ks),
+        .map(|s| {
+            let _eval_span = metadpa_obs::span!("bench.eval.{:?}", s.kind);
+            MethodScenarioResult {
+                method: rec.name(),
+                kind: s.kind,
+                at_k: evaluate_scenario_at_ks(rec, world, s, ks),
+            }
         })
         .collect()
 }
 
 /// Runs an entire roster over a world; returns results per method, per
-/// scenario. Prints a progress line per method to stderr.
+/// scenario. Emits an obs progress event per method.
 pub fn run_roster_on_world(
     roster: &mut [Box<dyn Recommender>],
     world: &World,
@@ -82,10 +97,11 @@ pub fn run_roster_on_world(
         .map(|rec| {
             let started = std::time::Instant::now();
             let out = run_method_on_world(rec.as_mut(), world, scenarios, ks);
-            eprintln!(
-                "[harness] {:<12} fitted+evaluated in {:.1?}",
-                rec.name(),
-                started.elapsed()
+            metadpa_obs::event!(
+                "harness.method_done",
+                "method" => rec.name(),
+                "scenarios" => scenarios.len(),
+                "elapsed_ms" => started.elapsed().as_secs_f64() * 1e3,
             );
             out
         })

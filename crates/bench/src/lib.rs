@@ -1,7 +1,7 @@
 //! # metadpa-bench
 //!
 //! The experiment harness: one binary per table/figure of the paper's
-//! evaluation section, plus Criterion microbenchmarks.
+//! evaluation section, plus hand-rolled microbenchmarks.
 //!
 //! | Binary | Regenerates |
 //! |---|---|
@@ -22,7 +22,45 @@
 
 pub mod args;
 pub mod harness;
+pub mod microbench;
 pub mod table;
 
 pub use args::ExpArgs;
 pub use harness::{run_roster_on_world, MethodScenarioResult};
+
+use std::sync::Arc;
+
+/// Installs the observability backend for an experiment binary and emits
+/// the run manifest. Returns an [`metadpa_obs::ObsSession`] guard; keep it
+/// alive for the whole run — dropping it prints the span/metric summary to
+/// stderr and flushes any file sink.
+///
+/// Backend selection: `--no-obs` disables everything; `--obs-out <path>`
+/// tees a JSONL event stream into `path` alongside the stderr progress
+/// lines; the default is stderr progress lines only.
+///
+/// # Panics
+/// Panics if `--obs-out` points at an uncreatable path.
+pub fn obs_init(binary: &str, args: &ExpArgs) -> metadpa_obs::ObsSession {
+    if args.no_obs {
+        metadpa_obs::disable();
+        return metadpa_obs::ObsSession::new(false);
+    }
+    let stderr: Arc<dyn metadpa_obs::Recorder> = Arc::new(metadpa_obs::StderrRecorder::default());
+    let recorder: Arc<dyn metadpa_obs::Recorder> = match &args.obs_out {
+        Some(path) => {
+            let file = metadpa_obs::FileRecorder::create(path)
+                .unwrap_or_else(|e| panic!("--obs-out {path}: {e}"));
+            Arc::new(metadpa_obs::TeeRecorder::new(vec![stderr, Arc::new(file)]))
+        }
+        None => stderr,
+    };
+    metadpa_obs::enable(recorder);
+    let mut manifest = metadpa_obs::Event::new("manifest", "run");
+    manifest.push("binary", binary);
+    manifest.push("seed", args.seed);
+    manifest.push("fast", args.fast);
+    manifest.push("splits", args.splits);
+    metadpa_obs::emit(manifest);
+    metadpa_obs::ObsSession::new(true)
+}

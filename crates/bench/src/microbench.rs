@@ -1,0 +1,122 @@
+//! Minimal microbenchmark runner backing the `cargo bench` targets.
+//!
+//! Hand-rolled on purpose: the offline dependency set has no criterion, so
+//! each `[[bench]]` target is a plain `harness = false` binary that times a
+//! closure with `Instant` and feeds per-iteration latencies into a
+//! [`metadpa_obs`] histogram — the same machinery the training pipeline
+//! uses, so the quantile logic is exercised by the benches themselves.
+
+use std::time::Instant;
+
+use metadpa_obs::metrics;
+
+/// Timing statistics for one benchmark case (all values in nanoseconds).
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Case name (also the obs histogram name).
+    pub name: String,
+    /// Measured iterations (excludes warm-up).
+    pub iters: u64,
+    /// Mean per-iteration latency.
+    pub mean_ns: f64,
+    /// Median per-iteration latency.
+    pub p50_ns: u64,
+    /// 99th-percentile per-iteration latency.
+    pub p99_ns: u64,
+    /// Fastest iteration.
+    pub min_ns: u64,
+    /// Slowest iteration.
+    pub max_ns: u64,
+}
+
+impl BenchResult {
+    /// One aligned human-readable report line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<44} {:>4} iters  mean {:>12}  p50 {:>12}  p99 {:>12}  min {:>12}  max {:>12}",
+            self.name,
+            self.iters,
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.p50_ns as f64),
+            fmt_ns(self.p99_ns as f64),
+            fmt_ns(self.min_ns as f64),
+            fmt_ns(self.max_ns as f64),
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times `iters` runs of `f` (after `iters / 10 + 1` warm-up runs),
+/// records each latency into the obs histogram `name`, and prints a report
+/// line to stdout.
+pub fn run(name: &str, iters: u64, mut f: impl FnMut()) -> BenchResult {
+    assert!(iters > 0, "microbench::run needs at least one iteration");
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let hist = metrics::histogram(name);
+    for _ in 0..iters {
+        let started = Instant::now();
+        f();
+        hist.observe(started.elapsed().as_nanos() as u64);
+    }
+    let result = BenchResult {
+        name: name.to_string(),
+        iters: hist.count(),
+        mean_ns: hist.mean(),
+        p50_ns: hist.quantile(0.5),
+        p99_ns: hist.quantile(0.99),
+        min_ns: hist.min(),
+        max_ns: hist.max(),
+    };
+    println!("{}", result.render());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_measures_and_reports() {
+        let _guard = metadpa_obs::test_lock();
+        metrics::reset();
+        let mut calls = 0u64;
+        let r = run("microbench.test.spin", 8, || {
+            calls += 1;
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        // 8 measured + ceil-ish warm-up (8/10 + 1 = 1).
+        assert_eq!(calls, 9);
+        assert_eq!(r.iters, 8);
+        assert!(r.min_ns <= r.p50_ns && r.p50_ns <= r.max_ns);
+        assert!(r.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn render_is_single_line() {
+        let r = BenchResult {
+            name: "x".into(),
+            iters: 3,
+            mean_ns: 1500.0,
+            p50_ns: 1400,
+            p99_ns: 2000,
+            min_ns: 1000,
+            max_ns: 2100,
+        };
+        let line = r.render();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("µs"));
+    }
+}

@@ -102,6 +102,7 @@ impl MultiSourceAdapter {
         let cfg = self.train_config;
         let mut reports = Vec::with_capacity(pairs.len());
         for (idx, pair) in pairs.iter().enumerate() {
+            let _pair_span = metadpa_obs::span!("adaptation.pair.{}", pair.source_name);
             let mut rng = SeededRng::new(cfg.seed.wrapping_add(idx as u64 * 7919));
             let dual = &mut self.duals[idx];
             let opt = &mut self.optimizers[idx];
@@ -109,7 +110,8 @@ impl MultiSourceAdapter {
             let n = r_s.rows();
             let mut order: Vec<usize> = (0..n).collect();
             let mut train_losses = Vec::with_capacity(cfg.epochs);
-            for _epoch in 0..cfg.epochs {
+            for epoch in 0..cfg.epochs {
+                let _epoch_span = metadpa_obs::span!("adaptation.epoch");
                 rng.shuffle(&mut order);
                 let mut batch_losses = Vec::new();
                 for chunk in order.chunks(cfg.batch_size.max(2)) {
@@ -124,7 +126,20 @@ impl MultiSourceAdapter {
                     batch_losses.push(dual.train_step(&br_s, &br_t, &bx_s, &bx_t, &mut rng));
                     opt.step(dual);
                 }
-                train_losses.push(DualCvaeLosses::mean(&batch_losses));
+                let mean = DualCvaeLosses::mean(&batch_losses);
+                metadpa_obs::event!(
+                    "dual_cvae.epoch",
+                    "source" => pair.source_name.as_str(),
+                    "epoch" => epoch,
+                    "reconstruction" => mean.reconstruction,
+                    "kl" => mean.kl,
+                    "mse_align" => mean.mse_align,
+                    "cross_reconstruction" => mean.cross_reconstruction,
+                    "mdi" => mean.mdi,
+                    "me" => mean.me,
+                    "total" => mean.total(dual.config().beta1, dual.config().beta2),
+                );
+                train_losses.push(mean);
             }
             let eval_losses = if pair.eval_rows.is_empty() {
                 DualCvaeLosses::default()
@@ -145,10 +160,7 @@ impl MultiSourceAdapter {
     /// target-domain user content, returning k generated rating matrices
     /// (`n_users x n_target_items`, values in `[0, 1]`).
     pub fn generate_diverse_ratings(&mut self, target_user_content: &Matrix) -> Vec<Matrix> {
-        self.duals
-            .iter_mut()
-            .map(|d| d.generate_target_ratings(target_user_content))
-            .collect()
+        self.duals.iter_mut().map(|d| d.generate_target_ratings(target_user_content)).collect()
     }
 }
 
@@ -242,12 +254,7 @@ mod tests {
     #[should_panic(expected = "need at least one source")]
     fn rejects_empty_pair_list() {
         let mut rng = SeededRng::new(1);
-        let _ = MultiSourceAdapter::new(
-            &[],
-            8,
-            small_dual_config(),
-            quick_train_config(),
-            &mut rng,
-        );
+        let _ =
+            MultiSourceAdapter::new(&[], 8, small_dual_config(), quick_train_config(), &mut rng);
     }
 }

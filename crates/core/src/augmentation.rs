@@ -61,11 +61,7 @@ pub fn diversity_report(generated: &[Matrix]) -> DiversityReport {
         }
         total += mean_pairwise_row_distance(&stacked) as f64;
     }
-    DiversityReport {
-        mean_pairwise_distance: (total / n_users as f64) as f32,
-        mean_confidence,
-        k,
-    }
+    DiversityReport { mean_pairwise_distance: (total / n_users as f64) as f32, mean_confidence, k }
 }
 
 /// Builds the augmented task set of Eq. 10: for every original task

@@ -40,7 +40,13 @@ pub struct CriticInfoNce {
 impl CriticInfoNce {
     /// Creates a critic projecting `dim_a`- and `dim_b`-dimensional inputs
     /// into a shared `proj_dim`-dimensional space.
-    pub fn new(dim_a: usize, dim_b: usize, proj_dim: usize, temperature: f32, rng: &mut SeededRng) -> Self {
+    pub fn new(
+        dim_a: usize,
+        dim_b: usize,
+        proj_dim: usize,
+        temperature: f32,
+        rng: &mut SeededRng,
+    ) -> Self {
         Self {
             head_a: Dense::new(dim_a, proj_dim, rng),
             head_b: Dense::new(dim_b, proj_dim, rng),

@@ -263,10 +263,7 @@ mod tests {
             last = loss;
         }
         let first = first.unwrap();
-        assert!(
-            last < first * 0.6,
-            "reconstruction loss should drop: {first} -> {last}"
-        );
+        assert!(last < first * 0.6, "reconstruction loss should drop: {first} -> {last}");
     }
 
     #[test]
@@ -280,9 +277,9 @@ mod tests {
         let mut cvae = Cvae::new(config(), &mut rng);
         let (r, x) = batch(&mut rng, 4);
         let _ = cvae.encode_and_sample(&r, &x, &mut rng, Mode::Eval); // eps = 0
-        // With eps = 0: dlv_from_z = 0, so upstream = [g ; grad_logvar].
-        // Passing grad_logvar = 0 must not produce NaNs and must accumulate
-        // some encoder gradient.
+                                                                      // With eps = 0: dlv_from_z = 0, so upstream = [g ; grad_logvar].
+                                                                      // Passing grad_logvar = 0 must not produce NaNs and must accumulate
+                                                                      // some encoder gradient.
         let g = Matrix::filled(4, 4, 1.0);
         let zero = Matrix::zeros(4, 4);
         zero_grad(&mut cvae);

@@ -202,6 +202,7 @@ impl DualCvae {
         x_t: &Matrix,
         rng: &mut SeededRng,
     ) -> DualCvaeLosses {
+        let _span = metadpa_obs::span!("dual_cvae.train_step");
         let b = r_s.rows();
         assert!(b > 0, "DualCvae::train_step: empty batch");
         assert_eq!(r_t.rows(), b, "DualCvae: r_t batch mismatch");
@@ -229,9 +230,7 @@ impl DualCvae {
         if self.config.enable_me && b >= 2 {
             let probs_s = logits_s.map(metadpa_nn::activation::sigmoid);
             let probs_t = logits_t.map(metadpa_nn::activation::sigmoid);
-            let me = self
-                .me_critic
-                .forward_backward(&probs_s, &probs_t, self.config.beta2);
+            let me = self.me_critic.forward_backward(&probs_s, &probs_t, self.config.beta2);
             losses.me = me.loss;
             // Chain through the sigmoid: dL/dlogit = dL/dp * p(1-p).
             g_logits_s.add_inplace(&me.grad_a.zip_map(&probs_s, |g, p| g * p * (1.0 - p)));
@@ -303,7 +302,8 @@ impl DualCvae {
         let zx_t = self.target.content_encode(x_t, Mode::Eval);
         let logits_s = self.source.decode(&z_s, x_s, Mode::Eval);
         let logits_t = self.target.decode(&z_t, x_t, Mode::Eval);
-        losses.reconstruction = bce_with_logits(&logits_s, r_s).0 + bce_with_logits(&logits_t, r_t).0;
+        losses.reconstruction =
+            bce_with_logits(&logits_s, r_s).0 + bce_with_logits(&logits_t, r_t).0;
         if self.config.enable_me && b >= 2 {
             let probs_s = logits_s.map(metadpa_nn::activation::sigmoid);
             let probs_t = logits_t.map(metadpa_nn::activation::sigmoid);
@@ -325,6 +325,7 @@ impl DualCvae {
     /// The augmentation path (Fig. 1 red line): generate target-domain
     /// rating probabilities from target content alone.
     pub fn generate_target_ratings(&mut self, target_content: &Matrix) -> Matrix {
+        let _span = metadpa_obs::span!("dual_cvae.generate");
         self.target.generate_from_content(target_content)
     }
 }

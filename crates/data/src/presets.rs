@@ -20,7 +20,12 @@
 use crate::config::{DomainConfig, WorldConfig};
 
 /// Shared hyper-parameters of the synthetic space.
-fn base(target: DomainConfig, sources: Vec<DomainConfig>, shared: Vec<usize>, seed: u64) -> WorldConfig {
+fn base(
+    target: DomainConfig,
+    sources: Vec<DomainConfig>,
+    shared: Vec<usize>,
+    seed: u64,
+) -> WorldConfig {
     WorldConfig {
         latent_dim: 12,
         content_dim: 48,
@@ -46,12 +51,7 @@ fn source_domains() -> Vec<DomainConfig> {
 ///
 /// Shared-user ordering follows Table I: Movies > Electronics >> Music.
 pub fn books_world(seed: u64) -> WorldConfig {
-    base(
-        DomainConfig::new("Books", 1000, 700, 9.0),
-        source_domains(),
-        vec![220, 300, 40],
-        seed,
-    )
+    base(DomainConfig::new("Books", 1000, 700, 9.0), source_domains(), vec![220, 300, 40], seed)
 }
 
 /// The CDs world: the smaller, sparser target with all three sources.
@@ -59,12 +59,7 @@ pub fn books_world(seed: u64) -> WorldConfig {
 /// Shared-user ordering follows Table I: Movies > Electronics > Music, with
 /// Music relatively closer to CDs than to Books.
 pub fn cds_world(seed: u64) -> WorldConfig {
-    base(
-        DomainConfig::new("CDs", 400, 350, 6.0),
-        source_domains(),
-        vec![90, 140, 70],
-        seed,
-    )
+    base(DomainConfig::new("CDs", 400, 350, 6.0), source_domains(), vec![90, 140, 70], seed)
 }
 
 /// A miniature world for unit/integration tests: trains in well under a

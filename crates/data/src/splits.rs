@@ -39,8 +39,12 @@ pub enum ScenarioKind {
 
 impl ScenarioKind {
     /// All four scenarios, in the paper's presentation order.
-    pub const ALL: [ScenarioKind; 4] =
-        [ScenarioKind::Warm, ScenarioKind::ColdUser, ScenarioKind::ColdItem, ScenarioKind::ColdUserItem];
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::Warm,
+        ScenarioKind::ColdUser,
+        ScenarioKind::ColdItem,
+        ScenarioKind::ColdUserItem,
+    ];
 
     /// The paper's shorthand label.
     pub fn label(&self) -> &'static str {
@@ -199,11 +203,8 @@ impl<'a> Splitter<'a> {
             let mut shuffled = in_pool.clone();
             rng.shuffle(&mut shuffled);
             let positive = shuffled[0];
-            let mut support_pos: Vec<usize> = shuffled[1..]
-                .iter()
-                .copied()
-                .take(self.config.max_support_positives)
-                .collect();
+            let mut support_pos: Vec<usize> =
+                shuffled[1..].iter().copied().take(self.config.max_support_positives).collect();
             // Support fallback for the scarcest settings (C-I/C-UI at small
             // scale): when a user's only in-pool rating is the held-out
             // positive, fine-tune on their remaining out-of-pool ratings —
@@ -220,12 +221,8 @@ impl<'a> Splitter<'a> {
                 continue;
             }
 
-            let negatives = self.sample_negatives(
-                u,
-                item_pool,
-                self.config.n_eval_negatives,
-                &mut rng,
-            );
+            let negatives =
+                self.sample_negatives(u, item_pool, self.config.n_eval_negatives, &mut rng);
             if negatives.is_empty() {
                 continue;
             }
@@ -275,8 +272,7 @@ impl<'a> Splitter<'a> {
         pool: &[usize],
         rng: &mut SeededRng,
     ) -> Vec<(usize, f32)> {
-        let mut out: Vec<(usize, f32)> =
-            positives.iter().map(|&i| (i, 1.0)).collect();
+        let mut out: Vec<(usize, f32)> = positives.iter().map(|&i| (i, 1.0)).collect();
         let n_neg = positives.len() * self.config.train_negatives_per_positive;
         let negatives = self.sample_negatives(user, pool, n_neg, rng);
         out.extend(negatives.into_iter().map(|i| (i, 0.0)));
@@ -293,19 +289,13 @@ impl<'a> Splitter<'a> {
         rng: &mut SeededRng,
     ) -> Vec<usize> {
         let rated = &self.domain.interactions[user];
-        let candidates: Vec<usize> = pool
-            .iter()
-            .copied()
-            .filter(|i| rated.binary_search(i).is_err())
-            .collect();
+        let candidates: Vec<usize> =
+            pool.iter().copied().filter(|i| rated.binary_search(i).is_err()).collect();
         if candidates.is_empty() {
             return Vec::new();
         }
         let take = count.min(candidates.len());
-        rng.sample_indices(candidates.len(), take)
-            .into_iter()
-            .map(|idx| candidates[idx])
-            .collect()
+        rng.sample_indices(candidates.len(), take).into_iter().map(|idx| candidates[idx]).collect()
     }
 }
 
@@ -391,11 +381,8 @@ mod tests {
         }
         // Every eval user has a fine-tune task with a non-empty support.
         for e in &s.eval {
-            let ft = s
-                .finetune_tasks
-                .iter()
-                .find(|t| t.user == e.user)
-                .expect("missing finetune task");
+            let ft =
+                s.finetune_tasks.iter().find(|t| t.user == e.user).expect("missing finetune task");
             assert!(!ft.support.is_empty());
             // Support must not contain the eval positive.
             assert!(ft.support.iter().all(|&(i, _)| i != e.positive));

@@ -1,85 +1,104 @@
 //! Property-based tests for the SynthAmazon generator and protocol: the
 //! invariants must hold for *any* reasonable configuration, not just the
 //! presets.
+//!
+//! The randomized `proptest` suite is opt-in (`--features proptest`): the
+//! build environment is offline, so the `proptest` crate cannot be a
+//! default dev-dependency. To run it, restore `proptest = "1"` under
+//! `[dev-dependencies]` and enable the feature. The `deterministic` module
+//! below always compiles and checks the same invariants over a fixed grid
+//! of world configurations.
 
-use metadpa_data::config::{DomainConfig, WorldConfig};
 use metadpa_data::adaptation::{build_adaptation_pairs, AdaptationConfig};
+use metadpa_data::config::{DomainConfig, WorldConfig};
 use metadpa_data::generator::generate_world;
 use metadpa_data::splits::{ScenarioKind, SplitConfig, Splitter};
-use proptest::prelude::*;
 
-fn arb_world_config() -> impl Strategy<Value = WorldConfig> {
-    (
-        0u64..10_000,          // seed
-        60usize..160,          // target users
-        40usize..100,          // target items
-        4.0f32..10.0,          // mean ratings
-        0.0f32..0.9,           // content gap
-        2usize..40,            // shared users
-    )
-        .prop_map(|(seed, n_users, n_items, mean, gap, shared)| {
-            let shared = shared.min(n_users / 2).max(2);
-            WorldConfig {
-                latent_dim: 6,
-                content_dim: 16,
-                n_topics: 4,
-                content_gap: gap,
-                target: DomainConfig::new("T", n_users, n_items, mean),
-                sources: vec![DomainConfig::new("S", n_users / 2 + 10, n_items / 2 + 20, mean)],
-                shared_users: vec![shared],
-                seed,
-            }
-        })
+fn world_config(
+    seed: u64,
+    n_users: usize,
+    n_items: usize,
+    mean: f32,
+    gap: f32,
+    shared: usize,
+) -> WorldConfig {
+    let shared = shared.min(n_users / 2).max(2);
+    WorldConfig {
+        latent_dim: 6,
+        content_dim: 16,
+        n_topics: 4,
+        content_gap: gap,
+        target: DomainConfig::new("T", n_users, n_items, mean),
+        sources: vec![DomainConfig::new("S", n_users / 2 + 10, n_items / 2 + 20, mean)],
+        shared_users: vec![shared],
+        seed,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Fixed configuration grid standing in for proptest's generator.
+fn config_grid() -> Vec<WorldConfig> {
+    vec![
+        world_config(0, 60, 40, 4.0, 0.0, 2),
+        world_config(7, 100, 70, 6.5, 0.3, 12),
+        world_config(42, 159, 99, 9.9, 0.89, 39),
+        world_config(1234, 80, 55, 5.0, 0.5, 25),
+    ]
+}
+
+mod deterministic {
+    use super::*;
 
     /// Generated worlds always pass their own structural validation and
     /// basic sanity: every user has >= 1 rating, ids in range.
     #[test]
-    fn generated_worlds_are_structurally_valid(cfg in arb_world_config()) {
-        let w = generate_world(&cfg);
-        w.validate(); // panics on inconsistency
-        prop_assert_eq!(w.target.n_users(), cfg.target.n_users);
-        prop_assert_eq!(w.target.n_items(), cfg.target.n_items);
-        prop_assert!(w.target.interactions.iter().all(|v| !v.is_empty()));
-        prop_assert!(w.target.user_content.all_finite());
-        prop_assert!(w.target.item_content.all_finite());
+    fn generated_worlds_are_structurally_valid() {
+        for cfg in config_grid() {
+            let w = generate_world(&cfg);
+            w.validate(); // panics on inconsistency
+            assert_eq!(w.target.n_users(), cfg.target.n_users);
+            assert_eq!(w.target.n_items(), cfg.target.n_items);
+            assert!(w.target.interactions.iter().all(|v| !v.is_empty()));
+            assert!(w.target.user_content.all_finite());
+            assert!(w.target.item_content.all_finite());
+        }
     }
 
     /// Generation is a pure function of its config.
     #[test]
-    fn generation_deterministic(cfg in arb_world_config()) {
-        let a = generate_world(&cfg);
-        let b = generate_world(&cfg);
-        prop_assert_eq!(a.target.interactions, b.target.interactions);
-        prop_assert_eq!(&a.sources[0].interactions, &b.sources[0].interactions);
+    fn generation_deterministic() {
+        for cfg in config_grid() {
+            let a = generate_world(&cfg);
+            let b = generate_world(&cfg);
+            assert_eq!(a.target.interactions, b.target.interactions);
+            assert_eq!(&a.sources[0].interactions, &b.sources[0].interactions);
+        }
     }
 
     /// Every scenario's eval instances reference valid users/items, the
     /// positive was truly rated, and the negatives truly were not.
     #[test]
-    fn scenario_instances_are_consistent(cfg in arb_world_config()) {
-        let w = generate_world(&cfg);
-        let sp = Splitter::new(&w.target, SplitConfig::default());
-        for kind in ScenarioKind::ALL {
-            let s = sp.scenario(kind);
-            for e in &s.eval {
-                prop_assert!(e.user < w.target.n_users());
-                prop_assert!(w.target.has_interaction(e.user, e.positive));
-                for &n in &e.negatives {
-                    prop_assert!(!w.target.has_interaction(e.user, n));
+    fn scenario_instances_are_consistent() {
+        for cfg in config_grid() {
+            let w = generate_world(&cfg);
+            let sp = Splitter::new(&w.target, SplitConfig::default());
+            for kind in ScenarioKind::ALL {
+                let s = sp.scenario(kind);
+                for e in &s.eval {
+                    assert!(e.user < w.target.n_users());
+                    assert!(w.target.has_interaction(e.user, e.positive));
+                    for &n in &e.negatives {
+                        assert!(!w.target.has_interaction(e.user, n));
+                    }
                 }
-            }
-            for t in s.train_tasks.iter().chain(s.finetune_tasks.iter()) {
-                for &(i, l) in t.support.iter().chain(t.query.iter()) {
-                    prop_assert!(i < w.target.n_items());
-                    // Positive labels must correspond to real interactions.
-                    if l == 1.0 {
-                        prop_assert!(w.target.has_interaction(t.user, i));
-                    } else {
-                        prop_assert!(!w.target.has_interaction(t.user, i));
+                for t in s.train_tasks.iter().chain(s.finetune_tasks.iter()) {
+                    for &(i, l) in t.support.iter().chain(t.query.iter()) {
+                        assert!(i < w.target.n_items());
+                        // Positive labels must correspond to real interactions.
+                        if l == 1.0 {
+                            assert!(w.target.has_interaction(t.user, i));
+                        } else {
+                            assert!(!w.target.has_interaction(t.user, i));
+                        }
                     }
                 }
             }
@@ -89,60 +108,191 @@ proptest! {
     /// The user partition is exact: existing + new covers all users,
     /// thresholds respected.
     #[test]
-    fn partition_is_exact(cfg in arb_world_config(), threshold in 2usize..8) {
-        let w = generate_world(&cfg);
-        let sp = Splitter::new(
-            &w.target,
-            SplitConfig { existing_threshold: threshold, ..SplitConfig::default() },
-        );
-        prop_assert_eq!(
-            sp.existing_users().len() + sp.new_users().len(),
-            w.target.n_users()
-        );
-        for &u in sp.existing_users() {
-            prop_assert!(w.target.interactions[u].len() >= threshold);
-        }
-        for &u in sp.new_users() {
-            prop_assert!(w.target.interactions[u].len() < threshold);
+    fn partition_is_exact() {
+        for cfg in config_grid() {
+            for threshold in [2usize, 4, 7] {
+                let w = generate_world(&cfg);
+                let sp = Splitter::new(
+                    &w.target,
+                    SplitConfig { existing_threshold: threshold, ..SplitConfig::default() },
+                );
+                assert_eq!(sp.existing_users().len() + sp.new_users().len(), w.target.n_users());
+                for &u in sp.existing_users() {
+                    assert!(w.target.interactions[u].len() >= threshold);
+                }
+                for &u in sp.new_users() {
+                    assert!(w.target.interactions[u].len() < threshold);
+                }
+            }
         }
     }
 
     /// Adaptation pairs: rating matrices are binary with rows matching the
     /// interaction lists, splits are disjoint.
     #[test]
-    fn adaptation_pairs_are_consistent(cfg in arb_world_config()) {
-        let w = generate_world(&cfg);
-        let pairs = build_adaptation_pairs(&w, &AdaptationConfig::default());
-        for p in &pairs {
-            for v in p.source_ratings.as_slice() {
-                prop_assert!(*v == 0.0 || *v == 1.0);
-            }
-            let mut rows: Vec<usize> =
-                p.train_rows.iter().chain(p.eval_rows.iter()).copied().collect();
-            rows.sort_unstable();
-            rows.dedup();
-            prop_assert_eq!(rows.len(), p.n_shared());
-            // Row content matches interactions for the aligned target user.
-            for (row, &tu) in p.target_user_ids.iter().enumerate() {
-                let nnz = p.target_ratings.row(row).iter().filter(|&&v| v == 1.0).count();
-                prop_assert_eq!(nnz, w.target.interactions[tu].len());
+    fn adaptation_pairs_are_consistent() {
+        for cfg in config_grid() {
+            let w = generate_world(&cfg);
+            let pairs = build_adaptation_pairs(&w, &AdaptationConfig::default());
+            for p in &pairs {
+                for v in p.source_ratings.as_slice() {
+                    assert!(*v == 0.0 || *v == 1.0);
+                }
+                let mut rows: Vec<usize> =
+                    p.train_rows.iter().chain(p.eval_rows.iter()).copied().collect();
+                rows.sort_unstable();
+                rows.dedup();
+                assert_eq!(rows.len(), p.n_shared());
+                // Row content matches interactions for the aligned target user.
+                for (row, &tu) in p.target_user_ids.iter().enumerate() {
+                    let nnz = p.target_ratings.row(row).iter().filter(|&&v| v == 1.0).count();
+                    assert_eq!(nnz, w.target.interactions[tu].len());
+                }
             }
         }
     }
 
     /// The warm scenario never leaks its eval positive into training tasks.
     #[test]
-    fn warm_never_leaks(cfg in arb_world_config()) {
-        let w = generate_world(&cfg);
-        let sp = Splitter::new(&w.target, SplitConfig::default());
-        let s = sp.scenario(ScenarioKind::Warm);
-        for e in &s.eval {
-            for t in s.train_tasks.iter().filter(|t| t.user == e.user) {
-                prop_assert!(t
-                    .support
-                    .iter()
-                    .chain(t.query.iter())
-                    .all(|&(i, _)| i != e.positive));
+    fn warm_never_leaks() {
+        for cfg in config_grid() {
+            let w = generate_world(&cfg);
+            let sp = Splitter::new(&w.target, SplitConfig::default());
+            let s = sp.scenario(ScenarioKind::Warm);
+            for e in &s.eval {
+                for t in s.train_tasks.iter().filter(|t| t.user == e.user) {
+                    assert!(t.support.iter().chain(t.query.iter()).all(|&(i, _)| i != e.positive));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_world_config() -> impl Strategy<Value = WorldConfig> {
+        (
+            0u64..10_000, // seed
+            60usize..160, // target users
+            40usize..100, // target items
+            4.0f32..10.0, // mean ratings
+            0.0f32..0.9,  // content gap
+            2usize..40,   // shared users
+        )
+            .prop_map(|(seed, n_users, n_items, mean, gap, shared)| {
+                world_config(seed, n_users, n_items, mean, gap, shared)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Generated worlds always pass their own structural validation.
+        #[test]
+        fn generated_worlds_are_structurally_valid(cfg in arb_world_config()) {
+            let w = generate_world(&cfg);
+            w.validate(); // panics on inconsistency
+            prop_assert_eq!(w.target.n_users(), cfg.target.n_users);
+            prop_assert_eq!(w.target.n_items(), cfg.target.n_items);
+            prop_assert!(w.target.interactions.iter().all(|v| !v.is_empty()));
+            prop_assert!(w.target.user_content.all_finite());
+            prop_assert!(w.target.item_content.all_finite());
+        }
+
+        /// Generation is a pure function of its config.
+        #[test]
+        fn generation_deterministic(cfg in arb_world_config()) {
+            let a = generate_world(&cfg);
+            let b = generate_world(&cfg);
+            prop_assert_eq!(a.target.interactions, b.target.interactions);
+            prop_assert_eq!(&a.sources[0].interactions, &b.sources[0].interactions);
+        }
+
+        /// Every scenario's eval instances reference valid users/items.
+        #[test]
+        fn scenario_instances_are_consistent(cfg in arb_world_config()) {
+            let w = generate_world(&cfg);
+            let sp = Splitter::new(&w.target, SplitConfig::default());
+            for kind in ScenarioKind::ALL {
+                let s = sp.scenario(kind);
+                for e in &s.eval {
+                    prop_assert!(e.user < w.target.n_users());
+                    prop_assert!(w.target.has_interaction(e.user, e.positive));
+                    for &n in &e.negatives {
+                        prop_assert!(!w.target.has_interaction(e.user, n));
+                    }
+                }
+                for t in s.train_tasks.iter().chain(s.finetune_tasks.iter()) {
+                    for &(i, l) in t.support.iter().chain(t.query.iter()) {
+                        prop_assert!(i < w.target.n_items());
+                        if l == 1.0 {
+                            prop_assert!(w.target.has_interaction(t.user, i));
+                        } else {
+                            prop_assert!(!w.target.has_interaction(t.user, i));
+                        }
+                    }
+                }
+            }
+        }
+
+        /// The user partition is exact.
+        #[test]
+        fn partition_is_exact(cfg in arb_world_config(), threshold in 2usize..8) {
+            let w = generate_world(&cfg);
+            let sp = Splitter::new(
+                &w.target,
+                SplitConfig { existing_threshold: threshold, ..SplitConfig::default() },
+            );
+            prop_assert_eq!(
+                sp.existing_users().len() + sp.new_users().len(),
+                w.target.n_users()
+            );
+            for &u in sp.existing_users() {
+                prop_assert!(w.target.interactions[u].len() >= threshold);
+            }
+            for &u in sp.new_users() {
+                prop_assert!(w.target.interactions[u].len() < threshold);
+            }
+        }
+
+        /// Adaptation pairs stay binary and disjoint.
+        #[test]
+        fn adaptation_pairs_are_consistent(cfg in arb_world_config()) {
+            let w = generate_world(&cfg);
+            let pairs = build_adaptation_pairs(&w, &AdaptationConfig::default());
+            for p in &pairs {
+                for v in p.source_ratings.as_slice() {
+                    prop_assert!(*v == 0.0 || *v == 1.0);
+                }
+                let mut rows: Vec<usize> =
+                    p.train_rows.iter().chain(p.eval_rows.iter()).copied().collect();
+                rows.sort_unstable();
+                rows.dedup();
+                prop_assert_eq!(rows.len(), p.n_shared());
+                for (row, &tu) in p.target_user_ids.iter().enumerate() {
+                    let nnz = p.target_ratings.row(row).iter().filter(|&&v| v == 1.0).count();
+                    prop_assert_eq!(nnz, w.target.interactions[tu].len());
+                }
+            }
+        }
+
+        /// The warm scenario never leaks its eval positive into training.
+        #[test]
+        fn warm_never_leaks(cfg in arb_world_config()) {
+            let w = generate_world(&cfg);
+            let sp = Splitter::new(&w.target, SplitConfig::default());
+            let s = sp.scenario(ScenarioKind::Warm);
+            for e in &s.eval {
+                for t in s.train_tasks.iter().filter(|t| t.user == e.user) {
+                    prop_assert!(t
+                        .support
+                        .iter()
+                        .chain(t.query.iter())
+                        .all(|&(i, _)| i != e.positive));
+                }
             }
         }
     }

@@ -117,9 +117,8 @@ mod tests {
     fn ndcg_decreases_with_rank() {
         let mut last = f32::INFINITY;
         for n_better in 0..9 {
-            let negatives: Vec<f32> = (0..9)
-                .map(|i| if i < n_better { 1.0 } else { 0.0 })
-                .collect();
+            let negatives: Vec<f32> =
+                (0..9).map(|i| if i < n_better { 1.0 } else { 0.0 }).collect();
             let v = ndcg_at_k(0.5, &negatives, 10);
             assert!(v < last);
             last = v;

@@ -72,12 +72,8 @@ pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> WilcoxonOutcome {
         y.len()
     );
     // Non-zero differences with their absolute values.
-    let diffs: Vec<f64> = x
-        .iter()
-        .zip(y.iter())
-        .map(|(&a, &b)| a - b)
-        .filter(|d| *d != 0.0)
-        .collect();
+    let diffs: Vec<f64> =
+        x.iter().zip(y.iter()).map(|(&a, &b)| a - b).filter(|d| *d != 0.0).collect();
     let n = diffs.len();
     if n < 5 {
         return WilcoxonOutcome { w_plus: 0.0, w_minus: 0.0, n_effective: n, p_value: 1.0 };
@@ -180,6 +176,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // 3.14 is textbook fixture data, not π
     fn known_small_example() {
         // Classic textbook example (Woolson): differences with known W+.
         let x = vec![1.83, 0.50, 1.62, 2.48, 1.68, 1.88, 1.55, 3.06, 1.30];

@@ -1,125 +1,304 @@
 //! Property-based tests for metric invariants.
+//!
+//! The randomized `proptest` suite is opt-in (`--features proptest`): the
+//! build environment is offline, so the `proptest` crate cannot be a
+//! default dev-dependency. To run it, restore `proptest = "1"` under
+//! `[dev-dependencies]` and enable the feature. The `deterministic` module
+//! below always compiles, driving the same invariants from a tiny local
+//! SplitMix64 (this crate has no dependency on metadpa-tensor).
 
-use metadpa_metrics::{auc, hr_at_k, mrr_at_k, ndcg_at_k, rank_of_positive, wilcoxon_signed_rank};
 use metadpa_metrics::MetricSummary;
-use proptest::prelude::*;
+use metadpa_metrics::{auc, hr_at_k, mrr_at_k, ndcg_at_k, rank_of_positive, wilcoxon_signed_rank};
 
-fn scores() -> impl Strategy<Value = (f32, Vec<f32>)> {
-    (
-        -10.0f32..10.0,
-        proptest::collection::vec(-10.0f32..10.0, 1..120),
-    )
+/// Minimal SplitMix64 so the fallback cases still cover varied inputs.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [lo, hi).
+    fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        let u = (self.next() >> 40) as f32 / (1u32 << 24) as f32;
+        lo + u * (hi - lo)
+    }
+
+    fn scores(&mut self, n: usize) -> (f32, Vec<f32>) {
+        let pos = self.f32_in(-10.0, 10.0);
+        let negs = (0..n).map(|_| self.f32_in(-10.0, 10.0)).collect();
+        (pos, negs)
+    }
 }
 
-proptest! {
+mod deterministic {
+    use super::*;
+
     /// All metrics live in [0, 1].
     #[test]
-    fn metrics_are_bounded((pos, negs) in scores(), k in 1usize..20) {
-        for v in [
-            hr_at_k(pos, &negs, k),
-            mrr_at_k(pos, &negs, k),
-            ndcg_at_k(pos, &negs, k),
-            auc(pos, &negs),
-        ] {
-            prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+    fn metrics_are_bounded() {
+        let mut mix = Mix(1);
+        for n in [1usize, 3, 17, 64, 119] {
+            let (pos, negs) = mix.scores(n);
+            for k in [1usize, 5, 10, 19] {
+                for v in [
+                    hr_at_k(pos, &negs, k),
+                    mrr_at_k(pos, &negs, k),
+                    ndcg_at_k(pos, &negs, k),
+                    auc(pos, &negs),
+                ] {
+                    assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+                }
+            }
         }
     }
 
-    /// Metric dominance: HR >= NDCG >= 0 and HR >= MRR (each hit contributes
-    /// at most 1 to HR and <= 1 to the others).
+    /// HR >= MRR and HR >= NDCG (each hit contributes at most 1 to HR and
+    /// <= 1 to the others).
     #[test]
-    fn hr_dominates((pos, negs) in scores(), k in 1usize..20) {
-        let hr = hr_at_k(pos, &negs, k);
-        prop_assert!(hr >= mrr_at_k(pos, &negs, k));
-        prop_assert!(hr >= ndcg_at_k(pos, &negs, k));
+    fn hr_dominates() {
+        let mut mix = Mix(2);
+        for n in [1usize, 8, 40, 110] {
+            let (pos, negs) = mix.scores(n);
+            for k in 1..20 {
+                let hr = hr_at_k(pos, &negs, k);
+                assert!(hr >= mrr_at_k(pos, &negs, k));
+                assert!(hr >= ndcg_at_k(pos, &negs, k));
+            }
+        }
     }
 
     /// Metrics are monotone in k.
     #[test]
-    fn metrics_monotone_in_k((pos, negs) in scores()) {
-        let mut prev = (0.0f32, 0.0f32, 0.0f32);
-        for k in 1..=20 {
-            let cur = (hr_at_k(pos, &negs, k), mrr_at_k(pos, &negs, k), ndcg_at_k(pos, &negs, k));
-            prop_assert!(cur.0 >= prev.0);
-            prop_assert!(cur.1 >= prev.1);
-            prop_assert!(cur.2 >= prev.2);
-            prev = cur;
+    fn metrics_monotone_in_k() {
+        let mut mix = Mix(3);
+        for n in [2usize, 15, 77] {
+            let (pos, negs) = mix.scores(n);
+            let mut prev = (0.0f32, 0.0f32, 0.0f32);
+            for k in 1..=20 {
+                let cur =
+                    (hr_at_k(pos, &negs, k), mrr_at_k(pos, &negs, k), ndcg_at_k(pos, &negs, k));
+                assert!(cur.0 >= prev.0);
+                assert!(cur.1 >= prev.1);
+                assert!(cur.2 >= prev.2);
+                prev = cur;
+            }
         }
     }
 
     /// Raising the positive score never hurts any metric.
     #[test]
-    fn metrics_monotone_in_positive_score((pos, negs) in scores(), k in 1usize..20, bump in 0.0f32..5.0) {
-        prop_assert!(hr_at_k(pos + bump, &negs, k) >= hr_at_k(pos, &negs, k));
-        prop_assert!(mrr_at_k(pos + bump, &negs, k) >= mrr_at_k(pos, &negs, k));
-        prop_assert!(ndcg_at_k(pos + bump, &negs, k) >= ndcg_at_k(pos, &negs, k));
-        prop_assert!(auc(pos + bump, &negs) >= auc(pos, &negs));
+    fn metrics_monotone_in_positive_score() {
+        let mut mix = Mix(4);
+        for n in [5usize, 30, 90] {
+            let (pos, negs) = mix.scores(n);
+            for bump in [0.0f32, 0.5, 2.5, 4.9] {
+                for k in [1usize, 7, 19] {
+                    assert!(hr_at_k(pos + bump, &negs, k) >= hr_at_k(pos, &negs, k));
+                    assert!(mrr_at_k(pos + bump, &negs, k) >= mrr_at_k(pos, &negs, k));
+                    assert!(ndcg_at_k(pos + bump, &negs, k) >= ndcg_at_k(pos, &negs, k));
+                    assert!(auc(pos + bump, &negs) >= auc(pos, &negs));
+                }
+            }
+        }
     }
 
     /// Rank is between 1 and 1 + #negatives.
     #[test]
-    fn rank_bounds((pos, negs) in scores()) {
-        let r = rank_of_positive(pos, &negs);
-        prop_assert!(r >= 1 && r <= negs.len() + 1);
+    fn rank_bounds() {
+        let mut mix = Mix(5);
+        for n in [1usize, 4, 25, 100] {
+            let (pos, negs) = mix.scores(n);
+            let r = rank_of_positive(pos, &negs);
+            assert!(r >= 1 && r <= negs.len() + 1);
+        }
     }
 
-    /// AUC and rank agree: auc == 1 - (rank-1-ties/2)/n. With no exact
-    /// ties this is exact.
+    /// AUC and rank agree when there are no exact ties.
     #[test]
-    fn auc_consistent_with_rank(pos in -9.9f32..9.9, negs in proptest::collection::vec(-10.0f32..10.0, 1..50)) {
-        prop_assume!(negs.iter().all(|&s| s != pos));
-        let better = negs.iter().filter(|&&s| s > pos).count();
-        let expect = 1.0 - better as f32 / negs.len() as f32;
-        prop_assert!((auc(pos, &negs) - expect).abs() < 1e-6);
+    fn auc_consistent_with_rank() {
+        let mut mix = Mix(6);
+        for n in [1usize, 10, 49] {
+            let (pos, negs) = mix.scores(n);
+            if negs.contains(&pos) {
+                continue; // vanishing probability, but stay faithful to the property
+            }
+            let better = negs.iter().filter(|&&s| s > pos).count();
+            let expect = 1.0 - better as f32 / negs.len() as f32;
+            assert!((auc(pos, &negs) - expect).abs() < 1e-6);
+        }
     }
 
     /// Summary accumulation equals merging per-instance summaries.
     #[test]
-    fn summary_merge_associative(instances in proptest::collection::vec(scores(), 1..20)) {
+    fn summary_merge_associative() {
+        let mut mix = Mix(7);
         let k = 10;
         let mut direct = MetricSummary::default();
         let mut merged = MetricSummary::default();
-        for (pos, negs) in &instances {
-            direct.add_instance(*pos, negs, k);
-            let single = metadpa_metrics::evaluate_instance(*pos, negs, k);
+        for n in [3usize, 12, 30, 60, 119] {
+            let (pos, negs) = mix.scores(n);
+            direct.add_instance(pos, &negs, k);
+            let single = metadpa_metrics::evaluate_instance(pos, &negs, k);
             merged.merge(&single);
         }
-        prop_assert_eq!(direct.count, merged.count);
-        prop_assert!((direct.hr - merged.hr).abs() < 1e-4);
-        prop_assert!((direct.ndcg - merged.ndcg).abs() < 1e-4);
+        assert_eq!(direct.count, merged.count);
+        assert!((direct.hr - merged.hr).abs() < 1e-4);
+        assert!((direct.ndcg - merged.ndcg).abs() < 1e-4);
     }
 
-    /// Wilcoxon p-value is a probability, and the test is antisymmetric-ish:
-    /// swapping the samples flips significance.
+    /// Wilcoxon p-value is a probability; a uniform shift is significant
+    /// forward and not significant reversed.
     #[test]
-    fn wilcoxon_pvalue_bounds_and_swap(
-        base in proptest::collection::vec(0.0f64..1.0, 10..40),
-        delta in 0.01f64..0.3,
-    ) {
-        let x: Vec<f64> = base.iter().map(|v| v + delta).collect();
-        let fwd = wilcoxon_signed_rank(&x, &base);
-        let rev = wilcoxon_signed_rank(&base, &x);
-        prop_assert!((0.0..=1.0).contains(&fwd.p_value));
-        prop_assert!((0.0..=1.0).contains(&rev.p_value));
-        // x dominates base everywhere -> strongly significant forward,
-        // not significant reversed.
-        prop_assert!(fwd.p_value < 0.01);
-        prop_assert!(rev.p_value > 0.5);
+    fn wilcoxon_pvalue_bounds_and_swap() {
+        let mut mix = Mix(8);
+        for (n, delta) in [(10usize, 0.05f64), (25, 0.15), (39, 0.29)] {
+            let base: Vec<f64> = (0..n).map(|_| mix.f32_in(0.0, 1.0) as f64).collect();
+            let x: Vec<f64> = base.iter().map(|v| v + delta).collect();
+            let fwd = wilcoxon_signed_rank(&x, &base);
+            let rev = wilcoxon_signed_rank(&base, &x);
+            assert!((0.0..=1.0).contains(&fwd.p_value));
+            assert!((0.0..=1.0).contains(&rev.p_value));
+            assert!(fwd.p_value < 0.01);
+            assert!(rev.p_value > 0.5);
+        }
     }
 
     /// W+ + W- always equals n(n+1)/2 over effective pairs.
     #[test]
-    fn wilcoxon_rank_sum_invariant(
-        x in proptest::collection::vec(0.0f64..1.0, 10..40),
-        y_shift in proptest::collection::vec(-0.5f64..0.5, 10..40),
-    ) {
-        let n = x.len().min(y_shift.len());
-        let x = &x[..n];
-        let y: Vec<f64> = x.iter().zip(&y_shift[..n]).map(|(a, s)| a + s).collect();
-        let out = wilcoxon_signed_rank(x, &y);
-        if out.n_effective >= 5 {
-            let expect = (out.n_effective * (out.n_effective + 1)) as f64 / 2.0;
-            prop_assert!((out.w_plus + out.w_minus - expect).abs() < 1e-9);
+    fn wilcoxon_rank_sum_invariant() {
+        let mut mix = Mix(9);
+        for n in [10usize, 20, 39] {
+            let x: Vec<f64> = (0..n).map(|_| mix.f32_in(0.0, 1.0) as f64).collect();
+            let y: Vec<f64> = x.iter().map(|a| a + mix.f32_in(-0.5, 0.5) as f64).collect();
+            let out = wilcoxon_signed_rank(&x, &y);
+            if out.n_effective >= 5 {
+                let expect = (out.n_effective * (out.n_effective + 1)) as f64 / 2.0;
+                assert!((out.w_plus + out.w_minus - expect).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scores() -> impl Strategy<Value = (f32, Vec<f32>)> {
+        (-10.0f32..10.0, proptest::collection::vec(-10.0f32..10.0, 1..120))
+    }
+
+    proptest! {
+        /// All metrics live in [0, 1].
+        #[test]
+        fn metrics_are_bounded((pos, negs) in scores(), k in 1usize..20) {
+            for v in [
+                hr_at_k(pos, &negs, k),
+                mrr_at_k(pos, &negs, k),
+                ndcg_at_k(pos, &negs, k),
+                auc(pos, &negs),
+            ] {
+                prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+            }
+        }
+
+        /// Metric dominance: HR >= NDCG >= 0 and HR >= MRR.
+        #[test]
+        fn hr_dominates((pos, negs) in scores(), k in 1usize..20) {
+            let hr = hr_at_k(pos, &negs, k);
+            prop_assert!(hr >= mrr_at_k(pos, &negs, k));
+            prop_assert!(hr >= ndcg_at_k(pos, &negs, k));
+        }
+
+        /// Metrics are monotone in k.
+        #[test]
+        fn metrics_monotone_in_k((pos, negs) in scores()) {
+            let mut prev = (0.0f32, 0.0f32, 0.0f32);
+            for k in 1..=20 {
+                let cur = (hr_at_k(pos, &negs, k), mrr_at_k(pos, &negs, k), ndcg_at_k(pos, &negs, k));
+                prop_assert!(cur.0 >= prev.0);
+                prop_assert!(cur.1 >= prev.1);
+                prop_assert!(cur.2 >= prev.2);
+                prev = cur;
+            }
+        }
+
+        /// Raising the positive score never hurts any metric.
+        #[test]
+        fn metrics_monotone_in_positive_score((pos, negs) in scores(), k in 1usize..20, bump in 0.0f32..5.0) {
+            prop_assert!(hr_at_k(pos + bump, &negs, k) >= hr_at_k(pos, &negs, k));
+            prop_assert!(mrr_at_k(pos + bump, &negs, k) >= mrr_at_k(pos, &negs, k));
+            prop_assert!(ndcg_at_k(pos + bump, &negs, k) >= ndcg_at_k(pos, &negs, k));
+            prop_assert!(auc(pos + bump, &negs) >= auc(pos, &negs));
+        }
+
+        /// Rank is between 1 and 1 + #negatives.
+        #[test]
+        fn rank_bounds((pos, negs) in scores()) {
+            let r = rank_of_positive(pos, &negs);
+            prop_assert!(r >= 1 && r <= negs.len() + 1);
+        }
+
+        /// AUC and rank agree when there are no exact ties.
+        #[test]
+        fn auc_consistent_with_rank(pos in -9.9f32..9.9, negs in proptest::collection::vec(-10.0f32..10.0, 1..50)) {
+            prop_assume!(negs.iter().all(|&s| s != pos));
+            let better = negs.iter().filter(|&&s| s > pos).count();
+            let expect = 1.0 - better as f32 / negs.len() as f32;
+            prop_assert!((auc(pos, &negs) - expect).abs() < 1e-6);
+        }
+
+        /// Summary accumulation equals merging per-instance summaries.
+        #[test]
+        fn summary_merge_associative(instances in proptest::collection::vec(scores(), 1..20)) {
+            let k = 10;
+            let mut direct = MetricSummary::default();
+            let mut merged = MetricSummary::default();
+            for (pos, negs) in &instances {
+                direct.add_instance(*pos, negs, k);
+                let single = metadpa_metrics::evaluate_instance(*pos, negs, k);
+                merged.merge(&single);
+            }
+            prop_assert_eq!(direct.count, merged.count);
+            prop_assert!((direct.hr - merged.hr).abs() < 1e-4);
+            prop_assert!((direct.ndcg - merged.ndcg).abs() < 1e-4);
+        }
+
+        /// Wilcoxon p-value is a probability; swapping the samples flips
+        /// significance.
+        #[test]
+        fn wilcoxon_pvalue_bounds_and_swap(
+            base in proptest::collection::vec(0.0f64..1.0, 10..40),
+            delta in 0.01f64..0.3,
+        ) {
+            let x: Vec<f64> = base.iter().map(|v| v + delta).collect();
+            let fwd = wilcoxon_signed_rank(&x, &base);
+            let rev = wilcoxon_signed_rank(&base, &x);
+            prop_assert!((0.0..=1.0).contains(&fwd.p_value));
+            prop_assert!((0.0..=1.0).contains(&rev.p_value));
+            prop_assert!(fwd.p_value < 0.01);
+            prop_assert!(rev.p_value > 0.5);
+        }
+
+        /// W+ + W- always equals n(n+1)/2 over effective pairs.
+        #[test]
+        fn wilcoxon_rank_sum_invariant(
+            x in proptest::collection::vec(0.0f64..1.0, 10..40),
+            y_shift in proptest::collection::vec(-0.5f64..0.5, 10..40),
+        ) {
+            let n = x.len().min(y_shift.len());
+            let x = &x[..n];
+            let y: Vec<f64> = x.iter().zip(&y_shift[..n]).map(|(a, s)| a + s).collect();
+            let out = wilcoxon_signed_rank(x, &y);
+            if out.n_effective >= 5 {
+                let expect = (out.n_effective * (out.n_effective + 1)) as f64 / 2.0;
+                prop_assert!((out.w_plus + out.w_minus - expect).abs() < 1e-9);
+            }
         }
     }
 }

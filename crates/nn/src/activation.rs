@@ -58,8 +58,7 @@ impl Module for LeakyRelu {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input =
-            self.cached_input.as_ref().expect("LeakyRelu::backward called before forward");
+        let input = self.cached_input.as_ref().expect("LeakyRelu::backward called before forward");
         let s = self.slope;
         input.zip_map(grad_output, |x, g| if x > 0.0 { g } else { s * g })
     }
@@ -99,8 +98,7 @@ impl Module for Sigmoid {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let out =
-            self.cached_output.as_ref().expect("Sigmoid::backward called before forward");
+        let out = self.cached_output.as_ref().expect("Sigmoid::backward called before forward");
         out.zip_map(grad_output, |y, g| y * (1.0 - y) * g)
     }
 

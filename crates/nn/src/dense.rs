@@ -80,10 +80,7 @@ impl Module for Dense {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Dense::backward called before forward");
+        let input = self.cached_input.as_ref().expect("Dense::backward called before forward");
         assert_eq!(
             grad_output.shape(),
             (input.rows(), self.out_dim()),

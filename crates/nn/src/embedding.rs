@@ -50,10 +50,8 @@ impl Embedding {
     /// # Panics
     /// Panics if called before `forward` or with a mismatched shape.
     pub fn backward(&mut self, grad_output: &Matrix) {
-        let indices = self
-            .cached_indices
-            .as_ref()
-            .expect("Embedding::backward called before forward");
+        let indices =
+            self.cached_indices.as_ref().expect("Embedding::backward called before forward");
         assert_eq!(
             grad_output.shape(),
             (indices.len(), self.dim()),

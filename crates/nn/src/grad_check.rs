@@ -37,7 +37,12 @@ fn relative_error(numeric: f32, analytic: f32) -> f32 {
 ///
 /// The check uses [`Mode::Eval`] so stochastic layers (dropout) behave
 /// deterministically.
-pub fn check_module(module: &mut dyn Module, input: &Matrix, upstream: &Matrix, eps: f32) -> GradCheckReport {
+pub fn check_module(
+    module: &mut dyn Module,
+    input: &Matrix,
+    upstream: &Matrix,
+    eps: f32,
+) -> GradCheckReport {
     // Analytic pass.
     zero_grad(module);
     let out = module.forward(input, Mode::Eval);
@@ -64,7 +69,8 @@ pub fn check_module(module: &mut dyn Module, input: &Matrix, upstream: &Matrix, 
         let mut minus = input.clone();
         minus.as_mut_slice()[i] -= eps;
         let numeric = (loss(module, &plus) - loss(module, &minus)) / (2.0 * eps);
-        max_input_error = max_input_error.max(relative_error(numeric, analytic_input.as_slice()[i]));
+        max_input_error =
+            max_input_error.max(relative_error(numeric, analytic_input.as_slice()[i]));
     }
 
     // Numeric parameter gradients: perturb each scalar parameter in turn.

@@ -93,11 +93,7 @@ impl InfoNce {
     /// batches apart (minimizes the MI lower bound).
     pub fn forward_negated(&self, a: &Matrix, b: &Matrix) -> InfoNceResult {
         let r = self.forward(a, b);
-        InfoNceResult {
-            loss: -r.loss,
-            grad_a: r.grad_a.scale(-1.0),
-            grad_b: r.grad_b.scale(-1.0),
-        }
+        InfoNceResult { loss: -r.loss, grad_a: r.grad_a.scale(-1.0), grad_b: r.grad_b.scale(-1.0) }
     }
 
     /// The configured temperature.
@@ -159,8 +155,8 @@ mod tests {
             plus.as_mut_slice()[i] += eps;
             let mut minus = a.clone();
             minus.as_mut_slice()[i] -= eps;
-            let numeric = (nce.forward(&plus, &b).loss - nce.forward(&minus, &b).loss)
-                / (2.0 * eps);
+            let numeric =
+                (nce.forward(&plus, &b).loss - nce.forward(&minus, &b).loss) / (2.0 * eps);
             let got = r.grad_a.as_slice()[i];
             assert!(
                 (numeric - got).abs() < 5e-3,
@@ -172,8 +168,8 @@ mod tests {
             plus.as_mut_slice()[i] += eps;
             let mut minus = b.clone();
             minus.as_mut_slice()[i] -= eps;
-            let numeric = (nce.forward(&a, &plus).loss - nce.forward(&a, &minus).loss)
-                / (2.0 * eps);
+            let numeric =
+                (nce.forward(&a, &plus).loss - nce.forward(&a, &minus).loss) / (2.0 * eps);
             let got = r.grad_b.as_slice()[i];
             assert!(
                 (numeric - got).abs() < 5e-3,

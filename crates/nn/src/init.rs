@@ -47,8 +47,7 @@ mod tests {
         let w = he_normal(200, 100, &mut rng);
         let std_target = (2.0f32 / 200.0).sqrt();
         let mean = w.mean();
-        let var = w.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / w.len() as f32;
+        let var = w.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / w.len() as f32;
         assert!(mean.abs() < 0.01);
         assert!((var.sqrt() - std_target).abs() < std_target * 0.1);
     }

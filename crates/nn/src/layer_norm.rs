@@ -60,11 +60,7 @@ impl Module for LayerNorm {
             for (c, &v) in row.iter().enumerate() {
                 let xhat = (v - mean) * inv_std;
                 normalized.set(r, c, xhat);
-                out.set(
-                    r,
-                    c,
-                    xhat * self.gamma.value.get(0, c) + self.beta.value.get(0, c),
-                );
+                out.set(r, c, xhat * self.gamma.value.get(0, c) + self.beta.value.get(0, c));
             }
         }
         self.cache = Some((normalized, inv_stds));
@@ -76,25 +72,19 @@ impl Module for LayerNorm {
             self.cache.as_ref().expect("LayerNorm::backward called before forward");
         let d = xhat.cols() as f32;
         let mut dx = Matrix::zeros(xhat.rows(), xhat.cols());
-        for r in 0..xhat.rows() {
+        for (r, &inv_std) in inv_stds.iter().enumerate() {
             // dβ and dγ accumulate per column.
             let g_row = grad_output.row(r);
             let x_row = xhat.row(r);
             // dL/dxhat = g ⊙ γ.
-            let dxhat: Vec<f32> = g_row
-                .iter()
-                .enumerate()
-                .map(|(c, &g)| g * self.gamma.value.get(0, c))
-                .collect();
+            let dxhat: Vec<f32> =
+                g_row.iter().enumerate().map(|(c, &g)| g * self.gamma.value.get(0, c)).collect();
             let sum_dxhat: f32 = dxhat.iter().sum();
-            let sum_dxhat_xhat: f32 =
-                dxhat.iter().zip(x_row.iter()).map(|(&a, &b)| a * b).sum();
-            let inv_std = inv_stds[r];
+            let sum_dxhat_xhat: f32 = dxhat.iter().zip(x_row.iter()).map(|(&a, &b)| a * b).sum();
             for c in 0..xhat.cols() {
                 // Standard LayerNorm backward:
                 // dx = (1/σ) * (dxhat - mean(dxhat) - xhat * mean(dxhat ⊙ xhat))
-                let v = inv_std
-                    * (dxhat[c] - sum_dxhat / d - x_row[c] * sum_dxhat_xhat / d);
+                let v = inv_std * (dxhat[c] - sum_dxhat / d - x_row[c] * sum_dxhat_xhat / d);
                 dx.set(r, c, v);
                 // Parameter grads.
                 let gg = self.gamma.grad.get(0, c) + g_row[c] * x_row[c];

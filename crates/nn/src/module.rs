@@ -150,10 +150,8 @@ mod tests {
     fn accumulate_grads_adds() {
         let mut rng = SeededRng::new(2);
         let mut layer = Dense::new(2, 2, &mut rng);
-        let ones: Vec<Matrix> = snapshot(&mut layer)
-            .iter()
-            .map(|m| Matrix::filled(m.rows(), m.cols(), 1.0))
-            .collect();
+        let ones: Vec<Matrix> =
+            snapshot(&mut layer).iter().map(|m| Matrix::filled(m.rows(), m.cols(), 1.0)).collect();
         accumulate_grads(&mut layer, &ones);
         accumulate_grads(&mut layer, &ones);
         layer.visit_params(&mut |p| {

@@ -72,6 +72,15 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, module: &mut dyn Module) {
+        metadpa_obs::counter_add!("nn.optim.sgd.steps", 1u64);
+        if metadpa_obs::enabled() {
+            let mut sq_norm = 0.0f64;
+            module.visit_params(&mut |p| {
+                let n = p.grad.frobenius_norm() as f64;
+                sq_norm += n * n;
+            });
+            metadpa_obs::gauge_set!("nn.optim.sgd.grad_norm", sq_norm.sqrt());
+        }
         module.visit_params(&mut |p| self.step_param(p));
     }
 }
@@ -150,6 +159,15 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, module: &mut dyn Module) {
+        metadpa_obs::counter_add!("nn.optim.adam.steps", 1u64);
+        if metadpa_obs::enabled() {
+            let mut sq_norm = 0.0f64;
+            module.visit_params(&mut |p| {
+                let n = p.grad.frobenius_norm() as f64;
+                sq_norm += n * n;
+            });
+            metadpa_obs::gauge_set!("nn.optim.adam.grad_norm", sq_norm.sqrt());
+        }
         self.t += 1;
         let t = self.t;
         // Collect updates by visit order. visit_params borrows self mutably
@@ -158,7 +176,14 @@ impl Optimizer for Adam {
         // Split borrow: temporarily move the moments vector out.
         let mut this = std::mem::replace(
             self,
-            Adam { lr: self.lr, beta1: self.beta1, beta2: self.beta2, eps: self.eps, moments: Vec::new(), t },
+            Adam {
+                lr: self.lr,
+                beta1: self.beta1,
+                beta2: self.beta2,
+                eps: self.eps,
+                moments: Vec::new(),
+                t,
+            },
         );
         module.visit_params(&mut |p| {
             this.step_param_slot(p, slot, t);
@@ -172,8 +197,8 @@ impl Optimizer for Adam {
 mod tests {
     use super::*;
     use crate::dense::Dense;
-    use crate::module::{zero_grad, Mode};
     use crate::loss::mse;
+    use crate::module::{zero_grad, Mode};
     use metadpa_tensor::SeededRng;
 
     /// Trains y = 2x + 1 with a single Dense(1,1); both optimizers must

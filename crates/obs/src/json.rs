@@ -1,0 +1,173 @@
+//! Hand-rolled JSON serialization for the event sink.
+//!
+//! The offline dependency policy rules out serde, and the sink only needs
+//! to *write* flat objects — so this module provides exactly that: RFC
+//! 8259-compliant string escaping and a small single-object writer.
+//! Non-ASCII text is passed through as UTF-8 (valid JSON); only the two
+//! mandatory escapes (`"` and `\`), the conventional short escapes, and
+//! other control characters (as `\u00XX`) are rewritten.
+
+/// Appends the JSON escape of `s` (without surrounding quotes) to `out`.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).expect("hex digit"));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The JSON string literal (with quotes) for `s`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// Serializes an `f64` the way JSON requires: finite values as numbers,
+/// non-finite ones as null (JSON has no NaN/Infinity).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` on f64 is a round-trippable shortest representation.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Builder for one flat JSON object, written in insertion order.
+#[derive(Default)]
+pub struct ObjectWriter {
+    buf: String,
+    n_fields: usize,
+}
+
+impl ObjectWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self { buf: String::from("{"), n_fields: 0 }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.n_fields > 0 {
+            self.buf.push(',');
+        }
+        self.n_fields += 1;
+        self.buf.push('"');
+        escape_into(k, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str_field(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(v, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_field(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64_field(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (non-finite values become null).
+    pub fn f64_field(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(escape(r#"say "hi" \ bye"#), r#""say \"hi\" \\ bye""#);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape("a\nb\tc\rd"), r#""a\nb\tc\rd""#);
+        assert_eq!(escape("\u{08}\u{0C}"), r#""\b\f""#);
+        assert_eq!(escape("\u{01}\u{1F}"), r#""\u0001\u001f""#);
+    }
+
+    #[test]
+    fn non_ascii_passes_through_as_utf8() {
+        assert_eq!(escape("café 日本語 ß"), "\"café 日本語 ß\"");
+        assert_eq!(escape("emoji: 🦀"), "\"emoji: 🦀\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nonfinite_is_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(-0.25), "-0.25");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_writer_orders_and_separates_fields() {
+        let mut w = ObjectWriter::new();
+        w.str_field("kind", "span")
+            .u64_field("dur_ns", 1200)
+            .i64_field("delta", -3)
+            .f64_field("loss", 0.5)
+            .bool_field("ok", true);
+        assert_eq!(w.finish(), r#"{"kind":"span","dur_ns":1200,"delta":-3,"loss":0.5,"ok":true}"#);
+    }
+
+    #[test]
+    fn empty_object_is_braces() {
+        assert_eq!(ObjectWriter::new().finish(), "{}");
+    }
+
+    #[test]
+    fn keys_are_escaped_too() {
+        let mut w = ObjectWriter::new();
+        w.str_field("weird\"key", "v");
+        assert_eq!(w.finish(), r#"{"weird\"key":"v"}"#);
+    }
+}

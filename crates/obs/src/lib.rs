@@ -1,0 +1,290 @@
+//! # metadpa-obs
+//!
+//! Zero-dependency tracing and metrics substrate for the MetaDPA stack.
+//!
+//! The crate provides four pieces, all hand-rolled on `std` alone (the
+//! build environment is offline, so no crates.io dependencies):
+//!
+//! 1. **Spans** ([`span::Span`], [`span!`]): RAII wall-clock timers with
+//!    thread-local parent/child nesting. Each finished span emits a
+//!    structured event carrying its full path (e.g.
+//!    `harness.method.MetaDPA/pipeline.adaptation`) and feeds a global
+//!    per-path aggregate used by the run summary.
+//! 2. **Metrics** ([`metrics`]): a process-global registry of counters,
+//!    gauges, and fixed-bucket histograms (p50/p90/p99 + mean). Hot-path
+//!    updates are lock-free atomics behind per-callsite cached handles
+//!    ([`counter_add!`], [`gauge_set!`], [`histogram_observe!`]).
+//! 3. **Event sink** ([`recorder`]): pluggable [`recorder::Recorder`]
+//!    backends — in-memory for tests, JSONL file for runs, human-readable
+//!    stderr for live progress. JSON is serialized by hand ([`json`]);
+//!    there is no serde.
+//! 4. **Run summary** ([`summary`]): a span-tree / metrics-table renderer,
+//!    printed at process exit by the [`ObsSession`] RAII guard.
+//!
+//! ## Inertness contract
+//!
+//! Instrumentation must never change what an experiment computes: it never
+//! touches `SeededRng`, and when observability is disabled every entry
+//! point reduces to one relaxed atomic load — no allocation, no I/O, no
+//! formatting. The root integration test `obs_inert.rs` pins this down by
+//! asserting bit-identical `MetricSummary` values with observability on
+//! and off.
+//!
+//! ## Usage
+//!
+//! ```
+//! use std::sync::Arc;
+//! let sink = Arc::new(metadpa_obs::recorder::MemoryRecorder::default());
+//! metadpa_obs::enable(sink.clone());
+//! {
+//!     let _outer = metadpa_obs::span!("pipeline.fit");
+//!     let _inner = metadpa_obs::span!("pipeline.adaptation");
+//!     metadpa_obs::counter_add!("docs.example.work", 3);
+//!     metadpa_obs::event!("docs.example", "epoch" => 1usize, "loss" => 0.25f32);
+//! }
+//! assert!(sink.events().iter().any(|e| e.name.contains("pipeline.adaptation")));
+//! metadpa_obs::disable();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+pub mod summary;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+pub use recorder::{
+    Event, FileRecorder, MemoryRecorder, Recorder, StderrRecorder, TeeRecorder, Value,
+};
+
+/// Fast global on/off switch. One relaxed load on every instrumentation
+/// entry point; everything else is gated behind it.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn recorder_slot() -> &'static RwLock<Option<Arc<dyn Recorder>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn Recorder>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whether observability is currently enabled. This is the no-op check the
+/// disabled path reduces to: a single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables observability, routing all events to `recorder`.
+///
+/// Replaces any previously installed recorder. Span aggregates and metric
+/// values are process-global and keep accumulating across enable/disable
+/// cycles; call [`metrics::reset`] / [`span::reset_aggregates`] for a clean
+/// slate (tests do).
+pub fn enable(recorder: Arc<dyn Recorder>) {
+    let _ = epoch(); // pin t=0 at first enable
+    *recorder_slot().write().expect("obs recorder lock poisoned") = Some(recorder);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disables observability. Subsequent spans still measure time (so code
+/// deriving durations from [`span::Span::finish`] behaves identically) but
+/// nothing is recorded, allocated, or written.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *recorder_slot().write().expect("obs recorder lock poisoned") = None;
+}
+
+/// Sends an event to the installed recorder, if enabled.
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    if let Some(rec) = recorder_slot().read().expect("obs recorder lock poisoned").as_ref() {
+        rec.record(&event);
+    }
+}
+
+/// Flushes the installed recorder (e.g. the JSONL file sink's buffer).
+pub fn flush() {
+    if let Some(rec) = recorder_slot().read().expect("obs recorder lock poisoned").as_ref() {
+        rec.flush();
+    }
+}
+
+/// Nanoseconds since the observability epoch (first `enable` call).
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// RAII guard for one observed run: typically constructed at the top of a
+/// binary's `main`. On drop it flushes the recorder and (optionally)
+/// prints the run summary — span tree plus metrics table — to stderr,
+/// which is the "render at process exit" hook in a world without `atexit`.
+pub struct ObsSession {
+    print_summary: bool,
+}
+
+impl ObsSession {
+    /// A session that prints the run summary on drop when observability is
+    /// enabled.
+    pub fn new(print_summary: bool) -> Self {
+        Self { print_summary }
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        if enabled() {
+            if self.print_summary {
+                eprintln!("{}", summary::render());
+            }
+            flush();
+        }
+    }
+}
+
+/// Serializes access to the global enable/disable state for tests that
+/// install their own recorders. Production code never calls this.
+#[doc(hidden)]
+pub fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Starts a named RAII span. Two forms:
+///
+/// * `span!("name")` — static name;
+/// * `span!("method.{}", label)` — formatted name (only formatted when
+///   observability is enabled; the disabled path does not allocate).
+///
+/// Bind the result: `let _sp = span!("block");` — the span ends when the
+/// guard drops, or explicitly via [`span::Span::finish`], which also
+/// returns the measured [`std::time::Duration`].
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::span::Span::enter_static($name)
+    };
+    ($fmt:literal, $($arg:tt)*) => {
+        if $crate::enabled() {
+            $crate::span::Span::enter(format!($fmt, $($arg)*))
+        } else {
+            $crate::span::Span::inert()
+        }
+    };
+}
+
+/// Emits a structured event with key-value fields:
+///
+/// `event!("maml.epoch", "epoch" => e, "loss" => loss)`
+///
+/// Keys are `&'static str`; values are anything convertible to
+/// [`Value`] (integers, floats, bools, strings). When observability is
+/// disabled this expands to one atomic load — fields are not evaluated.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $k:literal => $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            #[allow(unused_mut)]
+            let mut ev = $crate::Event::new("event", $name);
+            $(ev.push($k, $v);)*
+            $crate::emit(ev);
+        }
+    };
+}
+
+/// Adds `n` to the named counter through a per-callsite cached handle.
+/// Disabled path: one relaxed atomic load, no allocation.
+#[macro_export]
+macro_rules! counter_add {
+    ($name:expr, $n:expr) => {
+        if $crate::enabled() {
+            static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+                ::std::sync::OnceLock::new();
+            CELL.get_or_init(|| $crate::metrics::counter($name)).add($n as u64);
+        }
+    };
+}
+
+/// Sets the named gauge through a per-callsite cached handle.
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:expr, $v:expr) => {
+        if $crate::enabled() {
+            static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+                ::std::sync::OnceLock::new();
+            CELL.get_or_init(|| $crate::metrics::gauge($name)).set($v as f64);
+        }
+    };
+}
+
+/// Records an observation in the named histogram through a per-callsite
+/// cached handle.
+#[macro_export]
+macro_rules! histogram_observe {
+    ($name:expr, $v:expr) => {
+        if $crate::enabled() {
+            static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+                ::std::sync::OnceLock::new();
+            CELL.get_or_init(|| $crate::metrics::histogram($name)).observe($v as u64);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recorder::MemoryRecorder;
+
+    #[test]
+    fn disabled_emits_nothing_and_allocates_no_names() {
+        let _g = test_lock();
+        disable();
+        let sink = Arc::new(MemoryRecorder::default());
+        // Not enabled: spans are inert, events vanish.
+        {
+            let sp = span!("never.recorded");
+            assert!(sp.is_inert());
+            event!("never.recorded", "x" => 1);
+            counter_add!("never.counter", 5);
+        }
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn enable_disable_roundtrip_routes_events() {
+        let _g = test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        enable(sink.clone());
+        event!("roundtrip.ping", "n" => 3usize);
+        disable();
+        event!("roundtrip.after_disable");
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "roundtrip.ping");
+        assert_eq!(events[0].kind, "event");
+    }
+
+    #[test]
+    fn session_drop_flushes_without_panicking() {
+        let _g = test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        enable(sink);
+        let session = ObsSession::new(false);
+        drop(session);
+        disable();
+    }
+}

@@ -1,0 +1,420 @@
+//! Process-global metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Handles are `Arc`s into a name-keyed registry; hot paths cache them in
+//! per-callsite `OnceLock`s (see [`crate::counter_add!`]), so a metric
+//! update is an atomic op — no lock, no lookup. [`reset`] zeroes values *in
+//! place* rather than dropping entries, keeping every cached handle wired
+//! to live storage.
+//!
+//! Histograms use a log2 major / 8-linear-sub-bucket layout (≤ 12.5%
+//! relative quantile error over the full `u64` range) with exact storage
+//! for values below 16 — plenty for the nanosecond timings and loss-scaled
+//! integers recorded here.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotone event count.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins instantaneous value (stored as `f64` bits).
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrites the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Values 0..16 land in exact buckets; above that, one major bucket per
+/// power of two, split into 8 linear sub-buckets.
+const EXACT: u64 = 16;
+const N_BUCKETS: usize = 16 + (64 - 4) * 8; // 496
+
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT {
+        v as usize
+    } else {
+        let major = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (major - 3)) & 0x7) as usize;
+        16 + (major - 4) * 8 + sub
+    }
+}
+
+/// Midpoint of the bucket's value range — the representative a quantile
+/// query reports.
+fn bucket_midpoint(idx: usize) -> u64 {
+    if idx < EXACT as usize {
+        idx as u64
+    } else {
+        let major = 4 + (idx - 16) / 8;
+        let sub = ((idx - 16) % 8) as u64;
+        let width = 1u64 << (major - 3);
+        let lo = (1u64 << major) + sub * width;
+        lo + width / 2
+    }
+}
+
+/// Fixed-bucket histogram over `u64` observations.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean (exact, from sum/count; 0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), accurate to the bucket width
+    /// (≤ 12.5% relative error) and clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let target = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_midpoint(idx).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+fn registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
+    static REG: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    // Recover from poisoning: a panic elsewhere (e.g. a kind-mismatch
+    // registration) must not take the whole registry down with it.
+    match REG.get_or_init(|| Mutex::new(BTreeMap::new())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Gets or registers the named counter.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Gets or registers the named gauge.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut reg = registry();
+    match reg.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default()))) {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Gets or registers the named histogram.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+    {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Zeroes every registered metric **in place**. Entries are never removed:
+/// per-callsite cached handles (the `OnceLock<Arc<...>>` cells inside the
+/// macros) must stay connected to live storage.
+pub fn reset() {
+    let reg = registry();
+    for metric in reg.values() {
+        match metric {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// Point-in-time reading of one metric, for the run summary.
+#[derive(Clone, Debug)]
+pub enum MetricSnapshot {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram digest.
+    Histogram {
+        /// Observation count.
+        count: u64,
+        /// Arithmetic mean.
+        mean: f64,
+        /// Median.
+        p50: u64,
+        /// 90th percentile.
+        p90: u64,
+        /// 99th percentile.
+        p99: u64,
+        /// Smallest observation.
+        min: u64,
+        /// Largest observation.
+        max: u64,
+    },
+}
+
+/// Snapshot of every registered metric, sorted by name.
+pub fn snapshot() -> Vec<(String, MetricSnapshot)> {
+    let reg = registry();
+    reg.iter()
+        .map(|(name, metric)| {
+            let snap = match metric {
+                Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                Metric::Histogram(h) => MetricSnapshot::Histogram {
+                    count: h.count(),
+                    mean: h.mean(),
+                    p50: h.quantile(0.50),
+                    p90: h.quantile(0.90),
+                    p99: h.quantile(0.99),
+                    min: h.min(),
+                    max: h.max(),
+                },
+            };
+            (name.clone(), snap)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets_in_place() {
+        let c = counter("test.metrics.counter");
+        c.add(2);
+        c.add(3);
+        assert_eq!(c.get(), 5);
+        let same = counter("test.metrics.counter");
+        assert_eq!(same.get(), 5, "same name returns the same storage");
+        reset();
+        assert_eq!(c.get(), 0, "old handle still wired after reset");
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = gauge("test.metrics.gauge");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for shift in 0..63 {
+            let v = 1u64 << shift;
+            for probe in [v, v + v / 3, v + v / 2, (v << 1).wrapping_sub(1).max(v)] {
+                let idx = bucket_index(probe);
+                assert!(idx < N_BUCKETS, "index {idx} out of range for {probe}");
+                assert!(idx >= last, "bucket index not monotone at {probe}");
+                last = idx;
+                // The midpoint must stay within the same relative-error band.
+                let mid = bucket_midpoint(idx);
+                if probe >= EXACT {
+                    let err = (mid as f64 - probe as f64).abs() / probe as f64;
+                    assert!(err <= 0.125, "relative error {err} too big at {probe}");
+                } else {
+                    assert_eq!(mid, probe, "sub-16 values are exact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_on_uniform_ramp() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // 12.5% bucket error + ceil-rank discretization.
+        let p50 = h.quantile(0.50) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 <= 0.15, "p50 = {p50}");
+        let p90 = h.quantile(0.90) as f64;
+        assert!((p90 - 900.0).abs() / 900.0 <= 0.15, "p90 = {p90}");
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p99 - 990.0).abs() / 990.0 <= 0.15, "p99 = {p99}");
+        // Extremes clamp to the observed range.
+        assert_eq!(h.quantile(0.0), 1);
+        assert!(h.quantile(1.0) <= 1000);
+    }
+
+    #[test]
+    fn histogram_single_value_is_exact_everywhere() {
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.observe(7);
+        }
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(0.99), 7);
+        assert_eq!(h.mean(), 7.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_contains_all_kinds() {
+        counter("test.snapshot.c").add(1);
+        gauge("test.snapshot.g").set(2.0);
+        histogram("test.snapshot.h").observe(3);
+        let snap = snapshot();
+        let find = |name: &str| snap.iter().find(|(n, _)| n == name).map(|(_, s)| s.clone());
+        assert!(matches!(find("test.snapshot.c"), Some(MetricSnapshot::Counter(_))));
+        assert!(matches!(find("test.snapshot.g"), Some(MetricSnapshot::Gauge(_))));
+        assert!(matches!(find("test.snapshot.h"), Some(MetricSnapshot::Histogram { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        counter("test.metrics.kind_clash");
+        gauge("test.metrics.kind_clash");
+    }
+}

@@ -1,0 +1,306 @@
+//! Structured events and pluggable sinks.
+//!
+//! Every piece of instrumentation funnels into an [`Event`] handed to the
+//! installed [`Recorder`]. Three backends cover the repo's needs:
+//!
+//! * [`MemoryRecorder`] — in-process buffer, used by tests;
+//! * [`FileRecorder`] — JSONL file sink (`--obs-out run.jsonl`);
+//! * [`StderrRecorder`] — human-readable progress lines for live runs.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::ObjectWriter;
+
+/// A dynamically-typed field value. Integers keep their signedness;
+/// non-finite floats serialize as JSON `null`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (counters, sizes, durations in ns).
+    U64(u64),
+    /// Floating point (losses, norms).
+    F64(f64),
+    /// Text.
+    Str(String),
+    /// Flag.
+    Bool(bool),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One structured record: a kind (`span`, `event`, `manifest`, ...), a
+/// name, a timestamp relative to the observability epoch, and ordered
+/// key-value fields.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Record category: `"span"`, `"event"`, or `"manifest"`.
+    pub kind: &'static str,
+    /// Dotted event name or `/`-joined span path.
+    pub name: String,
+    /// Nanoseconds since the observability epoch at creation time.
+    pub t_ns: u64,
+    /// Ordered key-value payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Creates an event stamped with the current time.
+    pub fn new(kind: &'static str, name: impl Into<String>) -> Self {
+        Self { kind, name: name.into(), t_ns: crate::now_ns(), fields: Vec::new() }
+    }
+
+    /// Appends a field.
+    pub fn push(&mut self, key: &'static str, value: impl Into<Value>) {
+        self.fields.push((key, value.into()));
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.str_field("kind", self.kind);
+        w.str_field("name", &self.name);
+        w.u64_field("t_ns", self.t_ns);
+        for (k, v) in &self.fields {
+            match v {
+                Value::I64(x) => w.i64_field(k, *x),
+                Value::U64(x) => w.u64_field(k, *x),
+                Value::F64(x) => w.f64_field(k, *x),
+                Value::Str(x) => w.str_field(k, x),
+                Value::Bool(x) => w.bool_field(k, *x),
+            };
+        }
+        w.finish()
+    }
+}
+
+/// An event sink. Implementations must tolerate concurrent `record` calls.
+pub trait Recorder: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: &Event);
+    /// Flushes any buffered output. Default: nothing to flush.
+    fn flush(&self) {}
+}
+
+/// Buffers events in memory; the test backend.
+#[derive(Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// A copy of everything recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory recorder lock poisoned").clone()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: &Event) {
+        self.events.lock().expect("memory recorder lock poisoned").push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line to a file (JSONL).
+pub struct FileRecorder {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl FileRecorder {
+    /// Creates (truncating) the sink file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self { out: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl Recorder for FileRecorder {
+    fn record(&self, event: &Event) {
+        let mut out = self.out.lock().expect("file recorder lock poisoned");
+        // A failing sink must never take the experiment down with it.
+        let _ = writeln!(out, "{}", event.to_json_line());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("file recorder lock poisoned").flush();
+    }
+}
+
+/// Human-readable progress lines on stderr, replacing the ad-hoc
+/// `eprintln!` calls the bench binaries used to carry.
+#[derive(Default)]
+pub struct StderrRecorder {
+    /// Also echo span-completion records (noisy; off by default).
+    pub spans: bool,
+}
+
+impl Recorder for StderrRecorder {
+    fn record(&self, event: &Event) {
+        if event.kind == "span" && !self.spans {
+            return;
+        }
+        let mut line = String::with_capacity(64);
+        line.push_str("[obs] ");
+        line.push_str(event.kind);
+        line.push(' ');
+        line.push_str(&event.name);
+        for (k, v) in &event.fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(&v.to_string());
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Fans one event stream out to several recorders (e.g. stderr progress
+/// *and* a JSONL file).
+pub struct TeeRecorder {
+    sinks: Vec<std::sync::Arc<dyn Recorder>>,
+}
+
+impl TeeRecorder {
+    /// Combines `sinks`; events are delivered in the given order.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Recorder>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_serializes_to_one_json_object() {
+        let mut ev = Event::new("event", "maml.epoch");
+        ev.push("epoch", 3usize);
+        ev.push("loss", 0.25f64);
+        ev.push("tag", "q\"uote");
+        ev.push("ok", true);
+        ev.push("delta", -2i64);
+        let line = ev.to_json_line();
+        assert!(line.starts_with(r#"{"kind":"event","name":"maml.epoch","t_ns":"#));
+        assert!(line.contains(r#""epoch":3"#));
+        assert!(line.contains(r#""loss":0.25"#));
+        assert!(line.contains(r#""tag":"q\"uote""#));
+        assert!(line.contains(r#""ok":true"#));
+        assert!(line.ends_with(r#""delta":-2}"#));
+    }
+
+    #[test]
+    fn file_recorder_writes_jsonl() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("metadpa_obs_test_{}.jsonl", std::process::id()));
+        let rec = FileRecorder::create(&path).expect("create sink");
+        let mut ev = Event::new("event", "file.test");
+        ev.push("n", 1u64);
+        rec.record(&ev);
+        rec.record(&ev);
+        rec.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains(r#""name":"file.test""#));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tee_delivers_to_all_sinks() {
+        let a = std::sync::Arc::new(MemoryRecorder::default());
+        let b = std::sync::Arc::new(MemoryRecorder::default());
+        let tee = TeeRecorder::new(vec![a.clone(), b.clone()]);
+        tee.record(&Event::new("event", "tee.test"));
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+
+    #[test]
+    fn value_conversions_preserve_type() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-3i32), Value::I64(-3));
+        assert_eq!(Value::from(0.5f32), Value::F64(0.5));
+        assert_eq!(Value::from("s"), Value::Str("s".to_string()));
+    }
+}

@@ -1,0 +1,256 @@
+//! RAII wall-clock spans with thread-local parent/child nesting.
+//!
+//! A [`Span`] always measures real elapsed time — production code derives
+//! durations (e.g. `BlockTimings`) from [`Span::finish`], so the clock must
+//! run whether or not observability is enabled. Everything else — the name
+//! allocation, the thread-local path stack, the emitted span event, the
+//! global per-path aggregates — only happens when the global switch is on.
+//!
+//! Paths are built by joining the names of the spans live on the current
+//! thread with `/`, e.g. `pipeline.fit/pipeline.adaptation`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::recorder::Event;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregate timing statistics for one span path.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanStat {
+    /// How many spans completed at this path.
+    pub count: u64,
+    /// Summed duration across all completions.
+    pub total_ns: u64,
+    /// Fastest single completion.
+    pub min_ns: u64,
+    /// Slowest single completion.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn observe(&mut self, dur_ns: u64) {
+        self.count += 1;
+        self.total_ns += dur_ns;
+        self.min_ns = self.min_ns.min(dur_ns);
+        self.max_ns = self.max_ns.max(dur_ns);
+    }
+}
+
+fn aggregates() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static AGG: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    AGG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Snapshot of the per-path aggregates, sorted by path. Paths sort so that
+/// children (`a/b`) follow their parent (`a`), which is what the summary
+/// tree renderer relies on.
+pub fn aggregate_snapshot() -> Vec<(String, SpanStat)> {
+    aggregates()
+        .lock()
+        .expect("span aggregate lock poisoned")
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Clears the per-path aggregates (tests; between bench repetitions).
+pub fn reset_aggregates() {
+    aggregates().lock().expect("span aggregate lock poisoned").clear();
+}
+
+/// An in-flight timed region. Create via [`crate::span!`] (preferred) or the
+/// `enter*` constructors; the region ends when the guard drops or at an
+/// explicit [`Span::finish`], which also hands back the measured duration.
+#[must_use = "a span measures the region it is alive for; bind it with `let _sp = ...`"]
+pub struct Span {
+    start: Instant,
+    /// Full `/`-joined path. `None` marks an inert span: the clock still
+    /// runs, but nothing was pushed on the thread stack and nothing will be
+    /// recorded.
+    path: Option<String>,
+    depth: usize,
+    done: bool,
+}
+
+impl Span {
+    /// Enters a span with a static name. When observability is disabled
+    /// this only reads the clock — no allocation, no stack push.
+    pub fn enter_static(name: &'static str) -> Self {
+        if crate::enabled() {
+            Self::enter(name.to_string())
+        } else {
+            Self::inert()
+        }
+    }
+
+    /// Enters a span with an owned name (the [`crate::span!`] macro only
+    /// builds the name once observability is known to be enabled).
+    pub fn enter(name: String) -> Self {
+        let start = Instant::now();
+        let (path, depth) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let depth = stack.len();
+            let mut path = String::with_capacity(
+                stack.iter().map(|s| s.len() + 1).sum::<usize>() + name.len(),
+            );
+            for part in stack.iter() {
+                path.push_str(part);
+                path.push('/');
+            }
+            path.push_str(&name);
+            stack.push(name);
+            (path, depth)
+        });
+        Self { start, path: Some(path), depth, done: false }
+    }
+
+    /// A span that measures time but records nothing (disabled path).
+    pub fn inert() -> Self {
+        Self { start: Instant::now(), path: None, depth: 0, done: false }
+    }
+
+    /// Whether this span will record anything on completion.
+    pub fn is_inert(&self) -> bool {
+        self.path.is_none()
+    }
+
+    /// The full `/`-joined path, when recording.
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+
+    /// Ends the span now and returns the measured wall-clock duration.
+    pub fn finish(mut self) -> Duration {
+        let dur = self.start.elapsed();
+        self.complete(dur);
+        dur
+    }
+
+    fn complete(&mut self, dur: Duration) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        // Keep the thread stack balanced even if observability was switched
+        // off while this span was live.
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let dur_ns = dur.as_nanos() as u64;
+        aggregates()
+            .lock()
+            .expect("span aggregate lock poisoned")
+            .entry(path.clone())
+            .or_insert(SpanStat { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 })
+            .observe(dur_ns);
+        if crate::enabled() {
+            let mut ev = Event::new("span", path);
+            ev.push("dur_ns", dur_ns);
+            ev.push("depth", self.depth as u64);
+            crate::emit(ev);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed();
+        self.complete(dur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MemoryRecorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn inert_span_still_measures_time() {
+        let sp = Span::inert();
+        std::thread::sleep(Duration::from_millis(2));
+        let dur = sp.finish();
+        assert!(dur >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn nesting_builds_slash_paths_and_depths() {
+        let _g = crate::test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        crate::enable(sink.clone());
+        reset_aggregates();
+        {
+            let outer = Span::enter_static("outer");
+            assert_eq!(outer.path(), Some("outer"));
+            {
+                let inner = Span::enter_static("inner");
+                assert_eq!(inner.path(), Some("outer/inner"));
+            }
+            {
+                let sibling = Span::enter_static("sibling");
+                assert_eq!(sibling.path(), Some("outer/sibling"));
+            }
+        }
+        crate::disable();
+
+        let events = sink.events();
+        // Children finish (and emit) before the parent.
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["outer/inner", "outer/sibling", "outer"]);
+        let depth_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.name == name)
+                .and_then(|e| e.fields.iter().find(|(k, _)| *k == "depth"))
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(format!("{:?}", depth_of("outer")), format!("{:?}", crate::Value::from(0u64)));
+        assert_eq!(
+            format!("{:?}", depth_of("outer/inner")),
+            format!("{:?}", crate::Value::from(1u64))
+        );
+    }
+
+    #[test]
+    fn finish_returns_duration_and_updates_aggregates() {
+        let _g = crate::test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        crate::enable(sink);
+        reset_aggregates();
+        for _ in 0..3 {
+            let sp = Span::enter_static("agg.target");
+            let dur = sp.finish();
+            assert!(dur <= Duration::from_secs(5));
+        }
+        crate::disable();
+
+        let snap = aggregate_snapshot();
+        let (_, stat) =
+            snap.iter().find(|(path, _)| path == "agg.target").expect("aggregate recorded");
+        assert_eq!(stat.count, 3);
+        assert!(stat.min_ns <= stat.max_ns);
+        assert!(stat.total_ns >= stat.max_ns);
+    }
+
+    #[test]
+    fn stack_stays_balanced_when_disabled_mid_span() {
+        let _g = crate::test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        crate::enable(sink);
+        reset_aggregates();
+        let sp = Span::enter_static("balanced");
+        crate::disable();
+        drop(sp); // must pop despite being disabled now
+        STACK.with(|stack| assert!(stack.borrow().is_empty()));
+    }
+}

@@ -1,0 +1,112 @@
+//! End-of-run summary: span tree plus metrics table, rendered as plain
+//! text. Printed to stderr by [`crate::ObsSession`] when it drops.
+
+use crate::metrics::{self, MetricSnapshot};
+use crate::span;
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the span tree. Paths sort lexicographically, so a child
+/// (`a/b`) always directly follows its ancestors — indentation by segment
+/// count recovers the tree shape without building one.
+fn render_spans(out: &mut String) {
+    let snap = span::aggregate_snapshot();
+    if snap.is_empty() {
+        return;
+    }
+    out.push_str("spans (total / count / mean):\n");
+    for (path, stat) in &snap {
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().unwrap_or(path);
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let mean = stat.total_ns.checked_div(stat.count).unwrap_or(0);
+        out.push_str(&format!(
+            "{}  {} / {} / {}\n",
+            leaf,
+            fmt_ns(stat.total_ns),
+            stat.count,
+            fmt_ns(mean),
+        ));
+    }
+}
+
+fn render_metrics(out: &mut String) {
+    let snap = metrics::snapshot();
+    if snap.is_empty() {
+        return;
+    }
+    out.push_str("metrics:\n");
+    for (name, metric) in &snap {
+        match metric {
+            MetricSnapshot::Counter(v) => {
+                out.push_str(&format!("  {name} = {v}\n"));
+            }
+            MetricSnapshot::Gauge(v) => {
+                out.push_str(&format!("  {name} = {v:.6}\n"));
+            }
+            MetricSnapshot::Histogram { count, mean, p50, p90, p99, min, max } => {
+                out.push_str(&format!(
+                    "  {name}: n={count} mean={mean:.1} p50={p50} p90={p90} p99={p99} min={min} max={max}\n"
+                ));
+            }
+        }
+    }
+}
+
+/// The full run summary. Empty sections are omitted; with nothing recorded
+/// the result is just the header line.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("== obs run summary ==\n");
+    render_spans(&mut out);
+    render_metrics(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MemoryRecorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn render_includes_span_tree_and_metrics() {
+        let _g = crate::test_lock();
+        crate::enable(Arc::new(MemoryRecorder::default()));
+        span::reset_aggregates();
+        metrics::reset();
+        {
+            let _outer = crate::span!("summary.outer");
+            let _inner = crate::span!("summary.inner");
+        }
+        crate::metrics::counter("summary.test.counter").add(42);
+        let text = render();
+        crate::disable();
+
+        assert!(text.contains("== obs run summary =="));
+        assert!(text.contains("summary.outer"));
+        // The child renders indented under its parent, by leaf name.
+        assert!(text.contains("  summary.inner"));
+        assert!(text.contains("summary.test.counter = 42"));
+    }
+}

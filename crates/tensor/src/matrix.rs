@@ -287,15 +287,13 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        metadpa_obs::counter_add!("tensor.elementwise.ops", self.data.len() as u64);
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        metadpa_obs::counter_add!("tensor.elementwise.ops", self.data.len() as u64);
         for v in &mut self.data {
             *v = f(*v);
         }
@@ -307,15 +305,11 @@ impl Matrix {
     /// Panics if shapes differ.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         self.assert_same_shape(other, "zip_map");
+        metadpa_obs::counter_add!("tensor.elementwise.ops", self.data.len() as u64);
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 
@@ -465,6 +459,8 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        metadpa_obs::counter_add!("tensor.matmul.calls", 1u64);
+        metadpa_obs::counter_add!("tensor.matmul.flops", 2 * (m * k * n) as u64);
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let a_row = self.row(i);
@@ -494,6 +490,8 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
+        metadpa_obs::counter_add!("tensor.matmul.calls", 1u64);
+        metadpa_obs::counter_add!("tensor.matmul.flops", 2 * (m * k * n) as u64);
         let mut out = Matrix::zeros(m, n);
         for p in 0..k {
             let a_row = self.row(p);
@@ -524,6 +522,8 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, n) = (self.rows, other.rows);
+        metadpa_obs::counter_add!("tensor.matmul.calls", 1u64);
+        metadpa_obs::counter_add!("tensor.matmul.flops", 2 * (m * self.cols * n) as u64);
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let a_row = self.row(i);

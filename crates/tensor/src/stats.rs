@@ -126,10 +126,7 @@ pub fn sparsity(nnz: usize, rows: usize, cols: usize) -> f64 {
 pub fn argsort_desc(values: &[f32]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
     idx.sort_by(|&a, &b| {
-        values[b]
-            .partial_cmp(&values[a])
-            .expect("argsort_desc: NaN value")
-            .then(a.cmp(&b))
+        values[b].partial_cmp(&values[a]).expect("argsort_desc: NaN value").then(a.cmp(&b))
     });
     idx
 }

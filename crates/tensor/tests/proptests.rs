@@ -1,118 +1,255 @@
 //! Property-based tests for the matrix algebra and sampling invariants.
+//!
+//! The randomized `proptest` suite is opt-in (`--features proptest`): the
+//! build environment is offline, so the `proptest` crate cannot be a
+//! default dev-dependency. To run it, restore `proptest = "1"` under
+//! `[dev-dependencies]` and enable the feature. The `deterministic` module
+//! below always compiles and exercises the same invariants over a fixed
+//! grid of shapes and seeds.
 
 use metadpa_tensor::{Matrix, SeededRng};
-use proptest::prelude::*;
-
-/// Strategy: a matrix of the given shape with elements in [-10, 10].
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-10.0f32..10.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
-}
-
-/// Strategy: shape triple (m, k, n) for chained products.
-fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
-    (1usize..6, 1usize..6, 1usize..6)
-}
 
 fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
     assert_eq!(a.shape(), b.shape());
     for (x, y) in a.as_slice().iter().zip(b.as_slice().iter()) {
-        assert!(
-            (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
-            "elements differ: {x} vs {y}"
-        );
+        assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "elements differ: {x} vs {y}");
     }
 }
 
-proptest! {
+/// Fixed shape/seed grid standing in for proptest's generators.
+fn dim_seed_grid() -> Vec<(usize, usize, usize, u64)> {
+    let mut cases = Vec::new();
+    for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 1, 5), (4, 4, 4), (3, 5, 2)] {
+        for seed in [0u64, 1, 7, 42, 999] {
+            cases.push((m, k, n, seed));
+        }
+    }
+    cases
+}
+
+mod deterministic {
+    use super::*;
+
     #[test]
-    fn matmul_distributes_over_addition(
-        (m, k, n) in dims(),
-        seed in 0u64..1000,
-    ) {
-        let mut rng = SeededRng::new(seed);
-        let a = rng.normal_matrix(m, k);
-        let b = rng.normal_matrix(k, n);
-        let c = rng.normal_matrix(k, n);
-        let lhs = a.matmul(&(&b + &c));
-        let rhs = &a.matmul(&b) + &a.matmul(&c);
-        assert_close(&lhs, &rhs, 1e-4);
+    fn matmul_distributes_over_addition() {
+        for (m, k, n, seed) in dim_seed_grid() {
+            let mut rng = SeededRng::new(seed);
+            let a = rng.normal_matrix(m, k);
+            let b = rng.normal_matrix(k, n);
+            let c = rng.normal_matrix(k, n);
+            let lhs = a.matmul(&(&b + &c));
+            let rhs = &a.matmul(&b) + &a.matmul(&c);
+            assert_close(&lhs, &rhs, 1e-4);
+        }
     }
 
     #[test]
-    fn matmul_transpose_identity(
-        (m, k, n) in dims(),
-        seed in 0u64..1000,
-    ) {
+    fn matmul_transpose_identity() {
         // (A B)^T == B^T A^T
-        let mut rng = SeededRng::new(seed);
-        let a = rng.normal_matrix(m, k);
-        let b = rng.normal_matrix(k, n);
-        let lhs = a.matmul(&b).transpose();
-        let rhs = b.transpose().matmul(&a.transpose());
-        assert_close(&lhs, &rhs, 1e-4);
+        for (m, k, n, seed) in dim_seed_grid() {
+            let mut rng = SeededRng::new(seed);
+            let a = rng.normal_matrix(m, k);
+            let b = rng.normal_matrix(k, n);
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            assert_close(&lhs, &rhs, 1e-4);
+        }
     }
 
     #[test]
-    fn fused_transpose_products_agree(
-        (m, k, n) in dims(),
-        seed in 0u64..1000,
-    ) {
-        let mut rng = SeededRng::new(seed);
-        let a = rng.normal_matrix(k, m); // used as A^T
-        let b = rng.normal_matrix(k, n);
-        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4);
-        let c = rng.normal_matrix(m, k);
-        let d = rng.normal_matrix(n, k);
-        assert_close(&c.matmul_nt(&d), &c.matmul(&d.transpose()), 1e-4);
+    fn fused_transpose_products_agree() {
+        for (m, k, n, seed) in dim_seed_grid() {
+            let mut rng = SeededRng::new(seed);
+            let a = rng.normal_matrix(k, m); // used as A^T
+            let b = rng.normal_matrix(k, n);
+            assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4);
+            let c = rng.normal_matrix(m, k);
+            let d = rng.normal_matrix(n, k);
+            assert_close(&c.matmul_nt(&d), &c.matmul(&d.transpose()), 1e-4);
+        }
     }
 
     #[test]
-    fn transpose_is_involution(a in matrix(4, 7)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
+    fn transpose_is_involution() {
+        for seed in [0u64, 3, 11] {
+            let mut rng = SeededRng::new(seed);
+            let a = rng.normal_matrix(4, 7);
+            assert_eq!(a.transpose().transpose(), a);
+        }
     }
 
     #[test]
-    fn hstack_hsplit_roundtrip(a in matrix(3, 4), b in matrix(3, 2)) {
-        let stacked = a.hstack(&b);
-        let (l, r) = stacked.hsplit(4);
-        prop_assert_eq!(l, a);
-        prop_assert_eq!(r, b);
+    fn hstack_hsplit_roundtrip() {
+        for seed in [0u64, 5, 17] {
+            let mut rng = SeededRng::new(seed);
+            let a = rng.normal_matrix(3, 4);
+            let b = rng.normal_matrix(3, 2);
+            let stacked = a.hstack(&b);
+            let (l, r) = stacked.hsplit(4);
+            assert_eq!(l, a);
+            assert_eq!(r, b);
+        }
     }
 
     #[test]
-    fn sum_rows_preserves_total(a in matrix(5, 3)) {
-        let total: f32 = a.sum();
-        let row_total: f32 = a.sum_rows().sum();
-        let col_total: f32 = a.sum_cols().sum();
-        prop_assert!((total - row_total).abs() < 1e-3);
-        prop_assert!((total - col_total).abs() < 1e-3);
+    fn sum_rows_preserves_total() {
+        for seed in [0u64, 9, 23] {
+            let mut rng = SeededRng::new(seed);
+            let a = rng.normal_matrix(5, 3);
+            let total: f32 = a.sum();
+            let row_total: f32 = a.sum_rows().sum();
+            let col_total: f32 = a.sum_cols().sum();
+            assert!((total - row_total).abs() < 1e-3);
+            assert!((total - col_total).abs() < 1e-3);
+        }
     }
 
     #[test]
-    fn scale_is_linear(a in matrix(3, 3), s in -5.0f32..5.0, t in -5.0f32..5.0) {
-        let lhs = a.scale(s + t);
-        let rhs = &a.scale(s) + &a.scale(t);
-        assert_close(&lhs, &rhs, 1e-4);
+    fn scale_is_linear() {
+        for (s, t) in [(0.5f32, -1.5f32), (-4.0, 4.0), (0.0, 3.25), (2.5, 2.5)] {
+            let mut rng = SeededRng::new(13);
+            let a = rng.normal_matrix(3, 3);
+            let lhs = a.scale(s + t);
+            let rhs = &a.scale(s) + &a.scale(t);
+            assert_close(&lhs, &rhs, 1e-4);
+        }
     }
 
     #[test]
-    fn sample_indices_always_distinct(seed in 0u64..500, n in 1usize..200) {
-        let mut rng = SeededRng::new(seed);
-        let k = (n / 2).max(1);
-        let mut s = rng.sample_indices(n, k);
-        s.sort_unstable();
-        let len_before = s.len();
-        s.dedup();
-        prop_assert_eq!(s.len(), len_before);
-        prop_assert!(s.iter().all(|&i| i < n));
+    fn sample_indices_always_distinct() {
+        for seed in [0u64, 1, 2, 100, 499] {
+            for n in [1usize, 2, 7, 64, 199] {
+                let mut rng = SeededRng::new(seed);
+                let k = (n / 2).max(1);
+                let mut s = rng.sample_indices(n, k);
+                s.sort_unstable();
+                let len_before = s.len();
+                s.dedup();
+                assert_eq!(s.len(), len_before);
+                assert!(s.iter().all(|&i| i < n));
+            }
+        }
     }
 
     #[test]
-    fn gather_rows_matches_manual(a in matrix(6, 3), idx in proptest::collection::vec(0usize..6, 1..10)) {
-        let g = a.gather_rows(&idx);
-        for (out_row, &src) in idx.iter().enumerate() {
-            prop_assert_eq!(g.row(out_row), a.row(src));
+    fn gather_rows_matches_manual() {
+        let mut rng = SeededRng::new(29);
+        let a = rng.normal_matrix(6, 3);
+        for idx in [vec![0usize], vec![5, 0, 3], vec![2, 2, 2, 1], vec![1, 4, 0, 5, 3, 2]] {
+            let g = a.gather_rows(&idx);
+            for (out_row, &src) in idx.iter().enumerate() {
+                assert_eq!(g.row(out_row), a.row(src));
+            }
+        }
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a matrix of the given shape with elements in [-10, 10].
+    fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-10.0f32..10.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Strategy: shape triple (m, k, n) for chained products.
+    fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+        (1usize..6, 1usize..6, 1usize..6)
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_distributes_over_addition(
+            (m, k, n) in dims(),
+            seed in 0u64..1000,
+        ) {
+            let mut rng = SeededRng::new(seed);
+            let a = rng.normal_matrix(m, k);
+            let b = rng.normal_matrix(k, n);
+            let c = rng.normal_matrix(k, n);
+            let lhs = a.matmul(&(&b + &c));
+            let rhs = &a.matmul(&b) + &a.matmul(&c);
+            assert_close(&lhs, &rhs, 1e-4);
+        }
+
+        #[test]
+        fn matmul_transpose_identity(
+            (m, k, n) in dims(),
+            seed in 0u64..1000,
+        ) {
+            // (A B)^T == B^T A^T
+            let mut rng = SeededRng::new(seed);
+            let a = rng.normal_matrix(m, k);
+            let b = rng.normal_matrix(k, n);
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            assert_close(&lhs, &rhs, 1e-4);
+        }
+
+        #[test]
+        fn fused_transpose_products_agree(
+            (m, k, n) in dims(),
+            seed in 0u64..1000,
+        ) {
+            let mut rng = SeededRng::new(seed);
+            let a = rng.normal_matrix(k, m); // used as A^T
+            let b = rng.normal_matrix(k, n);
+            assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4);
+            let c = rng.normal_matrix(m, k);
+            let d = rng.normal_matrix(n, k);
+            assert_close(&c.matmul_nt(&d), &c.matmul(&d.transpose()), 1e-4);
+        }
+
+        #[test]
+        fn transpose_is_involution(a in matrix(4, 7)) {
+            prop_assert_eq!(a.transpose().transpose(), a);
+        }
+
+        #[test]
+        fn hstack_hsplit_roundtrip(a in matrix(3, 4), b in matrix(3, 2)) {
+            let stacked = a.hstack(&b);
+            let (l, r) = stacked.hsplit(4);
+            prop_assert_eq!(l, a);
+            prop_assert_eq!(r, b);
+        }
+
+        #[test]
+        fn sum_rows_preserves_total(a in matrix(5, 3)) {
+            let total: f32 = a.sum();
+            let row_total: f32 = a.sum_rows().sum();
+            let col_total: f32 = a.sum_cols().sum();
+            prop_assert!((total - row_total).abs() < 1e-3);
+            prop_assert!((total - col_total).abs() < 1e-3);
+        }
+
+        #[test]
+        fn scale_is_linear(a in matrix(3, 3), s in -5.0f32..5.0, t in -5.0f32..5.0) {
+            let lhs = a.scale(s + t);
+            let rhs = &a.scale(s) + &a.scale(t);
+            assert_close(&lhs, &rhs, 1e-4);
+        }
+
+        #[test]
+        fn sample_indices_always_distinct(seed in 0u64..500, n in 1usize..200) {
+            let mut rng = SeededRng::new(seed);
+            let k = (n / 2).max(1);
+            let mut s = rng.sample_indices(n, k);
+            s.sort_unstable();
+            let len_before = s.len();
+            s.dedup();
+            prop_assert_eq!(s.len(), len_before);
+            prop_assert!(s.iter().all(|&i| i < n));
+        }
+
+        #[test]
+        fn gather_rows_matches_manual(a in matrix(6, 3), idx in proptest::collection::vec(0usize..6, 1..10)) {
+            let g = a.gather_rows(&idx);
+            for (out_row, &src) in idx.iter().enumerate() {
+                prop_assert_eq!(g.row(out_row), a.row(src));
+            }
         }
     }
 }

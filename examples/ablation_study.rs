@@ -24,10 +24,7 @@ fn main() {
     let warm = splitter.scenario(ScenarioKind::Warm);
     let cold_user = splitter.scenario(ScenarioKind::ColdUser);
 
-    println!(
-        "{:<14} {:>12} {:>12} {:>12}",
-        "variant", "C-U NDCG@10", "diversity", "confidence"
-    );
+    println!("{:<14} {:>12} {:>12} {:>12}", "variant", "C-U NDCG@10", "diversity", "confidence");
     println!("{}", "-".repeat(54));
     for variant in [Variant::Full, Variant::MdiOnly, Variant::MeOnly, Variant::Plain] {
         let mut cfg = MetaDpaConfig::fast();

@@ -34,10 +34,7 @@ fn main() {
         })),
     ];
 
-    println!(
-        "\n{:<12} {:>10} {:>10} {:>10} {:>10}",
-        "method", "C-U", "C-I", "C-UI", "Warm"
-    );
+    println!("\n{:<12} {:>10} {:>10} {:>10} {:>10}", "method", "C-U", "C-I", "C-UI", "Warm");
     println!("{}", "-".repeat(56));
     for method in &mut methods {
         method.fit(&world, &scenarios[0]);
@@ -49,14 +46,7 @@ fn main() {
         let ci = ndcg_of(method, ScenarioKind::ColdItem);
         let cui = ndcg_of(method, ScenarioKind::ColdUserItem);
         let warm = ndcg_of(method, ScenarioKind::Warm);
-        println!(
-            "{:<12} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
-            method.name(),
-            cu,
-            ci,
-            cui,
-            warm
-        );
+        println!("{:<12} {:>10.4} {:>10.4} {:>10.4} {:>10.4}", method.name(), cu, ci, cui, warm);
     }
     println!("\n(NDCG@10; higher is better. Expect MetaDPA > MeLU > NeuMF under cold-start.)");
 }

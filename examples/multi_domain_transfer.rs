@@ -23,12 +23,7 @@ fn main() {
     println!(
         "target '{}' with sources: {}",
         world.target.name,
-        world
-            .sources
-            .iter()
-            .map(|s| s.name.as_str())
-            .collect::<Vec<_>>()
-            .join(", ")
+        world.sources.iter().map(|s| s.name.as_str()).collect::<Vec<_>>().join(", ")
     );
 
     let pairs = build_adaptation_pairs(&world, &AdaptationConfig::default());
@@ -69,10 +64,7 @@ fn main() {
             first.me,
             last.me,
         );
-        println!(
-            "  {:<12} held-out reconstruction {:.3}",
-            "", r.eval_losses.reconstruction
-        );
+        println!("  {:<12} held-out reconstruction {:.3}", "", r.eval_losses.reconstruction);
     }
 
     println!("\ngenerating diverse ratings from target content alone (red path of Fig. 1)...");
@@ -94,11 +86,9 @@ fn main() {
     let user = 0;
     println!("\nuser {user}: top-5 generated items per source (diverse preferences):");
     for (g, pair) in generated.iter().zip(pairs.iter()) {
-        let mut ranked: Vec<(usize, f32)> =
-            g.row(user).iter().copied().enumerate().collect();
+        let mut ranked: Vec<(usize, f32)> = g.row(user).iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-        let top: Vec<String> =
-            ranked.iter().take(5).map(|(i, v)| format!("{i}:{v:.2}")).collect();
+        let top: Vec<String> = ranked.iter().take(5).map(|(i, v)| format!("{i}:{v:.2}")).collect();
         println!("  via {:<12} {}", pair.source_name, top.join("  "));
     }
 }

@@ -8,6 +8,7 @@
 //! downstream users — and the examples and integration tests in this
 //! repository — can depend on a single crate:
 //!
+//! * [`obs`] — zero-dependency tracing spans, metrics, and JSONL events,
 //! * [`tensor`] — dense matrix math and seeded randomness,
 //! * [`nn`] — the neural-network substrate with verified backward passes,
 //! * [`data`] — the SynthAmazon multi-domain benchmark and evaluation protocol,
@@ -24,4 +25,5 @@ pub use metadpa_core as core;
 pub use metadpa_data as data;
 pub use metadpa_metrics as metrics;
 pub use metadpa_nn as nn;
+pub use metadpa_obs as obs;
 pub use metadpa_tensor as tensor;

@@ -1,0 +1,91 @@
+//! The observability layer must be numerically inert: running the full
+//! MetaDPA pipeline with obs enabled must produce bit-identical metrics to
+//! running it with obs disabled, while still capturing the expected span
+//! and loss-event stream.
+
+use std::sync::Arc;
+
+use metadpa::core::eval::{evaluate_scenario, Recommender};
+use metadpa::core::pipeline::{MetaDpa, MetaDpaConfig};
+use metadpa::data::generator::generate_world;
+use metadpa::data::presets::tiny_world;
+use metadpa::data::splits::{Scenario, ScenarioKind, SplitConfig, Splitter};
+use metadpa::metrics::MetricSummary;
+use metadpa::obs::MemoryRecorder;
+
+fn run_pipeline(seed: u64) -> MetricSummary {
+    let world = generate_world(&tiny_world(seed));
+    let splitter = Splitter::new(&world.target, SplitConfig { seed, ..SplitConfig::default() });
+    let scenarios: Vec<Scenario> =
+        ScenarioKind::ALL.iter().map(|&k| splitter.scenario(k)).collect();
+    let mut dpa = MetaDpa::new({
+        let mut c = MetaDpaConfig::fast();
+        c.seed = seed;
+        c
+    });
+    dpa.fit(&world, &scenarios[0]);
+    evaluate_scenario(&mut dpa, &world, &scenarios[1], 10)
+}
+
+fn bits(s: &MetricSummary) -> [u32; 4] {
+    [s.hr.to_bits(), s.mrr.to_bits(), s.ndcg.to_bits(), s.auc.to_bits()]
+}
+
+#[test]
+fn pipeline_metrics_are_bit_identical_with_obs_on_and_off() {
+    let _guard = metadpa::obs::test_lock();
+
+    metadpa::obs::disable();
+    let off = run_pipeline(5);
+
+    let recorder = Arc::new(MemoryRecorder::default());
+    metadpa::obs::enable(recorder.clone());
+    let on = run_pipeline(5);
+    metadpa::obs::disable();
+
+    assert_eq!(bits(&off), bits(&on), "obs must never perturb the numbers");
+    assert_eq!(off.count, on.count);
+
+    // The enabled run must actually have observed the pipeline: nested
+    // block spans and per-epoch Dual-CVAE loss events.
+    let events = recorder.events();
+    assert!(!events.is_empty(), "enabled run recorded nothing");
+    let span_paths: Vec<&str> =
+        events.iter().filter(|e| e.kind == "span").map(|e| e.name.as_str()).collect();
+    for expected in [
+        "pipeline.fit",
+        "pipeline.fit/pipeline.adaptation",
+        "pipeline.fit/pipeline.augmentation",
+        "pipeline.fit/pipeline.meta_learning",
+        "pipeline.fit/pipeline.meta_learning/maml.meta_train",
+    ] {
+        assert!(span_paths.contains(&expected), "missing span {expected}; got {span_paths:?}");
+    }
+    assert!(
+        events.iter().any(|e| e.kind == "event" && e.name == "dual_cvae.epoch"),
+        "missing Dual-CVAE per-epoch loss events"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == "event" && e.name == "maml.epoch"),
+        "missing MAML per-epoch events"
+    );
+
+    // And the event stream must serialise to valid JSONL-ish lines.
+    for e in events.iter().take(5) {
+        let line = e.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"kind\""), "{line}");
+    }
+}
+
+#[test]
+fn disabled_pipeline_emits_no_span_aggregates() {
+    let _guard = metadpa::obs::test_lock();
+    metadpa::obs::disable();
+    metadpa::obs::span::reset_aggregates();
+    let _ = run_pipeline(6);
+    assert!(
+        metadpa::obs::span::aggregate_snapshot().is_empty(),
+        "disabled runs must not touch the span aggregate table"
+    );
+}
