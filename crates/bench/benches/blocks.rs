@@ -6,8 +6,16 @@
 //!
 //! Hand-rolled `harness = false` binary (no criterion in the offline
 //! dependency set); see [`metadpa_bench::microbench`].
+//!
+//! Flags (after `cargo bench -p metadpa-bench --bench blocks --`):
+//! `--smoke` shrinks the sweep and iteration counts for CI;
+//! `--obs-alloc` turns on allocation profiling so allocs/iter is reported;
+//! `--bench-out <path>` writes a BENCH perf-baseline JSON for
+//! `obs-report check` (see DESIGN.md §6).
 
-use metadpa_bench::microbench;
+use std::sync::Arc;
+
+use metadpa_bench::microbench::{self, BenchResult};
 use metadpa_core::dual_cvae::{DualCvae, DualCvaeConfig};
 use metadpa_core::maml::{MamlConfig, MetaLearner};
 use metadpa_core::preference::PreferenceConfig;
@@ -18,6 +26,33 @@ use metadpa_tensor::{Matrix, SeededRng};
 const BATCH: usize = 32;
 const CONTENT_DIM: usize = 48;
 
+struct BenchArgs {
+    smoke: bool,
+    obs_alloc: bool,
+    bench_out: Option<String>,
+}
+
+fn parse_args() -> BenchArgs {
+    let mut out = BenchArgs { smoke: false, obs_alloc: false, bench_out: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => out.smoke = true,
+            "--obs-alloc" => out.obs_alloc = true,
+            "--bench-out" => {
+                out.bench_out =
+                    Some(it.next().unwrap_or_else(|| panic!("--bench-out needs a value")));
+            }
+            // `cargo bench` appends `--bench` to harness = false targets.
+            "--bench" => {}
+            other => {
+                panic!("unknown flag {other}; supported: --smoke, --obs-alloc, --bench-out <path>")
+            }
+        }
+    }
+    out
+}
+
 fn make_batch(rng: &mut SeededRng, n_items: usize) -> (Matrix, Matrix, Matrix, Matrix) {
     let r_s = Matrix::from_fn(BATCH, n_items, |_, _| if rng.bernoulli(0.05) { 1.0 } else { 0.0 });
     let r_t = Matrix::from_fn(BATCH, n_items, |_, _| if rng.bernoulli(0.05) { 1.0 } else { 0.0 });
@@ -27,36 +62,44 @@ fn make_batch(rng: &mut SeededRng, n_items: usize) -> (Matrix, Matrix, Matrix, M
 }
 
 /// Block 1: one Dual-CVAE train step; catalogue size is the sweep axis.
-fn bench_block1_dual_cvae_step() {
-    for n_items in [100usize, 200, 400, 800] {
+fn bench_block1_dual_cvae_step(iters: u64, smoke: bool) -> Vec<BenchResult> {
+    let sweep: &[usize] = if smoke { &[100, 200] } else { &[100, 200, 400, 800] };
+    let mut results = Vec::new();
+    for &n_items in sweep {
         let mut rng = SeededRng::new(1);
         let mut dual =
             DualCvae::new(n_items, n_items, CONTENT_DIM, DualCvaeConfig::default(), &mut rng);
         let (r_s, r_t, x_s, x_t) = make_batch(&mut rng, n_items);
-        microbench::run(&format!("block1_dual_cvae_step/{n_items}"), 10, || {
+        results.push(microbench::run(&format!("block1_dual_cvae_step/{n_items}"), iters, || {
             zero_grad(&mut dual);
             std::hint::black_box(dual.train_step(&r_s, &r_t, &x_s, &x_t, &mut rng));
-        });
+        }));
     }
+    results
 }
 
 /// Block 2: generate diverse ratings from content for a batch of users.
-fn bench_block2_augmentation() {
-    for n_items in [100usize, 400, 800] {
+fn bench_block2_augmentation(iters: u64, smoke: bool) -> Vec<BenchResult> {
+    let sweep: &[usize] = if smoke { &[100, 400] } else { &[100, 400, 800] };
+    let mut results = Vec::new();
+    for &n_items in sweep {
         let mut rng = SeededRng::new(2);
         let mut dual =
             DualCvae::new(n_items, n_items, CONTENT_DIM, DualCvaeConfig::default(), &mut rng);
         let content = rng.uniform_matrix(64, CONTENT_DIM, 0.0, 0.4);
-        microbench::run(&format!("block2_generate_ratings/{n_items}"), 10, || {
+        results.push(microbench::run(&format!("block2_generate_ratings/{n_items}"), iters, || {
             std::hint::black_box(dual.generate_target_ratings(&content));
-        });
+        }));
     }
+    results
 }
 
 /// Block 3: one full MAML meta-training epoch over a fixed task set —
 /// independent of catalogue size by construction (content-width networks).
-fn bench_block3_maml_epoch() {
-    for n_tasks in [16usize, 64] {
+fn bench_block3_maml_epoch(iters: u64, smoke: bool) -> Vec<BenchResult> {
+    let sweep: &[usize] = if smoke { &[16] } else { &[16, 64] };
+    let mut results = Vec::new();
+    for &n_tasks in sweep {
         let mut rng = SeededRng::new(3);
         let uc = rng.uniform_matrix(n_tasks, CONTENT_DIM, 0.0, 0.4);
         let ic = rng.uniform_matrix(200, CONTENT_DIM, 0.0, 0.4);
@@ -67,19 +110,37 @@ fn bench_block3_maml_epoch() {
                 query: (0..8).map(|i| ((i * 7 + 1) % 200, ((i % 2) as f32))).collect(),
             })
             .collect();
-        microbench::run(&format!("block3_maml_epoch/{n_tasks}"), 10, || {
+        results.push(microbench::run(&format!("block3_maml_epoch/{n_tasks}"), iters, || {
             let mut learner = MetaLearner::new(
                 PreferenceConfig { content_dim: CONTENT_DIM, embed_dim: 32, hidden: [48, 24] },
                 MamlConfig { epochs: 1, ..MamlConfig::default() },
                 &mut rng,
             );
             std::hint::black_box(learner.meta_train(&tasks, &uc, &ic));
-        });
+        }));
     }
+    results
 }
 
 fn main() {
-    bench_block1_dual_cvae_step();
-    bench_block2_augmentation();
-    bench_block3_maml_epoch();
+    let args = parse_args();
+    if args.obs_alloc {
+        metadpa_obs::alloc::enable_profiling();
+    }
+    // FLOP counters only advance while observability is enabled; the null
+    // recorder gives live counters without any stream or stderr output
+    // perturbing the timed loops. Consistently enabled across baseline and
+    // current runs, so the (tiny) counter cost cancels in `check`.
+    metadpa_obs::enable(Arc::new(metadpa_obs::NullRecorder));
+
+    let iters = if args.smoke { 3 } else { 10 };
+    let mut results = bench_block1_dual_cvae_step(iters, args.smoke);
+    results.extend(bench_block2_augmentation(iters, args.smoke));
+    results.extend(bench_block3_maml_epoch(iters, args.smoke));
+
+    if let Some(path) = &args.bench_out {
+        let blocks = results.iter().map(BenchResult::to_bench_block).collect();
+        metadpa_bench::baseline::write_bench_report(path, "microbench.blocks", blocks)
+            .unwrap_or_else(|e| panic!("--bench-out {path}: {e}"));
+    }
 }

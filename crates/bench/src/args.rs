@@ -16,18 +16,30 @@ pub struct ExpArgs {
     pub obs_out: Option<String>,
     /// Disable observability entirely (progress lines included).
     pub no_obs: bool,
+    /// Enable allocation profiling (per-span alloc counts/bytes).
+    pub obs_alloc: bool,
+    /// Write a BENCH perf-baseline JSON (see DESIGN.md §6) to this path.
+    pub bench_out: Option<String>,
 }
 
 impl Default for ExpArgs {
     fn default() -> Self {
-        Self { fast: false, seed: 2022, splits: 30, obs_out: None, no_obs: false }
+        Self {
+            fast: false,
+            seed: 2022,
+            splits: 30,
+            obs_out: None,
+            no_obs: false,
+            obs_alloc: false,
+            bench_out: None,
+        }
     }
 }
 
 impl ExpArgs {
-    /// Parses `--fast`, `--seed <n>`, `--splits <n>`, `--obs-out <path>`
-    /// and `--no-obs` from an iterator of arguments (typically
-    /// `std::env::args().skip(1)`).
+    /// Parses `--fast`, `--seed <n>`, `--splits <n>`, `--obs-out <path>`,
+    /// `--no-obs`, `--obs-alloc` and `--bench-out <path>` from an iterator
+    /// of arguments (typically `std::env::args().skip(1)`).
     ///
     /// # Panics
     /// Panics with a usage message on unknown flags or malformed values —
@@ -52,9 +64,14 @@ impl ExpArgs {
                     out.obs_out = Some(v);
                 }
                 "--no-obs" => out.no_obs = true,
+                "--obs-alloc" => out.obs_alloc = true,
+                "--bench-out" => {
+                    let v = it.next().unwrap_or_else(|| panic!("--bench-out needs a value"));
+                    out.bench_out = Some(v);
+                }
                 other => panic!(
                     "unknown flag {other}; supported: --fast, --seed <n>, --splits <n>, \
-                     --obs-out <path>, --no-obs"
+                     --obs-out <path>, --no-obs, --obs-alloc, --bench-out <path>"
                 ),
             }
         }
@@ -83,17 +100,32 @@ mod tests {
         assert_eq!(a.splits, 30);
         assert!(a.obs_out.is_none());
         assert!(!a.no_obs);
+        assert!(!a.obs_alloc);
+        assert!(a.bench_out.is_none());
     }
 
     #[test]
     fn parses_all_flags() {
-        let a =
-            parse(&["--fast", "--seed", "7", "--splits", "5", "--obs-out", "x.jsonl", "--no-obs"]);
+        let a = parse(&[
+            "--fast",
+            "--seed",
+            "7",
+            "--splits",
+            "5",
+            "--obs-out",
+            "x.jsonl",
+            "--no-obs",
+            "--obs-alloc",
+            "--bench-out",
+            "BENCH_x.json",
+        ]);
         assert!(a.fast);
         assert_eq!(a.seed, 7);
         assert_eq!(a.splits, 5);
         assert_eq!(a.obs_out.as_deref(), Some("x.jsonl"));
         assert!(a.no_obs);
+        assert!(a.obs_alloc);
+        assert_eq!(a.bench_out.as_deref(), Some("BENCH_x.json"));
     }
 
     #[test]

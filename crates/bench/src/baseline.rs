@@ -1,0 +1,95 @@
+//! Writing BENCH perf baselines (`--bench-out BENCH_<name>.json`).
+//!
+//! A BENCH file is the stable, machine-readable summary of one measured
+//! run: git revision, scenario name, hardware fingerprint, and per-block
+//! p50/p90 wall time plus FLOP and allocation counters (schema:
+//! [`metadpa_obs::report::BENCH_SCHEMA`], documented in DESIGN.md §6).
+//! `obs-report check` compares two of these and exits nonzero on
+//! regression — the CI perf gate.
+
+use std::io::Write;
+
+use metadpa_obs::report::{BenchBlock, BenchReport, HostInfo};
+
+/// The current git revision (short hash, `-dirty` suffixed when the tree
+/// has local modifications), or `"unknown"` outside a git checkout.
+pub fn git_rev() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    match run(&["rev-parse", "--short=12", "HEAD"]) {
+        Some(rev) if !rev.is_empty() => {
+            let dirty = run(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+            if dirty {
+                format!("{rev}-dirty")
+            } else {
+                rev
+            }
+        }
+        _ => "unknown".to_string(),
+    }
+}
+
+/// Assembles a [`BenchReport`] for this machine and revision.
+pub fn bench_report(scenario: &str, blocks: Vec<BenchBlock>) -> BenchReport {
+    BenchReport {
+        git_rev: git_rev(),
+        scenario: scenario.to_string(),
+        host: HostInfo::current(),
+        blocks,
+    }
+}
+
+/// Writes the report as BENCH JSON to `path`.
+pub fn write_bench_report(
+    path: &str,
+    scenario: &str,
+    blocks: Vec<BenchBlock>,
+) -> std::io::Result<()> {
+    let report = bench_report(scenario, blocks);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(report.to_json().as_bytes())?;
+    eprintln!("wrote {} block(s) to {path}", report.blocks.len());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_report_stamps_rev_and_host_and_round_trips() {
+        let blocks = vec![BenchBlock {
+            name: "unit.case".into(),
+            iters: 5,
+            p50_ns: 100,
+            p90_ns: 120,
+            mean_ns: 105.0,
+            flops: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
+        }];
+        let report = bench_report("unit.scenario", blocks);
+        assert!(!report.git_rev.is_empty());
+        assert_eq!(report.host, HostInfo::current());
+        let parsed = BenchReport::from_json(&report.to_json()).expect("schema round trip");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn write_creates_a_parseable_file() {
+        let path = std::env::temp_dir()
+            .join(format!("BENCH_test_{}.json", std::process::id()))
+            .to_string_lossy()
+            .to_string();
+        write_bench_report(&path, "unit.write", Vec::new()).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(BenchReport::from_json(&text).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+}

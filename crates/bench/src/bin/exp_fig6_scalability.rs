@@ -9,6 +9,9 @@
 //! are constant in the catalogue because their networks only touch
 //! fixed-width content vectors. (Per-user costs are held comparable by
 //! scaling users with items, as the paper's subsampling does.)
+//!
+//! `--bench-out BENCH_<name>.json` additionally writes the per-fraction
+//! per-block timings as a BENCH perf baseline for `obs-report check`.
 
 use std::time::Duration;
 
@@ -19,9 +22,27 @@ use metadpa_core::pipeline::{MetaDpa, MetaDpaConfig};
 use metadpa_data::generator::generate_world;
 use metadpa_data::presets::books_world_items_scaled;
 use metadpa_data::splits::{ScenarioKind, SplitConfig, Splitter};
+use metadpa_obs::report::BenchBlock;
 
 fn per_unit(d: Duration, epochs: usize) -> f64 {
     d.as_secs_f64() * 1e3 / epochs.max(1) as f64
+}
+
+/// One BENCH block from a single measured duration. The sweep runs each
+/// fraction once, so p50 == p90 == the measurement; `iters` records the
+/// epoch count the per-epoch figure was averaged over.
+fn bench_block(name: String, ms: f64, epochs: usize) -> BenchBlock {
+    let ns = (ms * 1e6) as u64;
+    BenchBlock {
+        name,
+        iters: epochs as u64,
+        p50_ns: ns,
+        p90_ns: ns,
+        mean_ns: ms * 1e6,
+        flops: 0,
+        alloc_count: 0,
+        alloc_bytes: 0,
+    }
 }
 
 fn main() {
@@ -42,6 +63,7 @@ fn main() {
     ]);
     let mut block1 = Vec::new();
     let mut sizes = Vec::new();
+    let mut bench_blocks = Vec::new();
 
     for &f in &fractions {
         let mut world_cfg = books_world_items_scaled(args.seed, f);
@@ -65,17 +87,28 @@ fn main() {
         let t = model.timings();
 
         let b1 = per_unit(t.adaptation, adapter_epochs);
+        let b2 = t.augmentation.as_secs_f64() * 1e3;
+        let b3 = per_unit(t.meta_learning, maml_epochs);
         table.row(vec![
             format!("{:.0}%", f * 100.0),
             world.target.n_items().to_string(),
             world.target.n_users().to_string(),
             format!("{b1:.1}"),
-            format!("{:.1}", t.augmentation.as_secs_f64() * 1e3),
-            format!("{:.1}", per_unit(t.meta_learning, maml_epochs)),
+            format!("{b2:.1}"),
+            format!("{b3:.1}"),
         ]);
         block1.push(b1);
         sizes.push(world.target.n_items() as f64);
+        let pct = (f * 100.0) as u32;
+        bench_blocks.push(bench_block(format!("fig6.block1_epoch/{pct}pct"), b1, adapter_epochs));
+        bench_blocks.push(bench_block(format!("fig6.block2_augment/{pct}pct"), b2, 1));
+        bench_blocks.push(bench_block(format!("fig6.block3_epoch/{pct}pct"), b3, maml_epochs));
         metadpa_obs::event!("fig6.fraction_done", "fraction" => f);
+    }
+
+    if let Some(path) = &args.bench_out {
+        metadpa_bench::baseline::write_bench_report(path, "exp_fig6_scalability", bench_blocks)
+            .unwrap_or_else(|e| panic!("--bench-out {path}: {e}"));
     }
 
     println!("\n{}", table.render());

@@ -1,0 +1,163 @@
+//! `obs-report`: offline analysis of recorded observability streams and
+//! the BENCH perf-baseline regression gate.
+//!
+//! ```text
+//! obs-report report <run.jsonl> [--json]     flamegraph + metrics table
+//! obs-report diff <a.jsonl> <b.jsonl>        per-span / per-metric deltas
+//! obs-report check <current.json> --baseline <BENCH.json>
+//!            [--tolerance 0.15] [--warn-only]
+//! ```
+//!
+//! `report` renders the span tree as a text flamegraph (inclusive and
+//! exclusive time per path, hot paths by self time), the metrics table
+//! reconstructed from the stream's `metric` records, and — with `--json`
+//! — a machine-readable summary instead.
+//!
+//! `check` compares per-block p50 wall time against a committed baseline
+//! and exits `1` when any block regressed beyond the tolerance. Because a
+//! timing baseline only binds on the hardware that recorded it, a host
+//! fingerprint mismatch downgrades failures to warnings unless the
+//! `METADPA_BENCH_STRICT` environment variable is set (non-empty, not
+//! `"0"`); `--warn-only` downgrades unconditionally.
+
+use std::io::Write;
+
+use metadpa_obs::diff::{check, StreamDiff};
+use metadpa_obs::report::{BenchReport, Report};
+use metadpa_obs::stream::read_file;
+
+const USAGE: &str = "usage:
+  obs-report report <run.jsonl> [--json]
+  obs-report diff <a.jsonl> <b.jsonl>
+  obs-report check <current.json> --baseline <BENCH.json> [--tolerance 0.15] [--warn-only]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs-report: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Writes to stdout, exiting quietly when the downstream pipe has closed
+/// (`obs-report report run.jsonl | head` must not panic).
+fn out(text: impl AsRef<str>) {
+    if std::io::stdout().write_all(text.as_ref().as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn load_report(path: &str) -> Report {
+    match read_file(path) {
+        Ok(events) => Report::from_events(&events),
+        Err(e) => fail(&e),
+    }
+}
+
+fn load_bench(path: &str) -> BenchReport {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("{path}: {e}")),
+    };
+    match BenchReport::from_json(&text) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("{path}: {e}")),
+    }
+}
+
+fn cmd_report(args: &[String]) {
+    let json = args.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [path] = paths.as_slice() else { fail("report takes exactly one stream path") };
+    let report = load_report(path);
+    if json {
+        out(format!("{}\n", report.to_json()));
+        return;
+    }
+    out(format!("== obs-report: {path} ==\n"));
+    for (kind, n) in &report.record_counts {
+        out(format!("  {n} {kind} record(s)\n"));
+    }
+    if !report.manifest.is_empty() {
+        let fields: Vec<String> =
+            report.manifest.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+        out(format!("  manifest: {}\n", fields.join(" ")));
+    }
+    out("\n");
+    out(report.render_flamegraph());
+    out("\n");
+    out(report.render_metrics());
+}
+
+fn cmd_diff(args: &[String]) {
+    let [a, b] = args else { fail("diff takes exactly two stream paths") };
+    let ra = load_report(a);
+    let rb = load_report(b);
+    out(format!("== obs-report diff: {a} -> {b} ==\n"));
+    out(StreamDiff::between(&ra, &rb).render());
+}
+
+fn strict_env() -> bool {
+    std::env::var("METADPA_BENCH_STRICT").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+fn cmd_check(args: &[String]) {
+    let mut current = None;
+    let mut baseline = None;
+    let mut tolerance = 0.15f64;
+    let mut warn_only = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = Some(it.next().unwrap_or_else(|| fail("--baseline needs a value")));
+            }
+            "--tolerance" => {
+                let v = it.next().unwrap_or_else(|| fail("--tolerance needs a value"));
+                tolerance = v.parse().unwrap_or_else(|_| fail(&format!("bad --tolerance {v}")));
+            }
+            "--warn-only" => warn_only = true,
+            other if !other.starts_with("--") && current.is_none() => {
+                current = Some(other.to_string());
+            }
+            other => fail(&format!("unexpected argument {other}")),
+        }
+    }
+    let current = current.unwrap_or_else(|| fail("check needs a current BENCH json"));
+    let baseline = baseline.unwrap_or_else(|| fail("check needs --baseline <BENCH.json>"));
+    let cur = load_bench(&current);
+    let base = load_bench(baseline);
+    let gate = check(&cur, &base, tolerance);
+    out(format!(
+        "== obs-report check: {current} (rev {}) vs baseline {baseline} (rev {}) ==\n",
+        cur.git_rev, base.git_rev
+    ));
+    out(gate.render(tolerance));
+    if gate.regressions == 0 {
+        return;
+    }
+    if warn_only {
+        out(format!("warn-only: {} regression(s) NOT gating (--warn-only)\n", gate.regressions));
+        return;
+    }
+    if !gate.hardware_match && !strict_env() {
+        out(format!(
+            "warn-only: baseline hardware differs ({:?} vs {:?}); {} regression(s) NOT gating \
+             (set METADPA_BENCH_STRICT=1 to fail anyway)\n",
+            base.host, cur.host, gate.regressions
+        ));
+        return;
+    }
+    eprintln!("obs-report: {} perf regression(s) beyond tolerance", gate.regressions);
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "report" => cmd_report(rest),
+            "diff" => cmd_diff(rest),
+            "check" => cmd_check(rest),
+            other => fail(&format!("unknown subcommand {other}")),
+        },
+        None => fail("missing subcommand"),
+    }
+}

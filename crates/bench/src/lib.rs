@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod baseline;
 pub mod harness;
 pub mod microbench;
 pub mod table;
@@ -29,6 +30,14 @@ pub use args::ExpArgs;
 pub use harness::{run_roster_on_world, MethodScenarioResult};
 
 use std::sync::Arc;
+
+/// Every binary in this crate (experiments, `obs-report`, the hand-rolled
+/// bench targets) allocates through the counting wrapper so `--obs-alloc`
+/// can attribute allocation churn to spans. Until
+/// [`metadpa_obs::alloc::enable_profiling`] runs, each allocator call adds
+/// exactly one relaxed atomic load over plain `System`.
+#[global_allocator]
+static GLOBAL_ALLOC: metadpa_obs::alloc::CountingAlloc = metadpa_obs::alloc::CountingAlloc::new();
 
 /// Installs the observability backend for an experiment binary and emits
 /// the run manifest. Returns an [`metadpa_obs::ObsSession`] guard; keep it
@@ -42,6 +51,9 @@ use std::sync::Arc;
 /// # Panics
 /// Panics if `--obs-out` points at an uncreatable path.
 pub fn obs_init(binary: &str, args: &ExpArgs) -> metadpa_obs::ObsSession {
+    if args.obs_alloc {
+        metadpa_obs::alloc::enable_profiling();
+    }
     if args.no_obs {
         metadpa_obs::disable();
         return metadpa_obs::ObsSession::new(false);
@@ -61,6 +73,7 @@ pub fn obs_init(binary: &str, args: &ExpArgs) -> metadpa_obs::ObsSession {
     manifest.push("seed", args.seed);
     manifest.push("fast", args.fast);
     manifest.push("splits", args.splits);
+    manifest.push("obs_alloc", args.obs_alloc);
     metadpa_obs::emit(manifest);
     metadpa_obs::ObsSession::new(true)
 }

@@ -21,18 +21,27 @@ pub struct BenchResult {
     pub mean_ns: f64,
     /// Median per-iteration latency.
     pub p50_ns: u64,
+    /// 90th-percentile per-iteration latency.
+    pub p90_ns: u64,
     /// 99th-percentile per-iteration latency.
     pub p99_ns: u64,
     /// Fastest iteration.
     pub min_ns: u64,
     /// Slowest iteration.
     pub max_ns: u64,
+    /// FLOPs per iteration, from the `tensor.matmul.flops` counter delta
+    /// over the measured loop (0 when observability is disabled).
+    pub flops_per_iter: u64,
+    /// Allocations per iteration (0 unless allocation profiling is on).
+    pub alloc_count_per_iter: u64,
+    /// Allocated bytes per iteration.
+    pub alloc_bytes_per_iter: u64,
 }
 
 impl BenchResult {
     /// One aligned human-readable report line.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "{:<44} {:>4} iters  mean {:>12}  p50 {:>12}  p99 {:>12}  min {:>12}  max {:>12}",
             self.name,
             self.iters,
@@ -41,7 +50,28 @@ impl BenchResult {
             fmt_ns(self.p99_ns as f64),
             fmt_ns(self.min_ns as f64),
             fmt_ns(self.max_ns as f64),
-        )
+        );
+        if self.alloc_count_per_iter > 0 {
+            line.push_str(&format!(
+                "  allocs/iter {} ({} B)",
+                self.alloc_count_per_iter, self.alloc_bytes_per_iter
+            ));
+        }
+        line
+    }
+
+    /// The BENCH-schema block this case contributes to `--bench-out`.
+    pub fn to_bench_block(&self) -> metadpa_obs::report::BenchBlock {
+        metadpa_obs::report::BenchBlock {
+            name: self.name.clone(),
+            iters: self.iters,
+            p50_ns: self.p50_ns,
+            p90_ns: self.p90_ns,
+            mean_ns: self.mean_ns,
+            flops: self.flops_per_iter,
+            alloc_count: self.alloc_count_per_iter,
+            alloc_bytes: self.alloc_bytes_per_iter,
+        }
     }
 }
 
@@ -65,20 +95,28 @@ pub fn run(name: &str, iters: u64, mut f: impl FnMut()) -> BenchResult {
     for _ in 0..iters / 10 + 1 {
         f();
     }
+    let flops = metrics::counter("tensor.matmul.flops");
+    let flops0 = flops.get();
+    let alloc0 = metadpa_obs::alloc::snapshot();
     let hist = metrics::histogram(name);
     for _ in 0..iters {
         let started = Instant::now();
         f();
         hist.observe(started.elapsed().as_nanos() as u64);
     }
+    let alloc1 = metadpa_obs::alloc::snapshot();
     let result = BenchResult {
         name: name.to_string(),
         iters: hist.count(),
         mean_ns: hist.mean(),
         p50_ns: hist.quantile(0.5),
+        p90_ns: hist.quantile(0.9),
         p99_ns: hist.quantile(0.99),
         min_ns: hist.min(),
         max_ns: hist.max(),
+        flops_per_iter: flops.get().saturating_sub(flops0) / iters,
+        alloc_count_per_iter: alloc1.alloc_count.saturating_sub(alloc0.alloc_count) / iters,
+        alloc_bytes_per_iter: alloc1.alloc_bytes.saturating_sub(alloc0.alloc_bytes) / iters,
     };
     println!("{}", result.render());
     result
@@ -101,22 +139,41 @@ mod tests {
         assert_eq!(calls, 9);
         assert_eq!(r.iters, 8);
         assert!(r.min_ns <= r.p50_ns && r.p50_ns <= r.max_ns);
+        assert!(r.p50_ns <= r.p90_ns && r.p90_ns <= r.p99_ns);
         assert!(r.mean_ns > 0.0);
     }
 
-    #[test]
-    fn render_is_single_line() {
-        let r = BenchResult {
+    fn sample_result() -> BenchResult {
+        BenchResult {
             name: "x".into(),
             iters: 3,
             mean_ns: 1500.0,
             p50_ns: 1400,
+            p90_ns: 1800,
             p99_ns: 2000,
             min_ns: 1000,
             max_ns: 2100,
-        };
-        let line = r.render();
+            flops_per_iter: 640,
+            alloc_count_per_iter: 2,
+            alloc_bytes_per_iter: 96,
+        }
+    }
+
+    #[test]
+    fn render_is_single_line() {
+        let line = sample_result().render();
         assert!(!line.contains('\n'));
         assert!(line.contains("µs"));
+        assert!(line.contains("allocs/iter 2"));
+    }
+
+    #[test]
+    fn bench_block_conversion_carries_all_counters() {
+        let b = sample_result().to_bench_block();
+        assert_eq!(b.name, "x");
+        assert_eq!(b.p50_ns, 1400);
+        assert_eq!(b.p90_ns, 1800);
+        assert_eq!(b.flops, 640);
+        assert_eq!(b.alloc_bytes, 96);
     }
 }

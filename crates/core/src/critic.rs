@@ -81,11 +81,19 @@ impl CriticInfoNce {
 
 impl Module for CriticInfoNce {
     fn forward(&mut self, _input: &Matrix, _mode: Mode) -> Matrix {
-        unimplemented!("CriticInfoNce is driven via forward_backward")
+        panic!(
+            "CriticInfoNce::forward is intentionally not implemented: the critic consumes \
+             paired batches — call CriticInfoNce::forward_backward (or loss for monitoring); \
+             the Module impl exists only so optimizers can walk the parameters"
+        )
     }
 
     fn backward(&mut self, _grad_output: &Matrix) -> Matrix {
-        unimplemented!("CriticInfoNce is driven via forward_backward")
+        panic!(
+            "CriticInfoNce::backward is intentionally not implemented: gradients flow inside \
+             CriticInfoNce::forward_backward; the Module impl exists only so optimizers can \
+             walk the parameters"
+        )
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
@@ -159,5 +167,21 @@ mod tests {
         let a = rng.normal_matrix(3, 4);
         let b = rng.normal_matrix(4, 4);
         let _ = critic.forward_backward(&a, &b, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "call CriticInfoNce::forward_backward")]
+    fn module_forward_names_the_real_entry_point() {
+        let mut rng = SeededRng::new(5);
+        let mut critic = CriticInfoNce::new(4, 4, 2, 0.5, &mut rng);
+        let _ = critic.forward(&Matrix::zeros(1, 4), Mode::Eval);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradients flow inside CriticInfoNce::forward_backward")]
+    fn module_backward_names_the_real_entry_point() {
+        let mut rng = SeededRng::new(5);
+        let mut critic = CriticInfoNce::new(4, 4, 2, 0.5, &mut rng);
+        let _ = critic.backward(&Matrix::zeros(1, 4));
     }
 }

@@ -180,8 +180,10 @@ impl Module for Cvae {
     }
 
     fn backward(&mut self, _grad_output: &Matrix) -> Matrix {
-        unimplemented!(
-            "Cvae training uses the explicit backward_* methods; Module::backward is not part of its contract"
+        panic!(
+            "Cvae::backward is intentionally not implemented: the CVAE trains through the \
+             explicit backward_decoder/backward_encoder path driven by DualCvae::train_step; \
+             Module::backward exists only so optimizers can walk the parameters"
         )
     }
 
@@ -307,5 +309,13 @@ mod tests {
         let mut cvae = Cvae::new(config(), &mut rng);
         let z = Matrix::zeros(1, 4);
         cvae.backward_encoder(&z, &z, &z);
+    }
+
+    #[test]
+    #[should_panic(expected = "driven by DualCvae::train_step")]
+    fn module_backward_names_the_real_entry_point() {
+        let mut rng = SeededRng::new(7);
+        let mut cvae = Cvae::new(config(), &mut rng);
+        let _ = cvae.backward(&Matrix::zeros(1, 20));
     }
 }

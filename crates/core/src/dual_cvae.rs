@@ -332,11 +332,19 @@ impl DualCvae {
 
 impl Module for DualCvae {
     fn forward(&mut self, _input: &Matrix, _mode: Mode) -> Matrix {
-        unimplemented!("DualCvae is driven via train_step")
+        panic!(
+            "DualCvae::forward is intentionally not implemented: call DualCvae::train_step \
+             (training) or generate_target_ratings (augmentation); the Module impl exists \
+             only so optimizers can walk the parameters"
+        )
     }
 
     fn backward(&mut self, _grad_output: &Matrix) -> Matrix {
-        unimplemented!("DualCvae is driven via train_step")
+        panic!(
+            "DualCvae::backward is intentionally not implemented: gradients flow inside \
+             DualCvae::train_step; the Module impl exists only so optimizers can walk the \
+             parameters"
+        )
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
@@ -480,5 +488,21 @@ mod tests {
         assert_eq!(m.reconstruction, 2.0);
         assert_eq!(m.kl, 1.0);
         assert_eq!(DualCvaeLosses::mean(&[]).reconstruction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "call DualCvae::train_step")]
+    fn module_forward_names_the_real_entry_point() {
+        let mut rng = SeededRng::new(7);
+        let mut dual = DualCvae::new(15, 12, 6, small_config(), &mut rng);
+        let _ = dual.forward(&Matrix::zeros(1, 15), Mode::Eval);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradients flow inside DualCvae::train_step")]
+    fn module_backward_names_the_real_entry_point() {
+        let mut rng = SeededRng::new(7);
+        let mut dual = DualCvae::new(15, 12, 6, small_config(), &mut rng);
+        let _ = dual.backward(&Matrix::zeros(1, 12));
     }
 }

@@ -1,0 +1,230 @@
+//! Allocation profiling: a counting [`GlobalAlloc`] wrapper around the
+//! system allocator.
+//!
+//! [`CountingAlloc`] forwards every request to [`System`] and — only when
+//! profiling is switched on via [`enable_profiling`] — maintains four
+//! process-global relaxed atomics: allocation count, allocated bytes,
+//! live bytes, and the peak-live watermark. The disabled path costs one
+//! relaxed load per allocator call and touches nothing else, so binaries
+//! that install the allocator but never pass `--obs-alloc` behave exactly
+//! like ones running on plain [`System`].
+//!
+//! Install it once per binary (the bench crate does this for every
+//! experiment binary):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: metadpa_obs::alloc::CountingAlloc =
+//!     metadpa_obs::alloc::CountingAlloc::new();
+//! ```
+//!
+//! Spans read [`snapshot`] at entry and exit; the deltas ride on the span
+//! event (`alloc_count` / `alloc_bytes` fields) and the per-path
+//! aggregates, so `obs-report` can attribute allocation churn to span
+//! paths. Live/peak numbers are only meaningful when profiling is enabled
+//! from process start: frees of memory allocated before enabling are
+//! subtracted from a live total that never saw the matching allocation,
+//! which is why [`live_bytes`] saturates at zero.
+//!
+//! This is the one module in the crate that needs `unsafe` (the
+//! [`GlobalAlloc`] contract); everything it does with the pointers is
+//! forward them to [`System`].
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+/// Whether allocation profiling is currently on.
+#[inline]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Turns allocation counting on. Call as early as possible (ideally before
+/// any long-lived allocations) so live/peak numbers are meaningful.
+pub fn enable_profiling() {
+    PROFILING.store(true, Ordering::SeqCst);
+}
+
+/// Turns allocation counting off; counters keep their values.
+pub fn disable_profiling() {
+    PROFILING.store(false, Ordering::SeqCst);
+}
+
+/// Zeroes all allocation counters (tests; between bench cases).
+pub fn reset_counters() {
+    ALLOC_COUNT.store(0, Ordering::Relaxed);
+    ALLOC_BYTES.store(0, Ordering::Relaxed);
+    LIVE_BYTES.store(0, Ordering::Relaxed);
+    PEAK_LIVE_BYTES.store(0, Ordering::Relaxed);
+}
+
+/// Point-in-time reading of the allocation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Number of allocation calls counted so far.
+    pub alloc_count: u64,
+    /// Total bytes requested by counted allocations.
+    pub alloc_bytes: u64,
+    /// Currently live bytes (clamped at zero; see module docs).
+    pub live_bytes: u64,
+    /// Highest live-bytes watermark seen while profiling.
+    pub peak_live_bytes: u64,
+}
+
+/// Reads all counters. Cheap enough to call per span when profiling.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        alloc_count: ALLOC_COUNT.load(Ordering::Relaxed),
+        alloc_bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed).max(0) as u64,
+        peak_live_bytes: PEAK_LIVE_BYTES.load(Ordering::Relaxed).max(0) as u64,
+    }
+}
+
+#[inline]
+fn record_alloc(bytes: u64) {
+    ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    PEAK_LIVE_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+#[inline]
+fn record_free(bytes: u64) {
+    LIVE_BYTES.fetch_sub(bytes as i64, Ordering::Relaxed);
+}
+
+/// Feeds the counters as if an allocation of `bytes` happened. Lets tests
+/// exercise span/alloc attribution without installing the allocator as the
+/// process-global one. Counts only while profiling is enabled, exactly
+/// like the real hook.
+#[doc(hidden)]
+pub fn test_record_alloc(bytes: u64) {
+    if profiling_enabled() {
+        record_alloc(bytes);
+    }
+}
+
+/// Counting wrapper around the system allocator. See the module docs for
+/// the enable/disable semantics and installation.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// The allocator (a unit struct; all state is in process-global
+    /// atomics so counters survive however many instances exist).
+    pub const fn new() -> Self {
+        Self
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if PROFILING.load(Ordering::Relaxed) && !ptr.is_null() {
+            record_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if PROFILING.load(Ordering::Relaxed) && !ptr.is_null() {
+            record_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        if PROFILING.load(Ordering::Relaxed) {
+            record_free(layout.size() as u64);
+        }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if PROFILING.load(Ordering::Relaxed) && !new_ptr.is_null() {
+            record_free(layout.size() as u64);
+            record_alloc(new_size as u64);
+        }
+        new_ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Drives the allocator directly (it is not installed as the global
+    // allocator in this test binary), under the obs test lock so the
+    // enable/disable toggles of the two tests cannot interleave.
+    fn roundtrip_alloc(bytes: usize) {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(bytes, 8).expect("layout");
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            let p2 = a.realloc(p, layout, bytes * 2);
+            assert!(!p2.is_null());
+            let layout2 = Layout::from_size_align(bytes * 2, 8).expect("layout");
+            a.dealloc(p2, layout2);
+        }
+    }
+
+    #[test]
+    fn disabled_path_touches_no_counters() {
+        let _g = crate::test_lock();
+        disable_profiling();
+        reset_counters();
+        roundtrip_alloc(256);
+        // The whole point of the gate: with profiling off, the only work
+        // beyond the System call is the one relaxed load — every counter
+        // stays exactly zero.
+        assert_eq!(snapshot(), AllocSnapshot::default());
+    }
+
+    #[test]
+    fn enabled_path_counts_allocs_bytes_live_and_peak() {
+        let _g = crate::test_lock();
+        reset_counters();
+        enable_profiling();
+        roundtrip_alloc(128);
+        disable_profiling();
+        let snap = snapshot();
+        // alloc(128) + realloc-as-alloc(256) = 2 allocations, 384 bytes.
+        assert_eq!(snap.alloc_count, 2);
+        assert_eq!(snap.alloc_bytes, 128 + 256);
+        assert_eq!(snap.live_bytes, 0, "everything was freed");
+        assert!(
+            snap.peak_live_bytes >= 256 && snap.peak_live_bytes <= 384,
+            "peak {} should cover the realloc window",
+            snap.peak_live_bytes
+        );
+    }
+
+    #[test]
+    fn snapshot_clamps_negative_live_to_zero() {
+        let _g = crate::test_lock();
+        reset_counters();
+        enable_profiling();
+        // A free of memory allocated before profiling started: live would
+        // go negative without the clamp.
+        record_free(64);
+        disable_profiling();
+        assert_eq!(snapshot().live_bytes, 0);
+        reset_counters();
+    }
+}

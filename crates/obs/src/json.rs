@@ -111,6 +111,15 @@ impl ObjectWriter {
         self
     }
 
+    /// Adds a field whose value is already-serialized JSON (a nested
+    /// object or array built by another writer). The caller guarantees
+    /// `raw` is valid JSON.
+    pub fn raw_field(&mut self, k: &str, raw: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(raw);
+        self
+    }
+
     /// Closes the object and returns the JSON text.
     pub fn finish(mut self) -> String {
         self.buf.push('}');
@@ -157,6 +166,15 @@ mod tests {
             .f64_field("loss", 0.5)
             .bool_field("ok", true);
         assert_eq!(w.finish(), r#"{"kind":"span","dur_ns":1200,"delta":-3,"loss":0.5,"ok":true}"#);
+    }
+
+    #[test]
+    fn raw_field_nests_prebuilt_json() {
+        let mut inner = ObjectWriter::new();
+        inner.u64_field("cpus", 8);
+        let mut w = ObjectWriter::new();
+        w.str_field("schema", "v1").raw_field("host", &inner.finish()).raw_field("xs", "[1,2]");
+        assert_eq!(w.finish(), r#"{"schema":"v1","host":{"cpus":8},"xs":[1,2]}"#);
     }
 
     #[test]

@@ -19,7 +19,24 @@
 //!    stderr for live progress. JSON is serialized by hand ([`json`]);
 //!    there is no serde.
 //! 4. **Run summary** ([`summary`]): a span-tree / metrics-table renderer,
-//!    printed at process exit by the [`ObsSession`] RAII guard.
+//!    printed at process exit by the [`ObsSession`] RAII guard, which also
+//!    writes a `metric` snapshot record per registered metric into the
+//!    stream so offline analysis sees the same table.
+//!
+//! On top of the producing half sits the **consumption half**, used by the
+//! `obs-report` binary in `metadpa-bench`:
+//!
+//! 5. **Stream reader** ([`stream`]): a hand-rolled JSON parser turning a
+//!    recorded JSONL file back into typed events.
+//! 6. **Reports** ([`report`]): span-tree reconstruction, a text
+//!    flamegraph with inclusive/exclusive time, the metrics table, a
+//!    machine-readable summary, and the stable `BENCH_*.json` perf-baseline
+//!    schema.
+//! 7. **Diffs and gating** ([`diff`]): per-span-path / per-metric deltas
+//!    between two runs, and the baseline regression check CI gates on.
+//! 8. **Allocation profiling** ([`alloc`]): an opt-in counting
+//!    [`std::alloc::GlobalAlloc`] wrapper attributing allocation counts and
+//!    bytes to spans (`--obs-alloc` in the experiment binaries).
 //!
 //! ## Inertness contract
 //!
@@ -46,13 +63,20 @@
 //! metadpa_obs::disable();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// `alloc` module, whose `GlobalAlloc` impl is unavoidably unsafe and
+// carries a module-level `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
+pub mod diff;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod report;
 pub mod span;
+pub mod stream;
 pub mod summary;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,7 +84,7 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 pub use recorder::{
-    Event, FileRecorder, MemoryRecorder, Recorder, StderrRecorder, TeeRecorder, Value,
+    Event, FileRecorder, MemoryRecorder, NullRecorder, Recorder, StderrRecorder, TeeRecorder, Value,
 };
 
 /// Fast global on/off switch. One relaxed load on every instrumentation
@@ -145,11 +169,46 @@ impl ObsSession {
 impl Drop for ObsSession {
     fn drop(&mut self) {
         if enabled() {
+            emit_metrics_snapshot();
             if self.print_summary {
                 eprintln!("{}", summary::render());
             }
             flush();
         }
+    }
+}
+
+/// Emits one `metric` record per registered metric to the installed
+/// recorder — the stream-side counterpart of the summary's metrics table,
+/// so `obs-report` can rebuild it from the JSONL file alone. Called
+/// automatically when an [`ObsSession`] drops; no-op while disabled.
+pub fn emit_metrics_snapshot() {
+    if !enabled() {
+        return;
+    }
+    for (name, snap) in metrics::snapshot() {
+        let mut ev = Event::new("metric", name);
+        match snap {
+            metrics::MetricSnapshot::Counter(v) => {
+                ev.push("metric_kind", "counter");
+                ev.push("value", v);
+            }
+            metrics::MetricSnapshot::Gauge(v) => {
+                ev.push("metric_kind", "gauge");
+                ev.push("value", v);
+            }
+            metrics::MetricSnapshot::Histogram { count, mean, p50, p90, p99, min, max } => {
+                ev.push("metric_kind", "histogram");
+                ev.push("count", count);
+                ev.push("mean", mean);
+                ev.push("p50", p50);
+                ev.push("p90", p90);
+                ev.push("p99", p99);
+                ev.push("min", min);
+                ev.push("max", max);
+            }
+        }
+        emit(ev);
     }
 }
 

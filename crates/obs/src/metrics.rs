@@ -159,11 +159,14 @@ impl Histogram {
     }
 
     /// Approximate quantile (`q` in `[0, 1]`), accurate to the bucket width
-    /// (≤ 12.5% relative error) and clamped to the observed min/max.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// (≤ 12.5% relative error) and clamped to the observed min/max. An
+    /// empty histogram has no quantiles: `None`, never a bucket midpoint.
+    /// With a single distinct observation the min/max clamp collapses every
+    /// quantile to that exact value (so p50 == p99 by construction).
+    pub fn try_quantile(&self, q: f64) -> Option<u64> {
         let n = self.count();
         if n == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         // Rank of the target observation, 1-based.
@@ -172,10 +175,16 @@ impl Histogram {
         for (idx, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= target {
-                return bucket_midpoint(idx).clamp(self.min(), self.max());
+                return Some(bucket_midpoint(idx).clamp(self.min(), self.max()));
             }
         }
-        self.max()
+        Some(self.max())
+    }
+
+    /// [`Histogram::try_quantile`] with `0` standing in for "no data" —
+    /// convenient for tables that render integers unconditionally.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.try_quantile(q).unwrap_or(0)
     }
 
     fn reset(&self) {
@@ -397,6 +406,28 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles_at_any_rank() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.try_quantile(q), None, "empty histogram must not invent a q={q}");
+        }
+        // The integer-table convenience form reports 0, not a midpoint.
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn single_observation_collapses_all_quantiles_to_it() {
+        // 1_000_000 sits deep in a log2 major bucket whose raw midpoint is
+        // far from the value — the min/max clamp must hide that entirely.
+        let h = Histogram::default();
+        h.observe(1_000_000);
+        assert_eq!(h.try_quantile(0.5), Some(1_000_000));
+        assert_eq!(h.quantile(0.5), h.quantile(0.99), "p50 == p99 with one observation");
+        assert_eq!(h.quantile(0.0), 1_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
     }
 
     #[test]

@@ -200,7 +200,9 @@ pub struct StderrRecorder {
 
 impl Recorder for StderrRecorder {
     fn record(&self, event: &Event) {
-        if event.kind == "span" && !self.spans {
+        // Spans are noisy (opt-in) and the end-of-run metric snapshot is
+        // already rendered as a table by the session summary.
+        if (event.kind == "span" && !self.spans) || event.kind == "metric" {
             return;
         }
         let mut line = String::with_capacity(64);
@@ -216,6 +218,16 @@ impl Recorder for StderrRecorder {
         }
         eprintln!("{line}");
     }
+}
+
+/// Swallows every event. Useful when a process only wants the live metric
+/// registry and span aggregates (e.g. the microbench harness capturing
+/// FLOP counters) without buffering or writing an event stream.
+#[derive(Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: &Event) {}
 }
 
 /// Fans one event stream out to several recorders (e.g. stderr progress

@@ -8,6 +8,24 @@
 //!
 //! Paths are built by joining the names of the spans live on the current
 //! thread with `/`, e.g. `pipeline.fit/pipeline.adaptation`.
+//!
+//! ## Thread-local nesting contract
+//!
+//! The parent/child stack is **per thread**. A span opened on a spawned
+//! worker thread does not see spans live on the spawning thread: it
+//! becomes a root of its own path (`worker.task`, not
+//! `pipeline.fit/worker.task`), and closing it can never pop or corrupt
+//! another thread's stack. Cross-thread causality must therefore be
+//! encoded in the span *names* (e.g. `shard.3.fit`) if it matters; the
+//! per-path aggregates and the recorder are process-global and safely
+//! shared, so spans from any number of threads land in the same summary
+//! and stream.
+//!
+//! When allocation profiling is on ([`crate::alloc::enable_profiling`],
+//! `--obs-alloc` in the experiment binaries), each span additionally
+//! carries the number of allocations and allocated bytes that occurred
+//! while it was live (process-wide counters, so concurrent threads'
+//! allocations are attributed to every span open at the time).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -31,14 +49,30 @@ pub struct SpanStat {
     pub min_ns: u64,
     /// Slowest single completion.
     pub max_ns: u64,
+    /// Allocations while spans at this path were live (0 unless
+    /// allocation profiling is enabled).
+    pub alloc_count: u64,
+    /// Bytes allocated while spans at this path were live.
+    pub alloc_bytes: u64,
 }
 
 impl SpanStat {
-    fn observe(&mut self, dur_ns: u64) {
+    const EMPTY: SpanStat = SpanStat {
+        count: 0,
+        total_ns: 0,
+        min_ns: u64::MAX,
+        max_ns: 0,
+        alloc_count: 0,
+        alloc_bytes: 0,
+    };
+
+    fn observe(&mut self, dur_ns: u64, alloc_count: u64, alloc_bytes: u64) {
         self.count += 1;
         self.total_ns += dur_ns;
         self.min_ns = self.min_ns.min(dur_ns);
         self.max_ns = self.max_ns.max(dur_ns);
+        self.alloc_count += alloc_count;
+        self.alloc_bytes += alloc_bytes;
     }
 }
 
@@ -76,6 +110,8 @@ pub struct Span {
     path: Option<String>,
     depth: usize,
     done: bool,
+    /// Allocation counters at entry, when allocation profiling was on.
+    alloc0: Option<crate::alloc::AllocSnapshot>,
 }
 
 impl Span {
@@ -107,12 +143,14 @@ impl Span {
             stack.push(name);
             (path, depth)
         });
-        Self { start, path: Some(path), depth, done: false }
+        let alloc0 =
+            if crate::alloc::profiling_enabled() { Some(crate::alloc::snapshot()) } else { None };
+        Self { start, path: Some(path), depth, done: false, alloc0 }
     }
 
     /// A span that measures time but records nothing (disabled path).
     pub fn inert() -> Self {
-        Self { start: Instant::now(), path: None, depth: 0, done: false }
+        Self { start: Instant::now(), path: None, depth: 0, done: false, alloc0: None }
     }
 
     /// Whether this span will record anything on completion.
@@ -146,16 +184,30 @@ impl Span {
             stack.borrow_mut().pop();
         });
         let dur_ns = dur.as_nanos() as u64;
+        let (alloc_count, alloc_bytes) = match self.alloc0 {
+            Some(at_entry) => {
+                let now = crate::alloc::snapshot();
+                (
+                    now.alloc_count.saturating_sub(at_entry.alloc_count),
+                    now.alloc_bytes.saturating_sub(at_entry.alloc_bytes),
+                )
+            }
+            None => (0, 0),
+        };
         aggregates()
             .lock()
             .expect("span aggregate lock poisoned")
             .entry(path.clone())
-            .or_insert(SpanStat { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 })
-            .observe(dur_ns);
+            .or_insert(SpanStat::EMPTY)
+            .observe(dur_ns, alloc_count, alloc_bytes);
         if crate::enabled() {
             let mut ev = Event::new("span", path);
             ev.push("dur_ns", dur_ns);
             ev.push("depth", self.depth as u64);
+            if self.alloc0.is_some() {
+                ev.push("alloc_count", alloc_count);
+                ev.push("alloc_bytes", alloc_bytes);
+            }
             crate::emit(ev);
         }
     }
@@ -240,6 +292,98 @@ mod tests {
         assert_eq!(stat.count, 3);
         assert!(stat.min_ns <= stat.max_ns);
         assert!(stat.total_ns >= stat.max_ns);
+    }
+
+    #[test]
+    fn spans_on_spawned_threads_form_their_own_root_paths() {
+        let _g = crate::test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        crate::enable(sink.clone());
+        reset_aggregates();
+        {
+            let outer = Span::enter_static("main.outer");
+            assert_eq!(outer.path(), Some("main.outer"));
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    std::thread::spawn(move || {
+                        // The worker must NOT inherit `main.outer` as a
+                        // parent: its stack is thread-local and empty.
+                        let sp = Span::enter(format!("worker.{i}"));
+                        assert_eq!(sp.path(), Some(format!("worker.{i}").as_str()));
+                        let inner = Span::enter_static("inner");
+                        assert_eq!(inner.path(), Some(format!("worker.{i}/inner").as_str()));
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+            // The main thread's stack is untouched by the workers.
+            let sibling = Span::enter_static("main.sibling");
+            assert_eq!(sibling.path(), Some("main.outer/main.sibling"));
+        }
+        crate::disable();
+
+        let snap = aggregate_snapshot();
+        let paths: Vec<&str> = snap.iter().map(|(p, _)| p.as_str()).collect();
+        for i in 0..4 {
+            let root = format!("worker.{i}");
+            assert!(paths.contains(&root.as_str()), "missing worker root: {paths:?}");
+            let nested = format!("worker.{i}/inner");
+            assert!(paths.contains(&nested.as_str()), "missing worker child: {paths:?}");
+        }
+        assert!(paths.contains(&"main.outer"), "main thread spans intact");
+    }
+
+    #[test]
+    fn spans_attribute_allocations_when_profiling() {
+        let _g = crate::test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        crate::enable(sink.clone());
+        reset_aggregates();
+        crate::alloc::reset_counters();
+        crate::alloc::enable_profiling();
+        {
+            let _sp = Span::enter_static("alloc.attributed");
+            // The counting allocator is not installed as the global
+            // allocator in this test binary, so simulate the hook the
+            // allocator would hit for a 1 KiB allocation.
+            crate::alloc::test_record_alloc(1024);
+        }
+        crate::alloc::disable_profiling();
+        crate::disable();
+
+        let snap = aggregate_snapshot();
+        let (_, stat) = snap.iter().find(|(p, _)| p == "alloc.attributed").unwrap();
+        assert_eq!(stat.alloc_count, 1);
+        assert_eq!(stat.alloc_bytes, 1024);
+        let ev = sink
+            .events()
+            .into_iter()
+            .find(|e| e.kind == "span" && e.name == "alloc.attributed")
+            .expect("span event");
+        let field = |k: &str| {
+            ev.fields.iter().find(|(fk, _)| *fk == k).map(|(_, v)| format!("{v:?}")).unwrap()
+        };
+        assert_eq!(field("alloc_count"), format!("{:?}", crate::Value::from(1u64)));
+        assert_eq!(field("alloc_bytes"), format!("{:?}", crate::Value::from(1024u64)));
+    }
+
+    #[test]
+    fn spans_without_profiling_carry_no_alloc_fields() {
+        let _g = crate::test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        crate::enable(sink.clone());
+        reset_aggregates();
+        {
+            let _sp = Span::enter_static("alloc.absent");
+        }
+        crate::disable();
+        let ev = sink.events().into_iter().find(|e| e.name == "alloc.absent").unwrap();
+        assert!(
+            !ev.fields.iter().any(|(k, _)| *k == "alloc_count"),
+            "span events must be unchanged when --obs-alloc is off"
+        );
     }
 
     #[test]

@@ -32,12 +32,18 @@ fn render_spans(out: &mut String) {
             out.push_str("  ");
         }
         let mean = stat.total_ns.checked_div(stat.count).unwrap_or(0);
+        let allocs = if stat.alloc_count > 0 {
+            format!("  [{} allocs, {}B]", stat.alloc_count, stat.alloc_bytes)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{}  {} / {} / {}\n",
+            "{}  {} / {} / {}{}\n",
             leaf,
             fmt_ns(stat.total_ns),
             stat.count,
             fmt_ns(mean),
+            allocs,
         ));
     }
 }

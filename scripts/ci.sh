@@ -15,4 +15,22 @@ cargo fmt --all -- --check
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== microbench smoke + perf gate =="
+# Smoke-sized sweep (3 iters/case) feeding the BENCH regression gate
+# against the checked-in baseline. On hardware that doesn't match the
+# baseline's fingerprint the gate downgrades to warnings automatically;
+# set METADPA_BENCH_STRICT=1 to fail regardless. The smoke tolerance is
+# loose (50%) because 3-iteration runs on shared CI hardware are noisy —
+# it still catches order-of-magnitude regressions; tracked perf work
+# should use the full sweep with --tolerance 0.15 on pinned hardware.
+cargo bench -p metadpa-bench --bench blocks -- --smoke --bench-out "$PWD/BENCH_ci.json"
+cargo run --release -q -p metadpa-bench --bin obs-report -- \
+  check BENCH_ci.json --baseline benchmarks/BENCH_baseline.json --tolerance 0.5
+
+echo "== obs stream smoke (record -> report -> diff) =="
+cargo run --release -q -p metadpa-bench --bin exp_tables_1_2 -- \
+  --fast --obs-out obs_smoke.jsonl >/dev/null
+cargo run --release -q -p metadpa-bench --bin obs-report -- report obs_smoke.jsonl
+cargo run --release -q -p metadpa-bench --bin obs-report -- diff obs_smoke.jsonl obs_smoke.jsonl
+
 echo "CI OK"

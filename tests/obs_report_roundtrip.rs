@@ -1,0 +1,131 @@
+//! The offline analysis half of the observability layer must agree with
+//! the live half: a `Report` rebuilt from a recorded JSONL stream has to
+//! reproduce the in-process span aggregates exactly, `obs-report diff` of
+//! a stream against itself has to be all-zero, and the BENCH regression
+//! gate has to pass against a faithful baseline and fail against a
+//! tightened one.
+
+use std::sync::Arc;
+
+use metadpa::obs::diff::{check, StreamDiff};
+use metadpa::obs::report::{BenchBlock, BenchReport, HostInfo, Report};
+use metadpa::obs::stream::read_file;
+
+/// A small instrumented workload: nested spans with deterministic structure
+/// plus counter/histogram traffic, so the stream carries every record kind
+/// the report consumes.
+fn workload() {
+    for i in 0..3u64 {
+        let _outer = metadpa::obs::span!("rt.outer");
+        metadpa::obs::counter_add!("rt.widgets", 10);
+        {
+            let _inner = metadpa::obs::span!("rt.inner");
+            metadpa::obs::histogram_observe!("rt.latency", 100 + i);
+            std::hint::black_box((0..500).sum::<u64>());
+        }
+    }
+}
+
+fn record_run(path: &std::path::Path) {
+    let file = metadpa::obs::FileRecorder::create(path.to_str().unwrap()).expect("create stream");
+    metadpa::obs::enable(Arc::new(file));
+    metadpa::obs::span::reset_aggregates();
+    metadpa::obs::metrics::reset();
+    {
+        let session = metadpa::obs::ObsSession::new(true);
+        workload();
+        drop(session); // emits the metric snapshot and flushes the sink
+    }
+}
+
+#[test]
+fn stream_report_matches_live_aggregates_and_self_diff_is_zero() {
+    let _guard = metadpa::obs::test_lock();
+    let path = std::env::temp_dir().join(format!("obs_rt_{}.jsonl", std::process::id()));
+    record_run(&path);
+
+    // Snapshot the live aggregates before anything else resets them.
+    let live = metadpa::obs::span::aggregate_snapshot();
+    metadpa::obs::disable();
+
+    let events = read_file(path.to_str().unwrap()).expect("parse recorded stream");
+    let report = Report::from_events(&events);
+
+    // Every live span path must appear in the stream-derived report with
+    // identical completion counts and identical inclusive time — both sides
+    // sum the same per-completion dur_ns observations.
+    assert!(!live.is_empty(), "workload produced no span aggregates");
+    for (live_path, stat) in &live {
+        let derived = report
+            .spans
+            .get(live_path.as_str())
+            .unwrap_or_else(|| panic!("path {live_path} missing from stream report"));
+        assert_eq!(derived.count, stat.count, "{live_path}: completion counts differ");
+        assert_eq!(
+            derived.inclusive_ns, stat.total_ns,
+            "{live_path}: stream-derived inclusive time differs from live aggregate"
+        );
+    }
+    assert_eq!(report.spans.len(), live.len(), "report has span paths the live table lacks");
+
+    // Exclusive time: the parent's self time is its inclusive minus the
+    // nested child's inclusive.
+    let outer = &report.spans["rt.outer"];
+    let inner = &report.spans["rt.outer/rt.inner"];
+    assert_eq!(outer.exclusive_ns, outer.inclusive_ns - inner.inclusive_ns);
+    assert_eq!(inner.exclusive_ns, inner.inclusive_ns, "leaf span: exclusive == inclusive");
+
+    // The metric snapshot embedded in the stream must reproduce the
+    // workload's counter exactly.
+    let widgets = report.metrics.get("rt.widgets").expect("counter missing from stream");
+    assert_eq!(widgets.value, 30.0);
+    assert!(report.metrics.contains_key("rt.latency"), "histogram missing from stream");
+
+    // A stream diffed against itself is all-zero.
+    let self_diff = StreamDiff::between(&report, &report);
+    assert!(self_diff.is_zero(), "self-diff must be zero:\n{}", self_diff.render());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+fn bench_fixture(p50_ns: u64) -> BenchReport {
+    BenchReport {
+        git_rev: "fixture".into(),
+        scenario: "rt.gate".into(),
+        host: HostInfo::current(),
+        blocks: vec![BenchBlock {
+            name: "rt.block".into(),
+            iters: 10,
+            p50_ns,
+            p90_ns: p50_ns + p50_ns / 10,
+            mean_ns: p50_ns as f64,
+            flops: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
+        }],
+    }
+}
+
+#[test]
+fn regression_gate_passes_against_itself_and_fails_against_tightened_baseline() {
+    let current = bench_fixture(1_000_000);
+
+    // Fresh baseline (identical numbers): no regressions.
+    let vs_self = check(&current, &current, 0.15);
+    assert_eq!(vs_self.regressions, 0, "identical runs must pass the gate");
+    assert!(vs_self.hardware_match);
+
+    // Tightened fixture (baseline claims half the time): the same current
+    // run is now >15% over and must be flagged.
+    let tightened = bench_fixture(500_000);
+    let vs_tightened = check(&current, &tightened, 0.15);
+    assert!(
+        vs_tightened.regressions > 0,
+        "a 2x slowdown must trip the 15% gate:\n{}",
+        vs_tightened.render(0.15)
+    );
+
+    // And the BENCH file itself survives a serialisation round trip.
+    let parsed = BenchReport::from_json(&current.to_json()).expect("BENCH round trip");
+    assert_eq!(parsed, current);
+}
