@@ -13,26 +13,10 @@ use metadpa_obs::report::{BenchBlock, BenchReport, HostInfo};
 
 /// The current git revision (short hash, `-dirty` suffixed when the tree
 /// has local modifications), or `"unknown"` outside a git checkout.
+/// Delegates to [`metadpa_obs::report::git_rev`], which is shared with the
+/// serve artifact exporter.
 pub fn git_rev() -> String {
-    let run = |args: &[&str]| {
-        std::process::Command::new("git")
-            .args(args)
-            .output()
-            .ok()
-            .filter(|o| o.status.success())
-            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-    };
-    match run(&["rev-parse", "--short=12", "HEAD"]) {
-        Some(rev) if !rev.is_empty() => {
-            let dirty = run(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
-            if dirty {
-                format!("{rev}-dirty")
-            } else {
-                rev
-            }
-        }
-        _ => "unknown".to_string(),
-    }
+    metadpa_obs::report::git_rev()
 }
 
 /// Assembles a [`BenchReport`] for this machine and revision.

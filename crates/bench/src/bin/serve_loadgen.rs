@@ -1,0 +1,251 @@
+//! `serve-loadgen` — loopback load generator for the inference server.
+//!
+//! Builds a serving artifact in-process (realistic tiny-world shapes, no
+//! lengthy fit — throughput does not depend on the weights), starts the
+//! HTTP server on an ephemeral port, and hammers it from N client
+//! threads with a seeded 80/20 mix of warm (`user_id`) and cold
+//! (`content`) `/v1/recommend` requests over real TCP. Reports
+//! throughput and exact latency percentiles, and optionally writes a
+//! `metadpa-bench/v1` BENCH file (`--bench-out`) that `obs-report check`
+//! can gate against a baseline.
+//!
+//! ```text
+//! serve-loadgen [--seed N] [--duration-ms N] [--clients N] [--workers N]
+//!               [--k N] [--min-rps N] [--bench-out PATH]
+//! ```
+//!
+//! Exits nonzero when any request fails or throughput lands under
+//! `--min-rps` (default 0 = no gate).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use metadpa_bench::baseline::write_bench_report;
+use metadpa_core::artifact::artifact_from_learner;
+use metadpa_core::augmentation::DiversityReport;
+use metadpa_core::{MetaDpaConfig, MetaLearner};
+use metadpa_data::generator::generate_world;
+use metadpa_data::presets::tiny_world;
+use metadpa_obs::report::BenchBlock;
+use metadpa_serve::http::{serve, ServerConfig};
+use metadpa_serve::{router, Engine};
+use metadpa_tensor::SeededRng;
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn flag_opt(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// SplitMix64: a tiny per-client deterministic stream, independent of the
+/// tensor crate's RNG so traffic is stable across model changes.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn build_engine(seed: u64) -> Arc<Engine> {
+    let world = generate_world(&tiny_world(seed));
+    let mut pref = MetaDpaConfig::fast().preference;
+    pref.content_dim = world.target.user_content.cols();
+    let maml = MetaDpaConfig::fast().maml;
+    let mut rng = SeededRng::new(seed);
+    let mut learner = MetaLearner::new(pref, maml, &mut rng);
+    let artifact = artifact_from_learner(
+        &mut learner,
+        "loadgen",
+        "loadgen".into(),
+        world.fingerprint_hex(),
+        DiversityReport::default(),
+        world.target.user_content.clone(),
+        world.target.item_content.clone(),
+    );
+    Arc::new(Engine::new(artifact.into_recommender().expect("loadgen artifact is valid")))
+}
+
+/// One loopback request; returns the HTTP status (0 on transport error).
+fn post(addr: SocketAddr, path: &str, body: &str) -> u16 {
+    let Ok(mut s) = TcpStream::connect(addr) else { return 0 };
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    if s.write_all(raw.as_bytes()).is_err() {
+        return 0;
+    }
+    let mut out = String::new();
+    if s.read_to_string(&mut out).is_err() {
+        return 0;
+    }
+    out.split_whitespace().nth(1).and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+#[derive(Default)]
+struct ClientStats {
+    warm_ns: Vec<u64>,
+    cold_ns: Vec<u64>,
+    failures: u64,
+}
+
+fn run_client(
+    addr: SocketAddr,
+    seed: u64,
+    deadline: Instant,
+    n_users: usize,
+    content_dim: usize,
+    k: usize,
+) -> ClientStats {
+    let mut rng = Mix(seed);
+    let mut stats = ClientStats::default();
+    while Instant::now() < deadline {
+        let warm = rng.unit() < 0.8;
+        let body = if warm {
+            let user = (rng.next() as usize) % n_users;
+            format!(r#"{{"user_id":{user},"k":{k}}}"#)
+        } else {
+            let content: Vec<String> =
+                (0..content_dim).map(|_| format!("{:.4}", rng.unit() * 2.0 - 1.0)).collect();
+            format!(r#"{{"content":[{}],"k":{k}}}"#, content.join(","))
+        };
+        let start = Instant::now();
+        let status = post(addr, "/v1/recommend", &body);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        if status == 200 {
+            if warm {
+                stats.warm_ns.push(elapsed);
+            } else {
+                stats.cold_ns.push(elapsed);
+            }
+        } else {
+            stats.failures += 1;
+        }
+    }
+    stats
+}
+
+/// Exact quantile of a sorted latency vector (nearest-rank).
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn block_from(name: &str, mut ns: Vec<u64>) -> BenchBlock {
+    ns.sort_unstable();
+    let mean = if ns.is_empty() { 0.0 } else { ns.iter().sum::<u64>() as f64 / ns.len() as f64 };
+    BenchBlock {
+        name: name.to_string(),
+        iters: ns.len() as u64,
+        p50_ns: quantile(&ns, 0.5),
+        p90_ns: quantile(&ns, 0.9),
+        mean_ns: mean,
+        flops: 0,
+        alloc_count: 0,
+        alloc_bytes: 0,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = flag(&args, "--seed", 7);
+    let duration_ms: u64 = flag(&args, "--duration-ms", 2000);
+    let clients: usize = flag(&args, "--clients", 4);
+    let workers: usize = flag(&args, "--workers", 4);
+    let k: usize = flag(&args, "--k", 10);
+    let min_rps: f64 = flag(&args, "--min-rps", 0.0);
+    let bench_out = flag_opt(&args, "--bench-out");
+
+    eprintln!("building loadgen engine (seed {seed})...");
+    let engine = build_engine(seed);
+    let (n_users, content_dim) = (engine.n_users(), engine.content_dim());
+    let server = match serve(
+        ServerConfig { workers, ..ServerConfig::default() },
+        router(Arc::clone(&engine)),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve-loadgen: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+    eprintln!(
+        "loadgen: {clients} clients x {duration_ms}ms against http://{addr} \
+         ({workers} workers, {n_users} users, k={k}, 80% warm / 20% cold)"
+    );
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_millis(duration_ms);
+    let mut joins = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let client_seed = seed.wrapping_mul(0x9E37_79B9).wrapping_add(c as u64);
+        joins.push(std::thread::spawn(move || {
+            run_client(addr, client_seed, deadline, n_users, content_dim, k)
+        }));
+    }
+    let mut warm_ns: Vec<u64> = Vec::new();
+    let mut cold_ns: Vec<u64> = Vec::new();
+    let mut failures = 0u64;
+    for j in joins {
+        let s = j.join().expect("client thread");
+        warm_ns.extend(s.warm_ns);
+        cold_ns.extend(s.cold_ns);
+        failures += s.failures;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let total = (warm_ns.len() + cold_ns.len()) as u64;
+    let rps = total as f64 / elapsed;
+    let warm_block = block_from("serve.recommend.warm", warm_ns);
+    let cold_block = block_from("serve.recommend.cold", cold_ns);
+    eprintln!(
+        "loadgen: {total} ok ({failures} failed) in {elapsed:.2}s = {rps:.0} req/s\n\
+         \x20 warm: n={} p50={}us p90={}us\n\
+         \x20 cold: n={} p50={}us p90={}us",
+        warm_block.iters,
+        warm_block.p50_ns / 1000,
+        warm_block.p90_ns / 1000,
+        cold_block.iters,
+        cold_block.p50_ns / 1000,
+        cold_block.p90_ns / 1000,
+    );
+
+    if let Some(path) = bench_out {
+        if let Err(e) = write_bench_report(&path, "serve.loadgen", vec![warm_block, cold_block]) {
+            eprintln!("serve-loadgen: writing {path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failures > 0 {
+        eprintln!("serve-loadgen: FAILED: {failures} requests did not return 200");
+        return ExitCode::FAILURE;
+    }
+    if min_rps > 0.0 && rps < min_rps {
+        eprintln!("serve-loadgen: FAILED: {rps:.0} req/s under the {min_rps:.0} req/s floor");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

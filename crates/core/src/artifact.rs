@@ -1,0 +1,499 @@
+//! Exported serving artifacts: everything a cold-start inference server
+//! needs, detached from the training pipeline.
+//!
+//! An [`Artifact`] is the self-contained value a fitted [`crate::MetaDpa`]
+//! exports ([`crate::MetaDpa::export_artifact`]): the preference-model
+//! parameters as a named-tensor table, the target domain's content
+//! matrices, and enough metadata ([`ArtifactMeta`]) to rebuild the exact
+//! model and to refuse mismatched data at load time. `metadpa-serve`
+//! persists it in the `metadpa-ckpt/v1` on-disk format; this module is the
+//! in-memory contract shared by exporter, checkpoint codec and server.
+//!
+//! [`Artifact::into_recommender`] rebuilds a forward-only scorer,
+//! [`ArtifactRecommender`], that reuses the *same* [`MetaLearner`] code
+//! paths as the offline pipeline — scoring and serve-time MAML adaptation
+//! are therefore bit-identical to what `fit`/`fine_tune`/`score` produce
+//! in memory, which is what makes the export → reload round trip exact.
+
+use std::fmt;
+
+use metadpa_data::task::Task;
+use metadpa_metrics::ranking::top_k_indices;
+use metadpa_nn::module::{named_snapshot, restore, restore_named, snapshot};
+use metadpa_tensor::{Matrix, SeededRng};
+
+use crate::augmentation::DiversityReport;
+use crate::maml::{MamlConfig, MetaLearner};
+use crate::preference::PreferenceConfig;
+
+/// Schema identifier embedded in every exported artifact.
+pub const ARTIFACT_SCHEMA: &str = "metadpa-artifact/v1";
+
+/// Name prefix of the preference-model tensors in the artifact's table
+/// (`preference.p000`, `preference.p001`, …).
+pub const PARAM_PREFIX: &str = "preference";
+
+/// Provenance and architecture metadata stored alongside the tensors.
+#[derive(Clone, Debug)]
+pub struct ArtifactMeta {
+    /// Always [`ARTIFACT_SCHEMA`] for artifacts this crate writes.
+    pub schema: String,
+    /// Display name of the exporting model (e.g. `"MetaDPA"`).
+    pub model_name: String,
+    /// Git revision of the exporting build (short hash, `-dirty` suffixed).
+    pub git_rev: String,
+    /// Structural fingerprint of the training world
+    /// ([`metadpa_data::domain::World::fingerprint_hex`]); a server can
+    /// compare it against live data before answering by-id requests.
+    pub data_fingerprint: String,
+    /// Preference-model architecture (content_dim reflects the data).
+    pub preference: PreferenceConfig,
+    /// MAML hyper-parameters; `inner_lr` and `finetune_steps` define the
+    /// serve-time adaptation contract.
+    pub maml: MamlConfig,
+    /// Diversity statistics of the augmentation that trained this model.
+    pub diversity: DiversityReport,
+}
+
+/// A self-contained exported model: metadata, named parameter tensors and
+/// the target domain's content matrices.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// Provenance and architecture.
+    pub meta: ArtifactMeta,
+    /// Preference-model parameters from
+    /// [`metadpa_nn::module::named_snapshot`] under [`PARAM_PREFIX`].
+    pub params: Vec<(String, Matrix)>,
+    /// `n_users x content_dim` user content of the target domain.
+    pub user_content: Matrix,
+    /// `n_items x content_dim` item content of the target domain.
+    pub item_content: Matrix,
+}
+
+/// Typed failures of artifact reconstruction and serving-side requests.
+///
+/// These are *request/data* errors, never panics: the server maps them to
+/// 4xx responses (e.g. [`ArtifactError::UserOutOfRange`] → 422).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// A by-id request referenced a user the artifact does not know.
+    UserOutOfRange {
+        /// The offending user id.
+        user: usize,
+        /// Number of users the artifact was exported with.
+        n_users: usize,
+    },
+    /// A support pair referenced an item beyond the catalogue.
+    ItemOutOfRange {
+        /// The offending item id.
+        item: usize,
+        /// Number of items the artifact was exported with.
+        n_items: usize,
+    },
+    /// Adaptation was requested with an empty support set.
+    EmptySupport,
+    /// A support label was NaN or infinite.
+    NonFiniteLabel {
+        /// The item whose label was non-finite.
+        item: usize,
+    },
+    /// A content vector (or content matrix) has the wrong width.
+    ContentDimMismatch {
+        /// Which input was malformed (`"user_content"`, `"request"`, …).
+        what: &'static str,
+        /// Observed width.
+        got: usize,
+        /// Width the artifact's architecture expects.
+        want: usize,
+    },
+    /// The named-tensor table does not match the architecture in the
+    /// metadata (wrong names, shapes or count).
+    BadParams(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::UserOutOfRange { user, n_users } => {
+                write!(f, "user id {user} out of range: artifact has {n_users} users")
+            }
+            ArtifactError::ItemOutOfRange { item, n_items } => {
+                write!(f, "item id {item} out of range: artifact has {n_items} items")
+            }
+            ArtifactError::EmptySupport => {
+                write!(f, "adaptation requires a non-empty support set")
+            }
+            ArtifactError::NonFiniteLabel { item } => {
+                write!(f, "support label for item {item} is not finite")
+            }
+            ArtifactError::ContentDimMismatch { what, got, want } => {
+                write!(f, "{what} has content width {got}, artifact expects {want}")
+            }
+            ArtifactError::BadParams(msg) => write!(f, "parameter table mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl Artifact {
+    /// Rebuilds the forward-only scorer from this artifact.
+    ///
+    /// Validates that the content matrices match the recorded architecture
+    /// and that the parameter table restores cleanly into a freshly built
+    /// [`crate::PreferenceModel`] of that architecture.
+    pub fn into_recommender(self) -> Result<ArtifactRecommender, ArtifactError> {
+        let Artifact { meta, params, user_content, item_content } = self;
+        let want = meta.preference.content_dim;
+        if user_content.cols() != want {
+            return Err(ArtifactError::ContentDimMismatch {
+                what: "user_content",
+                got: user_content.cols(),
+                want,
+            });
+        }
+        if item_content.cols() != want {
+            return Err(ArtifactError::ContentDimMismatch {
+                what: "item_content",
+                got: item_content.cols(),
+                want,
+            });
+        }
+        // The RNG only sets the initial weights, which `restore_named`
+        // overwrites entirely — any seed yields the same recommender.
+        let mut rng = SeededRng::new(0);
+        let mut learner = MetaLearner::new(meta.preference, meta.maml, &mut rng);
+        restore_named(learner.model_mut(), PARAM_PREFIX, &params)
+            .map_err(ArtifactError::BadParams)?;
+        let theta = snapshot(learner.model_mut());
+        Ok(ArtifactRecommender { meta, learner, theta, user_content, item_content })
+    }
+}
+
+/// The serving-side scorer rebuilt from an [`Artifact`].
+///
+/// Wraps a [`MetaLearner`] pinned at the exported parameters θ. Every
+/// scoring call runs at θ unless explicitly given an adapted parameter set
+/// (produced by [`ArtifactRecommender::adapt_user`] /
+/// [`ArtifactRecommender::adapt_content`]); adapted scoring rewinds to θ
+/// afterwards, so the recommender itself never drifts.
+pub struct ArtifactRecommender {
+    meta: ArtifactMeta,
+    learner: MetaLearner,
+    theta: Vec<Matrix>,
+    user_content: Matrix,
+    item_content: Matrix,
+}
+
+impl ArtifactRecommender {
+    /// The artifact's metadata.
+    pub fn meta(&self) -> &ArtifactMeta {
+        &self.meta
+    }
+
+    /// Number of users the artifact was exported with.
+    pub fn n_users(&self) -> usize {
+        self.user_content.rows()
+    }
+
+    /// Number of items in the catalogue.
+    pub fn n_items(&self) -> usize {
+        self.item_content.rows()
+    }
+
+    /// Content vector width.
+    pub fn content_dim(&self) -> usize {
+        self.meta.preference.content_dim
+    }
+
+    /// The exported meta-parameters θ (one matrix per model parameter, in
+    /// visit order) — the rewind point for all adaptation.
+    pub fn theta(&self) -> &[Matrix] {
+        &self.theta
+    }
+
+    /// Column mean of the user-content matrix: the "average user" vector
+    /// used for cold requests that carry no content of their own.
+    pub fn mean_user_content(&self) -> Vec<f32> {
+        let rows = self.user_content.rows();
+        let mut mean = vec![0.0f32; self.user_content.cols()];
+        for r in 0..rows {
+            for (m, v) in mean.iter_mut().zip(self.user_content.row(r)) {
+                *m += v;
+            }
+        }
+        let inv = 1.0 / rows.max(1) as f32;
+        for m in &mut mean {
+            *m *= inv;
+        }
+        mean
+    }
+
+    fn check_user(&self, user: usize) -> Result<(), ArtifactError> {
+        if user >= self.n_users() {
+            return Err(ArtifactError::UserOutOfRange { user, n_users: self.n_users() });
+        }
+        Ok(())
+    }
+
+    fn check_content(&self, content: &[f32]) -> Result<(), ArtifactError> {
+        if content.len() != self.content_dim() {
+            return Err(ArtifactError::ContentDimMismatch {
+                what: "request content",
+                got: content.len(),
+                want: self.content_dim(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_support(&self, support: &[(usize, f32)]) -> Result<(), ArtifactError> {
+        if support.is_empty() {
+            return Err(ArtifactError::EmptySupport);
+        }
+        for &(item, label) in support {
+            if item >= self.n_items() {
+                return Err(ArtifactError::ItemOutOfRange { item, n_items: self.n_items() });
+            }
+            if !label.is_finite() {
+                return Err(ArtifactError::NonFiniteLabel { item });
+            }
+        }
+        Ok(())
+    }
+
+    /// Scores the whole catalogue for `content` and returns the top `k`
+    /// `(item, score)` pairs, best first. With `params` the adapted
+    /// parameter set is used for this call only (θ is restored after).
+    fn rank(&mut self, content: &[f32], k: usize, params: Option<&[Matrix]>) -> Vec<(usize, f32)> {
+        if let Some(p) = params {
+            restore(self.learner.model_mut(), p);
+        }
+        let items: Vec<usize> = (0..self.item_content.rows()).collect();
+        let scores = self.learner.score(content, &self.item_content, &items);
+        if params.is_some() {
+            restore(self.learner.model_mut(), &self.theta);
+        }
+        top_k_indices(&scores, k).into_iter().map(|i| (i, scores[i])).collect()
+    }
+
+    /// Top-`k` recommendations for a known (warm) user by id, best first.
+    ///
+    /// Pass `params` to score with an adapted parameter set from
+    /// [`ArtifactRecommender::adapt_user`]; θ is untouched either way.
+    pub fn recommend(
+        &mut self,
+        user: usize,
+        k: usize,
+        params: Option<&[Matrix]>,
+    ) -> Result<Vec<(usize, f32)>, ArtifactError> {
+        self.check_user(user)?;
+        let content: Vec<f32> = self.user_content.row(user).to_vec();
+        Ok(self.rank(&content, k, params))
+    }
+
+    /// Top-`k` recommendations for a raw content vector (a user the
+    /// artifact has never seen), best first.
+    pub fn recommend_content(
+        &mut self,
+        content: &[f32],
+        k: usize,
+        params: Option<&[Matrix]>,
+    ) -> Result<Vec<(usize, f32)>, ArtifactError> {
+        self.check_content(content)?;
+        Ok(self.rank(content, k, params))
+    }
+
+    /// Serve-time MAML adaptation for a known user: runs the trained
+    /// inner loop ([`MetaLearner::fine_tune`], `finetune_steps` SGD steps
+    /// at `inner_lr`) on the given support set starting from θ, returns
+    /// the adapted parameters, and rewinds the model to θ.
+    ///
+    /// Deterministic: the same support set always yields the same
+    /// parameters, so results are cacheable by user.
+    pub fn adapt_user(
+        &mut self,
+        user: usize,
+        support: &[(usize, f32)],
+    ) -> Result<Vec<Matrix>, ArtifactError> {
+        self.check_user(user)?;
+        self.check_support(support)?;
+        let task = Task { user, support: support.to_vec(), query: Vec::new() };
+        restore(self.learner.model_mut(), &self.theta);
+        self.learner.fine_tune(std::slice::from_ref(&task), &self.user_content, &self.item_content);
+        let adapted = snapshot(self.learner.model_mut());
+        restore(self.learner.model_mut(), &self.theta);
+        Ok(adapted)
+    }
+
+    /// Serve-time MAML adaptation for a brand-new user described only by a
+    /// content vector and a support set. Same contract as
+    /// [`ArtifactRecommender::adapt_user`].
+    pub fn adapt_content(
+        &mut self,
+        content: &[f32],
+        support: &[(usize, f32)],
+    ) -> Result<Vec<Matrix>, ArtifactError> {
+        self.check_content(content)?;
+        self.check_support(support)?;
+        let uc = Matrix::from_vec(1, content.len(), content.to_vec());
+        let task = Task { user: 0, support: support.to_vec(), query: Vec::new() };
+        restore(self.learner.model_mut(), &self.theta);
+        self.learner.fine_tune(std::slice::from_ref(&task), &uc, &self.item_content);
+        let adapted = snapshot(self.learner.model_mut());
+        restore(self.learner.model_mut(), &self.theta);
+        Ok(adapted)
+    }
+}
+
+/// Builds an [`Artifact`] directly from a live [`MetaLearner`] plus the
+/// content matrices it was trained against — the exporter shared by
+/// [`crate::MetaDpa::export_artifact`] and tests.
+pub fn artifact_from_learner(
+    learner: &mut MetaLearner,
+    model_name: &str,
+    git_rev: String,
+    data_fingerprint: String,
+    diversity: DiversityReport,
+    user_content: Matrix,
+    item_content: Matrix,
+) -> Artifact {
+    Artifact {
+        meta: ArtifactMeta {
+            schema: ARTIFACT_SCHEMA.to_string(),
+            model_name: model_name.to_string(),
+            git_rev,
+            data_fingerprint,
+            preference: learner.model().config(),
+            maml: learner.config(),
+            diversity,
+        },
+        params: named_snapshot(learner.model_mut(), PARAM_PREFIX),
+        user_content,
+        item_content,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_parts(seed: u64) -> (MetaLearner, Matrix, Matrix) {
+        let pref = PreferenceConfig { content_dim: 6, embed_dim: 5, hidden: [8, 4] };
+        let maml = MamlConfig { finetune_steps: 2, ..MamlConfig::default() };
+        let mut rng = SeededRng::new(seed);
+        let learner = MetaLearner::new(pref, maml, &mut rng);
+        let user_content = rng.uniform_matrix(4, 6, -1.0, 1.0);
+        let item_content = rng.uniform_matrix(9, 6, -1.0, 1.0);
+        (learner, user_content, item_content)
+    }
+
+    fn tiny_artifact(seed: u64) -> Artifact {
+        let (mut learner, uc, ic) = tiny_parts(seed);
+        artifact_from_learner(
+            &mut learner,
+            "unit",
+            "test-rev".into(),
+            "0000000000000000".into(),
+            DiversityReport::default(),
+            uc,
+            ic,
+        )
+    }
+
+    #[test]
+    fn reloaded_recommender_matches_the_source_model_exactly() {
+        let (mut learner, uc, ic) = tiny_parts(11);
+        let artifact = artifact_from_learner(
+            &mut learner,
+            "unit",
+            "test-rev".into(),
+            "0000000000000000".into(),
+            DiversityReport::default(),
+            uc.clone(),
+            ic.clone(),
+        );
+        let mut rec = artifact.into_recommender().expect("valid artifact");
+        assert_eq!(rec.n_users(), 4);
+        assert_eq!(rec.n_items(), 9);
+        assert_eq!(rec.meta().model_name, "unit");
+
+        // Bit-exact agreement with scoring through the live learner.
+        let items: Vec<usize> = (0..ic.rows()).collect();
+        for user in 0..uc.rows() {
+            let scores = learner.score(uc.row(user), &ic, &items);
+            let want: Vec<(usize, f32)> =
+                top_k_indices(&scores, 3).into_iter().map(|i| (i, scores[i])).collect();
+            assert_eq!(rec.recommend(user, 3, None).unwrap(), want, "user {user}");
+        }
+    }
+
+    #[test]
+    fn adaptation_is_deterministic_and_rewinds_theta() {
+        let mut rec = tiny_artifact(12).into_recommender().expect("valid artifact");
+        let support = vec![(0usize, 1.0f32), (3, 0.0), (7, 1.0)];
+        let base = rec.recommend(1, 5, None).unwrap();
+
+        let adapted = rec.adapt_user(1, &support).expect("adapt");
+        let again = rec.adapt_user(1, &support).expect("adapt twice");
+        assert_eq!(adapted, again, "same support must yield the same parameters");
+        assert_ne!(adapted, rec.theta(), "adaptation must move the parameters");
+
+        let adapted_list = rec.recommend(1, 5, Some(&adapted)).unwrap();
+        let base_after = rec.recommend(1, 5, None).unwrap();
+        assert_eq!(base, base_after, "θ must be untouched by adapted scoring");
+        // The adapted list may or may not reorder, but the scores change.
+        assert_ne!(adapted_list, base);
+
+        // Content-based adaptation works on the "average user" vector and
+        // produces a full parameter set of the same shape.
+        let mean = rec.mean_user_content();
+        assert_eq!(mean.len(), rec.content_dim());
+        rec.recommend_content(&mean, 2, None).expect("mean content scores");
+        let by_content = rec.adapt_content(&mean, &support).expect("content adapt");
+        assert_eq!(by_content.len(), adapted.len());
+    }
+
+    #[test]
+    fn request_errors_are_typed_not_panics() {
+        let mut rec = tiny_artifact(13).into_recommender().expect("valid artifact");
+        assert_eq!(
+            rec.recommend(99, 3, None).unwrap_err(),
+            ArtifactError::UserOutOfRange { user: 99, n_users: 4 }
+        );
+        assert_eq!(rec.adapt_user(0, &[]).unwrap_err(), ArtifactError::EmptySupport);
+        assert_eq!(
+            rec.adapt_user(0, &[(42, 1.0)]).unwrap_err(),
+            ArtifactError::ItemOutOfRange { item: 42, n_items: 9 }
+        );
+        assert_eq!(
+            rec.adapt_user(0, &[(1, f32::NAN)]).unwrap_err(),
+            ArtifactError::NonFiniteLabel { item: 1 }
+        );
+        let err = rec.recommend_content(&[0.0; 3], 3, None).unwrap_err();
+        assert!(matches!(err, ArtifactError::ContentDimMismatch { got: 3, want: 6, .. }));
+        assert!(err.to_string().contains("content width 3"));
+    }
+
+    #[test]
+    fn corrupted_parameter_tables_are_rejected() {
+        let mut artifact = tiny_artifact(14);
+        artifact.params[0].0 = "other.p000".into();
+        match artifact.into_recommender() {
+            Err(ArtifactError::BadParams(msg)) => assert!(msg.contains("named")),
+            Err(other) => panic!("expected BadParams, got {other:?}"),
+            Ok(_) => panic!("expected BadParams, got a recommender"),
+        }
+
+        let mut short = tiny_artifact(14);
+        short.params.pop();
+        assert!(matches!(short.into_recommender(), Err(ArtifactError::BadParams(_))));
+
+        let mut wrong_dim = tiny_artifact(14);
+        wrong_dim.user_content = Matrix::zeros(4, 5);
+        assert!(matches!(
+            wrong_dim.into_recommender(),
+            Err(ArtifactError::ContentDimMismatch { what: "user_content", got: 5, want: 6 })
+        ));
+    }
+}

@@ -105,7 +105,7 @@ pub fn recommend_top_k(
         return Vec::new();
     }
     let scores = rec.score(domain, user, &candidates);
-    metadpa_tensor::stats::topk_indices(&scores, k)
+    metadpa_metrics::ranking::top_k_indices(&scores, k)
         .into_iter()
         .map(|idx| (candidates[idx], scores[idx]))
         .collect()

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptation;
+pub mod artifact;
 pub mod augmentation;
 pub mod critic;
 pub mod cvae;
@@ -43,6 +44,7 @@ pub mod pipeline;
 pub mod preference;
 
 pub use adaptation::MultiSourceAdapter;
+pub use artifact::{Artifact, ArtifactError, ArtifactMeta, ArtifactRecommender, ARTIFACT_SCHEMA};
 pub use dual_cvae::{DualCvae, DualCvaeConfig, DualCvaeLosses};
 pub use eval::{evaluate_scenario, Recommender};
 pub use maml::{MamlConfig, MetaLearner};

@@ -214,6 +214,29 @@ impl MetaDpa {
     fn learner_mut(&mut self) -> &mut MetaLearner {
         self.learner.as_mut().expect("MetaDpa: call fit before using the model")
     }
+
+    /// Exports the fitted model as a self-contained serving
+    /// [`crate::artifact::Artifact`]: preference-model parameters, the
+    /// target domain's content matrices, and provenance metadata (git
+    /// revision, data fingerprint, diversity stats).
+    ///
+    /// # Panics
+    /// Panics if called before [`Recommender::fit`].
+    pub fn export_artifact(&mut self, world: &World) -> crate::artifact::Artifact {
+        let model_name = self.name();
+        let diversity = self.diversity;
+        let learner =
+            self.learner.as_mut().expect("MetaDpa: call fit before exporting an artifact");
+        crate::artifact::artifact_from_learner(
+            learner,
+            &model_name,
+            metadpa_obs::report::git_rev(),
+            world.fingerprint_hex(),
+            diversity,
+            world.target.user_content.clone(),
+            world.target.item_content.clone(),
+        )
+    }
 }
 
 impl Recommender for MetaDpa {

@@ -2,6 +2,14 @@
 
 use metadpa_tensor::Matrix;
 
+/// FNV-1a accumulator used by the structural fingerprints below.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x100000001b3);
+    }
+}
+
 /// One materialized domain: implicit-feedback interactions plus review
 /// content for every user and item.
 #[derive(Clone, Debug)]
@@ -61,6 +69,27 @@ impl Domain {
         counts
     }
 
+    /// Structural fingerprint of this domain: an FNV-1a hash over the
+    /// name, population sizes, rating count and content dimensionality.
+    /// Two domains with the same fingerprint have compatible index spaces
+    /// (same user/item/content ranges), which is what a serving artifact
+    /// needs to check before answering by-id requests — it deliberately
+    /// ignores the floating-point content values themselves.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        fnv1a(&mut h, self.name.as_bytes());
+        for v in [
+            self.n_users() as u64,
+            self.n_items() as u64,
+            self.n_ratings() as u64,
+            self.user_content.cols() as u64,
+            self.item_content.cols() as u64,
+        ] {
+            fnv1a(&mut h, &v.to_le_bytes());
+        }
+        h
+    }
+
     /// Checks internal consistency (sorted, deduplicated, in-range
     /// interactions; matching matrix shapes). Used by tests and debug
     /// assertions.
@@ -105,6 +134,24 @@ impl World {
     /// Number of source domains.
     pub fn n_sources(&self) -> usize {
         self.sources.len()
+    }
+
+    /// Structural fingerprint of the whole world: the target's and every
+    /// source's [`Domain::fingerprint`] plus the shared-user counts, FNV-1a
+    /// combined. Exported model artifacts embed this so a server can refuse
+    /// to pair an artifact with a dataset of a different shape.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = self.target.fingerprint();
+        for (s, pairs) in self.sources.iter().zip(self.shared_users.iter()) {
+            fnv1a(&mut h, &s.fingerprint().to_le_bytes());
+            fnv1a(&mut h, &(pairs.len() as u64).to_le_bytes());
+        }
+        h
+    }
+
+    /// The fingerprint as the fixed-width hex string stored in artifacts.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
     }
 
     /// Checks cross-domain consistency.
@@ -169,6 +216,32 @@ mod tests {
         let counts = d.item_rating_counts();
         assert_eq!(counts, vec![1, 1, 1]);
         assert_eq!(counts.iter().sum::<usize>(), d.n_ratings());
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_values() {
+        let d = tiny_domain();
+        let mut same_shape = tiny_domain();
+        same_shape.user_content.set(0, 0, 42.0);
+        assert_eq!(d.fingerprint(), same_shape.fingerprint(), "content values are ignored");
+
+        let mut renamed = tiny_domain();
+        renamed.name = "other".into();
+        assert_ne!(d.fingerprint(), renamed.fingerprint());
+
+        let mut grown = tiny_domain();
+        grown.interactions.push(vec![1]);
+        grown.user_content = Matrix::zeros(4, 4);
+        assert_ne!(d.fingerprint(), grown.fingerprint());
+
+        let w = World { target: d, sources: vec![tiny_domain()], shared_users: vec![vec![(0, 1)]] };
+        assert_eq!(w.fingerprint_hex().len(), 16);
+        let w2 = World {
+            target: tiny_domain(),
+            sources: vec![tiny_domain()],
+            shared_users: vec![vec![(0, 1), (1, 2)]],
+        };
+        assert_ne!(w.fingerprint(), w2.fingerprint(), "shared-user count is structural");
     }
 
     #[test]

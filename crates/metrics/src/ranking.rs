@@ -77,6 +77,71 @@ pub fn auc(positive_score: f32, negative_scores: &[f32]) -> f32 {
     wins / negative_scores.len() as f32
 }
 
+/// One candidate in the top-K heap: ordered by score, ties broken toward
+/// the smaller index (so results match a full descending sort with
+/// index tie-breaks, the [`top_k_indices`] oracle).
+#[derive(PartialEq)]
+struct HeapEntry {
+    score: f32,
+    index: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Greater = better: higher score first, then smaller index.
+        self.score
+            .partial_cmp(&other.score)
+            .expect("top_k_indices: NaN score")
+            .then(other.index.cmp(&self.index))
+    }
+}
+
+/// Indices of the `k` largest scores, best first, ties broken by smaller
+/// index — the shared partial-select used by both the offline evaluation
+/// harness (`recommend_top_k`) and the serve-time scorer.
+///
+/// A size-`k` min-heap makes this `O(n log k)` instead of the `O(n log n)`
+/// full sort, which matters when ranking a whole catalogue per request.
+/// Returns fewer than `k` indices when the slice is shorter than `k`.
+///
+/// # Panics
+/// Panics if any inspected score is NaN.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    if k == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    // Min-heap of the best k seen so far (worst of the k at the top).
+    let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::with_capacity(k + 1);
+    for (index, &score) in scores.iter().enumerate() {
+        if heap.len() < k {
+            heap.push(Reverse(HeapEntry { score, index }));
+        } else if let Some(worst) = heap.peek() {
+            let candidate = HeapEntry { score, index };
+            if candidate > worst.0 {
+                heap.pop();
+                heap.push(Reverse(candidate));
+            }
+        }
+    }
+    let mut out: Vec<usize> = Vec::with_capacity(heap.len());
+    while let Some(Reverse(entry)) = heap.pop() {
+        out.push(entry.index);
+    }
+    out.reverse(); // heap popped worst-first
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +210,61 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn hr_rejects_zero_k() {
         let _ = hr_at_k(0.5, &[0.1], 0);
+    }
+
+    /// The sort-based oracle the heap select must agree with exactly.
+    fn sort_oracle(scores: &[f32], k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).expect("oracle: NaN").then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    #[test]
+    fn top_k_basics_and_ties() {
+        let v = [1.0f32, 3.0, 2.0, 3.0];
+        assert_eq!(top_k_indices(&v, 2), vec![1, 3], "tie broken toward smaller index");
+        assert_eq!(top_k_indices(&v, 10), vec![1, 3, 2, 0]);
+        assert_eq!(top_k_indices(&v, 0), Vec::<usize>::new());
+        assert_eq!(top_k_indices(&[], 5), Vec::<usize>::new());
+        assert_eq!(top_k_indices(&[0.5; 6], 3), vec![0, 1, 2], "all-equal keeps index order");
+    }
+
+    #[test]
+    fn top_k_matches_sort_oracle_on_seeded_random_vectors() {
+        // Property test against the full-sort oracle: SplitMix64-seeded
+        // score vectors with deliberate duplicates (quantized values) so
+        // tie-breaking is exercised, across lengths and cutoffs.
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        for len in [1usize, 2, 7, 99, 100, 257] {
+            for trial in 0..20 {
+                let quantum = if trial % 2 == 0 { 8.0 } else { 1024.0 };
+                let scores: Vec<f32> = (0..len)
+                    .map(|_| ((next() % 1000) as f32 / 1000.0 * quantum).round() / quantum)
+                    .collect();
+                for k in [0usize, 1, 3, len / 2, len, len + 5] {
+                    assert_eq!(
+                        top_k_indices(&scores, k),
+                        sort_oracle(&scores, k),
+                        "len={len} trial={trial} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn top_k_rejects_nan() {
+        let _ = top_k_indices(&[0.0, f32::NAN, 1.0], 2);
     }
 }

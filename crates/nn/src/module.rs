@@ -86,6 +86,72 @@ pub fn restore(module: &mut dyn Module, saved: &[Matrix]) {
     assert_eq!(idx, saved.len(), "restore: snapshot has too many parameter matrices");
 }
 
+/// Copies the current parameter values out of `module` as a named-tensor
+/// list: `{prefix}.p000`, `{prefix}.p001`, … in visit order.
+///
+/// [`Module::visit_params`] guarantees a stable order, so the index-based
+/// names are a durable identity — this is the serialization hook the
+/// checkpoint format (`metadpa-serve`) builds on.
+pub fn named_snapshot(module: &mut dyn Module, prefix: &str) -> Vec<(String, Matrix)> {
+    let mut out = Vec::new();
+    module.visit_params(&mut |p| {
+        out.push((format!("{prefix}.p{:03}", out.len()), p.value.clone()));
+    });
+    out
+}
+
+/// Writes a named-tensor list produced by [`named_snapshot`] back into
+/// `module`, verifying names and shapes.
+///
+/// Unlike [`restore`] this is fallible rather than panicking: loading a
+/// checkpoint from disk must surface mismatches (wrong architecture, wrong
+/// prefix, truncated table) as typed errors, not aborts.
+pub fn restore_named(
+    module: &mut dyn Module,
+    prefix: &str,
+    tensors: &[(String, Matrix)],
+) -> Result<(), String> {
+    let mut idx = 0usize;
+    let mut error: Option<String> = None;
+    module.visit_params(&mut |p| {
+        if error.is_some() {
+            return;
+        }
+        let Some((name, value)) = tensors.get(idx) else {
+            error = Some(format!(
+                "missing tensor {prefix}.p{idx:03}: checkpoint has only {} tensors",
+                tensors.len()
+            ));
+            return;
+        };
+        let want = format!("{prefix}.p{idx:03}");
+        if name != &want {
+            error = Some(format!("tensor {idx} is named {name:?}, expected {want:?}"));
+            return;
+        }
+        if value.shape() != p.value.shape() {
+            error = Some(format!(
+                "tensor {want} has shape {:?}, module expects {:?}",
+                value.shape(),
+                p.value.shape()
+            ));
+            return;
+        }
+        p.value = value.clone();
+        idx += 1;
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if idx != tensors.len() {
+        return Err(format!(
+            "checkpoint has {} tensors under {prefix:?}, module consumed {idx}",
+            tensors.len()
+        ));
+    }
+    Ok(())
+}
+
 /// Copies the current gradients out of `module` in visit order.
 ///
 /// Used by first-order MAML: query-set gradients computed at the adapted
@@ -144,6 +210,31 @@ mod tests {
         let mut layer = Dense::new(3, 2, &mut rng);
         // 3x2 weight + 1x2 bias.
         assert_eq!(layer.param_count(), 8);
+    }
+
+    #[test]
+    fn named_snapshot_round_trips_and_rejects_mismatches() {
+        let mut rng = SeededRng::new(7);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let named = named_snapshot(&mut layer, "demo");
+        assert_eq!(named.len(), 2, "weight + bias");
+        assert_eq!(named[0].0, "demo.p000");
+        assert_eq!(named[1].0, "demo.p001");
+
+        layer.visit_params(&mut |p| p.value.map_inplace(|v| v - 0.5));
+        restore_named(&mut layer, "demo", &named).expect("round trip");
+        assert_eq!(snapshot(&mut layer), named.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>());
+
+        // Wrong prefix, short table, extra tensors, wrong shape: all typed
+        // errors, never panics.
+        assert!(restore_named(&mut layer, "other", &named).unwrap_err().contains("named"));
+        assert!(restore_named(&mut layer, "demo", &named[..1]).unwrap_err().contains("missing"));
+        let mut extra = named.clone();
+        extra.push(("demo.p002".into(), Matrix::zeros(1, 1)));
+        assert!(restore_named(&mut layer, "demo", &extra).unwrap_err().contains("consumed"));
+        let mut bad_shape = named.clone();
+        bad_shape[0].1 = Matrix::zeros(9, 9);
+        assert!(restore_named(&mut layer, "demo", &bad_shape).unwrap_err().contains("shape"));
     }
 
     #[test]

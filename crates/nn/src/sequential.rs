@@ -9,9 +9,12 @@ use crate::param::Param;
 ///
 /// `forward` threads the activation through every layer; `backward` replays
 /// the chain in reverse. An empty `Sequential` is the identity.
+///
+/// Layers are `Send` so composed models can move across threads — the
+/// serving stack shares one model behind a mutex.
 #[derive(Default)]
 pub struct Sequential {
-    layers: Vec<Box<dyn Module>>,
+    layers: Vec<Box<dyn Module + Send>>,
 }
 
 impl Sequential {
@@ -21,13 +24,13 @@ impl Sequential {
     }
 
     /// Appends a layer, builder-style.
-    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+    pub fn push(mut self, layer: impl Module + Send + 'static) -> Self {
         self.layers.push(Box::new(layer));
         self
     }
 
     /// Appends a boxed layer in place.
-    pub fn add(&mut self, layer: Box<dyn Module>) {
+    pub fn add(&mut self, layer: Box<dyn Module + Send>) {
         self.layers.push(layer);
     }
 

@@ -1,11 +1,20 @@
-//! Hand-rolled JSON serialization for the event sink.
+//! Hand-rolled JSON: serialization for the event sink **and** the shared
+//! read API used by `obs-report`, the BENCH baseline files, and the
+//! `metadpa-serve` HTTP endpoints.
 //!
-//! The offline dependency policy rules out serde, and the sink only needs
-//! to *write* flat objects — so this module provides exactly that: RFC
-//! 8259-compliant string escaping and a small single-object writer.
-//! Non-ASCII text is passed through as UTF-8 (valid JSON); only the two
-//! mandatory escapes (`"` and `\`), the conventional short escapes, and
-//! other control characters (as `\u00XX`) are rewritten.
+//! The offline dependency policy rules out serde, so both halves live
+//! here:
+//!
+//! * **Writing**: RFC 8259-compliant string escaping ([`escape`]) and a
+//!   small single-object writer ([`ObjectWriter`]). Non-ASCII text is
+//!   passed through as UTF-8 (valid JSON); only the two mandatory escapes
+//!   (`"` and `\`), the conventional short escapes, and other control
+//!   characters (as `\u00XX`) are rewritten.
+//! * **Reading**: a recursive-descent parser ([`parse`]) covering the full
+//!   grammar — objects, arrays, strings with escapes, numbers, booleans,
+//!   null — into [`JsonValue`]. Nesting is capped at [`MAX_DEPTH`] so
+//!   adversarial input returns a [`JsonError`] instead of overflowing the
+//!   stack, and truncated input never panics.
 
 /// Appends the JSON escape of `s` (without surrounding quotes) to `out`.
 pub fn escape_into(s: &str, out: &mut String) {
@@ -127,6 +136,323 @@ impl ObjectWriter {
     }
 }
 
+/// Maximum object/array nesting depth [`parse`] accepts. The recursive-
+/// descent parser uses the call stack, so the cap is what turns a
+/// pathological `[[[[…` document into a [`JsonError`] rather than a stack
+/// overflow.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value. Integers that fit `i64` are kept exact
+/// ([`JsonValue::Int`]); everything else numeric becomes [`JsonValue::Float`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer literal that fits `i64` (durations, counts).
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// Array.
+    Arr(Vec<JsonValue>),
+    /// Object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The value as a `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key when the value is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements when the value is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset where it went wrong.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError { message: message.into(), offset: self.pos })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", b as char))
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.err(format!("nesting deeper than {MAX_DEPTH} levels"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.keyword("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => self.err(format!("unexpected byte {:?}", other as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected {word:?}"))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return self.err("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or(JsonError {
+                                    message: "truncated \\u escape".into(),
+                                    offset: self.pos,
+                                })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
+                                message: format!("bad \\u escape {hex:?}"),
+                                offset: self.pos,
+                            })?;
+                            // Surrogate pairs never occur in our own output
+                            // (we write raw UTF-8); map lone surrogates to
+                            // the replacement character rather than failing.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
+                        JsonError { message: "invalid UTF-8 in string".into(), offset: self.pos }
+                    })?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(JsonValue::Float(v)),
+            Err(_) => self.err(format!("bad number {text:?}")),
+        }
+    }
+}
+
+/// Parses one complete JSON document (trailing whitespace allowed).
+///
+/// Never panics: malformed, truncated, or pathologically nested input
+/// returns a [`JsonError`] with the byte offset of the failure.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage after JSON document");
+    }
+    Ok(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +513,87 @@ mod tests {
         let mut w = ObjectWriter::new();
         w.str_field("weird\"key", "v");
         assert_eq!(w.finish(), r#"{"weird\"key":"v"}"#);
+    }
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse(r#"{"a":1,"b":-2.5,"c":[true,null,"x"],"d":{"e":"f"}}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&JsonValue::Int(1)));
+        assert_eq!(v.get("b"), Some(&JsonValue::Float(-2.5)));
+        let arr = v.get("c").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr[0], JsonValue::Bool(true));
+        assert_eq!(arr[1], JsonValue::Null);
+        assert_eq!(arr[2], JsonValue::Str("x".into()));
+        assert_eq!(v.get("d").and_then(|d| d.get("e")).and_then(JsonValue::as_str), Some("f"));
+    }
+
+    #[test]
+    fn large_integers_stay_exact() {
+        let v = parse("{\"t\":9007199254740993}").unwrap(); // 2^53 + 1
+        assert_eq!(v.get("t").and_then(JsonValue::as_u64), Some(9007199254740993));
+    }
+
+    #[test]
+    fn string_escapes_round_trip_with_the_writer() {
+        let original = "q\"uote \\ back\nnew\ttab café \u{01}";
+        let written = escape(original);
+        let parsed = parse(&written).unwrap();
+        assert_eq!(parsed, JsonValue::Str(original.to_string()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn nesting_within_the_cap_parses() {
+        let depth = MAX_DEPTH - 1;
+        let doc = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(parse(&doc).is_ok());
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        // 100k unclosed brackets: the recursion cap must trip long before
+        // the call stack does, for both arrays and objects.
+        let bombs = ["[".repeat(100_000), "{\"a\":".repeat(100_000), "[{\"x\":[".repeat(50_000)];
+        for bomb in &bombs {
+            let err = parse(bomb).expect_err("nesting bomb must fail");
+            assert!(err.message.contains("nesting"), "{err}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_document_fails_without_panicking() {
+        // Fuzz-ish robustness: any prefix of a valid document must return
+        // cleanly (truncated input is the common failure mode for a
+        // half-written request body or a killed recorder).
+        let doc = r#"{"a":[1,-2.5e3,true,null,"es\"c\u00e9"],"b":{"c":[{"d":"x"}]}}"#;
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &doc[..cut];
+            assert!(parse(prefix).is_err(), "prefix {prefix:?} should not parse");
+        }
+        assert!(parse(doc).is_ok());
+    }
+
+    #[test]
+    fn truncated_escapes_and_garbage_bytes_error_cleanly() {
+        for bad in ["\"\\", "\"\\u00", "\"\\u00zz\"", "\"abc", "tru", "-", "1e", "[,]", "{,}"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn error_offsets_point_into_the_input() {
+        let err = parse("{\"a\": nope}").unwrap_err();
+        assert!(err.offset <= "{\"a\": nope}".len());
+        assert!(err.to_string().contains("byte"));
     }
 }

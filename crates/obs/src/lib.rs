@@ -26,8 +26,9 @@
 //! On top of the producing half sits the **consumption half**, used by the
 //! `obs-report` binary in `metadpa-bench`:
 //!
-//! 5. **Stream reader** ([`stream`]): a hand-rolled JSON parser turning a
-//!    recorded JSONL file back into typed events.
+//! 5. **Stream reader** ([`stream`]): JSONL event decoding on top of the
+//!    shared hand-rolled JSON parser ([`json::parse`], also used by the
+//!    BENCH baseline files and `metadpa-serve` request bodies).
 //! 6. **Reports** ([`report`]): span-tree reconstruction, a text
 //!    flamegraph with inclusive/exclusive time, the metrics table, a
 //!    machine-readable summary, and the stable `BENCH_*.json` perf-baseline

@@ -319,6 +319,37 @@ pub fn snapshot() -> Vec<(String, MetricSnapshot)> {
         .collect()
 }
 
+/// Renders every registered metric as exposition-style plain text, one
+/// value per line (`name value`, histograms exploded into `_count`,
+/// `_mean`, `_p50`, `_p90`, `_p99`, `_min`, `_max` suffixes). Metric names
+/// have their dots replaced by underscores so the output is scrapeable by
+/// Prometheus-style tooling; this is the body of `metadpa-serve`'s
+/// `GET /metrics` endpoint.
+pub fn render_text() -> String {
+    let mut out = String::new();
+    for (name, snap) in snapshot() {
+        let flat = name.replace('.', "_");
+        match snap {
+            MetricSnapshot::Counter(v) => {
+                out.push_str(&format!("{flat} {v}\n"));
+            }
+            MetricSnapshot::Gauge(v) => {
+                out.push_str(&format!("{flat} {}\n", crate::json::number(v)));
+            }
+            MetricSnapshot::Histogram { count, mean, p50, p90, p99, min, max } => {
+                out.push_str(&format!("{flat}_count {count}\n"));
+                out.push_str(&format!("{flat}_mean {}\n", crate::json::number(mean)));
+                out.push_str(&format!("{flat}_p50 {p50}\n"));
+                out.push_str(&format!("{flat}_p90 {p90}\n"));
+                out.push_str(&format!("{flat}_p99 {p99}\n"));
+                out.push_str(&format!("{flat}_min {min}\n"));
+                out.push_str(&format!("{flat}_max {max}\n"));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,5 +478,18 @@ mod tests {
     fn kind_mismatch_panics() {
         counter("test.metrics.kind_clash");
         gauge("test.metrics.kind_clash");
+    }
+
+    #[test]
+    fn render_text_flattens_names_and_explodes_histograms() {
+        counter("test.render.requests").add(7);
+        histogram("test.render.latency").observe(10);
+        let text = render_text();
+        assert!(text.contains("test_render_requests 7"), "{text}");
+        assert!(text.contains("test_render_latency_count 1"), "{text}");
+        assert!(text.contains("test_render_latency_p50 10"), "{text}");
+        for line in text.lines() {
+            assert_eq!(line.split(' ').count(), 2, "one name one value per line: {line:?}");
+        }
     }
 }

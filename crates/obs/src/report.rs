@@ -301,6 +301,32 @@ fn fmt_allocs(stat: &SpanPathStat) -> String {
 /// BENCH baseline schema version tag.
 pub const BENCH_SCHEMA: &str = "metadpa-bench/v1";
 
+/// The current git revision (short hash, `-dirty` suffixed when the tree
+/// has local modifications), or `"unknown"` outside a git checkout.
+/// Stamped into BENCH baselines and exported model artifacts so a stored
+/// file can always be traced back to the code that produced it.
+pub fn git_rev() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    match run(&["rev-parse", "--short=12", "HEAD"]) {
+        Some(rev) if !rev.is_empty() => {
+            let dirty = run(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+            if dirty {
+                format!("{rev}-dirty")
+            } else {
+                rev
+            }
+        }
+        _ => "unknown".to_string(),
+    }
+}
+
 /// Hardware fingerprint a baseline was recorded on. The regression gate
 /// downgrades to warnings when this does not match the current machine.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,300 +1,19 @@
-//! Reading an observability stream back in: a hand-rolled JSON parser and
-//! the typed record it yields.
+//! Reading an observability stream back in: JSONL event decoding on top of
+//! the shared [`crate::json`] parser.
 //!
 //! [`crate::recorder::FileRecorder`] writes one JSON object per line; this
 //! module is its inverse, turning a `.jsonl` file back into
-//! [`StreamEvent`]s that `obs-report` can aggregate. The parser is a small
-//! recursive-descent JSON reader (the offline dependency set has no serde)
-//! covering the full grammar — objects, arrays, strings with escapes,
-//! numbers, booleans, null — because the BENCH baseline files are nested
-//! even though event lines are flat.
+//! [`StreamEvent`]s that `obs-report` can aggregate. The JSON grammar
+//! itself lives in [`crate::json`] (one parser shared with the BENCH
+//! baseline files and the `metadpa-serve` request bodies); this module owns
+//! only the event-stream framing.
 
-use std::fmt;
 use std::path::Path;
 
-/// A parsed JSON value. Integers that fit `i64` are kept exact
-/// ([`JsonValue::Int`]); everything else numeric becomes [`JsonValue::Float`].
-#[derive(Clone, Debug, PartialEq)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Integer literal that fits `i64` (durations, counts).
-    Int(i64),
-    /// Any other number.
-    Float(f64),
-    /// String literal (unescaped).
-    Str(String),
-    /// Array.
-    Arr(Vec<JsonValue>),
-    /// Object, in source order.
-    Obj(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    /// The value as a `u64`, when it is a non-negative integer.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            JsonValue::Int(v) if *v >= 0 => Some(*v as u64),
-            _ => None,
-        }
-    }
-
-    /// The value as an `f64` (integers widen).
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonValue::Int(v) => Some(*v as f64),
-            JsonValue::Float(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// The value as a string slice.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Looks up a key when the value is an object.
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
-        match self {
-            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The elements when the value is an array.
-    pub fn as_arr(&self) -> Option<&[JsonValue]> {
-        match self {
-            JsonValue::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-/// Parse failure with a byte offset into the input.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct JsonError {
-    /// What went wrong.
-    pub message: String,
-    /// Byte offset where it went wrong.
-    pub offset: usize,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
-        Err(JsonError { message: message.into(), offset: self.pos })
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            self.err(format!("expected {:?}", b as char))
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue, JsonError> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
-            Some(b't') => self.keyword("true", JsonValue::Bool(true)),
-            Some(b'f') => self.keyword("false", JsonValue::Bool(false)),
-            Some(b'n') => self.keyword("null", JsonValue::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(other) => self.err(format!("unexpected byte {:?}", other as char)),
-            None => self.err("unexpected end of input"),
-        }
-    }
-
-    fn keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            self.err(format!("expected {word:?}"))
-        }
-    }
-
-    fn object(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(JsonValue::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Obj(fields));
-                }
-                _ => return self.err("expected ',' or '}' in object"),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(JsonValue::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Arr(items));
-                }
-                _ => return self.err("expected ',' or ']' in array"),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return self.err("unterminated string"),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{08}'),
-                        Some(b'f') => out.push('\u{0C}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or(JsonError {
-                                    message: "truncated \\u escape".into(),
-                                    offset: self.pos,
-                                })?;
-                            let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
-                                message: format!("bad \\u escape {hex:?}"),
-                                offset: self.pos,
-                            })?;
-                            // Surrogate pairs never occur in our own output
-                            // (we write raw UTF-8); map lone surrogates to
-                            // the replacement character rather than failing.
-                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                            self.pos += 4;
-                        }
-                        _ => return self.err("bad escape"),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (multi-byte sequences pass
-                    // through unchanged).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
-                        JsonError { message: "invalid UTF-8 in string".into(), offset: self.pos }
-                    })?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<JsonValue, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        let mut is_float = false;
-        while let Some(b) = self.peek() {
-            match b {
-                b'0'..=b'9' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    is_float = true;
-                    self.pos += 1;
-                }
-                _ => break,
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
-        if !is_float {
-            if let Ok(v) = text.parse::<i64>() {
-                return Ok(JsonValue::Int(v));
-            }
-        }
-        match text.parse::<f64>() {
-            Ok(v) => Ok(JsonValue::Float(v)),
-            Err(_) => self.err(format!("bad number {text:?}")),
-        }
-    }
-}
-
-/// Parses one complete JSON document (trailing whitespace allowed).
-pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return p.err("trailing garbage after JSON document");
-    }
-    Ok(v)
-}
+// The parser began life welded to this module; re-exported so existing
+// `stream::{parse, JsonValue, JsonError}` callers keep compiling while the
+// canonical home is `crate::json`.
+pub use crate::json::{parse, JsonError, JsonValue};
 
 /// One record read back from a JSONL observability stream — the parsed
 /// counterpart of [`crate::recorder::Event`], with owned keys.
@@ -373,40 +92,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_scalars_and_nesting() {
-        let v = parse(r#"{"a":1,"b":-2.5,"c":[true,null,"x"],"d":{"e":"f"}}"#).unwrap();
-        assert_eq!(v.get("a"), Some(&JsonValue::Int(1)));
-        assert_eq!(v.get("b"), Some(&JsonValue::Float(-2.5)));
-        let arr = v.get("c").and_then(JsonValue::as_arr).unwrap();
-        assert_eq!(arr[0], JsonValue::Bool(true));
-        assert_eq!(arr[1], JsonValue::Null);
-        assert_eq!(arr[2], JsonValue::Str("x".into()));
-        assert_eq!(v.get("d").and_then(|d| d.get("e")).and_then(JsonValue::as_str), Some("f"));
-    }
-
-    #[test]
-    fn large_integers_stay_exact() {
-        let v = parse("{\"t\":9007199254740993}").unwrap(); // 2^53 + 1
-        assert_eq!(v.get("t").and_then(JsonValue::as_u64), Some(9007199254740993));
-    }
-
-    #[test]
-    fn string_escapes_round_trip_with_the_writer() {
-        let original = "q\"uote \\ back\nnew\ttab café \u{01}";
-        let written = crate::json::escape(original);
-        let parsed = parse(&written).unwrap();
-        assert_eq!(parsed, JsonValue::Str(original.to_string()));
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        assert!(parse("{\"a\":}").is_err());
-        assert!(parse("[1,2").is_err());
-        assert!(parse("{} trailing").is_err());
-        assert!(parse("nul").is_err());
-    }
-
-    #[test]
     fn event_round_trip_through_recorder_serialization() {
         let mut ev = crate::recorder::Event::new("span", "a/b");
         ev.push("dur_ns", 1234u64);
@@ -432,5 +117,11 @@ mod tests {
         let bad = "{\"kind\":\"event\",\"name\":\"a\",\"t_ns\":1}\nnot json\n";
         let err = read_str(bad).unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn non_object_lines_are_rejected() {
+        assert!(parse_line("[1,2,3]").is_err());
+        assert!(parse_line("{\"name\":\"a\"}").is_err(), "missing kind");
     }
 }

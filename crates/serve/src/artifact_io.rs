@@ -1,0 +1,256 @@
+//! Persisting [`Artifact`] values in the `metadpa-ckpt/v1` container.
+//!
+//! The artifact's metadata becomes the checkpoint's JSON blob (schema
+//! [`metadpa_core::artifact::ARTIFACT_SCHEMA`]); its tensors are the
+//! preference-model parameter table (`preference.pNNN`, in visit order)
+//! followed by the two content matrices (`content.user`, `content.item`).
+//! All floats survive the f32 → f64 → f32 trip exactly, so
+//! save → load → [`Artifact::into_recommender`] scores bit-identically
+//! to the model that was exported.
+
+use metadpa_core::artifact::{Artifact, ArtifactMeta, ARTIFACT_SCHEMA, PARAM_PREFIX};
+use metadpa_core::augmentation::DiversityReport;
+use metadpa_core::{MamlConfig, PreferenceConfig};
+use metadpa_obs::json::{self, JsonValue, ObjectWriter};
+use metadpa_tensor::Matrix;
+
+use crate::ckpt::{self, Checkpoint, CkptError, CkptErrorKind};
+
+/// Tensor name of the user-content matrix.
+pub const USER_CONTENT_TENSOR: &str = "content.user";
+/// Tensor name of the item-content matrix.
+pub const ITEM_CONTENT_TENSOR: &str = "content.item";
+
+/// Byte offset of the metadata blob inside a v1 checkpoint (magic +
+/// version + meta_len); metadata-level load errors point here.
+const META_OFFSET: u64 = 20;
+
+fn meta_to_json(meta: &ArtifactMeta) -> String {
+    let mut pref = ObjectWriter::new();
+    pref.u64_field("content_dim", meta.preference.content_dim as u64)
+        .u64_field("embed_dim", meta.preference.embed_dim as u64)
+        .u64_field("hidden0", meta.preference.hidden[0] as u64)
+        .u64_field("hidden1", meta.preference.hidden[1] as u64);
+    let mut maml = ObjectWriter::new();
+    maml.f64_field("inner_lr", meta.maml.inner_lr as f64)
+        .f64_field("outer_lr", meta.maml.outer_lr as f64)
+        .u64_field("inner_steps", meta.maml.inner_steps as u64)
+        .u64_field("meta_batch", meta.maml.meta_batch as u64)
+        .u64_field("epochs", meta.maml.epochs as u64)
+        .u64_field("finetune_steps", meta.maml.finetune_steps as u64)
+        .u64_field("seed", meta.maml.seed);
+    let mut div = ObjectWriter::new();
+    div.u64_field("k", meta.diversity.k as u64)
+        .f64_field("mean_pairwise_distance", meta.diversity.mean_pairwise_distance as f64)
+        .f64_field("mean_confidence", meta.diversity.mean_confidence as f64);
+    let mut w = ObjectWriter::new();
+    w.str_field("schema", &meta.schema)
+        .str_field("model", &meta.model_name)
+        .str_field("git_rev", &meta.git_rev)
+        .str_field("data_fingerprint", &meta.data_fingerprint)
+        .raw_field("preference", &pref.finish())
+        .raw_field("maml", &maml.finish())
+        .raw_field("diversity", &div.finish());
+    w.finish()
+}
+
+fn meta_err(path: &str, message: impl Into<String>) -> CkptError {
+    CkptError {
+        path: path.to_string(),
+        offset: META_OFFSET,
+        kind: CkptErrorKind::Malformed,
+        message: message.into(),
+    }
+}
+
+fn get<'a>(obj: &'a JsonValue, key: &str, path: &str) -> Result<&'a JsonValue, CkptError> {
+    obj.get(key).ok_or_else(|| meta_err(path, format!("metadata is missing {key:?}")))
+}
+
+fn get_str(obj: &JsonValue, key: &str, path: &str) -> Result<String, CkptError> {
+    get(obj, key, path)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| meta_err(path, format!("metadata field {key:?} must be a string")))
+}
+
+fn get_usize(obj: &JsonValue, key: &str, path: &str) -> Result<usize, CkptError> {
+    get(obj, key, path)?
+        .as_u64()
+        .map(|v| v as usize)
+        .ok_or_else(|| meta_err(path, format!("metadata field {key:?} must be an integer")))
+}
+
+fn get_f32(obj: &JsonValue, key: &str, path: &str) -> Result<f32, CkptError> {
+    get(obj, key, path)?
+        .as_f64()
+        .map(|v| v as f32)
+        .ok_or_else(|| meta_err(path, format!("metadata field {key:?} must be a number")))
+}
+
+fn meta_from_json(path: &str, meta_json: &str) -> Result<ArtifactMeta, CkptError> {
+    let root = json::parse(meta_json)
+        .map_err(|e| meta_err(path, format!("metadata does not parse as JSON: {e}")))?;
+    let schema = get_str(&root, "schema", path)?;
+    if schema != ARTIFACT_SCHEMA {
+        return Err(meta_err(
+            path,
+            format!("artifact schema {schema:?} is not the supported {ARTIFACT_SCHEMA:?}"),
+        ));
+    }
+    let pref = get(&root, "preference", path)?;
+    let preference = PreferenceConfig {
+        content_dim: get_usize(pref, "content_dim", path)?,
+        embed_dim: get_usize(pref, "embed_dim", path)?,
+        hidden: [get_usize(pref, "hidden0", path)?, get_usize(pref, "hidden1", path)?],
+    };
+    let m = get(&root, "maml", path)?;
+    let maml = MamlConfig {
+        inner_lr: get_f32(m, "inner_lr", path)?,
+        outer_lr: get_f32(m, "outer_lr", path)?,
+        inner_steps: get_usize(m, "inner_steps", path)?,
+        meta_batch: get_usize(m, "meta_batch", path)?,
+        epochs: get_usize(m, "epochs", path)?,
+        finetune_steps: get_usize(m, "finetune_steps", path)?,
+        seed: get(m, "seed", path)?
+            .as_u64()
+            .ok_or_else(|| meta_err(path, "metadata field \"seed\" must be an integer"))?,
+    };
+    let d = get(&root, "diversity", path)?;
+    let diversity = DiversityReport {
+        k: get_usize(d, "k", path)?,
+        mean_pairwise_distance: get_f32(d, "mean_pairwise_distance", path)?,
+        mean_confidence: get_f32(d, "mean_confidence", path)?,
+    };
+    Ok(ArtifactMeta {
+        schema,
+        model_name: get_str(&root, "model", path)?,
+        git_rev: get_str(&root, "git_rev", path)?,
+        data_fingerprint: get_str(&root, "data_fingerprint", path)?,
+        preference,
+        maml,
+        diversity,
+    })
+}
+
+/// Converts an artifact to its checkpoint representation.
+pub fn to_checkpoint(artifact: &Artifact) -> Checkpoint {
+    let mut tensors = artifact.params.clone();
+    tensors.push((USER_CONTENT_TENSOR.to_string(), artifact.user_content.clone()));
+    tensors.push((ITEM_CONTENT_TENSOR.to_string(), artifact.item_content.clone()));
+    Checkpoint { meta_json: meta_to_json(&artifact.meta), tensors }
+}
+
+/// Rebuilds an artifact from a loaded checkpoint; `path` labels errors.
+pub fn from_checkpoint(path: &str, ckpt: Checkpoint) -> Result<Artifact, CkptError> {
+    let meta = meta_from_json(path, &ckpt.meta_json)?;
+    let mut params: Vec<(String, Matrix)> = Vec::new();
+    let mut user_content: Option<Matrix> = None;
+    let mut item_content: Option<Matrix> = None;
+    for (name, m) in ckpt.tensors {
+        if name.starts_with(&format!("{PARAM_PREFIX}.")) {
+            params.push((name, m));
+        } else if name == USER_CONTENT_TENSOR {
+            user_content = Some(m);
+        } else if name == ITEM_CONTENT_TENSOR {
+            item_content = Some(m);
+        } else {
+            return Err(meta_err(path, format!("unknown tensor {name:?} in artifact checkpoint")));
+        }
+    }
+    let user_content = user_content
+        .ok_or_else(|| meta_err(path, format!("missing {USER_CONTENT_TENSOR:?} tensor")))?;
+    let item_content = item_content
+        .ok_or_else(|| meta_err(path, format!("missing {ITEM_CONTENT_TENSOR:?} tensor")))?;
+    Ok(Artifact { meta, params, user_content, item_content })
+}
+
+/// Saves an artifact as a `metadpa-ckpt/v1` file.
+pub fn save_artifact(path: &str, artifact: &Artifact) -> Result<(), CkptError> {
+    ckpt::save(path, &to_checkpoint(artifact))
+}
+
+/// Loads an artifact from a `metadpa-ckpt/v1` file.
+pub fn load_artifact(path: &str) -> Result<Artifact, CkptError> {
+    from_checkpoint(path, ckpt::load(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metadpa_core::artifact::artifact_from_learner;
+    use metadpa_core::MetaLearner;
+    use metadpa_tensor::SeededRng;
+
+    fn tiny_artifact(seed: u64) -> Artifact {
+        let pref = PreferenceConfig { content_dim: 6, embed_dim: 5, hidden: [8, 4] };
+        let maml = MamlConfig { finetune_steps: 2, ..MamlConfig::default() };
+        let mut rng = SeededRng::new(seed);
+        let mut learner = MetaLearner::new(pref, maml, &mut rng);
+        let user_content = rng.uniform_matrix(4, 6, -1.0, 1.0);
+        let item_content = rng.uniform_matrix(9, 6, -1.0, 1.0);
+        artifact_from_learner(
+            &mut learner,
+            "unit",
+            "deadbeef".into(),
+            "0123456789abcdef".into(),
+            DiversityReport { k: 2, mean_pairwise_distance: 0.5, mean_confidence: 0.75 },
+            user_content,
+            item_content,
+        )
+    }
+
+    #[test]
+    fn artifact_round_trips_through_the_checkpoint_container() {
+        let artifact = tiny_artifact(3);
+        let ckpt = to_checkpoint(&artifact);
+        let back = from_checkpoint("mem", ckpt.clone()).expect("round trip");
+        assert_eq!(back.meta.model_name, "unit");
+        assert_eq!(back.meta.git_rev, "deadbeef");
+        assert_eq!(back.meta.data_fingerprint, "0123456789abcdef");
+        assert_eq!(back.meta.preference.content_dim, 6);
+        assert_eq!(back.meta.preference.hidden, [8, 4]);
+        assert_eq!(back.meta.maml.inner_lr, artifact.meta.maml.inner_lr, "f32 exact");
+        assert_eq!(back.meta.maml.seed, artifact.meta.maml.seed);
+        assert_eq!(back.meta.diversity.k, 2);
+        assert_eq!(back.params, artifact.params, "parameters are bit-exact");
+        assert_eq!(back.user_content, artifact.user_content);
+        assert_eq!(back.item_content, artifact.item_content);
+        // And the full byte layout is stable: encode(to_checkpoint(load(x))) == x.
+        let bytes = ckpt::encode(&ckpt);
+        assert_eq!(ckpt::encode(&to_checkpoint(&back)), bytes);
+    }
+
+    #[test]
+    fn save_and_load_through_a_real_file() {
+        let artifact = tiny_artifact(4);
+        let path = std::env::temp_dir()
+            .join(format!("metadpa_artifact_{}.ckpt", std::process::id()))
+            .to_string_lossy()
+            .to_string();
+        save_artifact(&path, &artifact).expect("save");
+        let back = load_artifact(&path).expect("load");
+        assert_eq!(back.params, artifact.params);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_schema_and_missing_tensors_are_malformed() {
+        let artifact = tiny_artifact(5);
+        let mut ckpt = to_checkpoint(&artifact);
+        ckpt.meta_json = ckpt.meta_json.replace("metadpa-artifact/v1", "someone-else/v9");
+        let err = from_checkpoint("mem", ckpt).unwrap_err();
+        assert_eq!(err.kind, CkptErrorKind::Malformed);
+        assert!(err.to_string().contains("someone-else/v9"), "{err}");
+
+        let mut no_items = to_checkpoint(&artifact);
+        no_items.tensors.retain(|(n, _)| n != ITEM_CONTENT_TENSOR);
+        let err = from_checkpoint("mem", no_items).unwrap_err();
+        assert!(err.to_string().contains("content.item"), "{err}");
+
+        let mut alien = to_checkpoint(&artifact);
+        alien.tensors.push(("mystery".into(), Matrix::zeros(1, 1)));
+        let err = from_checkpoint("mem", alien).unwrap_err();
+        assert!(err.to_string().contains("mystery"), "{err}");
+    }
+}

@@ -1,0 +1,248 @@
+//! The thread-safe inference engine: scoring plus the adaptation cache.
+//!
+//! [`Engine`] wraps an [`ArtifactRecommender`] behind a mutex (the model
+//! caches activations, so scoring needs `&mut`) and keeps a read-mostly
+//! per-user cache of serve-time-adapted parameter sets. Adaptation is
+//! deterministic — the same support set always produces the same
+//! parameters — so cache entries never go stale until replaced by a new
+//! `/v1/adapt` call for the same user.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use metadpa_core::artifact::{ArtifactError, ArtifactMeta, ArtifactRecommender};
+use metadpa_tensor::Matrix;
+
+/// Where a recommendation's parameters came from; reported in responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeSource {
+    /// Meta-parameters θ, user known from training.
+    Warm,
+    /// A cached serve-time-adapted parameter set for this user.
+    AdaptedCache,
+    /// θ applied to request-supplied (or default) content — a user the
+    /// model has never seen.
+    Cold,
+    /// One-shot adaptation on request-supplied content and support.
+    Adapted,
+}
+
+impl ServeSource {
+    /// Wire label used in response JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServeSource::Warm => "warm",
+            ServeSource::AdaptedCache => "adapted-cache",
+            ServeSource::Cold => "cold",
+            ServeSource::Adapted => "adapted",
+        }
+    }
+}
+
+/// Shared inference state: the reloaded recommender plus the per-user
+/// adaptation cache.
+pub struct Engine {
+    rec: Mutex<ArtifactRecommender>,
+    adapted: RwLock<HashMap<usize, Arc<Vec<Matrix>>>>,
+    meta: ArtifactMeta,
+    n_users: usize,
+    n_items: usize,
+    content_dim: usize,
+}
+
+impl Engine {
+    /// Wraps a reloaded recommender.
+    pub fn new(rec: ArtifactRecommender) -> Self {
+        let meta = rec.meta().clone();
+        let (n_users, n_items, content_dim) = (rec.n_users(), rec.n_items(), rec.content_dim());
+        Self {
+            rec: Mutex::new(rec),
+            adapted: RwLock::new(HashMap::new()),
+            meta,
+            n_users,
+            n_items,
+            content_dim,
+        }
+    }
+
+    /// The artifact's metadata.
+    pub fn meta(&self) -> &ArtifactMeta {
+        &self.meta
+    }
+
+    /// Number of users the artifact knows.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Catalogue size.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Content vector width requests must match.
+    pub fn content_dim(&self) -> usize {
+        self.content_dim
+    }
+
+    /// Number of users with a cached adaptation.
+    pub fn cached_adaptations(&self) -> usize {
+        self.adapted.read().expect("engine adaptation cache poisoned").len()
+    }
+
+    fn cached(&self, user: usize) -> Option<Arc<Vec<Matrix>>> {
+        self.adapted.read().expect("engine adaptation cache poisoned").get(&user).cloned()
+    }
+
+    /// Top-`k` for a known user id. Uses the user's cached adapted
+    /// parameters when present, θ otherwise; the source says which.
+    pub fn recommend_user(
+        &self,
+        user: usize,
+        k: usize,
+    ) -> Result<(Vec<(usize, f32)>, ServeSource), ArtifactError> {
+        let params = self.cached(user);
+        let source = if params.is_some() {
+            metadpa_obs::counter_add!("serve.adapt_cache.hit", 1);
+            ServeSource::AdaptedCache
+        } else {
+            metadpa_obs::counter_add!("serve.adapt_cache.miss", 1);
+            ServeSource::Warm
+        };
+        let mut rec = self.rec.lock().expect("engine recommender poisoned");
+        let list = rec.recommend(user, k, params.as_deref().map(Vec::as_slice))?;
+        Ok((list, source))
+    }
+
+    /// Top-`k` for a raw content vector (cold user, no support set).
+    pub fn recommend_content(
+        &self,
+        content: &[f32],
+        k: usize,
+    ) -> Result<Vec<(usize, f32)>, ArtifactError> {
+        let mut rec = self.rec.lock().expect("engine recommender poisoned");
+        rec.recommend_content(content, k, None)
+    }
+
+    /// Top-`k` for a cold request carrying no content at all: scores the
+    /// "average user" vector (column mean of the training user content).
+    pub fn recommend_cold_default(&self, k: usize) -> Result<Vec<(usize, f32)>, ArtifactError> {
+        let mut rec = self.rec.lock().expect("engine recommender poisoned");
+        let mean = rec.mean_user_content();
+        rec.recommend_content(&mean, k, None)
+    }
+
+    /// Runs the serve-time MAML inner loop on a known user's support set
+    /// and caches the adapted parameters; subsequent
+    /// [`Engine::recommend_user`] calls for this user serve from the cache.
+    /// Returns the cache size after insertion.
+    pub fn adapt_user(
+        &self,
+        user: usize,
+        support: &[(usize, f32)],
+    ) -> Result<usize, ArtifactError> {
+        let adapted = {
+            let mut rec = self.rec.lock().expect("engine recommender poisoned");
+            rec.adapt_user(user, support)?
+        };
+        metadpa_obs::counter_add!("serve.adaptations", 1);
+        let mut cache = self.adapted.write().expect("engine adaptation cache poisoned");
+        cache.insert(user, Arc::new(adapted));
+        Ok(cache.len())
+    }
+
+    /// One-shot adaptation for a brand-new user: adapts on the supplied
+    /// content + support and immediately returns the adapted top-`k`
+    /// (nothing is cached — there is no user id to key on).
+    pub fn adapt_and_recommend_content(
+        &self,
+        content: &[f32],
+        support: &[(usize, f32)],
+        k: usize,
+    ) -> Result<Vec<(usize, f32)>, ArtifactError> {
+        let mut rec = self.rec.lock().expect("engine recommender poisoned");
+        let adapted = rec.adapt_content(content, support)?;
+        metadpa_obs::counter_add!("serve.adaptations", 1);
+        rec.recommend_content(content, k, Some(&adapted))
+    }
+
+    /// Drops a user's cached adaptation; returns whether one existed.
+    pub fn evict(&self, user: usize) -> bool {
+        self.adapted.write().expect("engine adaptation cache poisoned").remove(&user).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metadpa_core::artifact::artifact_from_learner;
+    use metadpa_core::augmentation::DiversityReport;
+    use metadpa_core::{MamlConfig, MetaLearner, PreferenceConfig};
+    use metadpa_tensor::SeededRng;
+
+    fn tiny_engine(seed: u64) -> Engine {
+        let pref = PreferenceConfig { content_dim: 6, embed_dim: 5, hidden: [8, 4] };
+        let maml = MamlConfig { finetune_steps: 2, ..MamlConfig::default() };
+        let mut rng = SeededRng::new(seed);
+        let mut learner = MetaLearner::new(pref, maml, &mut rng);
+        let user_content = rng.uniform_matrix(4, 6, -1.0, 1.0);
+        let item_content = rng.uniform_matrix(9, 6, -1.0, 1.0);
+        let artifact = artifact_from_learner(
+            &mut learner,
+            "unit",
+            "rev".into(),
+            "fp".into(),
+            DiversityReport::default(),
+            user_content,
+            item_content,
+        );
+        Engine::new(artifact.into_recommender().expect("valid artifact"))
+    }
+
+    #[test]
+    fn warm_then_adapted_cache_switches_source() {
+        let engine = tiny_engine(21);
+        let (warm, source) = engine.recommend_user(2, 4).expect("warm");
+        assert_eq!(source, ServeSource::Warm);
+        assert_eq!(warm.len(), 4);
+        assert_eq!(engine.cached_adaptations(), 0);
+
+        let cached = engine.adapt_user(2, &[(0, 1.0), (5, 0.0)]).expect("adapt");
+        assert_eq!(cached, 1);
+        let (adapted, source) = engine.recommend_user(2, 4).expect("adapted");
+        assert_eq!(source, ServeSource::AdaptedCache);
+        assert_ne!(adapted, warm, "adaptation must change the scores");
+
+        // Other users still serve warm; eviction restores warm serving.
+        let (_, source) = engine.recommend_user(0, 4).expect("other user");
+        assert_eq!(source, ServeSource::Warm);
+        assert!(engine.evict(2));
+        let (back, source) = engine.recommend_user(2, 4).expect("after evict");
+        assert_eq!(source, ServeSource::Warm);
+        assert_eq!(back, warm, "θ was never touched");
+    }
+
+    #[test]
+    fn cold_paths_score_without_a_user_id() {
+        let engine = tiny_engine(22);
+        let by_mean = engine.recommend_cold_default(3).expect("default cold");
+        assert_eq!(by_mean.len(), 3);
+        let content = vec![0.25f32; 6];
+        let cold = engine.recommend_content(&content, 3).expect("content cold");
+        let adapted = engine
+            .adapt_and_recommend_content(&content, &[(1, 1.0), (2, 0.0)], 3)
+            .expect("one-shot adapt");
+        assert_ne!(cold, adapted, "support must influence the adapted list");
+        assert_eq!(engine.cached_adaptations(), 0, "content adaptation is not cached");
+    }
+
+    #[test]
+    fn request_errors_pass_through_typed() {
+        let engine = tiny_engine(23);
+        assert!(matches!(
+            engine.recommend_user(99, 3),
+            Err(ArtifactError::UserOutOfRange { user: 99, n_users: 4 })
+        ));
+        assert!(matches!(engine.adapt_user(0, &[]), Err(ArtifactError::EmptySupport)));
+    }
+}

@@ -1,0 +1,380 @@
+//! The route table: JSON endpoints over [`crate::http`].
+//!
+//! * `GET  /health` — liveness plus artifact provenance.
+//! * `GET  /metrics` — the obs metrics registry as plain text
+//!   ([`metadpa_obs::metrics::render_text`]).
+//! * `POST /v1/recommend` — top-K for `{"user_id": u}` (warm or
+//!   adapted-cache), `{"content": [...]}` (cold), or `{}` (cold, average
+//!   user). Optional `"k"` (default 10).
+//! * `POST /v1/adapt` — serve-time MAML adaptation:
+//!   `{"user_id": u, "support": [[item, label], ...]}` caches adapted
+//!   parameters for that user; `{"content": [...], "support": [...]}`
+//!   adapts one-shot and returns the adapted top-K directly.
+//!
+//! Request-data problems (unknown user id, out-of-range item, wrong
+//! content width, empty support) are 422 with a JSON explanation — typed
+//! [`ArtifactError`]s all the way out, never panics. Malformed JSON is
+//! 400; unknown paths 404; wrong methods 405.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use metadpa_core::artifact::ArtifactError;
+use metadpa_obs::json::{self, number, JsonValue, ObjectWriter};
+
+use crate::engine::Engine;
+use crate::http::{Handler, Request, Response};
+
+/// Default list length when a request does not say.
+pub const DEFAULT_K: usize = 10;
+
+fn error_json(message: &str) -> String {
+    let mut w = ObjectWriter::new();
+    w.str_field("error", message);
+    w.finish()
+}
+
+fn artifact_error_response(err: &ArtifactError) -> Response {
+    metadpa_obs::counter_add!("serve.responses.422", 1);
+    Response::json(422, error_json(&err.to_string()))
+}
+
+fn bad_request(message: &str) -> Response {
+    metadpa_obs::counter_add!("serve.responses.400", 1);
+    Response::json(400, error_json(message))
+}
+
+fn list_json(items: &[(usize, f32)], source: &str) -> String {
+    let ids: Vec<String> = items.iter().map(|&(i, _)| i.to_string()).collect();
+    let scores: Vec<String> = items.iter().map(|&(_, s)| number(s as f64)).collect();
+    let mut w = ObjectWriter::new();
+    w.raw_field("items", &format!("[{}]", ids.join(",")))
+        .raw_field("scores", &format!("[{}]", scores.join(",")))
+        .str_field("source", source);
+    w.finish()
+}
+
+fn parse_body(req: &Request) -> Result<JsonValue, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| bad_request("request body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        // An empty body is an empty request object.
+        return Ok(JsonValue::Obj(Vec::new()));
+    }
+    json::parse(text).map_err(|e| bad_request(&format!("request body is not valid JSON: {e}")))
+}
+
+fn parse_k(body: &JsonValue) -> Result<usize, Response> {
+    match body.get("k") {
+        None => Ok(DEFAULT_K),
+        Some(v) => match v.as_u64() {
+            Some(k) if (1..=10_000).contains(&k) => Ok(k as usize),
+            _ => Err(bad_request("\"k\" must be an integer in 1..=10000")),
+        },
+    }
+}
+
+fn parse_content(body: &JsonValue) -> Result<Option<Vec<f32>>, Response> {
+    let Some(v) = body.get("content") else { return Ok(None) };
+    let arr = v.as_arr().ok_or_else(|| bad_request("\"content\" must be an array of numbers"))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for e in arr {
+        let x = e.as_f64().ok_or_else(|| bad_request("\"content\" must be an array of numbers"))?;
+        if !x.is_finite() {
+            return Err(bad_request("\"content\" values must be finite"));
+        }
+        out.push(x as f32);
+    }
+    Ok(Some(out))
+}
+
+fn parse_support(body: &JsonValue) -> Result<Option<Vec<(usize, f32)>>, Response> {
+    let Some(v) = body.get("support") else { return Ok(None) };
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| bad_request("\"support\" must be an array of [item, label] pairs"))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for e in arr {
+        let pair = e
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| bad_request("each support entry must be an [item, label] pair"))?;
+        let item = pair[0]
+            .as_u64()
+            .ok_or_else(|| bad_request("support item ids must be non-negative integers"))?;
+        let label =
+            pair[1].as_f64().ok_or_else(|| bad_request("support labels must be numbers"))?;
+        out.push((item as usize, label as f32));
+    }
+    Ok(Some(out))
+}
+
+fn parse_user_id(body: &JsonValue) -> Result<Option<usize>, Response> {
+    match body.get("user_id") {
+        None => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(u) => Ok(Some(u as usize)),
+            None => Err(bad_request("\"user_id\" must be a non-negative integer")),
+        },
+    }
+}
+
+fn health(engine: &Engine) -> Response {
+    let meta = engine.meta();
+    let mut w = ObjectWriter::new();
+    w.str_field("status", "ok")
+        .str_field("model", &meta.model_name)
+        .str_field("git_rev", &meta.git_rev)
+        .str_field("data_fingerprint", &meta.data_fingerprint)
+        .u64_field("n_users", engine.n_users() as u64)
+        .u64_field("n_items", engine.n_items() as u64)
+        .u64_field("content_dim", engine.content_dim() as u64)
+        .u64_field("adapted_users", engine.cached_adaptations() as u64);
+    Response::json(200, w.finish())
+}
+
+fn recommend(engine: &Engine, req: &Request) -> Response {
+    let start = Instant::now();
+    let resp = recommend_inner(engine, req);
+    metadpa_obs::histogram_observe!("serve.latency.recommend_us", start.elapsed().as_micros());
+    resp
+}
+
+fn recommend_inner(engine: &Engine, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let k = match parse_k(&body) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+    let user = match parse_user_id(&body) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let content = match parse_content(&body) {
+        Ok(c) => c,
+        Err(resp) => return resp,
+    };
+    let result = match (user, content) {
+        (Some(_), Some(_)) => {
+            return bad_request("pass either \"user_id\" or \"content\", not both")
+        }
+        (Some(user), None) => {
+            engine.recommend_user(user, k).map(|(list, source)| list_json(&list, source.as_str()))
+        }
+        (None, Some(content)) => {
+            engine.recommend_content(&content, k).map(|list| list_json(&list, "cold"))
+        }
+        (None, None) => engine.recommend_cold_default(k).map(|list| list_json(&list, "cold")),
+    };
+    match result {
+        Ok(json) => {
+            metadpa_obs::counter_add!("serve.responses.200", 1);
+            Response::json(200, json)
+        }
+        Err(e) => artifact_error_response(&e),
+    }
+}
+
+fn adapt(engine: &Engine, req: &Request) -> Response {
+    let start = Instant::now();
+    let resp = adapt_inner(engine, req);
+    metadpa_obs::histogram_observe!("serve.latency.adapt_us", start.elapsed().as_micros());
+    resp
+}
+
+fn adapt_inner(engine: &Engine, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let Some(support) = (match parse_support(&body) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    }) else {
+        return bad_request("adaptation requires a \"support\" array of [item, label] pairs");
+    };
+    let user = match parse_user_id(&body) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let content = match parse_content(&body) {
+        Ok(c) => c,
+        Err(resp) => return resp,
+    };
+    match (user, content) {
+        (Some(_), Some(_)) => bad_request("pass either \"user_id\" or \"content\", not both"),
+        (Some(user), None) => match engine.adapt_user(user, &support) {
+            Ok(cached) => {
+                metadpa_obs::counter_add!("serve.responses.200", 1);
+                let mut w = ObjectWriter::new();
+                w.str_field("status", "adapted")
+                    .u64_field("user_id", user as u64)
+                    .u64_field("adapted_users", cached as u64);
+                Response::json(200, w.finish())
+            }
+            Err(e) => artifact_error_response(&e),
+        },
+        (None, Some(content)) => {
+            let k = match parse_k(&body) {
+                Ok(k) => k,
+                Err(resp) => return resp,
+            };
+            match engine.adapt_and_recommend_content(&content, &support, k) {
+                Ok(list) => {
+                    metadpa_obs::counter_add!("serve.responses.200", 1);
+                    Response::json(200, list_json(&list, "adapted"))
+                }
+                Err(e) => artifact_error_response(&e),
+            }
+        }
+        (None, None) => bad_request("adaptation requires \"user_id\" or \"content\""),
+    }
+}
+
+/// Builds the HTTP handler for one engine.
+pub fn router(engine: Arc<Engine>) -> Handler {
+    Arc::new(move |req: &Request| {
+        metadpa_obs::counter_add!("serve.requests", 1);
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/health") => health(&engine),
+            ("GET", "/metrics") => Response::text(200, metadpa_obs::metrics::render_text()),
+            ("POST", "/v1/recommend") => recommend(&engine, req),
+            ("POST", "/v1/adapt") => adapt(&engine, req),
+            (_, "/health" | "/metrics" | "/v1/recommend" | "/v1/adapt") => {
+                Response::json(405, error_json("method not allowed for this path"))
+            }
+            _ => Response::json(404, error_json("unknown path")),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::http::{serve, ServerConfig};
+    use metadpa_core::artifact::artifact_from_learner;
+    use metadpa_core::augmentation::DiversityReport;
+    use metadpa_core::{MamlConfig, MetaLearner, PreferenceConfig};
+    use metadpa_tensor::SeededRng;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn tiny_engine(seed: u64) -> Arc<Engine> {
+        let pref = PreferenceConfig { content_dim: 6, embed_dim: 5, hidden: [8, 4] };
+        let maml = MamlConfig { finetune_steps: 2, ..MamlConfig::default() };
+        let mut rng = SeededRng::new(seed);
+        let mut learner = MetaLearner::new(pref, maml, &mut rng);
+        let user_content = rng.uniform_matrix(4, 6, -1.0, 1.0);
+        let item_content = rng.uniform_matrix(9, 6, -1.0, 1.0);
+        let artifact = artifact_from_learner(
+            &mut learner,
+            "unit",
+            "rev".into(),
+            "fp".into(),
+            DiversityReport::default(),
+            user_content,
+            item_content,
+        );
+        Arc::new(Engine::new(artifact.into_recommender().expect("valid artifact")))
+    }
+
+    fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+        request(addr, "POST", path, body)
+    }
+
+    fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        s.write_all(raw.as_bytes()).expect("write");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        let status: u16 = out.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let body = out.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn end_to_end_routes_over_real_tcp() {
+        let engine = tiny_engine(31);
+        let server = serve(ServerConfig::default(), router(Arc::clone(&engine))).expect("bind");
+        let addr = server.addr();
+
+        let (status, body) = request(addr, "GET", "/health", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"model\":\"unit\""), "{body}");
+        assert!(body.contains("\"n_users\":4"), "{body}");
+
+        // Warm recommend.
+        let (status, body) = post(addr, "/v1/recommend", r#"{"user_id":1,"k":3}"#);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"source\":\"warm\""), "{body}");
+        let parsed = json::parse(&body).expect("response JSON parses");
+        assert_eq!(parsed.get("items").and_then(JsonValue::as_arr).map(<[_]>::len), Some(3));
+
+        // Adapt then serve from the cache.
+        let (status, body) =
+            post(addr, "/v1/adapt", r#"{"user_id":1,"support":[[0,1.0],[5,0.0]]}"#);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"adapted\""), "{body}");
+        let (status, body) = post(addr, "/v1/recommend", r#"{"user_id":1,"k":3}"#);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"source\":\"adapted-cache\""), "{body}");
+
+        // Cold by content; cold by nothing.
+        let (status, body) =
+            post(addr, "/v1/recommend", r#"{"content":[0.1,0.2,0.3,0.4,0.5,0.6],"k":2}"#);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"source\":\"cold\""), "{body}");
+        let (status, _) = post(addr, "/v1/recommend", "{}");
+        assert_eq!(status, 200);
+
+        // One-shot content adaptation.
+        let (status, body) = post(
+            addr,
+            "/v1/adapt",
+            r#"{"content":[0.1,0.2,0.3,0.4,0.5,0.6],"support":[[1,1.0]],"k":2}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"source\":\"adapted\""), "{body}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_problems_map_to_the_right_status_codes() {
+        let engine = tiny_engine(32);
+        let server = serve(ServerConfig::default(), router(Arc::clone(&engine))).expect("bind");
+        let addr = server.addr();
+
+        // Out-of-range user id: 422 with an explanation, not a panic.
+        let (status, body) = post(addr, "/v1/recommend", r#"{"user_id":12345}"#);
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("12345"), "{body}");
+        assert!(body.contains("4 users"), "{body}");
+
+        // Wrong content width: 422. Malformed JSON: 400.
+        let (status, _) = post(addr, "/v1/recommend", r#"{"content":[1.0]}"#);
+        assert_eq!(status, 422);
+        let (status, _) = post(addr, "/v1/recommend", r#"{"user_id":"#);
+        assert_eq!(status, 400);
+        let (status, _) = post(addr, "/v1/adapt", r#"{"user_id":0,"support":[]}"#);
+        assert_eq!(status, 422);
+        let (status, _) = post(addr, "/v1/adapt", r#"{"user_id":0}"#);
+        assert_eq!(status, 400);
+
+        // Routing: unknown path 404, wrong method 405.
+        let (status, _) = post(addr, "/nope", "{}");
+        assert_eq!(status, 404);
+        let (status, _) = request(addr, "GET", "/v1/recommend", "");
+        assert_eq!(status, 405);
+
+        server.shutdown();
+    }
+}

@@ -27,6 +27,25 @@ cargo bench -p metadpa-bench --bench blocks -- --smoke --bench-out "$PWD/BENCH_c
 cargo run --release -q -p metadpa-bench --bin obs-report -- \
   check BENCH_ci.json --baseline benchmarks/BENCH_baseline.json --tolerance 0.5
 
+echo "== serve smoke (export -> load -> every route -> shutdown) =="
+# Exercise the full serving path end to end: fit + export a tiny artifact,
+# reload it, walk every HTTP route (health, warm/cold recommend, adapt,
+# the 422 path, metrics) over loopback, then shut down cleanly.
+cargo run --release -q -p metadpa-serve --bin metadpa-serve -- \
+  export --out serve_smoke.ckpt --seed 7
+cargo run --release -q -p metadpa-serve --bin metadpa-serve -- \
+  smoke --artifact serve_smoke.ckpt
+
+echo "== serve loadgen + perf gate =="
+# Short loopback load burst; must clear the 1k req/s floor and stay within
+# the (loose, shared-hardware) tolerance of the checked-in baseline. Like
+# the microbench gate above, a host-fingerprint mismatch downgrades the
+# comparison to warnings unless METADPA_BENCH_STRICT=1.
+cargo run --release -q -p metadpa-bench --bin serve-loadgen -- \
+  --duration-ms 2000 --min-rps 1000 --bench-out "$PWD/BENCH_serve_ci.json"
+cargo run --release -q -p metadpa-bench --bin obs-report -- \
+  check BENCH_serve_ci.json --baseline benchmarks/BENCH_serve_baseline.json --tolerance 0.5
+
 echo "== obs stream smoke (record -> report -> diff) =="
 cargo run --release -q -p metadpa-bench --bin exp_tables_1_2 -- \
   --fast --obs-out obs_smoke.jsonl >/dev/null
