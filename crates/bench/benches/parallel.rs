@@ -1,0 +1,147 @@
+//! Serial-vs-parallel microbenchmarks of the row-blocked matmul kernels.
+//!
+//! `METADPA_THREADS=1` is the exact serial code path; every other thread
+//! count must be bit-identical (pinned by `crates/tensor/tests/determinism.rs`)
+//! and *faster* once real cores are available. This bench times both paths
+//! on the same inputs and records them as stable BENCH blocks
+//! (`parallel_matmul/{serial,parallel}/<n>`) so the speedup is locked in by
+//! `obs-report check` against `benchmarks/BENCH_parallel_baseline.json`
+//! rather than claimed in a commit message.
+//!
+//! Flags (after `cargo bench -p metadpa-bench --bench parallel --`):
+//! `--smoke` shrinks the sweep and iteration counts for CI;
+//! `--bench-out <path>` writes a BENCH perf-baseline JSON;
+//! `--min-speedup <x>` fails the run if parallel matmul throughput is below
+//! `x`× serial. The floor is only *enforced* on hosts with 4+ cores — on
+//! smaller machines (like 1-core CI runners) there is no parallelism to
+//! measure, so the check downgrades to a warning, mirroring the
+//! hardware-fingerprint downgrade in `obs-report check`.
+
+use std::sync::Arc;
+
+use metadpa_bench::microbench::{self, BenchResult};
+use metadpa_tensor::pool::with_threads;
+use metadpa_tensor::SeededRng;
+
+struct BenchArgs {
+    smoke: bool,
+    bench_out: Option<String>,
+    min_speedup: f64,
+}
+
+fn parse_args() -> BenchArgs {
+    let mut out = BenchArgs { smoke: false, bench_out: None, min_speedup: 2.0 };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => out.smoke = true,
+            "--bench-out" => {
+                out.bench_out =
+                    Some(it.next().unwrap_or_else(|| panic!("--bench-out needs a value")));
+            }
+            "--min-speedup" => {
+                out.min_speedup = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--min-speedup needs a number"));
+            }
+            // `cargo bench` appends `--bench` to harness = false targets.
+            "--bench" => {}
+            other => panic!(
+                "unknown flag {other}; supported: --smoke, --bench-out <path>, --min-speedup <x>"
+            ),
+        }
+    }
+    out
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Times one kernel at one size on both code paths and returns
+/// `(serial, parallel)` results plus the measured speedup.
+fn bench_pair(
+    kernel: &str,
+    n: usize,
+    iters: u64,
+    par_threads: usize,
+) -> (BenchResult, BenchResult, f64) {
+    let mut rng = SeededRng::new(n as u64);
+    let mut a = rng.normal_matrix(n, n);
+    // Planted zeros so the zero-skip path is part of what's measured.
+    for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+        if i % 7 == 0 {
+            *v = 0.0;
+        }
+    }
+    let b = rng.normal_matrix(n, n);
+    let run_kernel = |threads: usize| match kernel {
+        "matmul" => with_threads(threads, || std::hint::black_box(a.matmul(&b))),
+        "matmul_tn" => with_threads(threads, || std::hint::black_box(a.matmul_tn(&b))),
+        other => panic!("unknown kernel {other}"),
+    };
+    let serial = microbench::run(&format!("parallel_{kernel}/serial/{n}"), iters, || {
+        run_kernel(1);
+    });
+    let parallel = microbench::run(&format!("parallel_{kernel}/parallel/{n}"), iters, || {
+        run_kernel(par_threads);
+    });
+    let speedup = serial.p50_ns as f64 / parallel.p50_ns.max(1) as f64;
+    (serial, parallel, speedup)
+}
+
+fn main() {
+    let args = parse_args();
+    metadpa_obs::enable(Arc::new(metadpa_obs::NullRecorder));
+
+    let cores = host_cores();
+    // Always exercise the parallel machinery (scoped workers + tiles), even
+    // on a single core — the block names stay stable across hosts and the
+    // baseline then tracks the machinery's overhead too.
+    let par_threads = cores.max(2);
+    let iters = if args.smoke { 3 } else { 10 };
+    let sweep: &[usize] = if args.smoke { &[192] } else { &[192, 256, 384] };
+
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for &n in sweep {
+        for kernel in ["matmul", "matmul_tn"] {
+            let (serial, parallel, speedup) = bench_pair(kernel, n, iters, par_threads);
+            println!(
+                "  {kernel}/{n}: speedup {speedup:.2}x at {par_threads} threads ({cores} cores)"
+            );
+            if speedup < args.min_speedup {
+                failures.push(format!(
+                    "{kernel}/{n}: {speedup:.2}x < required {:.2}x",
+                    args.min_speedup
+                ));
+            }
+            results.push(serial);
+            results.push(parallel);
+        }
+    }
+
+    if let Some(path) = &args.bench_out {
+        let blocks = results.iter().map(BenchResult::to_bench_block).collect();
+        metadpa_bench::baseline::write_bench_report(path, "microbench.parallel", blocks)
+            .unwrap_or_else(|e| panic!("--bench-out {path}: {e}"));
+    }
+
+    if !failures.is_empty() {
+        if cores >= 4 {
+            eprintln!("parallel speedup below floor on a {cores}-core host:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "warning: speedup floor not met, but host has only {cores} core(s) — \
+             not enforced below 4 cores:"
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+    }
+}

@@ -109,6 +109,14 @@ pub enum ArtifactError {
     /// The named-tensor table does not match the architecture in the
     /// metadata (wrong names, shapes or count).
     BadParams(String),
+    /// Scoring produced NaN or infinity — the artifact's parameters are
+    /// corrupt (but CRC-valid) or overflow-producing. Reported per request
+    /// instead of panicking inside `top_k_indices`, which would kill an
+    /// HTTP worker despite the server's "never panics" contract.
+    NonFiniteScores {
+        /// The first catalogue item whose score was non-finite.
+        item: usize,
+    },
 }
 
 impl fmt::Display for ArtifactError {
@@ -130,6 +138,9 @@ impl fmt::Display for ArtifactError {
                 write!(f, "{what} has content width {got}, artifact expects {want}")
             }
             ArtifactError::BadParams(msg) => write!(f, "parameter table mismatch: {msg}"),
+            ArtifactError::NonFiniteScores { item } => {
+                write!(f, "scoring produced a non-finite value at item {item}")
+            }
         }
     }
 }
@@ -264,8 +275,18 @@ impl ArtifactRecommender {
 
     /// Scores the whole catalogue for `content` and returns the top `k`
     /// `(item, score)` pairs, best first. With `params` the adapted
-    /// parameter set is used for this call only (θ is restored after).
-    fn rank(&mut self, content: &[f32], k: usize, params: Option<&[Matrix]>) -> Vec<(usize, f32)> {
+    /// parameter set is used for this call only (θ is restored after —
+    /// including on the error path, so a poisoned request cannot corrupt
+    /// the recommender for later callers).
+    ///
+    /// Non-finite scores are rejected here rather than handed to
+    /// [`top_k_indices`], whose total-order sort panics on NaN.
+    fn rank(
+        &mut self,
+        content: &[f32],
+        k: usize,
+        params: Option<&[Matrix]>,
+    ) -> Result<Vec<(usize, f32)>, ArtifactError> {
         if let Some(p) = params {
             restore(self.learner.model_mut(), p);
         }
@@ -274,7 +295,10 @@ impl ArtifactRecommender {
         if params.is_some() {
             restore(self.learner.model_mut(), &self.theta);
         }
-        top_k_indices(&scores, k).into_iter().map(|i| (i, scores[i])).collect()
+        if let Some(item) = scores.iter().position(|s| !s.is_finite()) {
+            return Err(ArtifactError::NonFiniteScores { item });
+        }
+        Ok(top_k_indices(&scores, k).into_iter().map(|i| (i, scores[i])).collect())
     }
 
     /// Top-`k` recommendations for a known (warm) user by id, best first.
@@ -289,7 +313,7 @@ impl ArtifactRecommender {
     ) -> Result<Vec<(usize, f32)>, ArtifactError> {
         self.check_user(user)?;
         let content: Vec<f32> = self.user_content.row(user).to_vec();
-        Ok(self.rank(&content, k, params))
+        self.rank(&content, k, params)
     }
 
     /// Top-`k` recommendations for a raw content vector (a user the
@@ -301,7 +325,7 @@ impl ArtifactRecommender {
         params: Option<&[Matrix]>,
     ) -> Result<Vec<(usize, f32)>, ArtifactError> {
         self.check_content(content)?;
-        Ok(self.rank(content, k, params))
+        self.rank(content, k, params)
     }
 
     /// Serve-time MAML adaptation for a known user: runs the trained
@@ -473,6 +497,42 @@ mod tests {
         let err = rec.recommend_content(&[0.0; 3], 3, None).unwrap_err();
         assert!(matches!(err, ArtifactError::ContentDimMismatch { got: 3, want: 6, .. }));
         assert!(err.to_string().contains("content width 3"));
+    }
+
+    #[test]
+    fn non_finite_scores_are_a_typed_error_and_rewind_theta() {
+        // A CRC-valid artifact whose weights are NaN restores cleanly but
+        // scores every item as NaN. That must surface as a typed error,
+        // not the NaN panic inside `top_k_indices`.
+        let mut poisoned = tiny_artifact(15);
+        for (_, m) in poisoned.params.iter_mut() {
+            m.as_mut_slice().fill(f32::NAN);
+        }
+        let mut rec = poisoned.into_recommender().expect("NaN weights still restore");
+        assert_eq!(
+            rec.recommend(0, 3, None).unwrap_err(),
+            ArtifactError::NonFiniteScores { item: 0 }
+        );
+
+        // Adapted-parameter scoring hits the same guard, and θ is rewound
+        // on the error path: the healthy base model keeps serving after a
+        // poisoned adapted set is rejected.
+        let mut healthy = tiny_artifact(15).into_recommender().expect("valid artifact");
+        let before = healthy.recommend(0, 3, None).expect("healthy scores");
+        let bad_params: Vec<Matrix> = healthy
+            .theta()
+            .iter()
+            .map(|m| {
+                let mut p = m.clone();
+                p.as_mut_slice().fill(f32::NAN);
+                p
+            })
+            .collect();
+        assert!(matches!(
+            healthy.recommend(0, 3, Some(&bad_params)).unwrap_err(),
+            ArtifactError::NonFiniteScores { .. }
+        ));
+        assert_eq!(healthy.recommend(0, 3, None).unwrap(), before, "θ survives the error path");
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //! 3. `score` each evaluation instance's candidates and aggregate
 //!    HR/MRR/NDCG/AUC.
 
+use std::sync::Mutex;
+
 use metadpa_data::domain::{Domain, World};
 use metadpa_data::splits::Scenario;
 use metadpa_data::task::Task;
 use metadpa_metrics::MetricSummary;
-use metadpa_tensor::Matrix;
+use metadpa_tensor::{Matrix, Pool};
 
 /// A recommendation system under the paper's protocol.
 pub trait Recommender {
@@ -38,6 +40,15 @@ pub trait Recommender {
 
     /// Restores state produced by [`Recommender::snapshot_state`].
     fn restore_state(&mut self, state: &[Matrix]);
+
+    /// Forks an independent scorer with the *current* parameters, used by
+    /// the evaluation harness to fan per-user scoring out across the pool.
+    /// Implementations must guarantee the fork scores bit-identically to
+    /// `self`; returning `None` (the default) keeps evaluation serial, so
+    /// stateful or cheap recommenders need not implement it.
+    fn fork_scorer(&mut self) -> Option<Box<dyn Recommender + Send>> {
+        None
+    }
 }
 
 /// Evaluates a fitted recommender on one scenario at several cutoffs,
@@ -61,11 +72,19 @@ pub fn evaluate_scenario_at_ks(
     if !scenario.finetune_tasks.is_empty() {
         rec.fine_tune(&scenario.finetune_tasks, &world.target);
     }
+    // Per-instance score vectors, computed serially or fanned out across
+    // the pool, then aggregated below in instance order either way — the
+    // summaries are bit-identical at any thread count.
+    let pool = Pool::current();
+    let per_instance: Vec<Vec<f32>> = if pool.threads() > 1 && scenario.eval.len() > 1 {
+        parallel_instance_scores(rec, world, scenario, &pool)
+            .unwrap_or_else(|| serial_instance_scores(rec, world, scenario))
+    } else {
+        serial_instance_scores(rec, world, scenario)
+    };
+
     let mut summaries = vec![MetricSummary::default(); ks.len()];
-    for instance in &scenario.eval {
-        let candidates = instance.candidates();
-        let scores = rec.score(&world.target, instance.user, &candidates);
-        debug_assert_eq!(scores.len(), candidates.len());
+    for scores in &per_instance {
         let positive = scores[0];
         let negatives = &scores[1..];
         for (summary, &k) in summaries.iter_mut().zip(ks.iter()) {
@@ -74,6 +93,55 @@ pub fn evaluate_scenario_at_ks(
     }
     rec.restore_state(&state);
     summaries
+}
+
+/// Scores every eval instance on the calling thread, in order.
+fn serial_instance_scores(
+    rec: &mut dyn Recommender,
+    world: &World,
+    scenario: &Scenario,
+) -> Vec<Vec<f32>> {
+    scenario
+        .eval
+        .iter()
+        .map(|instance| {
+            let candidates = instance.candidates();
+            let scores = rec.score(&world.target, instance.user, &candidates);
+            debug_assert_eq!(scores.len(), candidates.len());
+            scores
+        })
+        .collect()
+}
+
+/// Fans instance scoring out across the pool: one [`Recommender::fork_scorer`]
+/// per chunk of instances, created up front on the calling thread, each
+/// scoring its contiguous chunk. Returns `None` when the recommender does
+/// not support forking (the caller falls back to the serial loop).
+fn parallel_instance_scores(
+    rec: &mut dyn Recommender,
+    world: &World,
+    scenario: &Scenario,
+    pool: &Pool,
+) -> Option<Vec<Vec<f32>>> {
+    let chunks = pool.partition(scenario.eval.len());
+    let mut forks: Vec<Mutex<Box<dyn Recommender + Send>>> = Vec::with_capacity(chunks.len());
+    for _ in 0..chunks.len() {
+        forks.push(Mutex::new(rec.fork_scorer()?));
+    }
+    let per_chunk = pool.map_tasks(chunks.len(), |c| {
+        let mut fork = forks[c].lock().expect("eval fork scorer poisoned");
+        chunks[c]
+            .clone()
+            .map(|e| {
+                let instance = &scenario.eval[e];
+                let candidates = instance.candidates();
+                let scores = fork.score(&world.target, instance.user, &candidates);
+                debug_assert_eq!(scores.len(), candidates.len());
+                scores
+            })
+            .collect::<Vec<_>>()
+    });
+    Some(per_chunk.into_iter().flatten().collect())
 }
 
 /// Evaluates at a single cutoff (the Table III setting is `k = 10`).

@@ -21,9 +21,78 @@ use metadpa_nn::module::{
     accumulate_grads, restore, snapshot, snapshot_grads, zero_grad, Mode, Module,
 };
 use metadpa_nn::optim::{Adam, Optimizer, Sgd};
-use metadpa_tensor::{Matrix, SeededRng};
+use metadpa_tensor::{Matrix, Pool, SeededRng};
 
 use crate::preference::{PreferenceConfig, PreferenceModel};
+
+/// Computes the loss and (optionally) backpropagates one labelled set on
+/// `model`. Free-standing (rather than a `MetaLearner` method) so the
+/// parallel meta-batch path can run it against per-worker scratch models.
+fn run_set_on(
+    model: &mut PreferenceModel,
+    user_content: &[f32],
+    item_content: &Matrix,
+    set: &[(usize, f32)],
+    backprop: bool,
+) -> f32 {
+    let items: Vec<usize> = set.iter().map(|&(i, _)| i).collect();
+    let labels = Matrix::from_vec(set.len(), 1, set.iter().map(|&(_, l)| l).collect());
+    let input = PreferenceModel::assemble_input(user_content, item_content, &items);
+    let logits = model.forward(&input, Mode::Train);
+    let (loss, grad) = bce_with_logits(&logits, &labels);
+    if backprop {
+        let _ = model.backward(&grad);
+    }
+    loss
+}
+
+/// Inner loop: adapts `model` to one task's support set with `steps` SGD
+/// steps at rate `inner_lr`. Returns the pre-adaptation support loss.
+fn adapt_on(
+    model: &mut PreferenceModel,
+    inner_lr: f32,
+    user_content: &[f32],
+    item_content: &Matrix,
+    task: &Task,
+    steps: usize,
+) -> f32 {
+    let sgd = Sgd::new(inner_lr);
+    let mut first_loss = 0.0;
+    for step in 0..steps {
+        zero_grad(model);
+        let loss = run_set_on(model, user_content, item_content, &task.support, true);
+        if step == 0 {
+            first_loss = loss;
+        }
+        model.visit_params(&mut |p| sgd.step_param(p));
+    }
+    first_loss
+}
+
+/// One FOMAML task, self-contained: restores θ into `model`, runs the inner
+/// loop on the support set, and takes the query gradient at the adapted
+/// parameters. Returns `(query_grads, query_loss, support_loss)`.
+///
+/// The model's forward/backward passes are RNG-free and `restore`
+/// overwrites every trainable parameter, so running this against any model
+/// of the same architecture — `self.model` serially, or a scratch clone on
+/// a pool worker — produces bit-identical gradients.
+fn fomaml_task_grads(
+    model: &mut PreferenceModel,
+    config: &MamlConfig,
+    theta: &[Matrix],
+    user_content: &[f32],
+    item_content: &Matrix,
+    task: &Task,
+) -> (Vec<Matrix>, f32, f32) {
+    restore(model, theta);
+    let support_loss =
+        adapt_on(model, config.inner_lr, user_content, item_content, task, config.inner_steps);
+    zero_grad(model);
+    let query_loss = run_set_on(model, user_content, item_content, &task.query, true);
+    let grads = snapshot_grads(model);
+    (grads, query_loss, support_loss)
+}
 
 /// MAML hyper-parameters.
 #[derive(Clone, Copy, Debug)]
@@ -98,47 +167,16 @@ impl MetaLearner {
         self.config
     }
 
-    /// Computes the loss and (optionally) backpropagates one labelled set.
-    /// Returns the loss; gradients accumulate into the model when
-    /// `backprop` is true.
-    fn run_set(
-        &mut self,
-        user_content: &[f32],
-        item_content: &Matrix,
-        set: &[(usize, f32)],
-        backprop: bool,
-    ) -> f32 {
-        let items: Vec<usize> = set.iter().map(|&(i, _)| i).collect();
-        let labels = Matrix::from_vec(set.len(), 1, set.iter().map(|&(_, l)| l).collect());
-        let input = PreferenceModel::assemble_input(user_content, item_content, &items);
-        let logits = self.model.forward(&input, Mode::Train);
-        let (loss, grad) = bce_with_logits(&logits, &labels);
-        if backprop {
-            let _ = self.model.backward(&grad);
-        }
-        loss
-    }
-
-    /// Inner loop: adapts the current parameters to one task's support set
-    /// with `steps` SGD steps. Returns the pre-adaptation support loss.
-    fn adapt(
-        &mut self,
-        user_content: &[f32],
-        item_content: &Matrix,
-        task: &Task,
-        steps: usize,
-    ) -> f32 {
-        let sgd = Sgd::new(self.config.inner_lr);
-        let mut first_loss = 0.0;
-        for step in 0..steps {
-            zero_grad(&mut self.model);
-            let loss = self.run_set(user_content, item_content, &task.support, true);
-            if step == 0 {
-                first_loss = loss;
-            }
-            self.model.visit_params(&mut |p| sgd.step_param(p));
-        }
-        first_loss
+    /// Builds an independent learner with identical parameters and
+    /// hyper-parameters. The construction seed is irrelevant — `restore`
+    /// overwrites every trainable parameter — so the fork scores
+    /// bit-identically to `self` (the serve artifact reload relies on the
+    /// same property).
+    pub fn fork(&mut self) -> MetaLearner {
+        let params = snapshot(&mut self.model);
+        let mut fork = MetaLearner::new(self.model.config(), self.config, &mut SeededRng::new(0));
+        restore(&mut fork.model, &params);
+        fork
     }
 
     /// Meta-trains on a task set (originals plus augmented tasks, Eqs. 9-10).
@@ -178,40 +216,77 @@ impl MetaLearner {
 
             for chunk in order.chunks(self.config.meta_batch) {
                 let theta = snapshot(&mut self.model);
-                let mut meta_grads: Option<Vec<Matrix>> = None;
-                let mut used = 0usize;
+                let usable: Vec<usize> = chunk
+                    .iter()
+                    .copied()
+                    .filter(|&t| !tasks[t].support.is_empty() && !tasks[t].query.is_empty())
+                    .collect();
 
-                {
+                // Per-task FOMAML gradients. The tasks of one meta-batch
+                // are independent (each starts from θ), so they fan out
+                // across the pool; each worker adapts a private scratch
+                // model rebuilt from θ. Results come back in task order
+                // and the meta-gradient is folded below in that order, so
+                // the outer update is bit-identical at any thread count.
+                let results: Vec<(Vec<Matrix>, f32, f32)> = {
                     let _inner_span = metadpa_obs::span!("maml.inner_loop");
-                    for &t_idx in chunk {
-                        let task = &tasks[t_idx];
-                        if task.support.is_empty() || task.query.is_empty() {
-                            continue;
-                        }
-                        let uc: Vec<f32> = user_content.row(task.user).to_vec();
+                    let pool = Pool::current();
+                    if pool.threads() > 1 && usable.len() > 1 {
+                        let config = self.config;
+                        let pref_config = self.model.config();
+                        pool.map_chunks(usable.len(), |range| {
+                            let mut scratch =
+                                PreferenceModel::new(pref_config, &mut SeededRng::new(0));
+                            range
+                                .map(|j| {
+                                    let task = &tasks[usable[j]];
+                                    fomaml_task_grads(
+                                        &mut scratch,
+                                        &config,
+                                        &theta,
+                                        user_content.row(task.user),
+                                        item_content,
+                                        task,
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .into_iter()
+                        .flat_map(|(_, v)| v)
+                        .collect()
+                    } else {
+                        usable
+                            .iter()
+                            .map(|&t_idx| {
+                                let task = &tasks[t_idx];
+                                fomaml_task_grads(
+                                    &mut self.model,
+                                    &self.config,
+                                    &theta,
+                                    user_content.row(task.user),
+                                    item_content,
+                                    task,
+                                )
+                            })
+                            .collect()
+                    }
+                };
 
-                        // Inner loop from θ.
-                        restore(&mut self.model, &theta);
-                        let support_loss =
-                            self.adapt(&uc, item_content, task, self.config.inner_steps);
-
-                        // Query gradient at the adapted parameters (FOMAML).
-                        zero_grad(&mut self.model);
-                        let query_loss = self.run_set(&uc, item_content, &task.query, true);
-                        let grads = snapshot_grads(&mut self.model);
-                        match &mut meta_grads {
-                            None => meta_grads = Some(grads),
-                            Some(acc) => {
-                                for (a, g) in acc.iter_mut().zip(grads.iter()) {
-                                    a.add_inplace(g);
-                                }
+                // Deterministic fold: task order, on this thread.
+                let used = results.len();
+                let mut meta_grads: Option<Vec<Matrix>> = None;
+                for (grads, query_loss, support_loss) in results {
+                    match &mut meta_grads {
+                        None => meta_grads = Some(grads),
+                        Some(acc) => {
+                            for (a, g) in acc.iter_mut().zip(grads.iter()) {
+                                a.add_inplace(g);
                             }
                         }
-                        used += 1;
-                        query_total += query_loss as f64;
-                        support_total += support_loss as f64;
-                        n_tasks += 1;
                     }
+                    query_total += query_loss as f64;
+                    support_total += support_loss as f64;
+                    n_tasks += 1;
                 }
 
                 // Outer update from θ with the averaged meta-gradient.
@@ -258,9 +333,9 @@ impl MetaLearner {
                 if task.support.is_empty() {
                     continue;
                 }
-                let uc: Vec<f32> = user_content.row(task.user).to_vec();
+                let uc = user_content.row(task.user);
                 zero_grad(&mut self.model);
-                let _ = self.run_set(&uc, item_content, &task.support, true);
+                let _ = run_set_on(&mut self.model, uc, item_content, &task.support, true);
                 self.model.visit_params(&mut |p| sgd.step_param(p));
             }
         }
@@ -394,5 +469,45 @@ mod tests {
             learner.score(uc.row(0), &ic, &[0, 1, 2, 3])
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn meta_training_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            metadpa_tensor::pool::with_threads(threads, || {
+                let mut rng = SeededRng::new(6);
+                let (pc, mc) = toy_config();
+                let mut learner = MetaLearner::new(pc, mc, &mut rng);
+                let (tasks, uc, ic) = toy_tasks(&mut rng, 9, 8);
+                let _ = learner.meta_train(&tasks, &uc, &ic);
+                snapshot(learner.model_mut())
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 7] {
+            let parallel = run(threads);
+            assert_eq!(serial.len(), parallel.len());
+            for (layer, (a, b)) in serial.iter().zip(parallel.iter()).enumerate() {
+                for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "θ layer {layer} element {i} drifts at threads={threads}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fork_scores_bit_identically() {
+        let mut rng = SeededRng::new(9);
+        let (pc, mc) = toy_config();
+        let mut learner = MetaLearner::new(pc, mc, &mut rng);
+        let (tasks, uc, ic) = toy_tasks(&mut rng, 8, 8);
+        let _ = learner.meta_train(&tasks, &uc, &ic);
+        let mut fork = learner.fork();
+        let items: Vec<usize> = (0..8).collect();
+        assert_eq!(learner.score(uc.row(3), &ic, &items), fork.score(uc.row(3), &ic, &items));
     }
 }

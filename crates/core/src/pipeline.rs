@@ -341,6 +341,21 @@ impl Recommender for MetaDpa {
     fn restore_state(&mut self, state: &[Matrix]) {
         restore(self.learner_mut().model_mut(), state);
     }
+
+    fn fork_scorer(&mut self) -> Option<Box<dyn Recommender + Send>> {
+        // Forks carry the meta-learner (all scoring state) but not the
+        // adapter — scoring never touches it. Unfitted models can't fork,
+        // which sends the harness down the serial path (where scoring
+        // panics with the usual "call fit" message).
+        let learner = self.learner.as_mut()?;
+        Some(Box::new(MetaDpa {
+            config: self.config.clone(),
+            learner: Some(learner.fork()),
+            adapter: None,
+            diversity: self.diversity,
+            timings: self.timings,
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -393,6 +408,54 @@ mod tests {
         let after = model.score(&w.target, user, &items);
         assert_ne!(before, during, "fine-tuning must change the model");
         assert_eq!(before, after, "restore must rewind exactly");
+    }
+
+    #[test]
+    fn fit_and_evaluation_are_bit_identical_across_thread_counts() {
+        // End-to-end determinism: the whole pipeline — CVAE adaptation,
+        // augmentation, MAML (parallel inner loop), and the evaluation
+        // fan-out — must produce bit-identical parameters and metrics at
+        // any METADPA_THREADS setting.
+        let run = |threads: usize| {
+            metadpa_tensor::pool::with_threads(threads, || {
+                let w = generate_world(&tiny_world(45));
+                let sp = Splitter::new(&w.target, SplitConfig::default());
+                let warm = sp.scenario(ScenarioKind::Warm);
+                let mut model = MetaDpa::new(MetaDpaConfig::fast());
+                model.fit(&w, &warm);
+                let summary = evaluate_scenario(&mut model, &w, &warm, 10);
+                (model.snapshot_state(), summary)
+            })
+        };
+        let (theta_1, summary_1) = run(1);
+        for threads in [2, 7] {
+            let (theta_t, summary_t) = run(threads);
+            assert_eq!(theta_1.len(), theta_t.len());
+            for (layer, (a, b)) in theta_1.iter().zip(theta_t.iter()).enumerate() {
+                assert_eq!(a, b, "parameters of layer {layer} drift at threads={threads}");
+            }
+            assert_eq!(summary_1.hr, summary_t.hr, "HR drifts at threads={threads}");
+            assert_eq!(summary_1.mrr, summary_t.mrr, "MRR drifts at threads={threads}");
+            assert_eq!(summary_1.ndcg, summary_t.ndcg, "NDCG drifts at threads={threads}");
+            assert_eq!(summary_1.auc, summary_t.auc, "AUC drifts at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fork_scorer_matches_the_fitted_model() {
+        let w = generate_world(&tiny_world(46));
+        let sp = Splitter::new(&w.target, SplitConfig::default());
+        let warm = sp.scenario(ScenarioKind::Warm);
+        let mut model = MetaDpa::new(MetaDpaConfig::fast());
+        assert!(model.fork_scorer().is_none(), "unfitted models cannot fork");
+        model.fit(&w, &warm);
+        let mut fork = model.fork_scorer().expect("fitted model forks");
+        let items: Vec<usize> = (0..w.target.n_items().min(6)).collect();
+        assert_eq!(
+            model.score(&w.target, 0, &items),
+            fork.score(&w.target, 0, &items),
+            "fork must score bit-identically"
+        );
     }
 
     #[test]

@@ -15,11 +15,21 @@
 //! worker thread does not see spans live on the spawning thread: it
 //! becomes a root of its own path (`worker.task`, not
 //! `pipeline.fit/worker.task`), and closing it can never pop or corrupt
-//! another thread's stack. Cross-thread causality must therefore be
-//! encoded in the span *names* (e.g. `shard.3.fit`) if it matters; the
-//! per-path aggregates and the recorder are process-global and safely
-//! shared, so spans from any number of threads land in the same summary
-//! and stream.
+//! another thread's stack. The per-path aggregates and the recorder are
+//! process-global and safely shared, so spans from any number of threads
+//! land in the same summary and stream.
+//!
+//! Pools that fan work out to short-lived workers can opt into cross-thread
+//! nesting explicitly: the dispatching thread captures [`current_path`] and
+//! each worker installs it with [`inherit_root`]. Spans opened while the
+//! guard is live are prefixed with the inherited path, so
+//! `pipeline.fit/tensor.matmul` appears under the same tree whether the row
+//! block ran on the caller or on a pool worker — child spans are never
+//! silently re-rooted (or dropped from the tree) just because they ran on a
+//! worker. Plain `std::thread::spawn` without the guard keeps the old
+//! behaviour: workers form their own roots. Every span event also carries a
+//! `thread` field (the OS thread name, falling back to the `ThreadId`) so
+//! streams can attribute work to threads even without inheritance.
 //!
 //! When allocation profiling is on ([`crate::alloc::enable_profiling`],
 //! `--obs-alloc` in the experiment binaries), each span additionally
@@ -36,6 +46,72 @@ use crate::recorder::Event;
 
 thread_local! {
     static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Path prefix installed by [`inherit_root`]; prepended to every span
+    /// path opened on this thread while the guard is live.
+    static INHERITED: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// The `/`-joined path of the innermost span live on this thread (including
+/// any inherited root), or `None` when no span is live or observability is
+/// disabled. Pool dispatchers capture this and hand it to workers via
+/// [`inherit_root`] so worker spans nest under the dispatching span.
+pub fn current_path() -> Option<String> {
+    if !crate::enabled() {
+        return None;
+    }
+    let inherited = INHERITED.with(|p| p.borrow().clone());
+    STACK.with(|stack| {
+        let stack = stack.borrow();
+        if stack.is_empty() {
+            return inherited;
+        }
+        let mut path = inherited
+            .map(|mut p| {
+                p.push('/');
+                p
+            })
+            .unwrap_or_default();
+        for (i, part) in stack.iter().enumerate() {
+            if i > 0 {
+                path.push('/');
+            }
+            path.push_str(part);
+        }
+        Some(path)
+    })
+}
+
+/// RAII guard for a cross-thread span-root inheritance; see [`inherit_root`].
+#[must_use = "dropping the guard immediately would uninstall the inherited root"]
+pub struct InheritedRoot {
+    prev: Option<String>,
+}
+
+/// Installs `parent` (typically a [`current_path`] captured on the
+/// dispatching thread) as the span-root prefix for this thread. While the
+/// returned guard is live, spans opened here build paths under `parent`
+/// instead of forming their own roots; dropping the guard restores the
+/// previous prefix. `None` is accepted and is a no-op, so callers can pass
+/// `current_path()` through unconditionally.
+pub fn inherit_root(parent: Option<String>) -> InheritedRoot {
+    let prev = INHERITED.with(|p| p.replace(parent));
+    InheritedRoot { prev }
+}
+
+impl Drop for InheritedRoot {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        INHERITED.with(|p| *p.borrow_mut() = prev);
+    }
+}
+
+/// This thread's name, falling back to its `ThreadId` for unnamed threads.
+fn thread_label() -> String {
+    let t = std::thread::current();
+    match t.name() {
+        Some(name) => name.to_string(),
+        None => format!("{:?}", t.id()),
+    }
 }
 
 /// Aggregate timing statistics for one span path.
@@ -129,12 +205,19 @@ impl Span {
     /// builds the name once observability is known to be enabled).
     pub fn enter(name: String) -> Self {
         let start = Instant::now();
+        let inherited = INHERITED.with(|p| p.borrow().clone());
         let (path, depth) = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let depth = stack.len();
             let mut path = String::with_capacity(
-                stack.iter().map(|s| s.len() + 1).sum::<usize>() + name.len(),
+                inherited.as_ref().map(|p| p.len() + 1).unwrap_or(0)
+                    + stack.iter().map(|s| s.len() + 1).sum::<usize>()
+                    + name.len(),
             );
+            if let Some(pre) = &inherited {
+                path.push_str(pre);
+                path.push('/');
+            }
             for part in stack.iter() {
                 path.push_str(part);
                 path.push('/');
@@ -204,6 +287,7 @@ impl Span {
             let mut ev = Event::new("span", path);
             ev.push("dur_ns", dur_ns);
             ev.push("depth", self.depth as u64);
+            ev.push("thread", thread_label());
             if self.alloc0.is_some() {
                 ev.push("alloc_count", alloc_count);
                 ev.push("alloc_bytes", alloc_bytes);
@@ -333,6 +417,76 @@ mod tests {
             assert!(paths.contains(&nested.as_str()), "missing worker child: {paths:?}");
         }
         assert!(paths.contains(&"main.outer"), "main thread spans intact");
+    }
+
+    #[test]
+    fn inherited_root_nests_worker_spans_under_the_dispatcher() {
+        let _g = crate::test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        crate::enable(sink.clone());
+        reset_aggregates();
+        {
+            let _outer = Span::enter_static("dispatch.outer");
+            let parent = current_path();
+            assert_eq!(parent.as_deref(), Some("dispatch.outer"));
+            let handle = std::thread::spawn(move || {
+                let root = inherit_root(parent);
+                let sp = Span::enter_static("pool.task");
+                assert_eq!(sp.path(), Some("dispatch.outer/pool.task"));
+                let inner = Span::enter_static("inner");
+                assert_eq!(inner.path(), Some("dispatch.outer/pool.task/inner"));
+                drop(inner);
+                drop(sp);
+                // Guard drop restores the thread to un-inherited roots.
+                drop(root);
+                let fresh = Span::enter_static("fresh");
+                assert_eq!(fresh.path(), Some("fresh"));
+            });
+            handle.join().expect("worker panicked");
+        }
+        crate::disable();
+        let snap = aggregate_snapshot();
+        let paths: Vec<&str> = snap.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(paths.contains(&"dispatch.outer/pool.task"), "{paths:?}");
+        assert!(paths.contains(&"dispatch.outer/pool.task/inner"), "{paths:?}");
+    }
+
+    #[test]
+    fn current_path_reflects_the_live_stack() {
+        let _g = crate::test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        crate::enable(sink);
+        reset_aggregates();
+        assert_eq!(current_path(), None);
+        {
+            let _a = Span::enter_static("a");
+            assert_eq!(current_path().as_deref(), Some("a"));
+            let _b = Span::enter_static("b");
+            assert_eq!(current_path().as_deref(), Some("a/b"));
+        }
+        assert_eq!(current_path(), None);
+        crate::disable();
+        assert_eq!(current_path(), None, "disabled observability reports no path");
+    }
+
+    #[test]
+    fn span_events_carry_thread_attribution() {
+        let _g = crate::test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        crate::enable(sink.clone());
+        reset_aggregates();
+        {
+            let _sp = Span::enter_static("thread.attr");
+        }
+        crate::disable();
+        let ev = sink.events().into_iter().find(|e| e.name == "thread.attr").expect("span event");
+        let thread = ev
+            .fields
+            .iter()
+            .find(|(k, _)| *k == "thread")
+            .map(|(_, v)| v.to_string())
+            .expect("thread field present");
+        assert!(!thread.is_empty());
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! deterministic — the same support set always produces the same
 //! parameters — so cache entries never go stale until replaced by a new
 //! `/v1/adapt` call for the same user.
+//!
+//! Batch scoring parallelism comes from the tensor layer: a recommend call
+//! ranks the whole catalogue with one batched forward pass (an
+//! `n_items x 2·content_dim` input matrix), so on large catalogues the
+//! row-parallel matmul kernels in `metadpa_tensor::pool` fan the work out
+//! across `METADPA_THREADS` workers — bit-identical to serial, per the
+//! pool's determinism contract, which the tests below pin at the engine
+//! level.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
@@ -234,6 +242,28 @@ mod tests {
             .expect("one-shot adapt");
         assert_ne!(cold, adapted, "support must influence the adapted list");
         assert_eq!(engine.cached_adaptations(), 0, "content adaptation is not cached");
+    }
+
+    #[test]
+    fn serving_is_bit_identical_across_thread_counts() {
+        // The serve scoring path inherits the pool's determinism contract:
+        // the same request must produce bit-identical scores no matter how
+        // many threads the matmul kernels fan out across.
+        let serial = {
+            let engine = tiny_engine(24);
+            metadpa_tensor::pool::with_threads(1, || engine.recommend_user(1, 5).expect("serial").0)
+        };
+        for threads in [2, 7] {
+            let engine = tiny_engine(24);
+            let par = metadpa_tensor::pool::with_threads(threads, || {
+                engine.recommend_user(1, 5).expect("parallel").0
+            });
+            assert_eq!(par.len(), serial.len());
+            for ((i_s, s), (i_p, p)) in serial.iter().zip(&par) {
+                assert_eq!(i_s, i_p, "item order drift at threads={threads}");
+                assert_eq!(s.to_bits(), p.to_bits(), "score drift at threads={threads}");
+            }
+        }
     }
 
     #[test]

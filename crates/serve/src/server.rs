@@ -263,14 +263,14 @@ mod tests {
     use std::io::{Read, Write};
     use std::net::TcpStream;
 
-    fn tiny_engine(seed: u64) -> Arc<Engine> {
+    fn tiny_artifact(seed: u64) -> metadpa_core::artifact::Artifact {
         let pref = PreferenceConfig { content_dim: 6, embed_dim: 5, hidden: [8, 4] };
         let maml = MamlConfig { finetune_steps: 2, ..MamlConfig::default() };
         let mut rng = SeededRng::new(seed);
         let mut learner = MetaLearner::new(pref, maml, &mut rng);
         let user_content = rng.uniform_matrix(4, 6, -1.0, 1.0);
         let item_content = rng.uniform_matrix(9, 6, -1.0, 1.0);
-        let artifact = artifact_from_learner(
+        artifact_from_learner(
             &mut learner,
             "unit",
             "rev".into(),
@@ -278,8 +278,11 @@ mod tests {
             DiversityReport::default(),
             user_content,
             item_content,
-        );
-        Arc::new(Engine::new(artifact.into_recommender().expect("valid artifact")))
+        )
+    }
+
+    fn tiny_engine(seed: u64) -> Arc<Engine> {
+        Arc::new(Engine::new(tiny_artifact(seed).into_recommender().expect("valid artifact")))
     }
 
     fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
@@ -374,6 +377,37 @@ mod tests {
         assert_eq!(status, 404);
         let (status, _) = request(addr, "GET", "/v1/recommend", "");
         assert_eq!(status, 405);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn nan_scoring_artifact_is_422_and_the_server_stays_alive() {
+        // A CRC-valid artifact whose weights are all NaN restores cleanly
+        // but scores every catalogue item as NaN. Before the non-finite
+        // guard in `ArtifactRecommender::rank` this panicked inside
+        // `top_k_indices` and killed the worker; now it must be a typed
+        // 422 with /health still answering afterwards.
+        let mut poisoned = tiny_artifact(33);
+        for (_, m) in poisoned.params.iter_mut() {
+            m.as_mut_slice().fill(f32::NAN);
+        }
+        let engine =
+            Arc::new(Engine::new(poisoned.into_recommender().expect("NaN weights restore")));
+        let server = serve(ServerConfig::default(), router(engine)).expect("bind");
+        let addr = server.addr();
+
+        let (status, body) = post(addr, "/v1/recommend", r#"{"user_id":1,"k":3}"#);
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("non-finite"), "{body}");
+
+        // Cold-start content scoring goes through the same guard.
+        let (status, body) =
+            post(addr, "/v1/recommend", r#"{"content":[0.1,0.2,0.3,0.4,0.5,0.6],"k":2}"#);
+        assert_eq!(status, 422, "{body}");
+
+        let (status, body) = request(addr, "GET", "/health", "");
+        assert_eq!(status, 200, "a poisoned request must not kill the server: {body}");
 
         server.shutdown();
     }

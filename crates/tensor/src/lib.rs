@@ -17,15 +17,18 @@
 //! * Hot loops (matmul, elementwise combinators) allocate the output once and
 //!   then iterate over contiguous slices, per the Rust Performance Book
 //!   guidance on avoiding bounds checks and incremental allocation.
-//! * No unsafe code, no threads: determinism and auditability are worth more
-//!   than the last 2x of throughput at the scales of this reproduction.
+//! * No unsafe code. Parallelism goes through [`pool`] — scoped threads with
+//!   deterministic work partitioning — so every kernel is bit-identical at
+//!   any `METADPA_THREADS` setting, including the serial `1`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod matrix;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 
 pub use matrix::Matrix;
+pub use pool::Pool;
 pub use rng::SeededRng;

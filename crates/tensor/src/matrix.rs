@@ -449,6 +449,10 @@ impl Matrix {
     ///
     /// Implemented as an ikj loop over row slices so the inner loop is a
     /// contiguous fused multiply-add, which the compiler auto-vectorizes.
+    /// Output rows are computed by [`matmul_rows`] — serially for small
+    /// products, row-blocked across the [`crate::pool`] for large ones —
+    /// and every row's operation order is fixed, so the result is
+    /// bit-identical at any thread count.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
@@ -461,20 +465,12 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         metadpa_obs::counter_add!("tensor.matmul.calls", 1u64);
         metadpa_obs::counter_add!("tensor.matmul.flops", 2 * (m * k * n) as u64);
+        let skip_zeros = zero_skip_allowed(self, other);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        let skipped = run_row_blocked(m, m * k * n, &mut out.data, n, |rows, tile| {
+            matmul_rows(self, other, rows, skip_zeros, tile)
+        });
+        record_skipped(skipped, n);
         out
     }
 
@@ -492,21 +488,12 @@ impl Matrix {
         let (k, m, n) = (self.rows, self.cols, other.cols);
         metadpa_obs::counter_add!("tensor.matmul.calls", 1u64);
         metadpa_obs::counter_add!("tensor.matmul.flops", 2 * (m * k * n) as u64);
+        let skip_zeros = zero_skip_allowed(self, other);
         let mut out = Matrix::zeros(m, n);
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        let _ = m;
+        let skipped = run_row_blocked(m, m * k * n, &mut out.data, n, |rows, tile| {
+            matmul_tn_rows(self, other, rows, skip_zeros, tile)
+        });
+        record_skipped(skipped, n);
         out
     }
 
@@ -521,22 +508,14 @@ impl Matrix {
             "Matrix::matmul_nt: column mismatch {}x{} @ {}x{}^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (m, n) = (self.rows, other.rows);
+        let (m, k, n) = (self.rows, self.cols, other.rows);
         metadpa_obs::counter_add!("tensor.matmul.calls", 1u64);
-        metadpa_obs::counter_add!("tensor.matmul.flops", 2 * (m * self.cols * n) as u64);
+        metadpa_obs::counter_add!("tensor.matmul.flops", 2 * (m * k * n) as u64);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
+        run_row_blocked(m, m * k * n, &mut out.data, n, |rows, tile| {
+            matmul_nt_rows(self, other, rows, tile);
+            0
+        });
         out
     }
 
@@ -565,6 +544,148 @@ impl Matrix {
             other.rows,
             other.cols
         );
+    }
+}
+
+/// Work (in multiply-adds) below which a matmul stays serial: a scoped
+/// worker costs on the order of tens of microseconds to spawn, so a row
+/// block has to amortize that many times over before threads pay off. The
+/// MAML inner loops and per-request serve scoring sit far below this and
+/// never touch the pool; batch scoring and CVAE training sit above it.
+const PAR_MIN_MULADDS: usize = 1 << 20;
+
+/// Whether the `a == 0.0` fast path may elide additions for this product.
+///
+/// Skipping `0 · b` is only sound when `b`'s row is finite: `0 · NaN` and
+/// `0 · ∞` are `NaN`, and eliding them silently converts a diverging
+/// model's activations into clean-looking zeros. `other.all_finite()` is
+/// hoisted out of the kernel — one scan instead of one per element — and is
+/// only paid at all when `self` actually contains zeros. For finite `b` the
+/// skip is bitwise safe: the accumulator starts at `+0.0` and IEEE-754
+/// addition can never turn it into `-0.0`, so skipping a `± 0.0` addend
+/// changes nothing.
+fn zero_skip_allowed(a: &Matrix, b: &Matrix) -> bool {
+    a.data.contains(&0.0) && b.all_finite()
+}
+
+/// Bumps the effective-FLOP counters for `skipped` elided row additions of
+/// width `n`, so `obs-report` can show effective vs nominal FLOPs (the
+/// `tensor.matmul.flops` counter is nominal `2·m·k·n`).
+fn record_skipped(skipped: u64, n: usize) {
+    if skipped > 0 {
+        metadpa_obs::counter_add!("tensor.matmul.skipped_rows", skipped);
+        metadpa_obs::counter_add!("tensor.matmul.flops_skipped", 2 * n as u64 * skipped);
+    }
+}
+
+/// Runs `kernel` over all `m` output rows of a row-major `m x n` output,
+/// either in one serial call or row-blocked across the pool. Each block
+/// writes a private tile that is copied into `out` in block order, and the
+/// kernels fix the per-row operation order, so serial and parallel results
+/// are bit-identical. Returns the summed kernel return values (elided
+/// zero-row additions).
+fn run_row_blocked(
+    m: usize,
+    muladds: usize,
+    out: &mut [f32],
+    n: usize,
+    kernel: impl Fn(std::ops::Range<usize>, &mut [f32]) -> u64 + Sync,
+) -> u64 {
+    let threads = crate::pool::current_threads();
+    if threads <= 1 || m <= 1 || muladds < PAR_MIN_MULADDS {
+        return kernel(0..m, out);
+    }
+    let pool = crate::pool::Pool::with_size(threads);
+    let tiles = pool.map_chunks(m, |rows| {
+        let mut tile = vec![0.0f32; rows.len() * n];
+        let skipped = kernel(rows, &mut tile);
+        (tile, skipped)
+    });
+    let mut total_skipped = 0u64;
+    for (rows, (tile, skipped)) in tiles {
+        out[rows.start * n..rows.end * n].copy_from_slice(&tile);
+        total_skipped += skipped;
+    }
+    total_skipped
+}
+
+/// Computes output rows `rows` of `a @ b` into `out` (a dense tile of
+/// `rows.len() * b.cols` elements). Shared by the serial and parallel paths
+/// of [`Matrix::matmul`] so both execute the identical per-row operation
+/// order. Returns the number of zero-skip row additions elided.
+fn matmul_rows(
+    a: &Matrix,
+    b: &Matrix,
+    rows: std::ops::Range<usize>,
+    skip_zeros: bool,
+    out: &mut [f32],
+) -> u64 {
+    let (k, n) = (a.cols, b.cols);
+    let mut skipped = 0u64;
+    for (local, i) in rows.enumerate() {
+        let a_row = a.row(i);
+        let out_row = &mut out[local * n..(local + 1) * n];
+        for (p, &av) in a_row.iter().enumerate().take(k) {
+            if skip_zeros && av == 0.0 {
+                skipped += 1;
+                continue;
+            }
+            let b_row = &b.data[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    skipped
+}
+
+/// Computes output rows `rows` of `a^T @ b` into `out`. Iterates `p` in
+/// ascending order per output row, which accumulates each output element in
+/// exactly the same order as the historical `p`-outer serial loop — the
+/// loop interchange only reorders *independent* rows, never the additions
+/// within one.
+fn matmul_tn_rows(
+    a: &Matrix,
+    b: &Matrix,
+    rows: std::ops::Range<usize>,
+    skip_zeros: bool,
+    out: &mut [f32],
+) -> u64 {
+    let (k, m, n) = (a.rows, a.cols, b.cols);
+    let mut skipped = 0u64;
+    for (local, i) in rows.enumerate() {
+        let out_row = &mut out[local * n..(local + 1) * n];
+        for p in 0..k {
+            let av = a.data[p * m + i];
+            if skip_zeros && av == 0.0 {
+                skipped += 1;
+                continue;
+            }
+            let b_row = &b.data[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    skipped
+}
+
+/// Computes output rows `rows` of `a @ b^T` into `out`. Per-element dot
+/// products accumulate in ascending index order; there is no zero-skip
+/// path (the accumulator form gains nothing from one).
+fn matmul_nt_rows(a: &Matrix, b: &Matrix, rows: std::ops::Range<usize>, out: &mut [f32]) {
+    let n = b.rows;
+    for (local, i) in rows.enumerate() {
+        let a_row = a.row(i);
+        let out_row = &mut out[local * n..(local + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
     }
 }
 
@@ -715,6 +836,80 @@ mod tests {
         let b = m(1, 2, &[2.0, 4.0]);
         a.add_scaled_inplace(&b, 0.5);
         assert_eq!(a, m(1, 2, &[2.0, 3.0]));
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_past_zero_rows() {
+        // 0 · NaN and 0 · ∞ are NaN; the zero-skip fast path must not
+        // convert them to 0 (regression: a diverging model's activations
+        // looked finite after multiplying by sparse inputs).
+        let a = m(2, 2, &[0.0, 1.0, 2.0, 0.0]);
+        let b_nan = m(2, 2, &[f32::NAN, 5.0, 6.0, 7.0]);
+        let c = a.matmul(&b_nan);
+        assert!(c.get(0, 0).is_nan(), "0·NaN must propagate, got {}", c.get(0, 0));
+        assert!(c.get(1, 0).is_nan(), "NaN row times nonzero must propagate");
+        let b_inf = m(2, 2, &[f32::INFINITY, 5.0, 6.0, 7.0]);
+        let c = a.matmul(&b_inf);
+        assert!(c.get(0, 0).is_nan(), "0·∞ is NaN, got {}", c.get(0, 0));
+    }
+
+    #[test]
+    fn matmul_tn_propagates_nan_and_inf_past_zero_rows() {
+        // a^T has a zero at (0,0) pairing with the NaN in b's first row.
+        let a = m(2, 2, &[0.0, 2.0, 1.0, 0.0]);
+        let b_nan = m(2, 2, &[f32::NAN, 5.0, 6.0, 7.0]);
+        let c = a.matmul_tn(&b_nan);
+        assert!(c.get(0, 0).is_nan(), "0·NaN must propagate through matmul_tn");
+        let b_inf = m(2, 2, &[f32::INFINITY, 5.0, 6.0, 7.0]);
+        let c = a.matmul_tn(&b_inf);
+        assert!(c.get(0, 0).is_nan(), "0·∞ is NaN through matmul_tn");
+    }
+
+    #[test]
+    fn matmul_nt_propagates_nan_and_inf() {
+        let a = m(1, 2, &[0.0, 1.0]);
+        let b_nan = m(2, 2, &[f32::NAN, 5.0, 6.0, 7.0]);
+        let c = a.matmul_nt(&b_nan);
+        assert!(c.get(0, 0).is_nan(), "0·NaN must propagate through matmul_nt");
+        let b_inf = m(2, 2, &[f32::INFINITY, 1.0, 2.0, 3.0]);
+        let c = a.matmul_nt(&b_inf);
+        assert!(c.get(0, 0).is_nan(), "0·∞ is NaN through matmul_nt");
+    }
+
+    #[test]
+    fn zero_skip_still_elides_work_for_finite_inputs() {
+        // With finite operands the fast path stays on and the elided work
+        // is counted so FLOP reports can show effective vs nominal.
+        let _g = metadpa_obs::test_lock();
+        let sink = std::sync::Arc::new(metadpa_obs::recorder::MemoryRecorder::default());
+        metadpa_obs::enable(sink);
+        let counter_value = |name: &str| {
+            metadpa_obs::metrics::snapshot()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, snap)| match snap {
+                    metadpa_obs::metrics::MetricSnapshot::Counter(v) => v,
+                    other => panic!("expected counter, got {other:?}"),
+                })
+                .unwrap_or(0)
+        };
+        let skipped_before = counter_value("tensor.matmul.skipped_rows");
+        let flops_skipped_before = counter_value("tensor.matmul.flops_skipped");
+        let a = m(2, 2, &[0.0, 1.0, 2.0, 0.0]);
+        let b = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, m(2, 3, &[4.0, 5.0, 6.0, 2.0, 4.0, 6.0]));
+        assert_eq!(
+            counter_value("tensor.matmul.skipped_rows") - skipped_before,
+            2,
+            "two zero entries in a elide two row additions"
+        );
+        assert_eq!(
+            counter_value("tensor.matmul.flops_skipped") - flops_skipped_before,
+            2 * 3 * 2,
+            "each skipped row elides 2·n flops"
+        );
+        metadpa_obs::disable();
     }
 
     #[test]

@@ -6,8 +6,15 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --release --workspace
 
-echo "== cargo test =="
+echo "== cargo test (default threads) =="
 cargo test --workspace -q
+
+echo "== cargo test (METADPA_THREADS=1, exact serial path) =="
+# The pool contract: METADPA_THREADS=1 is the exact serial code path and
+# every other thread count is bit-identical to it. Running the whole suite
+# under both settings pins that contract in CI, not just in the dedicated
+# determinism tests.
+METADPA_THREADS=1 cargo test --workspace -q
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -26,6 +33,15 @@ echo "== microbench smoke + perf gate =="
 cargo bench -p metadpa-bench --bench blocks -- --smoke --bench-out "$PWD/BENCH_ci.json"
 cargo run --release -q -p metadpa-bench --bin obs-report -- \
   check BENCH_ci.json --baseline benchmarks/BENCH_baseline.json --tolerance 0.5
+
+echo "== parallel kernels bench + perf gate =="
+# Serial vs parallel matmul on the same inputs. The >= 2x speedup floor is
+# enforced by the bench itself on 4+ core hosts (warn-only below that, like
+# the fingerprint downgrade in obs-report check); the BENCH record is gated
+# against the checked-in baseline either way.
+cargo bench -p metadpa-bench --bench parallel -- --smoke --bench-out "$PWD/BENCH_parallel_ci.json"
+cargo run --release -q -p metadpa-bench --bin obs-report -- \
+  check BENCH_parallel_ci.json --baseline benchmarks/BENCH_parallel_baseline.json --tolerance 0.5
 
 echo "== serve smoke (export -> load -> every route -> shutdown) =="
 # Exercise the full serving path end to end: fit + export a tiny artifact,
