@@ -1,0 +1,261 @@
+//! Blocked-vs-naive kernel microbenchmarks and the zero-allocation hot
+//! path's allocation budget.
+//!
+//! Two claims from the cache-blocked kernel rewrite are locked in here as
+//! BENCH blocks (`benchmarks/BENCH_kernel_baseline.json`, gated by
+//! `obs-report check` in CI) instead of being asserted in a commit
+//! message:
+//!
+//! 1. **Throughput** — the shipped matmul kernels (cache-blocked, B-panel
+//!    packed, pool-parallel) beat the retained naive reference
+//!    ([`metadpa_tensor::reference`]) by at least `--min-speedup` (default
+//!    1.5×) on 256³-and-up shapes. Like the `parallel` bench, the floor is
+//!    only *enforced* on hosts with 4+ cores; smaller machines downgrade
+//!    to a warning.
+//! 2. **Allocations** — one training epoch driven through the `_into` +
+//!    workspace API allocates at least `--min-alloc-ratio` (default 5×)
+//!    fewer times than the same epoch through the allocating API,
+//!    measured exactly by the CountingAlloc global allocator. This floor
+//!    is enforced everywhere — allocation counts do not depend on cores.
+//!
+//! Flags (after `cargo bench -p metadpa-bench --bench kernels --`):
+//! `--smoke` shrinks the sweep and iteration counts for CI;
+//! `--bench-out <path>` writes a BENCH perf-baseline JSON;
+//! `--min-speedup <x>` / `--min-alloc-ratio <x>` adjust the floors.
+
+use std::sync::Arc;
+
+use metadpa_bench::microbench::{self, BenchResult};
+use metadpa_core::{PreferenceConfig, PreferenceModel};
+use metadpa_nn::loss::{bce_with_logits, bce_with_logits_into};
+use metadpa_nn::module::{zero_grad, Mode, Module};
+use metadpa_nn::optim::Sgd;
+use metadpa_tensor::{reference, Matrix, SeededRng};
+
+struct BenchArgs {
+    smoke: bool,
+    bench_out: Option<String>,
+    min_speedup: f64,
+    min_alloc_ratio: f64,
+}
+
+fn parse_args() -> BenchArgs {
+    let mut out =
+        BenchArgs { smoke: false, bench_out: None, min_speedup: 1.5, min_alloc_ratio: 5.0 };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => out.smoke = true,
+            "--bench-out" => {
+                out.bench_out =
+                    Some(it.next().unwrap_or_else(|| panic!("--bench-out needs a value")));
+            }
+            "--min-speedup" => {
+                out.min_speedup = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--min-speedup needs a number"));
+            }
+            "--min-alloc-ratio" => {
+                out.min_alloc_ratio = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--min-alloc-ratio needs a number"));
+            }
+            // `cargo bench` appends `--bench` to harness = false targets.
+            "--bench" => {}
+            other => panic!(
+                "unknown flag {other}; supported: --smoke, --bench-out <path>, \
+                 --min-speedup <x>, --min-alloc-ratio <x>"
+            ),
+        }
+    }
+    out
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Times one kernel at one size through the naive reference and the
+/// shipped (blocked) public API; returns both results and the speedup.
+fn bench_kernel(kernel: &str, n: usize, iters: u64) -> (BenchResult, BenchResult, f64) {
+    let mut rng = SeededRng::new(n as u64);
+    let mut a = rng.normal_matrix(n, n);
+    // Planted zeros so the zero-skip path is part of what's measured.
+    for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+        if i % 7 == 0 {
+            *v = 0.0;
+        }
+    }
+    let b = rng.normal_matrix(n, n);
+    let naive = microbench::run(&format!("kernels/{kernel}/naive/{n}"), iters, || match kernel {
+        "matmul" => drop(std::hint::black_box(reference::matmul(&a, &b))),
+        "matmul_tn" => drop(std::hint::black_box(reference::matmul_tn(&a, &b))),
+        "matmul_nt" => drop(std::hint::black_box(reference::matmul_nt(&a, &b))),
+        other => panic!("unknown kernel {other}"),
+    });
+    let blocked =
+        microbench::run(&format!("kernels/{kernel}/blocked/{n}"), iters, || match kernel {
+            "matmul" => drop(std::hint::black_box(a.matmul(&b))),
+            "matmul_tn" => drop(std::hint::black_box(a.matmul_tn(&b))),
+            "matmul_nt" => drop(std::hint::black_box(a.matmul_nt(&b))),
+            other => panic!("unknown kernel {other}"),
+        });
+    let speedup = naive.p50_ns as f64 / blocked.p50_ns.max(1) as f64;
+    (naive, blocked, speedup)
+}
+
+fn epoch_model(seed: u64) -> (PreferenceModel, Matrix, Matrix, Vec<usize>, Vec<f32>) {
+    let config = PreferenceConfig { content_dim: 24, embed_dim: 16, hidden: [32, 16] };
+    let mut rng = SeededRng::new(seed);
+    let model = PreferenceModel::new(config, &mut rng);
+    let item_content = rng.uniform_matrix(60, 24, -1.0, 1.0);
+    let user = (0..24).map(|c| 0.1 * c as f32 - 1.0).collect::<Vec<f32>>();
+    let items: Vec<usize> = (0..20).collect();
+    let labels: Vec<f32> = items.iter().map(|&i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+    (model, Matrix::from_vec(1, 24, user), item_content, items, labels)
+}
+
+const EPOCH_STEPS: usize = 25;
+
+/// One "epoch" through the allocating Module API: fresh matrices for the
+/// input batch, labels, forward output, loss gradient and input gradient
+/// on every step — the pre-workspace training loop.
+fn epoch_allocating(
+    model: &mut PreferenceModel,
+    user: &Matrix,
+    item_content: &Matrix,
+    items: &[usize],
+    labels: &[f32],
+    sgd: &Sgd,
+) {
+    for _ in 0..EPOCH_STEPS {
+        zero_grad(model);
+        let input = PreferenceModel::assemble_input(user.row(0), item_content, items);
+        let logits = model.forward(&input, Mode::Train);
+        let targets = Matrix::from_vec(labels.len(), 1, labels.to_vec());
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let _ = model.backward(&grad);
+        model.visit_params(&mut |p| sgd.step_param(p));
+    }
+}
+
+/// Buffers for [`epoch_workspace`]; every field keeps its capacity across
+/// steps, so a warmed-up epoch allocates nothing.
+#[derive(Default)]
+struct EpochScratch {
+    input: Matrix,
+    logits: Matrix,
+    targets: Matrix,
+    grad: Matrix,
+    dx: Matrix,
+}
+
+/// The same epoch through the `_into` + workspace API.
+fn epoch_workspace(
+    model: &mut PreferenceModel,
+    user: &Matrix,
+    item_content: &Matrix,
+    items: &[usize],
+    labels: &[f32],
+    sgd: &Sgd,
+    ws: &mut EpochScratch,
+) {
+    for _ in 0..EPOCH_STEPS {
+        zero_grad(model);
+        PreferenceModel::assemble_input_into(user.row(0), item_content, items, &mut ws.input);
+        model.forward_into(&mut ws.input, Mode::Train, &mut ws.logits);
+        ws.targets.resize_for_overwrite(labels.len(), 1);
+        ws.targets.as_mut_slice().copy_from_slice(labels);
+        let _ = bce_with_logits_into(&ws.logits, &ws.targets, &mut ws.grad);
+        model.backward_into(&mut ws.grad, &mut ws.dx);
+        model.visit_params(&mut |p| sgd.step_param(p));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    metadpa_obs::enable(Arc::new(metadpa_obs::NullRecorder));
+    // Exact allocation counts for the epoch comparison (and alloc columns
+    // in every BENCH block this binary writes).
+    metadpa_obs::alloc::enable_profiling();
+
+    let cores = host_cores();
+    let iters = if args.smoke { 3 } else { 8 };
+    let sweep: &[usize] = if args.smoke { &[256] } else { &[256, 320] };
+
+    let mut results = Vec::new();
+    let mut speedup_failures = Vec::new();
+    for &n in sweep {
+        for kernel in ["matmul", "matmul_tn", "matmul_nt"] {
+            let (naive, blocked, speedup) = bench_kernel(kernel, n, iters);
+            println!("  {kernel}/{n}: blocked {speedup:.2}x vs naive ({cores} cores)");
+            if speedup < args.min_speedup {
+                speedup_failures.push(format!(
+                    "{kernel}/{n}: {speedup:.2}x < required {:.2}x",
+                    args.min_speedup
+                ));
+            }
+            results.push(naive);
+            results.push(blocked);
+        }
+    }
+
+    // Allocation budget of one training epoch, both API styles on
+    // identically configured models.
+    let epoch_iters = if args.smoke { 2 } else { 4 };
+    let sgd = Sgd::new(0.01);
+    let (mut model_a, user, item_content, items, labels) = epoch_model(11);
+    let alloc_epoch = microbench::run("kernels/train_epoch/allocating", epoch_iters, || {
+        epoch_allocating(&mut model_a, &user, &item_content, &items, &labels, &sgd);
+    });
+    let (mut model_w, user, item_content, items, labels) = epoch_model(11);
+    let mut scratch = EpochScratch::default();
+    let ws_epoch = microbench::run("kernels/train_epoch/workspace", epoch_iters, || {
+        epoch_workspace(&mut model_w, &user, &item_content, &items, &labels, &sgd, &mut scratch);
+    });
+    let alloc_ratio =
+        alloc_epoch.alloc_count_per_iter as f64 / ws_epoch.alloc_count_per_iter.max(1) as f64;
+    println!(
+        "  train_epoch: {} allocs/epoch allocating vs {} workspace = {alloc_ratio:.1}x fewer",
+        alloc_epoch.alloc_count_per_iter, ws_epoch.alloc_count_per_iter
+    );
+    results.push(alloc_epoch);
+    results.push(ws_epoch);
+
+    if let Some(path) = &args.bench_out {
+        let blocks = results.iter().map(BenchResult::to_bench_block).collect();
+        metadpa_bench::baseline::write_bench_report(path, "microbench.kernels", blocks)
+            .unwrap_or_else(|e| panic!("--bench-out {path}: {e}"));
+    }
+
+    let mut failed = false;
+    if !speedup_failures.is_empty() {
+        if cores >= 4 {
+            eprintln!("blocked-kernel speedup below floor on a {cores}-core host:");
+            for f in &speedup_failures {
+                eprintln!("  {f}");
+            }
+            failed = true;
+        } else {
+            eprintln!(
+                "warning: speedup floor not met, but host has only {cores} core(s) — \
+                 not enforced below 4 cores:"
+            );
+            for f in &speedup_failures {
+                eprintln!("  {f}");
+            }
+        }
+    }
+    if alloc_ratio < args.min_alloc_ratio {
+        eprintln!(
+            "allocation reduction below floor: {alloc_ratio:.1}x < required {:.1}x",
+            args.min_alloc_ratio
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -152,7 +152,7 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank - 1]
 }
 
-fn block_from(name: &str, mut ns: Vec<u64>) -> BenchBlock {
+fn block_from(name: &str, mut ns: Vec<u64>, allocs_per_req: u64, bytes_per_req: u64) -> BenchBlock {
     ns.sort_unstable();
     let mean = if ns.is_empty() { 0.0 } else { ns.iter().sum::<u64>() as f64 / ns.len() as f64 };
     BenchBlock {
@@ -162,8 +162,8 @@ fn block_from(name: &str, mut ns: Vec<u64>) -> BenchBlock {
         p90_ns: quantile(&ns, 0.9),
         mean_ns: mean,
         flops: 0,
-        alloc_count: 0,
-        alloc_bytes: 0,
+        alloc_count: allocs_per_req,
+        alloc_bytes: bytes_per_req,
     }
 }
 
@@ -196,6 +196,12 @@ fn main() -> ExitCode {
          ({workers} workers, {n_users} users, k={k}, 80% warm / 20% cold)"
     );
 
+    // Allocations per request, measured process-wide over the load window
+    // by the CountingAlloc global allocator. Includes the in-process
+    // clients' request formatting — a deliberately pessimistic, but
+    // stable, per-request budget.
+    metadpa_obs::alloc::enable_profiling();
+    let alloc_before = metadpa_obs::alloc::snapshot();
     let started = Instant::now();
     let deadline = started + Duration::from_millis(duration_ms);
     let mut joins = Vec::with_capacity(clients);
@@ -215,16 +221,22 @@ fn main() -> ExitCode {
         failures += s.failures;
     }
     let elapsed = started.elapsed().as_secs_f64();
+    let alloc_after = metadpa_obs::alloc::snapshot();
     server.shutdown();
 
     let total = (warm_ns.len() + cold_ns.len()) as u64;
+    let requests = (total + failures).max(1);
+    let allocs_per_req =
+        alloc_after.alloc_count.saturating_sub(alloc_before.alloc_count) / requests;
+    let bytes_per_req = alloc_after.alloc_bytes.saturating_sub(alloc_before.alloc_bytes) / requests;
     let rps = total as f64 / elapsed;
-    let warm_block = block_from("serve.recommend.warm", warm_ns);
-    let cold_block = block_from("serve.recommend.cold", cold_ns);
+    let warm_block = block_from("serve.recommend.warm", warm_ns, allocs_per_req, bytes_per_req);
+    let cold_block = block_from("serve.recommend.cold", cold_ns, allocs_per_req, bytes_per_req);
     eprintln!(
         "loadgen: {total} ok ({failures} failed) in {elapsed:.2}s = {rps:.0} req/s\n\
          \x20 warm: n={} p50={}us p90={}us\n\
-         \x20 cold: n={} p50={}us p90={}us",
+         \x20 cold: n={} p50={}us p90={}us\n\
+         \x20 allocs/request {allocs_per_req} ({bytes_per_req} B, process-wide incl. clients)",
         warm_block.iters,
         warm_block.p50_ns / 1000,
         warm_block.p90_ns / 1000,

@@ -177,7 +177,16 @@ impl Artifact {
         restore_named(learner.model_mut(), PARAM_PREFIX, &params)
             .map_err(ArtifactError::BadParams)?;
         let theta = snapshot(learner.model_mut());
-        Ok(ArtifactRecommender { meta, learner, theta, user_content, item_content })
+        let catalogue: Vec<usize> = (0..item_content.rows()).collect();
+        Ok(ArtifactRecommender {
+            meta,
+            learner,
+            theta,
+            user_content,
+            item_content,
+            catalogue,
+            scores: Vec::new(),
+        })
     }
 }
 
@@ -194,6 +203,11 @@ pub struct ArtifactRecommender {
     theta: Vec<Matrix>,
     user_content: Matrix,
     item_content: Matrix,
+    /// `0..n_items`, built once at reload: every ranking request scores
+    /// the whole catalogue, so the index list never changes.
+    catalogue: Vec<usize>,
+    /// Per-request score buffer, reused across calls.
+    scores: Vec<f32>,
 }
 
 impl ArtifactRecommender {
@@ -281,26 +295,6 @@ impl ArtifactRecommender {
     ///
     /// Non-finite scores are rejected here rather than handed to
     /// [`top_k_indices`], whose total-order sort panics on NaN.
-    fn rank(
-        &mut self,
-        content: &[f32],
-        k: usize,
-        params: Option<&[Matrix]>,
-    ) -> Result<Vec<(usize, f32)>, ArtifactError> {
-        if let Some(p) = params {
-            restore(self.learner.model_mut(), p);
-        }
-        let items: Vec<usize> = (0..self.item_content.rows()).collect();
-        let scores = self.learner.score(content, &self.item_content, &items);
-        if params.is_some() {
-            restore(self.learner.model_mut(), &self.theta);
-        }
-        if let Some(item) = scores.iter().position(|s| !s.is_finite()) {
-            return Err(ArtifactError::NonFiniteScores { item });
-        }
-        Ok(top_k_indices(&scores, k).into_iter().map(|i| (i, scores[i])).collect())
-    }
-
     /// Top-`k` recommendations for a known (warm) user by id, best first.
     ///
     /// Pass `params` to score with an adapted parameter set from
@@ -312,8 +306,19 @@ impl ArtifactRecommender {
         params: Option<&[Matrix]>,
     ) -> Result<Vec<(usize, f32)>, ArtifactError> {
         self.check_user(user)?;
-        let content: Vec<f32> = self.user_content.row(user).to_vec();
-        self.rank(&content, k, params)
+        // Destructure so the user-content row can be borrowed alongside
+        // the learner and score buffer (no `.to_vec()` of the row).
+        let Self { learner, theta, user_content, item_content, catalogue, scores, .. } = self;
+        rank_catalogue(
+            learner,
+            theta,
+            item_content,
+            catalogue,
+            scores,
+            user_content.row(user),
+            k,
+            params,
+        )
     }
 
     /// Top-`k` recommendations for a raw content vector (a user the
@@ -325,7 +330,8 @@ impl ArtifactRecommender {
         params: Option<&[Matrix]>,
     ) -> Result<Vec<(usize, f32)>, ArtifactError> {
         self.check_content(content)?;
-        self.rank(content, k, params)
+        let Self { learner, theta, item_content, catalogue, scores, .. } = self;
+        rank_catalogue(learner, theta, item_content, catalogue, scores, content, k, params)
     }
 
     /// Serve-time MAML adaptation for a known user: runs the trained
@@ -342,9 +348,12 @@ impl ArtifactRecommender {
     ) -> Result<Vec<Matrix>, ArtifactError> {
         self.check_user(user)?;
         self.check_support(support)?;
+        // Retained clone: `Task` owns its support pairs by contract.
         let task = Task { user, support: support.to_vec(), query: Vec::new() };
         restore(self.learner.model_mut(), &self.theta);
         self.learner.fine_tune(std::slice::from_ref(&task), &self.user_content, &self.item_content);
+        // Retained allocation: the adapted parameter set is the return
+        // value and must outlive the rewind below.
         let adapted = snapshot(self.learner.model_mut());
         restore(self.learner.model_mut(), &self.theta);
         Ok(adapted)
@@ -368,6 +377,41 @@ impl ArtifactRecommender {
         restore(self.learner.model_mut(), &self.theta);
         Ok(adapted)
     }
+}
+
+/// Scores the whole catalogue for `content` and returns the top `k`
+/// `(item, score)` pairs, best first. With `params` the adapted parameter
+/// set is used for this call only; θ is restored after — *before* the
+/// non-finite check, so a poisoned request cannot corrupt the recommender
+/// for later callers.
+///
+/// Free-standing (over [`ArtifactRecommender`]'s destructured fields) so
+/// `recommend` can lend the user-content row and the reused score buffer
+/// at the same time. Non-finite scores are rejected here rather than
+/// handed to [`top_k_indices`], whose total-order sort panics on NaN.
+#[allow(clippy::too_many_arguments)]
+fn rank_catalogue(
+    learner: &mut MetaLearner,
+    theta: &[Matrix],
+    item_content: &Matrix,
+    catalogue: &[usize],
+    scores: &mut Vec<f32>,
+    content: &[f32],
+    k: usize,
+    params: Option<&[Matrix]>,
+) -> Result<Vec<(usize, f32)>, ArtifactError> {
+    if let Some(p) = params {
+        restore(learner.model_mut(), p);
+    }
+    learner.score_into(content, item_content, catalogue, scores);
+    if params.is_some() {
+        restore(learner.model_mut(), theta);
+    }
+    if let Some(item) = scores.iter().position(|s| !s.is_finite()) {
+        return Err(ArtifactError::NonFiniteScores { item });
+    }
+    // The returned ranking allocates by API contract: callers own it.
+    Ok(top_k_indices(scores, k).into_iter().map(|i| (i, scores[i])).collect())
 }
 
 /// Builds an [`Artifact`] directly from a live [`MetaLearner`] plus the

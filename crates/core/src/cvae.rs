@@ -48,6 +48,24 @@ struct EncodeCache {
     eps: Matrix,
 }
 
+/// Reused forward/backward scratch. Every buffer keeps its high-water
+/// capacity, so a steady-state training step only allocates what the API
+/// contracts return to the caller (`z`, `μ`, `logvar`, decode logits, `dz`)
+/// plus the fresh noise draw.
+#[derive(Default)]
+struct CvaeScratch {
+    enc_in: Matrix,
+    enc_out: Matrix,
+    dmu: Matrix,
+    dlv: Matrix,
+    up: Matrix,
+    dx: Matrix,
+    dec_in: Matrix,
+    grad: Matrix,
+    dinput: Matrix,
+    dx_disc: Matrix,
+}
+
 /// One conditional VAE.
 pub struct Cvae {
     config: CvaeConfig,
@@ -55,6 +73,7 @@ pub struct Cvae {
     content_encoder: Mlp,
     decoder: Mlp,
     cache: Option<EncodeCache>,
+    ws: CvaeScratch,
 }
 
 impl Cvae {
@@ -76,7 +95,7 @@ impl Cvae {
             Activation::Tanh,
             rng,
         );
-        Self { config, encoder, content_encoder, decoder, cache: None }
+        Self { config, encoder, content_encoder, decoder, cache: None, ws: CvaeScratch::default() }
     }
 
     /// Architecture parameters.
@@ -95,18 +114,29 @@ impl Cvae {
         mode: Mode,
     ) -> (Matrix, Matrix, Matrix) {
         assert_eq!(ratings.rows(), content.rows(), "Cvae: batch size mismatch");
-        let input = ratings.hstack(content);
-        let enc_out = self.encoder.forward(&input, mode);
-        let (mu, logvar) = enc_out.hsplit(self.config.latent_dim);
-        let logvar = logvar.map(|v| v.clamp(-8.0, 8.0));
+        let Self { config, encoder, cache, ws, .. } = self;
+        ratings.hstack_into(content, &mut ws.enc_in);
+        encoder.forward_into(&mut ws.enc_in, mode, &mut ws.enc_out);
+        // Retained allocations: μ, logvar and z are all returned to the
+        // caller, so they cannot live in the scratch buffers.
+        let (mu, mut logvar) = ws.enc_out.hsplit(config.latent_dim);
+        logvar.map_inplace(|v| v.clamp(-8.0, 8.0));
         let eps = if mode == Mode::Train {
             rng.normal_matrix(mu.rows(), mu.cols())
         } else {
             Matrix::zeros(mu.rows(), mu.cols())
         };
-        let sigma = logvar.map(|v| (0.5 * v).exp());
-        let z = &mu + &sigma.hadamard(&eps);
-        self.cache = Some(EncodeCache { logvar: logvar.clone(), eps });
+        // z = mu + exp(0.5 lv) * eps, fused but with the per-element
+        // expression shape of the old sigma/hadamard/add chain.
+        let mut z = logvar.zip_map(&eps, |v, e| (0.5 * v).exp() * e);
+        z.zip_map_inplace(&mu, |t, m| m + t);
+        match cache {
+            Some(c) => {
+                c.logvar.assign(&logvar);
+                c.eps = eps;
+            }
+            None => *cache = Some(EncodeCache { logvar: logvar.clone(), eps }),
+        }
         (z, mu, logvar)
     }
 
@@ -121,15 +151,19 @@ impl Cvae {
     /// # Panics
     /// Panics if called before [`Cvae::encode_and_sample`].
     pub fn backward_encoder(&mut self, grad_z: &Matrix, grad_mu: &Matrix, grad_logvar: &Matrix) {
-        let cache = self.cache.as_ref().expect("Cvae::backward_encoder before encode");
+        let Self { encoder, cache, ws, .. } = self;
+        let cache = cache.as_ref().expect("Cvae::backward_encoder before encode");
         // z = mu + exp(0.5 lv) * eps
         // dz/dmu = 1; dz/dlv = 0.5 * exp(0.5 lv) * eps.
-        let sigma = cache.logvar.map(|v| (0.5 * v).exp());
-        let dmu = grad_z + grad_mu;
-        let dlv_from_z = grad_z.hadamard(&sigma).hadamard(&cache.eps).scale(0.5);
-        let dlv = &dlv_from_z + grad_logvar;
-        let upstream = dmu.hstack(&dlv);
-        let _ = self.encoder.backward(&upstream);
+        // Each in-place step below keeps the old chain's per-element
+        // expression shape: ((g * sigma) * eps) * 0.5 + grad_logvar.
+        grad_z.zip_map_into(&cache.logvar, |g, v| g * (0.5 * v).exp(), &mut ws.dlv);
+        ws.dlv.zip_map_inplace(&cache.eps, |t, e| t * e);
+        ws.dlv.map_inplace(|t| t * 0.5);
+        ws.dlv.zip_map_inplace(grad_logvar, |t, g| t + g);
+        grad_z.zip_map_into(grad_mu, |a, b| a + b, &mut ws.dmu);
+        ws.dmu.hstack_into(&ws.dlv, &mut ws.up);
+        encoder.backward_into(&mut ws.up, &mut ws.dx);
     }
 
     /// Runs the content encoder `E^x`, returning the anchor `z^x`.
@@ -147,14 +181,23 @@ impl Cvae {
     pub fn decode(&mut self, z: &Matrix, content: &Matrix, mode: Mode) -> Matrix {
         assert_eq!(z.rows(), content.rows(), "Cvae::decode: batch size mismatch");
         assert_eq!(z.cols(), self.config.latent_dim, "Cvae::decode: latent dim mismatch");
-        self.decoder.forward(&z.hstack(content), mode)
+        let Self { decoder, ws, .. } = self;
+        z.hstack_into(content, &mut ws.dec_in);
+        // Retained allocation: the logits are the return value.
+        let mut logits = Matrix::default();
+        decoder.forward_into(&mut ws.dec_in, mode, &mut logits);
+        logits
     }
 
     /// Backpropagates through the *most recent* decode, returning the
     /// gradient w.r.t. the latent `z` (the content part is discarded).
     pub fn backward_decoder(&mut self, grad_logits: &Matrix) -> Matrix {
-        let dinput = self.decoder.backward(grad_logits);
-        let (dz, _dx) = dinput.hsplit(self.config.latent_dim);
+        let Self { config, decoder, ws, .. } = self;
+        ws.grad.assign(grad_logits);
+        decoder.backward_into(&mut ws.grad, &mut ws.dinput);
+        // Retained allocation: `dz` is the return value.
+        let mut dz = Matrix::default();
+        ws.dinput.hsplit_into(config.latent_dim, &mut dz, &mut ws.dx_disc);
         dz
     }
 
@@ -163,8 +206,9 @@ impl Cvae {
     /// Returns probabilities in `[0, 1]`.
     pub fn generate_from_content(&mut self, content: &Matrix) -> Matrix {
         let z = self.content_encode(content, Mode::Eval);
-        let logits = self.decode(&z, content, Mode::Eval);
-        logits.map(sigmoid)
+        let mut probs = self.decode(&z, content, Mode::Eval);
+        probs.map_inplace(sigmoid);
+        probs
     }
 }
 

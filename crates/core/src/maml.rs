@@ -15,15 +15,31 @@
 //! adapts the trained θ on cold-start support sets, after which the model
 //! scores the query candidates.
 
+use std::sync::Mutex;
+
 use metadpa_data::task::Task;
-use metadpa_nn::loss::bce_with_logits;
+use metadpa_nn::loss::bce_with_logits_into;
 use metadpa_nn::module::{
-    accumulate_grads, restore, snapshot, snapshot_grads, zero_grad, Mode, Module,
+    accumulate_grads, restore, snapshot, snapshot_grads, snapshot_into, zero_grad, Mode, Module,
 };
 use metadpa_nn::optim::{Adam, Optimizer, Sgd};
 use metadpa_tensor::{Matrix, Pool, SeededRng};
 
 use crate::preference::{PreferenceConfig, PreferenceModel};
+
+/// Reusable buffers for one worker's inner-loop passes: the item list,
+/// label/input/logit/gradient matrices of `run_set_on`. Every field keeps
+/// its high-water capacity, so after the first task a whole inner loop runs
+/// without allocating.
+#[derive(Default)]
+struct TaskScratch {
+    items: Vec<usize>,
+    labels: Matrix,
+    input: Matrix,
+    logits: Matrix,
+    grad: Matrix,
+    dx: Matrix,
+}
 
 /// Computes the loss and (optionally) backpropagates one labelled set on
 /// `model`. Free-standing (rather than a `MetaLearner` method) so the
@@ -34,14 +50,24 @@ fn run_set_on(
     item_content: &Matrix,
     set: &[(usize, f32)],
     backprop: bool,
+    scratch: &mut TaskScratch,
 ) -> f32 {
-    let items: Vec<usize> = set.iter().map(|&(i, _)| i).collect();
-    let labels = Matrix::from_vec(set.len(), 1, set.iter().map(|&(_, l)| l).collect());
-    let input = PreferenceModel::assemble_input(user_content, item_content, &items);
-    let logits = model.forward(&input, Mode::Train);
-    let (loss, grad) = bce_with_logits(&logits, &labels);
+    scratch.items.clear();
+    scratch.items.extend(set.iter().map(|&(i, _)| i));
+    scratch.labels.resize_for_overwrite(set.len(), 1);
+    for (slot, &(_, label)) in scratch.labels.as_mut_slice().iter_mut().zip(set) {
+        *slot = label;
+    }
+    PreferenceModel::assemble_input_into(
+        user_content,
+        item_content,
+        &scratch.items,
+        &mut scratch.input,
+    );
+    model.forward_into(&mut scratch.input, Mode::Train, &mut scratch.logits);
+    let loss = bce_with_logits_into(&scratch.logits, &scratch.labels, &mut scratch.grad);
     if backprop {
-        let _ = model.backward(&grad);
+        model.backward_into(&mut scratch.grad, &mut scratch.dx);
     }
     loss
 }
@@ -55,12 +81,13 @@ fn adapt_on(
     item_content: &Matrix,
     task: &Task,
     steps: usize,
+    scratch: &mut TaskScratch,
 ) -> f32 {
     let sgd = Sgd::new(inner_lr);
     let mut first_loss = 0.0;
     for step in 0..steps {
         zero_grad(model);
-        let loss = run_set_on(model, user_content, item_content, &task.support, true);
+        let loss = run_set_on(model, user_content, item_content, &task.support, true, scratch);
         if step == 0 {
             first_loss = loss;
         }
@@ -84,12 +111,22 @@ fn fomaml_task_grads(
     user_content: &[f32],
     item_content: &Matrix,
     task: &Task,
+    scratch: &mut TaskScratch,
 ) -> (Vec<Matrix>, f32, f32) {
     restore(model, theta);
-    let support_loss =
-        adapt_on(model, config.inner_lr, user_content, item_content, task, config.inner_steps);
+    let support_loss = adapt_on(
+        model,
+        config.inner_lr,
+        user_content,
+        item_content,
+        task,
+        config.inner_steps,
+        scratch,
+    );
     zero_grad(model);
-    let query_loss = run_set_on(model, user_content, item_content, &task.query, true);
+    let query_loss = run_set_on(model, user_content, item_content, &task.query, true, scratch);
+    // Retained allocation: the harvested gradients are moved into the
+    // meta-gradient fold and must outlive this call's scratch model.
     let grads = snapshot_grads(model);
     (grads, query_loss, support_loss)
 }
@@ -206,6 +243,16 @@ impl MetaLearner {
         let mut outer = Adam::new(self.config.outer_lr);
         let mut order: Vec<usize> = (0..tasks.len()).collect();
         let mut reports = Vec::with_capacity(self.config.epochs);
+        // θ snapshot buffer, reused across meta-batches (the per-batch
+        // snapshot itself is the rewind contract and stays).
+        let mut theta: Vec<Matrix> = Vec::new();
+        // Inner-loop buffers for the serial path, and a pool of
+        // (scratch model, buffers) pairs for the parallel path. Workers
+        // check a pair out per chunk and return it, so models are built
+        // once per pool lifetime, not once per meta-batch; `restore`
+        // overwrites every parameter, so reuse is exact.
+        let mut serial_scratch = TaskScratch::default();
+        let worker_scratch: Mutex<Vec<(PreferenceModel, TaskScratch)>> = Mutex::new(Vec::new());
 
         for epoch in 0..self.config.epochs {
             let _epoch_span = metadpa_obs::span!("maml.epoch");
@@ -215,7 +262,7 @@ impl MetaLearner {
             let mut n_tasks = 0usize;
 
             for chunk in order.chunks(self.config.meta_batch) {
-                let theta = snapshot(&mut self.model);
+                snapshot_into(&mut self.model, &mut theta);
                 let usable: Vec<usize> = chunk
                     .iter()
                     .copied()
@@ -234,22 +281,39 @@ impl MetaLearner {
                     if pool.threads() > 1 && usable.len() > 1 {
                         let config = self.config;
                         let pref_config = self.model.config();
+                        let theta = &theta;
+                        let worker_scratch = &worker_scratch;
                         pool.map_chunks(usable.len(), |range| {
-                            let mut scratch =
-                                PreferenceModel::new(pref_config, &mut SeededRng::new(0));
-                            range
+                            let mut entry = worker_scratch
+                                .lock()
+                                .expect("worker scratch pool poisoned")
+                                .pop()
+                                .unwrap_or_else(|| {
+                                    (
+                                        PreferenceModel::new(pref_config, &mut SeededRng::new(0)),
+                                        TaskScratch::default(),
+                                    )
+                                });
+                            let (scratch_model, task_scratch) = &mut entry;
+                            let out = range
                                 .map(|j| {
                                     let task = &tasks[usable[j]];
                                     fomaml_task_grads(
-                                        &mut scratch,
+                                        scratch_model,
                                         &config,
-                                        &theta,
+                                        theta,
                                         user_content.row(task.user),
                                         item_content,
                                         task,
+                                        task_scratch,
                                     )
                                 })
-                                .collect::<Vec<_>>()
+                                .collect::<Vec<_>>();
+                            worker_scratch
+                                .lock()
+                                .expect("worker scratch pool poisoned")
+                                .push(entry);
+                            out
                         })
                         .into_iter()
                         .flat_map(|(_, v)| v)
@@ -266,6 +330,7 @@ impl MetaLearner {
                                     user_content.row(task.user),
                                     item_content,
                                     task,
+                                    &mut serial_scratch,
                                 )
                             })
                             .collect()
@@ -295,7 +360,7 @@ impl MetaLearner {
                 if let Some(mut grads) = meta_grads {
                     let inv = 1.0 / used as f32;
                     for g in &mut grads {
-                        *g = g.scale(inv);
+                        g.map_inplace(|v| v * inv);
                     }
                     zero_grad(&mut self.model);
                     accumulate_grads(&mut self.model, &grads);
@@ -328,6 +393,7 @@ impl MetaLearner {
     pub fn fine_tune(&mut self, tasks: &[Task], user_content: &Matrix, item_content: &Matrix) {
         let _span = metadpa_obs::span!("maml.fine_tune");
         let sgd = Sgd::new(self.config.inner_lr);
+        let mut scratch = TaskScratch::default();
         for _ in 0..self.config.finetune_steps {
             for task in tasks {
                 if task.support.is_empty() {
@@ -335,7 +401,14 @@ impl MetaLearner {
                 }
                 let uc = user_content.row(task.user);
                 zero_grad(&mut self.model);
-                let _ = run_set_on(&mut self.model, uc, item_content, &task.support, true);
+                let _ = run_set_on(
+                    &mut self.model,
+                    uc,
+                    item_content,
+                    &task.support,
+                    true,
+                    &mut scratch,
+                );
                 self.model.visit_params(&mut |p| sgd.step_param(p));
             }
         }
@@ -349,6 +422,18 @@ impl MetaLearner {
         items: &[usize],
     ) -> Vec<f32> {
         self.model.score_items(user_content, item_content, items)
+    }
+
+    /// [`MetaLearner::score`] into a reused caller vector — bit-identical,
+    /// zero allocations in steady state (the serve catalogue-ranking path).
+    pub fn score_into(
+        &mut self,
+        user_content: &[f32],
+        item_content: &Matrix,
+        items: &[usize],
+        out: &mut Vec<f32>,
+    ) {
+        self.model.score_items_into(user_content, item_content, items, out);
     }
 }
 

@@ -14,7 +14,24 @@ use metadpa_nn::dense::Dense;
 use metadpa_nn::mlp::{Activation, Mlp};
 use metadpa_nn::module::{Mode, Module};
 use metadpa_nn::param::Param;
+use metadpa_nn::workspace::Workspace;
 use metadpa_tensor::{Matrix, SeededRng};
+
+// Workspace slots: forward scratch, backward scratch, scoring scratch. Each
+// buffer keeps its high-water capacity, so repeated steps allocate nothing.
+const WS_CU: usize = 0;
+const WS_CI: usize = 1;
+const WS_XU: usize = 2;
+const WS_XI: usize = 3;
+const WS_CAT: usize = 4;
+const WS_DCAT: usize = 5;
+const WS_DXU: usize = 6;
+const WS_DXI: usize = 7;
+const WS_DCU: usize = 8;
+const WS_DCI: usize = 9;
+const WS_SCORE_IN: usize = 10;
+const WS_SCORE_OUT: usize = 11;
+const WS_SLOTS: usize = 12;
 
 /// Architecture hyper-parameters of the preference model.
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +57,7 @@ pub struct PreferenceModel {
     user_embed: Dense,
     item_embed: Dense,
     scorer: Mlp,
+    ws: Workspace,
 }
 
 impl PreferenceModel {
@@ -52,7 +70,7 @@ impl PreferenceModel {
             Activation::Relu,
             rng,
         );
-        Self { config, user_embed, item_embed, scorer }
+        Self { config, user_embed, item_embed, scorer, ws: Workspace::new(WS_SLOTS) }
     }
 
     /// The configuration this model was built with.
@@ -63,13 +81,24 @@ impl PreferenceModel {
     /// Assembles the `[c_u ; c_i]` input batch for one user and a set of
     /// candidate items: the user's content row is tiled across all rows.
     pub fn assemble_input(user_content: &[f32], item_content: &Matrix, items: &[usize]) -> Matrix {
-        let d = user_content.len();
-        let mut input = Matrix::zeros(items.len(), d + item_content.cols());
-        for (row, &item) in items.iter().enumerate() {
-            input.row_mut(row)[..d].copy_from_slice(user_content);
-            input.row_mut(row)[d..].copy_from_slice(item_content.row(item));
-        }
+        let mut input = Matrix::default();
+        Self::assemble_input_into(user_content, item_content, items, &mut input);
         input
+    }
+
+    /// [`PreferenceModel::assemble_input`] into a reused caller buffer.
+    pub fn assemble_input_into(
+        user_content: &[f32],
+        item_content: &Matrix,
+        items: &[usize],
+        out: &mut Matrix,
+    ) {
+        let d = user_content.len();
+        out.resize_for_overwrite(items.len(), d + item_content.cols());
+        for (row, &item) in items.iter().enumerate() {
+            out.row_mut(row)[..d].copy_from_slice(user_content);
+            out.row_mut(row)[d..].copy_from_slice(item_content.row(item));
+        }
     }
 
     /// Scores one user against candidate items, returning per-item logits.
@@ -79,11 +108,33 @@ impl PreferenceModel {
         item_content: &Matrix,
         items: &[usize],
     ) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.score_items_into(user_content, item_content, items, &mut out);
+        out
+    }
+
+    /// [`PreferenceModel::score_items`] into a reused caller vector —
+    /// bit-identical, and the whole path (input assembly, forward pass)
+    /// runs on workspace buffers, so steady-state catalogue ranking
+    /// allocates nothing.
+    pub fn score_items_into(
+        &mut self,
+        user_content: &[f32],
+        item_content: &Matrix,
+        items: &[usize],
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
         if items.is_empty() {
-            return Vec::new();
+            return;
         }
-        let input = Self::assemble_input(user_content, item_content, items);
-        self.forward(&input, Mode::Eval).into_vec()
+        let mut input = self.ws.take(WS_SCORE_IN);
+        let mut logits = self.ws.take(WS_SCORE_OUT);
+        Self::assemble_input_into(user_content, item_content, items, &mut input);
+        self.forward_into(&mut input, Mode::Eval, &mut logits);
+        out.extend_from_slice(logits.as_slice());
+        self.ws.put(WS_SCORE_IN, input);
+        self.ws.put(WS_SCORE_OUT, logits);
     }
 }
 
@@ -107,6 +158,48 @@ impl Module for PreferenceModel {
         let dcu = self.user_embed.backward(&dxu);
         let dci = self.item_embed.backward(&dxi);
         dcu.hstack(&dci)
+    }
+
+    fn forward_into(&mut self, input: &mut Matrix, mode: Mode, out: &mut Matrix) {
+        assert_eq!(
+            input.cols(),
+            2 * self.config.content_dim,
+            "PreferenceModel::forward: input must be [c_u ; c_i] rows of width {}",
+            2 * self.config.content_dim
+        );
+        let mut cu = self.ws.take(WS_CU);
+        let mut ci = self.ws.take(WS_CI);
+        let mut xu = self.ws.take(WS_XU);
+        let mut xi = self.ws.take(WS_XI);
+        let mut cat = self.ws.take(WS_CAT);
+        input.hsplit_into(self.config.content_dim, &mut cu, &mut ci);
+        self.user_embed.forward_into(&mut cu, mode, &mut xu);
+        self.item_embed.forward_into(&mut ci, mode, &mut xi);
+        xu.hstack_into(&xi, &mut cat);
+        self.scorer.forward_into(&mut cat, mode, out);
+        self.ws.put(WS_CU, cu);
+        self.ws.put(WS_CI, ci);
+        self.ws.put(WS_XU, xu);
+        self.ws.put(WS_XI, xi);
+        self.ws.put(WS_CAT, cat);
+    }
+
+    fn backward_into(&mut self, grad_output: &mut Matrix, out: &mut Matrix) {
+        let mut dcat = self.ws.take(WS_DCAT);
+        let mut dxu = self.ws.take(WS_DXU);
+        let mut dxi = self.ws.take(WS_DXI);
+        let mut dcu = self.ws.take(WS_DCU);
+        let mut dci = self.ws.take(WS_DCI);
+        self.scorer.backward_into(grad_output, &mut dcat);
+        dcat.hsplit_into(self.config.embed_dim, &mut dxu, &mut dxi);
+        self.user_embed.backward_into(&mut dxu, &mut dcu);
+        self.item_embed.backward_into(&mut dxi, &mut dci);
+        dcu.hstack_into(&dci, out);
+        self.ws.put(WS_DCAT, dcat);
+        self.ws.put(WS_DXU, dxu);
+        self.ws.put(WS_DXI, dxi);
+        self.ws.put(WS_DCU, dcu);
+        self.ws.put(WS_DCI, dci);
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
@@ -186,6 +279,58 @@ mod tests {
             last = loss;
         }
         assert!(last < 0.1, "preference rule should be learnable, loss {last}");
+    }
+
+    #[test]
+    fn into_paths_are_bit_identical_to_allocating_paths() {
+        // Two models with identical weights: one driven through the
+        // allocating Module API, one through the workspace `_into` API.
+        // Outputs, input gradients and parameter gradients must agree
+        // bitwise — this is what lets MAML and serve use the zero-alloc
+        // path without re-validating determinism.
+        let mut rng = SeededRng::new(7);
+        let mut a = PreferenceModel::new(small(), &mut rng);
+        let mut b = PreferenceModel::new(small(), &mut SeededRng::new(0));
+        metadpa_nn::module::restore(&mut b, &metadpa_nn::module::snapshot(&mut a));
+
+        let item_content = rng.uniform_matrix(10, 6, -1.0, 1.0);
+        let user = vec![0.2; 6];
+        let items = [0usize, 2, 5, 9];
+        let (mut input_b, mut y_b, mut grad_b, mut dx_b) =
+            (Matrix::default(), Matrix::default(), Matrix::default(), Matrix::default());
+        for step in 0..3 {
+            zero_grad(&mut a);
+            zero_grad(&mut b);
+            let input = PreferenceModel::assemble_input(&user, &item_content, &items);
+            let y_a = a.forward(&input, Mode::Train);
+            let grad_a = y_a.map(|v| v * 0.1 + step as f32);
+            let dx_a = a.backward(&grad_a);
+
+            PreferenceModel::assemble_input_into(&user, &item_content, &items, &mut input_b);
+            b.forward_into(&mut input_b, Mode::Train, &mut y_b);
+            y_a.map_into(|v| v * 0.1 + step as f32, &mut grad_b);
+            b.backward_into(&mut grad_b, &mut dx_b);
+
+            let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&y_a), bits(&y_b), "forward drifts at step {step}");
+            assert_eq!(bits(&dx_a), bits(&dx_b), "backward drifts at step {step}");
+            let mut grads_a = Vec::new();
+            let mut grads_b = Vec::new();
+            a.visit_params(&mut |p| grads_a.push(p.grad.clone()));
+            b.visit_params(&mut |p| grads_b.push(p.grad.clone()));
+            for (ga, gb) in grads_a.iter().zip(&grads_b) {
+                assert_eq!(bits(ga), bits(gb), "param grads drift at step {step}");
+            }
+        }
+
+        // Scoring: the `_into` variant equals the allocating one bitwise.
+        let scores = a.score_items(&user, &item_content, &items);
+        let mut scores_into = Vec::new();
+        b.score_items_into(&user, &item_content, &items, &mut scores_into);
+        assert_eq!(
+            scores.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scores_into.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

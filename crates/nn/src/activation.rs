@@ -25,13 +25,26 @@ impl Relu {
 
 impl Module for Relu {
     fn forward(&mut self, input: &Matrix, _mode: Mode) -> Matrix {
-        self.cached_input = Some(input.clone());
+        match &mut self.cached_input {
+            Some(cache) => cache.assign(input),
+            None => self.cached_input = Some(input.clone()),
+        }
         input.map(|v| v.max(0.0))
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let input = self.cached_input.as_ref().expect("Relu::backward called before forward");
         input.zip_map(grad_output, |x, g| if x > 0.0 { g } else { 0.0 })
+    }
+
+    fn forward_into(&mut self, input: &mut Matrix, _mode: Mode, out: &mut Matrix) {
+        input.map_into(|v| v.max(0.0), out);
+        std::mem::swap(self.cached_input.get_or_insert_with(Matrix::default), input);
+    }
+
+    fn backward_into(&mut self, grad_output: &mut Matrix, out: &mut Matrix) {
+        let input = self.cached_input.as_ref().expect("Relu::backward called before forward");
+        input.zip_map_into(grad_output, |x, g| if x > 0.0 { g } else { 0.0 }, out);
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}
@@ -52,7 +65,10 @@ impl LeakyRelu {
 
 impl Module for LeakyRelu {
     fn forward(&mut self, input: &Matrix, _mode: Mode) -> Matrix {
-        self.cached_input = Some(input.clone());
+        match &mut self.cached_input {
+            Some(cache) => cache.assign(input),
+            None => self.cached_input = Some(input.clone()),
+        }
         let s = self.slope;
         input.map(|v| if v > 0.0 { v } else { s * v })
     }
@@ -61,6 +77,18 @@ impl Module for LeakyRelu {
         let input = self.cached_input.as_ref().expect("LeakyRelu::backward called before forward");
         let s = self.slope;
         input.zip_map(grad_output, |x, g| if x > 0.0 { g } else { s * g })
+    }
+
+    fn forward_into(&mut self, input: &mut Matrix, _mode: Mode, out: &mut Matrix) {
+        let s = self.slope;
+        input.map_into(|v| if v > 0.0 { v } else { s * v }, out);
+        std::mem::swap(self.cached_input.get_or_insert_with(Matrix::default), input);
+    }
+
+    fn backward_into(&mut self, grad_output: &mut Matrix, out: &mut Matrix) {
+        let input = self.cached_input.as_ref().expect("LeakyRelu::backward called before forward");
+        let s = self.slope;
+        input.zip_map_into(grad_output, |x, g| if x > 0.0 { g } else { s * g }, out);
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}
@@ -93,13 +121,26 @@ pub fn sigmoid(x: f32) -> f32 {
 impl Module for Sigmoid {
     fn forward(&mut self, input: &Matrix, _mode: Mode) -> Matrix {
         let out = input.map(sigmoid);
-        self.cached_output = Some(out.clone());
+        match &mut self.cached_output {
+            Some(cache) => cache.assign(&out),
+            None => self.cached_output = Some(out.clone()),
+        }
         out
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let out = self.cached_output.as_ref().expect("Sigmoid::backward called before forward");
         out.zip_map(grad_output, |y, g| y * (1.0 - y) * g)
+    }
+
+    fn forward_into(&mut self, input: &mut Matrix, _mode: Mode, out: &mut Matrix) {
+        input.map_into(sigmoid, out);
+        self.cached_output.get_or_insert_with(Matrix::default).assign(out);
+    }
+
+    fn backward_into(&mut self, grad_output: &mut Matrix, out: &mut Matrix) {
+        let y = self.cached_output.as_ref().expect("Sigmoid::backward called before forward");
+        y.zip_map_into(grad_output, |y, g| y * (1.0 - y) * g, out);
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}
@@ -121,13 +162,26 @@ impl Tanh {
 impl Module for Tanh {
     fn forward(&mut self, input: &Matrix, _mode: Mode) -> Matrix {
         let out = input.map(f32::tanh);
-        self.cached_output = Some(out.clone());
+        match &mut self.cached_output {
+            Some(cache) => cache.assign(&out),
+            None => self.cached_output = Some(out.clone()),
+        }
         out
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let out = self.cached_output.as_ref().expect("Tanh::backward called before forward");
         out.zip_map(grad_output, |y, g| (1.0 - y * y) * g)
+    }
+
+    fn forward_into(&mut self, input: &mut Matrix, _mode: Mode, out: &mut Matrix) {
+        input.map_into(f32::tanh, out);
+        self.cached_output.get_or_insert_with(Matrix::default).assign(out);
+    }
+
+    fn backward_into(&mut self, grad_output: &mut Matrix, out: &mut Matrix) {
+        let y = self.cached_output.as_ref().expect("Tanh::backward called before forward");
+        y.zip_map_into(grad_output, |y, g| (1.0 - y * y) * g, out);
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}
@@ -152,7 +206,15 @@ impl Softmax {
 
 /// Row-wise softmax as a free function (used by InfoNCE and tests).
 pub fn softmax_rows(input: &Matrix) -> Matrix {
-    let mut out = input.clone();
+    let mut out = Matrix::default();
+    softmax_rows_into(input, &mut out);
+    out
+}
+
+/// Row-wise softmax into a caller-owned buffer — the zero-allocation twin of
+/// [`softmax_rows`], bit-identical to it.
+pub fn softmax_rows_into(input: &Matrix, out: &mut Matrix) {
+    out.assign(input);
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -166,13 +228,15 @@ pub fn softmax_rows(input: &Matrix) -> Matrix {
             *v *= inv;
         }
     }
-    out
 }
 
 impl Module for Softmax {
     fn forward(&mut self, input: &Matrix, _mode: Mode) -> Matrix {
         let out = softmax_rows(input);
-        self.cached_output = Some(out.clone());
+        match &mut self.cached_output {
+            Some(cache) => cache.assign(&out),
+            None => self.cached_output = Some(out.clone()),
+        }
         out
     }
 
@@ -189,6 +253,23 @@ impl Module for Softmax {
             }
         }
         out
+    }
+
+    fn forward_into(&mut self, input: &mut Matrix, _mode: Mode, out: &mut Matrix) {
+        softmax_rows_into(input, out);
+        self.cached_output.get_or_insert_with(Matrix::default).assign(out);
+    }
+
+    fn backward_into(&mut self, grad_output: &mut Matrix, out: &mut Matrix) {
+        let y = self.cached_output.as_ref().expect("Softmax::backward called before forward");
+        // Seed `out` with y, then rescale rows in place: o = y * (g - g·y).
+        out.assign(y);
+        for r in 0..out.rows() {
+            let dot: f32 = y.row(r).iter().zip(grad_output.row(r)).map(|(&a, &b)| a * b).sum();
+            for (o, &gv) in out.row_mut(r).iter_mut().zip(grad_output.row(r)) {
+                *o *= gv - dot;
+            }
+        }
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}

@@ -16,8 +16,15 @@ use crate::param::Param;
 pub struct Dense {
     weight: Param,
     bias: Param,
-    /// Input cached by the last forward pass.
+    /// Input cached by the last forward pass. The buffer is retained across
+    /// steps: `forward` copies into it, `forward_into` steals the caller's
+    /// buffer outright (ownership handoff instead of a clone).
     cached_input: Option<Matrix>,
+    /// Workspace for `backward_into`: dW/db must be computed into a zeroed
+    /// scratch and then added to the accumulators so the per-element
+    /// addition order matches `backward` bit for bit.
+    ws_dw: Matrix,
+    ws_db: Matrix,
 }
 
 impl Dense {
@@ -27,6 +34,8 @@ impl Dense {
             weight: Param::new(xavier_uniform(in_dim, out_dim, rng)),
             bias: Param::zeros(1, out_dim),
             cached_input: None,
+            ws_dw: Matrix::default(),
+            ws_db: Matrix::default(),
         }
     }
 
@@ -41,7 +50,13 @@ impl Dense {
             "Dense::from_parts: bias must be 1x{}",
             weight.cols()
         );
-        Self { weight: Param::new(weight), bias: Param::new(bias), cached_input: None }
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            cached_input: None,
+            ws_dw: Matrix::default(),
+            ws_db: Matrix::default(),
+        }
     }
 
     /// Input dimensionality.
@@ -74,9 +89,29 @@ impl Module for Dense {
             input.cols(),
             self.in_dim()
         );
-        let out = input.matmul(&self.weight.value).add_row_broadcast(&self.bias.value);
-        self.cached_input = Some(input.clone());
+        let mut out = input.matmul(&self.weight.value);
+        out.add_row_broadcast_inplace(&self.bias.value);
+        match &mut self.cached_input {
+            Some(cache) => cache.assign(input),
+            None => self.cached_input = Some(input.clone()),
+        }
         out
+    }
+
+    fn forward_into(&mut self, input: &mut Matrix, _mode: Mode, out: &mut Matrix) {
+        assert_eq!(
+            input.cols(),
+            self.in_dim(),
+            "Dense::forward: input dim {} does not match layer in_dim {}",
+            input.cols(),
+            self.in_dim()
+        );
+        input.matmul_into(&self.weight.value, out);
+        out.add_row_broadcast_inplace(&self.bias.value);
+        // Ownership handoff: steal the caller's buffer for the activation
+        // cache (the trait declares `input` dead after the call) and give
+        // the previous cache back as the caller's scratch.
+        std::mem::swap(self.cached_input.get_or_insert_with(Matrix::default), input);
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -94,6 +129,25 @@ impl Module for Dense {
         self.bias.grad.add_inplace(&grad_output.sum_rows());
         // dx = g W^T.
         grad_output.matmul_nt(&self.weight.value)
+    }
+
+    fn backward_into(&mut self, grad_output: &mut Matrix, out: &mut Matrix) {
+        let Self { weight, bias, cached_input, ws_dw, ws_db } = self;
+        let input = cached_input.as_ref().expect("Dense::backward called before forward");
+        assert_eq!(
+            grad_output.shape(),
+            (input.rows(), weight.value.cols()),
+            "Dense::backward: grad shape {:?} does not match output shape {:?}",
+            grad_output.shape(),
+            (input.rows(), weight.value.cols())
+        );
+        // Same zeroed-product-then-add sequence as `backward`, but into the
+        // layer workspace instead of fresh matrices.
+        input.matmul_tn_into(grad_output, ws_dw);
+        weight.grad.add_inplace(ws_dw);
+        grad_output.sum_rows_into(ws_db);
+        bias.grad.add_inplace(ws_db);
+        grad_output.matmul_nt_into(&weight.value, out);
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {

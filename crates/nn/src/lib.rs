@@ -46,6 +46,7 @@ pub mod optim;
 pub mod param;
 pub mod schedule;
 pub mod sequential;
+pub mod workspace;
 
 pub use activation::{LeakyRelu, Relu, Sigmoid, Softmax, Tanh};
 pub use dense::Dense;
@@ -53,8 +54,9 @@ pub use dropout::Dropout;
 pub use embedding::Embedding;
 pub use layer_norm::LayerNorm;
 pub use mlp::Mlp;
-pub use module::{restore, snapshot, zero_grad, Mode, Module};
+pub use module::{restore, snapshot, snapshot_into, zero_grad, Mode, Module};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use schedule::{clip_grad_norm, LrSchedule};
 pub use sequential::Sequential;
+pub use workspace::Workspace;

@@ -24,6 +24,17 @@ use crate::activation::sigmoid;
 /// # Panics
 /// Panics if shapes differ or the input is empty.
 pub fn bce_with_logits(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    let mut grad = Matrix::default();
+    let loss = bce_with_logits_into(logits, targets, &mut grad);
+    (loss, grad)
+}
+
+/// [`bce_with_logits`] writing the gradient into a caller-owned buffer —
+/// bit-identical, zero allocations in steady state.
+///
+/// # Panics
+/// Panics if shapes differ or the input is empty.
+pub fn bce_with_logits_into(logits: &Matrix, targets: &Matrix, grad: &mut Matrix) -> f32 {
     assert_eq!(
         logits.shape(),
         targets.shape(),
@@ -39,8 +50,8 @@ pub fn bce_with_logits(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
         .zip(targets.as_slice().iter())
         .map(|(&z, &y)| (z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln()) as f64)
         .sum();
-    let grad = logits.zip_map(targets, |z, y| (sigmoid(z) - y) / n);
-    ((total / n as f64) as f32, grad)
+    logits.zip_map_into(targets, |z, y| (sigmoid(z) - y) / n, grad);
+    (total / n as f64) as f32
 }
 
 /// Weighted binary cross-entropy with logits.

@@ -74,6 +74,14 @@ impl Module for Mlp {
         self.net.backward(grad_output)
     }
 
+    fn forward_into(&mut self, input: &mut Matrix, mode: Mode, out: &mut Matrix) {
+        self.net.forward_into(input, mode, out);
+    }
+
+    fn backward_into(&mut self, grad_output: &mut Matrix, out: &mut Matrix) {
+        self.net.backward_into(grad_output, out);
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         self.net.visit_params(visitor);
     }

@@ -41,6 +41,27 @@ pub trait Module {
     /// w.r.t. the input.
     fn backward(&mut self, grad_output: &Matrix) -> Matrix;
 
+    /// Zero-allocation twin of [`Module::forward`]: writes the output into
+    /// the caller-owned buffer `out`, bit-identical to `forward`.
+    ///
+    /// `input` is taken by mutable reference so the layer may *steal* its
+    /// storage for the activation cache (an ownership handoff instead of a
+    /// clone); the contents of `input` are unspecified after the call. The
+    /// default implementation falls back to the allocating path, so modules
+    /// that never override it keep working unchanged.
+    fn forward_into(&mut self, input: &mut Matrix, mode: Mode, out: &mut Matrix) {
+        *out = self.forward(input, mode);
+    }
+
+    /// Zero-allocation twin of [`Module::backward`]: writes the input
+    /// gradient into `out`, bit-identical to `backward`.
+    ///
+    /// Like `forward_into`, the layer may scribble on or steal
+    /// `grad_output`; its contents are unspecified after the call.
+    fn backward_into(&mut self, grad_output: &mut Matrix, out: &mut Matrix) {
+        *out = self.backward(grad_output);
+    }
+
     /// Visits every trainable parameter in a stable order.
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param));
 
@@ -63,8 +84,25 @@ pub fn zero_grad(module: &mut dyn Module) {
 /// rewind" cycle at the heart of the MAML inner loop (paper Eq. 1).
 pub fn snapshot(module: &mut dyn Module) -> Vec<Matrix> {
     let mut out = Vec::new();
-    module.visit_params(&mut |p| out.push(p.value.clone()));
+    snapshot_into(module, &mut out);
     out
+}
+
+/// Copies parameter values into `out`, reusing its existing matrices.
+///
+/// The zero-allocation twin of [`snapshot`]: after the first call on a given
+/// buffer only element data is copied, so a MAML inner loop that snapshots θ
+/// every meta-batch allocates nothing in steady state.
+pub fn snapshot_into(module: &mut dyn Module, out: &mut Vec<Matrix>) {
+    let mut idx = 0;
+    module.visit_params(&mut |p| {
+        match out.get_mut(idx) {
+            Some(slot) => slot.assign(&p.value),
+            None => out.push(p.value.clone()),
+        }
+        idx += 1;
+    });
+    out.truncate(idx);
 }
 
 /// Writes parameter values saved by [`snapshot`] back into `module`.
@@ -80,7 +118,9 @@ pub fn restore(module: &mut dyn Module, saved: &[Matrix]) {
             saved[idx].shape(),
             "restore: shape mismatch at parameter {idx}"
         );
-        p.value = saved[idx].clone();
+        // assign() copies into the parameter's existing storage (same shape
+        // guaranteed above), so a restore never reallocates.
+        p.value.assign(&saved[idx]);
         idx += 1;
     });
     assert_eq!(idx, saved.len(), "restore: snapshot has too many parameter matrices");
@@ -137,7 +177,7 @@ pub fn restore_named(
             ));
             return;
         }
-        p.value = value.clone();
+        p.value.assign(value);
         idx += 1;
     });
     if let Some(e) = error {
@@ -159,8 +199,22 @@ pub fn restore_named(
 /// meta-parameters.
 pub fn snapshot_grads(module: &mut dyn Module) -> Vec<Matrix> {
     let mut out = Vec::new();
-    module.visit_params(&mut |p| out.push(p.grad.clone()));
+    snapshot_grads_into(module, &mut out);
     out
+}
+
+/// Copies gradients into `out`, reusing its existing matrices — the
+/// zero-allocation twin of [`snapshot_grads`].
+pub fn snapshot_grads_into(module: &mut dyn Module, out: &mut Vec<Matrix>) {
+    let mut idx = 0;
+    module.visit_params(&mut |p| {
+        match out.get_mut(idx) {
+            Some(slot) => slot.assign(&p.grad),
+            None => out.push(p.grad.clone()),
+        }
+        idx += 1;
+    });
+    out.truncate(idx);
 }
 
 /// Accumulates externally harvested gradients into `module`'s accumulators.

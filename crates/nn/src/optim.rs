@@ -61,9 +61,10 @@ impl Sgd {
     /// [`Embedding`]: crate::Embedding
     pub fn step_param(&self, p: &mut Param) {
         if self.weight_decay > 0.0 {
-            let decay = self.weight_decay;
-            let wd_grad = p.value.scale(decay);
-            p.value.add_scaled_inplace(&wd_grad, -self.lr);
+            // Fused decay: v += (v * decay) * (-lr) in place, bit-identical
+            // to the old scale-then-add_scaled pair without the temporary.
+            let (decay, lr) = (self.weight_decay, self.lr);
+            p.value.map_inplace(|v| v + (v * decay) * (-lr));
         }
         let lr = self.lr;
         p.value.add_scaled_inplace(&p.grad, -lr);

@@ -47,19 +47,54 @@ impl Sequential {
 
 impl Module for Sequential {
     fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        // Two ping-pong buffers instead of one fresh activation per layer;
+        // `forward_into` is bit-identical layer by layer.
         let mut current = input.clone();
-        for layer in &mut self.layers {
-            current = layer.forward(&current, mode);
-        }
-        current
+        let mut out = Matrix::default();
+        self.forward_into(&mut current, mode, &mut out);
+        out
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let mut current = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            current = layer.backward(&current);
+        let mut out = Matrix::default();
+        self.backward_into(&mut current, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &mut Matrix, mode: Mode, out: &mut Matrix) {
+        // Ping-pong between the two caller buffers. Layers may steal the
+        // source buffer for their activation cache (handing their previous
+        // cache back), so both matrices are plain scratch throughout.
+        let mut src_is_input = true;
+        for layer in &mut self.layers {
+            if src_is_input {
+                layer.forward_into(input, mode, out);
+            } else {
+                layer.forward_into(out, mode, input);
+            }
+            src_is_input = !src_is_input;
         }
-        current
+        if src_is_input {
+            // Even-length chain (including the empty identity): the result
+            // sits in `input`; move it to `out` without copying.
+            std::mem::swap(input, out);
+        }
+    }
+
+    fn backward_into(&mut self, grad_output: &mut Matrix, out: &mut Matrix) {
+        let mut src_is_grad = true;
+        for layer in self.layers.iter_mut().rev() {
+            if src_is_grad {
+                layer.backward_into(grad_output, out);
+            } else {
+                layer.backward_into(out, grad_output);
+            }
+            src_is_grad = !src_is_grad;
+        }
+        if src_is_grad {
+            std::mem::swap(grad_output, out);
+        }
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {

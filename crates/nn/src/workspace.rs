@@ -1,0 +1,87 @@
+//! Reusable buffer pools for zero-allocation forward/backward passes.
+
+use metadpa_tensor::Matrix;
+
+/// A small indexed pool of reusable matrices.
+///
+/// Models that assemble their inputs from several pieces (embedding gathers,
+/// feature `hstack`s, CVAE concatenations) own a `Workspace` and `take`/`put`
+/// slots around each step. A slot keeps whatever capacity its last use grew
+/// it to, so steady-state training reuses the same allocations; taking a slot
+/// leaves an empty 0x0 matrix behind (no allocation) and is safe to do for
+/// several slots at once, which sidesteps borrow conflicts between buffers
+/// used in the same expression.
+#[derive(Default)]
+pub struct Workspace {
+    slots: Vec<Matrix>,
+}
+
+impl Workspace {
+    /// Creates a workspace with `slots` empty buffers.
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        Self { slots: (0..slots).map(|_| Matrix::default()).collect() }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the workspace has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Moves slot `i` out, leaving an empty matrix behind.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn take(&mut self, i: usize) -> Matrix {
+        std::mem::take(&mut self.slots[i])
+    }
+
+    /// Returns a buffer to slot `i` so its capacity is reused next step.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn put(&mut self, i: usize, m: Matrix) {
+        self.slots[i] = m;
+    }
+
+    /// Mutable access to slot `i` in place (for buffers that never need to
+    /// leave the workspace).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn slot_mut(&mut self, i: usize) -> &mut Matrix {
+        &mut self.slots[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_roundtrip_reuses_capacity() {
+        let mut ws = Workspace::new(2);
+        assert_eq!(ws.len(), 2);
+        let mut a = ws.take(0);
+        a.assign(&Matrix::filled(4, 4, 1.0));
+        let ptr = a.as_slice().as_ptr();
+        ws.put(0, a);
+        // Taking again hands back the same allocation.
+        let b = ws.take(0);
+        assert_eq!(b.as_slice().as_ptr(), ptr);
+        assert_eq!(b.shape(), (4, 4));
+        ws.put(0, b);
+        // The vacated slot is an empty matrix, not a hole.
+        let c = ws.take(1);
+        assert_eq!(c.shape(), (0, 0));
+        ws.put(1, c);
+    }
+}

@@ -236,6 +236,14 @@ fn adapt_inner(engine: &Engine, req: &Request) -> Response {
 
 /// Builds the HTTP handler for one engine.
 pub fn router(engine: Arc<Engine>) -> Handler {
+    // Counters only render once touched; seed the pool and kernel
+    // counters with zero so `/metrics` always exposes them, even before
+    // the first request exercises the blocked matmul or the thread pool.
+    metadpa_obs::counter_add!("pool.tasks", 0);
+    metadpa_obs::counter_add!("pool.steal", 0);
+    metadpa_obs::counter_add!("tensor.matmul.packed_panels", 0);
+    metadpa_obs::counter_add!("tensor.matmul.dispatch.serial", 0);
+    metadpa_obs::counter_add!("tensor.matmul.dispatch.blocked", 0);
     Arc::new(move |req: &Request| {
         metadpa_obs::counter_add!("serve.requests", 1);
         match (req.method.as_str(), req.path.as_str()) {
@@ -348,6 +356,39 @@ mod tests {
         assert!(body.contains("\"source\":\"adapted\""), "{body}");
 
         server.shutdown();
+    }
+
+    #[test]
+    fn metrics_expose_pool_and_kernel_counters() {
+        // Counters only record while observability is on (the serve binary
+        // enables it at startup); mirror that here, before the router is
+        // built, so its zero-seeding registers the names.
+        let _obs = metadpa_obs::test_lock();
+        metadpa_obs::enable(Arc::new(metadpa_obs::NullRecorder));
+        let engine = tiny_engine(34);
+        let server = serve(ServerConfig::default(), router(Arc::clone(&engine))).expect("bind");
+        let addr = server.addr();
+
+        // Drive one scoring request so kernel counters see real traffic,
+        // then check the registry names are all present (the zero-seeded
+        // ones included, whether or not this process ran a blocked shape).
+        let (status, _) = post(addr, "/v1/recommend", r#"{"user_id":0,"k":2}"#);
+        assert_eq!(status, 200);
+        let (status, body) = request(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        // render_text flattens metric names (dots become underscores).
+        for name in [
+            "pool_tasks",
+            "pool_steal",
+            "tensor_matmul_packed_panels",
+            "tensor_matmul_dispatch_serial",
+            "tensor_matmul_dispatch_blocked",
+        ] {
+            assert!(body.contains(name), "/metrics must expose {name}: {body}");
+        }
+
+        server.shutdown();
+        metadpa_obs::disable();
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //! * All shape mismatches are programming errors, not recoverable conditions,
 //!   so operations panic with a descriptive message (the same contract as
 //!   `ndarray`). Each operation documents its shape requirements.
-//! * Hot loops (matmul, elementwise combinators) allocate the output once and
-//!   then iterate over contiguous slices, per the Rust Performance Book
-//!   guidance on avoiding bounds checks and incremental allocation.
+//! * Hot loops (matmul, elementwise combinators) run cache-blocked,
+//!   panel-packed kernels (bit-identical to the naive oracles retained in
+//!   [`reference`]) and every hot operation has an `_into` variant that
+//!   writes into a reused caller-owned matrix, so steady-state training
+//!   allocates nothing per op.
 //! * No unsafe code. Parallelism goes through [`pool`] — scoped threads with
 //!   deterministic work partitioning — so every kernel is bit-identical at
 //!   any `METADPA_THREADS` setting, including the serial `1`.
@@ -26,6 +28,7 @@
 
 pub mod matrix;
 pub mod pool;
+pub mod reference;
 pub mod rng;
 pub mod stats;
 

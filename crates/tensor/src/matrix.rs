@@ -4,15 +4,29 @@
 //! represented as `1 x n` or `n x 1` matrices, and batches of user/item
 //! vectors as `batch x dim` matrices (one example per row, the layout used
 //! throughout `metadpa-nn`).
+//!
+//! Two API families matter for performance:
+//!
+//! * The matmul kernels are **cache-blocked and panel-packed** (see the
+//!   "Kernel machinery" section at the bottom of this file and DESIGN §9).
+//!   They are bit-identical to the naive kernels retained in
+//!   [`crate::reference`] because blocking only re-tiles the independent
+//!   `i`/`j` loops — every output element still accumulates its `k`-loop
+//!   addends in ascending order.
+//! * Every allocating operation that appears on a hot path has an `_into`
+//!   twin writing into a caller-owned matrix whose storage (capacity) is
+//!   reused across calls, so steady-state training and serving allocate
+//!   nothing per op.
 
+use std::cell::RefCell;
 use std::fmt;
-use std::ops::{Add, Mul, Sub};
+use std::ops::{Add, Mul, Range, Sub};
 
 /// A dense, row-major matrix of `f32` values.
 ///
 /// Cloning is a deep copy; the type is deliberately *not* reference-counted
 /// so aliasing bugs in backward passes are impossible.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -42,11 +56,13 @@ impl Matrix {
     // ------------------------------------------------------------------
 
     /// Creates a `rows x cols` matrix filled with zeros.
+    #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self { rows, cols, data: vec![0.0; rows * cols] }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
+    #[must_use]
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
         Self { rows, cols, data: vec![value; rows * cols] }
     }
@@ -55,6 +71,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
+    #[must_use]
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(
             data.len(),
@@ -68,22 +85,24 @@ impl Matrix {
     }
 
     /// Creates a matrix by evaluating `f(row, col)` for every element.
+    #[must_use]
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
-        for r in 0..rows {
-            for c in 0..cols {
-                data.push(f(r, c));
-            }
-        }
+        let n = rows * cols;
+        let mut data = Vec::with_capacity(n);
+        // One bulk extend with an exact size hint instead of n per-element
+        // pushes (each of which re-checks capacity).
+        data.extend((0..n).map(|idx| f(idx / cols.max(1), idx % cols.max(1))));
         Self { rows, cols, data }
     }
 
     /// Creates a `1 x n` row vector from a slice.
+    #[must_use]
     pub fn row_vector(values: &[f32]) -> Self {
         Self { rows: 1, cols: values.len(), data: values.to_vec() }
     }
 
     /// Creates an `n x n` identity matrix.
+    #[must_use]
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
@@ -139,6 +158,7 @@ impl Matrix {
     }
 
     /// Consumes the matrix, returning its row-major storage.
+    #[must_use]
     pub fn into_vec(self) -> Vec<f32> {
         self.data
     }
@@ -188,6 +208,7 @@ impl Matrix {
     }
 
     /// Copies column `c` into a new vector.
+    #[must_use]
     pub fn col(&self, c: usize) -> Vec<f32> {
         assert!(c < self.cols, "Matrix::col: column {c} out of bounds for {} cols", self.cols);
         (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
@@ -199,10 +220,48 @@ impl Matrix {
     }
 
     // ------------------------------------------------------------------
+    // Storage reuse
+    // ------------------------------------------------------------------
+
+    /// Reshapes to `rows x cols` reusing the existing allocation when the
+    /// capacity suffices; element values are unspecified afterwards. This is
+    /// the primitive every `_into` op that overwrites all elements uses.
+    fn reset_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Public form of the overwrite reset, for callers that assemble a
+    /// matrix row by row into a reused buffer (e.g. batch builders). Element
+    /// values are **unspecified** after the call — the caller must write
+    /// every element before reading any.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.reset_for_overwrite(rows, cols);
+    }
+
+    /// Reshapes to `rows x cols` (reusing capacity) and zero-fills; used by
+    /// the accumulating matmul kernels.
+    fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `src`'s shape and contents into `self`, reusing `self`'s
+    /// allocation when possible — a `clone_from` that never shrinks capacity.
+    pub fn assign(&mut self, src: &Matrix) {
+        self.reset_for_overwrite(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    // ------------------------------------------------------------------
     // Structural operations
     // ------------------------------------------------------------------
 
     /// Returns the transpose.
+    #[must_use]
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
         for r in 0..self.rows {
@@ -218,8 +277,19 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if any index is out of bounds.
+    #[must_use]
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
+        let mut out = Matrix::default();
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Matrix::gather_rows`] into a reused output matrix.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.reset_for_overwrite(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
             assert!(
                 src < self.rows,
@@ -228,13 +298,13 @@ impl Matrix {
             );
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
-        out
     }
 
     /// Stacks `self` on top of `other`.
     ///
     /// # Panics
     /// Panics if the column counts differ.
+    #[must_use]
     pub fn vstack(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
@@ -251,34 +321,53 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if the row counts differ.
+    #[must_use]
     pub fn hstack(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.hstack_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::hstack`] into a reused output matrix.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn hstack_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "Matrix::hstack: row mismatch {} vs {}",
             self.rows, other.rows
         );
-        let cols = self.cols + other.cols;
-        let mut out = Matrix::zeros(self.rows, cols);
+        out.reset_for_overwrite(self.rows, self.cols + other.cols);
         for r in 0..self.rows {
             out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
             out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
         }
-        out
     }
 
     /// Splits the matrix column-wise at `at`, returning `(left, right)`.
     ///
     /// # Panics
     /// Panics if `at > cols`.
+    #[must_use]
     pub fn hsplit(&self, at: usize) -> (Matrix, Matrix) {
+        let (mut left, mut right) = (Matrix::default(), Matrix::default());
+        self.hsplit_into(at, &mut left, &mut right);
+        (left, right)
+    }
+
+    /// [`Matrix::hsplit`] into two reused output matrices.
+    ///
+    /// # Panics
+    /// Panics if `at > cols`.
+    pub fn hsplit_into(&self, at: usize, left: &mut Matrix, right: &mut Matrix) {
         assert!(at <= self.cols, "Matrix::hsplit: split point {at} beyond {} cols", self.cols);
-        let mut left = Matrix::zeros(self.rows, at);
-        let mut right = Matrix::zeros(self.rows, self.cols - at);
+        left.reset_for_overwrite(self.rows, at);
+        right.reset_for_overwrite(self.rows, self.cols - at);
         for r in 0..self.rows {
             left.row_mut(r).copy_from_slice(&self.row(r)[..at]);
             right.row_mut(r).copy_from_slice(&self.row(r)[at..]);
         }
-        (left, right)
     }
 
     // ------------------------------------------------------------------
@@ -286,9 +375,19 @@ impl Matrix {
     // ------------------------------------------------------------------
 
     /// Applies `f` to every element, returning a new matrix.
+    #[must_use]
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         metadpa_obs::counter_add!("tensor.elementwise.ops", self.data.len() as u64);
         Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// [`Matrix::map`] into a reused output matrix.
+    pub fn map_into(&self, f: impl Fn(f32) -> f32, out: &mut Matrix) {
+        metadpa_obs::counter_add!("tensor.elementwise.ops", self.data.len() as u64);
+        out.reset_for_overwrite(self.rows, self.cols);
+        for (o, &v) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(v);
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -303,6 +402,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if shapes differ.
+    #[must_use]
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         self.assert_same_shape(other, "zip_map");
         metadpa_obs::counter_add!("tensor.elementwise.ops", self.data.len() as u64);
@@ -313,15 +413,43 @@ impl Matrix {
         }
     }
 
+    /// [`Matrix::zip_map`] into a reused output matrix.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn zip_map_into(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32, out: &mut Matrix) {
+        self.assert_same_shape(other, "zip_map");
+        metadpa_obs::counter_add!("tensor.elementwise.ops", self.data.len() as u64);
+        out.reset_for_overwrite(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = f(a, b);
+        }
+    }
+
+    /// Combines `self` with `other` elementwise in place
+    /// (`self[i] = f(self[i], other[i])`).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn zip_map_inplace(&mut self, other: &Matrix, f: impl Fn(f32, f32) -> f32) {
+        self.assert_same_shape(other, "zip_map_inplace");
+        metadpa_obs::counter_add!("tensor.elementwise.ops", self.data.len() as u64);
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = f(*a, b);
+        }
+    }
+
     /// Elementwise (Hadamard) product.
     ///
     /// # Panics
     /// Panics if shapes differ.
+    #[must_use]
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         self.zip_map(other, |a, b| a * b)
     }
 
     /// Multiplies every element by `s`.
+    #[must_use]
     pub fn scale(&self, s: f32) -> Matrix {
         self.map(|v| v * s)
     }
@@ -358,7 +486,27 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `bias` is not `1 x cols`.
+    #[must_use]
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.add_row_broadcast_into(bias, &mut out);
+        out
+    }
+
+    /// [`Matrix::add_row_broadcast`] into a reused output matrix.
+    ///
+    /// # Panics
+    /// Panics if `bias` is not `1 x cols`.
+    pub fn add_row_broadcast_into(&self, bias: &Matrix, out: &mut Matrix) {
+        out.assign(self);
+        out.add_row_broadcast_inplace(bias);
+    }
+
+    /// Adds a `1 x cols` row vector to every row of `self` in place.
+    ///
+    /// # Panics
+    /// Panics if `bias` is not `1 x cols`.
+    pub fn add_row_broadcast_inplace(&mut self, bias: &Matrix) {
         assert!(
             bias.rows == 1 && bias.cols == self.cols,
             "Matrix::add_row_broadcast: bias must be 1x{}, got {}x{}",
@@ -366,27 +514,33 @@ impl Matrix {
             bias.rows,
             bias.cols
         );
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for (v, &b) in out.row_mut(r).iter_mut().zip(bias.data.iter()) {
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(bias.data.iter()) {
                 *v += b;
             }
         }
-        out
     }
 
     /// Sums all rows into a `1 x cols` row vector.
+    #[must_use]
     pub fn sum_rows(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols);
+        let mut out = Matrix::default();
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::sum_rows`] into a reused output matrix.
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.reset_zeroed(1, self.cols);
         for r in 0..self.rows {
             for (acc, &v) in out.data.iter_mut().zip(self.row(r).iter()) {
                 *acc += v;
             }
         }
-        out
     }
 
     /// Sums each row into an `rows x 1` column vector.
+    #[must_use]
     pub fn sum_cols(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, 1);
         for r in 0..self.rows {
@@ -447,16 +601,27 @@ impl Matrix {
 
     /// Matrix product `self @ other` (`m x k` times `k x n`).
     ///
-    /// Implemented as an ikj loop over row slices so the inner loop is a
-    /// contiguous fused multiply-add, which the compiler auto-vectorizes.
-    /// Output rows are computed by [`matmul_rows`] — serially for small
-    /// products, row-blocked across the [`crate::pool`] for large ones —
-    /// and every row's operation order is fixed, so the result is
-    /// bit-identical at any thread count.
+    /// Dispatches to the cache-blocked, B-panel-packed kernel for non-tiny
+    /// shapes and to the retained [`crate::reference`] kernel below
+    /// `NAIVE_MAX_MULADDS`; both accumulate each output element over `p` in
+    /// ascending order, so the result is bit-identical regardless of the
+    /// path taken — and bit-identical at any thread count, since the
+    /// parallel path only partitions output rows.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
+    #[must_use]
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a reused output matrix.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "Matrix::matmul: inner dimension mismatch {}x{} @ {}x{}",
@@ -466,12 +631,21 @@ impl Matrix {
         metadpa_obs::counter_add!("tensor.matmul.calls", 1u64);
         metadpa_obs::counter_add!("tensor.matmul.flops", 2 * (m * k * n) as u64);
         let skip_zeros = zero_skip_allowed(self, other);
-        let mut out = Matrix::zeros(m, n);
-        let skipped = run_row_blocked(m, m * k * n, &mut out.data, n, |rows, tile| {
-            matmul_rows(self, other, rows, skip_zeros, tile)
-        });
+        let skipped = if skip_zeros { count_zeros(&self.data) } else { 0 };
+        out.reset_zeroed(m, n);
+        if m * k * n < NAIVE_MAX_MULADDS {
+            metadpa_obs::counter_add!("tensor.matmul.dispatch.serial", 1u64);
+            crate::reference::matmul_rows(self, other, 0..m, skip_zeros, &mut out.data);
+        } else {
+            metadpa_obs::counter_add!("tensor.matmul.dispatch.blocked", 1u64);
+            with_b_panels(&other.data, k, n, |panels, panel_w| {
+                run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
+                    let arows = &self.data[rows.start * k..rows.end * k];
+                    blocked_rows(arows, rows.len(), k, panels, panel_w, n, skip_zeros, tile);
+                });
+            });
+        }
         record_skipped(skipped, n);
-        out
     }
 
     /// `self^T @ other` without materializing the transpose
@@ -479,7 +653,18 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `self.rows != other.rows`.
+    #[must_use]
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] into a reused output matrix.
+    ///
+    /// # Panics
+    /// Panics if `self.rows != other.rows`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "Matrix::matmul_tn: row mismatch {}x{} ^T @ {}x{}",
@@ -489,12 +674,27 @@ impl Matrix {
         metadpa_obs::counter_add!("tensor.matmul.calls", 1u64);
         metadpa_obs::counter_add!("tensor.matmul.flops", 2 * (m * k * n) as u64);
         let skip_zeros = zero_skip_allowed(self, other);
-        let mut out = Matrix::zeros(m, n);
-        let skipped = run_row_blocked(m, m * k * n, &mut out.data, n, |rows, tile| {
-            matmul_tn_rows(self, other, rows, skip_zeros, tile)
-        });
+        let skipped = if skip_zeros { count_zeros(&self.data) } else { 0 };
+        out.reset_zeroed(m, n);
+        if m * k * n < NAIVE_MAX_MULADDS {
+            metadpa_obs::counter_add!("tensor.matmul.dispatch.serial", 1u64);
+            crate::reference::matmul_tn_rows(self, other, 0..m, skip_zeros, &mut out.data);
+        } else {
+            metadpa_obs::counter_add!("tensor.matmul.dispatch.blocked", 1u64);
+            with_b_panels(&other.data, k, n, |panels, panel_w| {
+                run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
+                    // The transposed operand is accessed with stride `m`;
+                    // pack this task's A^T rows contiguous once, then run
+                    // the same blocked kernel as the NN case.
+                    PACK_A.with(|buf| {
+                        let mut apack = buf.borrow_mut();
+                        pack_at_rows(&self.data, k, m, rows.clone(), &mut apack);
+                        blocked_rows(&apack, rows.len(), k, panels, panel_w, n, skip_zeros, tile);
+                    });
+                });
+            });
+        }
         record_skipped(skipped, n);
-        out
     }
 
     /// `self @ other^T` without materializing the transpose
@@ -502,7 +702,18 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `self.cols != other.cols`.
+    #[must_use]
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] into a reused output matrix.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "Matrix::matmul_nt: column mismatch {}x{} @ {}x{}^T",
@@ -511,12 +722,23 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.rows);
         metadpa_obs::counter_add!("tensor.matmul.calls", 1u64);
         metadpa_obs::counter_add!("tensor.matmul.flops", 2 * (m * k * n) as u64);
-        let mut out = Matrix::zeros(m, n);
-        run_row_blocked(m, m * k * n, &mut out.data, n, |rows, tile| {
-            matmul_nt_rows(self, other, rows, tile);
-            0
-        });
-        out
+        out.reset_zeroed(m, n);
+        // Packing B^T costs k*n writes, amortized over the m output rows —
+        // worth it only when there are at least a few rows to amortize over.
+        if m * k * n < NAIVE_MAX_MULADDS || m < MR {
+            metadpa_obs::counter_add!("tensor.matmul.dispatch.serial", 1u64);
+            crate::reference::matmul_nt_rows(self, other, 0..m, &mut out.data);
+        } else {
+            metadpa_obs::counter_add!("tensor.matmul.dispatch.blocked", 1u64);
+            with_bt_panels(&other.data, k, n, |panels, panel_w| {
+                run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
+                    let arows = &self.data[rows.start * k..rows.end * k];
+                    // No zero-skip: the nt form never had one, and eliding
+                    // terms here would change which elements see 0·NaN.
+                    blocked_rows(arows, rows.len(), k, panels, panel_w, n, false, tile);
+                });
+            });
+        }
     }
 
     /// Dot product of two equal-length row-major matrices viewed as vectors.
@@ -547,12 +769,47 @@ impl Matrix {
     }
 }
 
+// ----------------------------------------------------------------------
+// Kernel machinery (see DESIGN §9 for the memory model)
+// ----------------------------------------------------------------------
+
 /// Work (in multiply-adds) below which a matmul stays serial: a scoped
 /// worker costs on the order of tens of microseconds to spawn, so a row
 /// block has to amortize that many times over before threads pay off. The
 /// MAML inner loops and per-request serve scoring sit far below this and
 /// never touch the pool; batch scoring and CVAE training sit above it.
 const PAR_MIN_MULADDS: usize = 1 << 20;
+
+/// Work below which the blocked kernel (packing + register tiling) costs
+/// more than it saves and the product routes to the retained naive kernel
+/// in [`crate::reference`] instead. Safe at any value: both kernels
+/// accumulate each output element in the same order, so the dispatch choice
+/// never changes a single bit of the result.
+const NAIVE_MAX_MULADDS: usize = 1 << 12;
+
+/// Width (in f32 columns) of one packed B panel. `k x JT` floats per panel:
+/// at the repo's typical `k <= 512` a panel stays under 256 KiB and
+/// L2-resident while the register tiles stream through it.
+const JT: usize = 128;
+
+/// Output rows processed together by the register-tile microkernel. Each
+/// loaded B row is reused `MR` times from registers/L1 instead of re-read
+/// per output row — the main cache win over the naive ikj kernel.
+const MR: usize = 4;
+
+/// Columns per register tile: two 8-lane f32 vectors, so an `MR x NR`
+/// accumulator block (8 vector registers) plus the B row and the broadcast
+/// A value fit in the 16 architectural vector registers.
+const NR: usize = 16;
+
+thread_local! {
+    /// Reused panel-packing buffer for the shared B operand (one per
+    /// dispatching thread; zero steady-state allocations).
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Reused packing buffer for a row task's A^T rows in `matmul_tn` (one
+    /// per executing thread — pool workers pack their own row range).
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Whether the `a == 0.0` fast path may elide additions for this product.
 ///
@@ -568,6 +825,15 @@ fn zero_skip_allowed(a: &Matrix, b: &Matrix) -> bool {
     a.data.contains(&0.0) && b.all_finite()
 }
 
+/// Number of exact zeros in `a` — with the skip enabled, exactly the number
+/// of `(i, p)` row additions every kernel elides, independent of how the
+/// kernel tiles the `j` loop. Counting analytically (one O(m·k) scan)
+/// instead of inside the kernels keeps the counters identical across the
+/// naive, blocked, and parallel paths.
+fn count_zeros(data: &[f32]) -> u64 {
+    data.iter().filter(|&&v| v == 0.0).count() as u64
+}
+
 /// Bumps the effective-FLOP counters for `skipped` elided row additions of
 /// width `n`, so `obs-report` can show effective vs nominal FLOPs (the
 /// `tensor.matmul.flops` counter is nominal `2·m·k·n`).
@@ -578,113 +844,215 @@ fn record_skipped(skipped: u64, n: usize) {
     }
 }
 
+/// Hands `f` the B operand as packed column panels.
+///
+/// When `n > JT` the panels are packed once per call into a reused
+/// thread-local buffer (panel `t` holds columns `t*JT..` as a contiguous
+/// `k x w` block, values copied bit-exactly) and shared read-only across
+/// all row tasks. When B is a single panel (`n <= JT`) its row-major
+/// storage *is* the panel layout, so it is passed through without copying.
+fn with_b_panels(b: &[f32], k: usize, n: usize, f: impl FnOnce(&[f32], usize)) {
+    if n > JT {
+        PACK_B.with(|buf| {
+            let mut packed = buf.borrow_mut();
+            packed.clear();
+            packed.resize(k * n, 0.0);
+            let mut j0 = 0;
+            while j0 < n {
+                let w = JT.min(n - j0);
+                let base = k * j0;
+                for p in 0..k {
+                    packed[base + p * w..base + (p + 1) * w]
+                        .copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+                }
+                j0 += w;
+            }
+            metadpa_obs::counter_add!("tensor.matmul.packed_panels", n.div_ceil(JT) as u64);
+            f(&packed, JT);
+        });
+    } else {
+        f(b, n.max(1));
+    }
+}
+
+/// Hands `f` the `n x k` operand `b` packed as panels of its transpose
+/// (`B^T`, `k x n`), for [`Matrix::matmul_nt`]. Always copies — the
+/// transposed layout never matches storage — into the same reused buffer.
+fn with_bt_panels(b: &[f32], k: usize, n: usize, f: impl FnOnce(&[f32], usize)) {
+    PACK_B.with(|buf| {
+        let mut packed = buf.borrow_mut();
+        packed.clear();
+        packed.resize(k * n, 0.0);
+        let mut j0 = 0;
+        while j0 < n {
+            let w = JT.min(n - j0);
+            let base = k * j0;
+            for p in 0..k {
+                let dst = &mut packed[base + p * w..base + (p + 1) * w];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = b[(j0 + j) * k + p];
+                }
+            }
+            j0 += w;
+        }
+        metadpa_obs::counter_add!("tensor.matmul.packed_panels", n.div_ceil(JT.max(1)) as u64);
+        f(&packed, JT);
+    });
+}
+
+/// Packs rows `rows` of `a^T` (i.e. columns of the `k x m` matrix `a`) into
+/// `dst` as a contiguous row-major `rows.len() x k` block.
+fn pack_at_rows(a: &[f32], k: usize, m: usize, rows: Range<usize>, dst: &mut Vec<f32>) {
+    dst.clear();
+    dst.resize(rows.len() * k, 0.0);
+    for (local, i) in rows.enumerate() {
+        let drow = &mut dst[local * k..(local + 1) * k];
+        for (p, d) in drow.iter_mut().enumerate() {
+            *d = a[p * m + i];
+        }
+    }
+}
+
 /// Runs `kernel` over all `m` output rows of a row-major `m x n` output,
-/// either in one serial call or row-blocked across the pool. Each block
-/// writes a private tile that is copied into `out` in block order, and the
-/// kernels fix the per-row operation order, so serial and parallel results
-/// are bit-identical. Returns the summed kernel return values (elided
-/// zero-row additions).
-fn run_row_blocked(
+/// either in one serial call or row-partitioned across the pool with each
+/// task writing directly into its disjoint slice of `out` (no private tiles,
+/// no copies). The partition is by row index only and the kernels fix the
+/// per-element operation order, so serial and parallel results are
+/// bit-identical.
+fn run_rows(
     m: usize,
     muladds: usize,
     out: &mut [f32],
     n: usize,
-    kernel: impl Fn(std::ops::Range<usize>, &mut [f32]) -> u64 + Sync,
-) -> u64 {
+    kernel: impl Fn(Range<usize>, &mut [f32]) + Sync,
+) {
     let threads = crate::pool::current_threads();
     if threads <= 1 || m <= 1 || muladds < PAR_MIN_MULADDS {
-        return kernel(0..m, out);
+        kernel(0..m, out);
+        return;
     }
     let pool = crate::pool::Pool::with_size(threads);
-    let tiles = pool.map_chunks(m, |rows| {
-        let mut tile = vec![0.0f32; rows.len() * n];
-        let skipped = kernel(rows, &mut tile);
-        (tile, skipped)
-    });
-    let mut total_skipped = 0u64;
-    for (rows, (tile, skipped)) in tiles {
-        out[rows.start * n..rows.end * n].copy_from_slice(&tile);
-        total_skipped += skipped;
+    let ranges = pool.partition(m);
+    let mut parts: Vec<(Range<usize>, &mut [f32])> = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    for r in ranges {
+        let (head, tail) = rest.split_at_mut(r.len() * n);
+        parts.push((r, head));
+        rest = tail;
     }
-    total_skipped
+    pool.run_parts(parts, |(rows, slice)| kernel(rows, slice));
 }
 
-/// Computes output rows `rows` of `a @ b` into `out` (a dense tile of
-/// `rows.len() * b.cols` elements). Shared by the serial and parallel paths
-/// of [`Matrix::matmul`] so both execute the identical per-row operation
-/// order. Returns the number of zero-skip row additions elided.
-fn matmul_rows(
-    a: &Matrix,
-    b: &Matrix,
-    rows: std::ops::Range<usize>,
+/// The blocked kernel shared by all three matmul forms: `arows` is a
+/// contiguous row-major `n_rows x k` view of the (possibly packed) left
+/// operand, `panels` the packed right operand (see [`with_b_panels`]), and
+/// `out` the `n_rows x n` output tile.
+///
+/// Loop order: j-panel -> MR-row block -> NR-column register tile -> `p`.
+/// Every output element is produced by exactly one register tile, whose
+/// accumulator sums the `k` addends in ascending `p` order starting from
+/// `+0.0` — the identical addends in the identical order as the naive
+/// kernel, hence bit-identical results (DESIGN §9).
+#[allow(clippy::too_many_arguments)]
+fn blocked_rows(
+    arows: &[f32],
+    n_rows: usize,
+    k: usize,
+    panels: &[f32],
+    panel_w: usize,
+    n: usize,
     skip_zeros: bool,
     out: &mut [f32],
-) -> u64 {
-    let (k, n) = (a.cols, b.cols);
-    let mut skipped = 0u64;
-    for (local, i) in rows.enumerate() {
-        let a_row = a.row(i);
-        let out_row = &mut out[local * n..(local + 1) * n];
-        for (p, &av) in a_row.iter().enumerate().take(k) {
+) {
+    let mut j0 = 0;
+    while j0 < n {
+        let w = panel_w.min(n - j0);
+        let pdata = &panels[k * j0..k * j0 + k * w];
+        let mut i0 = 0;
+        while i0 < n_rows {
+            let ib = MR.min(n_rows - i0);
+            let mut jt = 0;
+            while jt < w {
+                let wj = NR.min(w - jt);
+                if ib == MR && wj == NR {
+                    micro_tile(arows, i0, k, pdata, w, jt, skip_zeros, out, n, j0);
+                } else {
+                    edge_tile(arows, i0, ib, k, pdata, w, jt, wj, skip_zeros, out, n, j0);
+                }
+                jt += wj;
+            }
+            i0 += ib;
+        }
+        j0 += w;
+    }
+}
+
+/// Full `MR x NR` register tile: accumulators live in registers across the
+/// whole `p` loop and each loaded B row is reused `MR` times.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_tile(
+    arows: &[f32],
+    i0: usize,
+    k: usize,
+    pdata: &[f32],
+    w: usize,
+    jt: usize,
+    skip_zeros: bool,
+    out: &mut [f32],
+    n: usize,
+    j0: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        let brow = &pdata[p * w + jt..p * w + jt + NR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = arows[(i0 + r) * k + p];
             if skip_zeros && av == 0.0 {
-                skipped += 1;
                 continue;
             }
-            let b_row = &b.data[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
+            for (a, &bv) in accr.iter_mut().zip(brow.iter()) {
+                *a += av * bv;
             }
         }
     }
-    skipped
+    for (r, accr) in acc.iter().enumerate() {
+        let base = (i0 + r) * n + j0 + jt;
+        out[base..base + NR].copy_from_slice(accr);
+    }
 }
 
-/// Computes output rows `rows` of `a^T @ b` into `out`. Iterates `p` in
-/// ascending order per output row, which accumulates each output element in
-/// exactly the same order as the historical `p`-outer serial loop — the
-/// loop interchange only reorders *independent* rows, never the additions
-/// within one.
-fn matmul_tn_rows(
-    a: &Matrix,
-    b: &Matrix,
-    rows: std::ops::Range<usize>,
+/// Remainder rows/columns of a block: plain axpy per `(row, p)` pair over
+/// the tile's column range, `p` ascending — same per-element order as the
+/// microkernel and the naive reference.
+#[allow(clippy::too_many_arguments)]
+fn edge_tile(
+    arows: &[f32],
+    i0: usize,
+    ib: usize,
+    k: usize,
+    pdata: &[f32],
+    w: usize,
+    jt: usize,
+    wj: usize,
     skip_zeros: bool,
     out: &mut [f32],
-) -> u64 {
-    let (k, m, n) = (a.rows, a.cols, b.cols);
-    let mut skipped = 0u64;
-    for (local, i) in rows.enumerate() {
-        let out_row = &mut out[local * n..(local + 1) * n];
+    n: usize,
+    j0: usize,
+) {
+    for r in 0..ib {
+        let i = i0 + r;
+        let base = i * n + j0 + jt;
         for p in 0..k {
-            let av = a.data[p * m + i];
+            let av = arows[i * k + p];
             if skip_zeros && av == 0.0 {
-                skipped += 1;
                 continue;
             }
-            let b_row = &b.data[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+            let brow = &pdata[p * w + jt..p * w + jt + wj];
+            let orow = &mut out[base..base + wj];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                 *o += av * bv;
             }
-        }
-    }
-    skipped
-}
-
-/// Computes output rows `rows` of `a @ b^T` into `out`. Per-element dot
-/// products accumulate in ascending index order; there is no zero-skip
-/// path (the accumulator form gains nothing from one).
-fn matmul_nt_rows(a: &Matrix, b: &Matrix, rows: std::ops::Range<usize>, out: &mut [f32]) {
-    let n = b.rows;
-    for (local, i) in rows.enumerate() {
-        let a_row = a.row(i);
-        let out_row = &mut out[local * n..(local + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = b.row(j);
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
-            }
-            *o = acc;
         }
     }
 }
@@ -737,6 +1105,14 @@ mod tests {
     }
 
     #[test]
+    fn from_fn_fills_row_major() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r * 10 + c) as f32);
+        assert_eq!(a, m(3, 2, &[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]));
+        assert!(Matrix::from_fn(0, 5, |_, _| 1.0).is_empty());
+        assert!(Matrix::from_fn(5, 0, |_, _| 1.0).is_empty());
+    }
+
+    #[test]
     fn identity_matmul_is_noop() {
         let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
         let i = Matrix::identity(2);
@@ -772,6 +1148,41 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn into_variants_reuse_capacity_and_match() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        // Seed the output with a big allocation, then shrink into it: the
+        // pointer must not move (capacity reuse) and values must match the
+        // allocating API bit for bit.
+        let mut out = Matrix::zeros(64, 64);
+        let cap_ptr = out.as_slice().as_ptr();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        assert_eq!(out.as_slice().as_ptr(), cap_ptr, "matmul_into must reuse the allocation");
+
+        a.map_into(|v| v * 2.0, &mut out);
+        assert_eq!(out, a.scale(2.0));
+        a.zip_map_into(&a, |x, y| x + y, &mut out);
+        assert_eq!(out, &a + &a);
+        a.sum_rows_into(&mut out);
+        assert_eq!(out, a.sum_rows());
+        let bias = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        a.add_row_broadcast_into(&bias, &mut out);
+        assert_eq!(out, a.add_row_broadcast(&bias));
+    }
+
+    #[test]
+    fn assign_copies_shape_and_contents() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut b = Matrix::zeros(5, 5);
+        b.assign(&a);
+        assert_eq!(b, a);
+        let mut c = Matrix::default();
+        c.assign(&a);
+        assert_eq!(c, a);
     }
 
     #[test]

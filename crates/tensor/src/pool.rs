@@ -195,6 +195,48 @@ impl Pool {
             .collect()
     }
 
+    /// Runs `f` once per payload, statically assigning payload `i` to
+    /// worker `i` (payload 0 runs on the dispatching thread). This is the
+    /// primitive for work whose payloads *own* mutable state — the matmul
+    /// kernels split the output buffer into disjoint `&mut` row slices and
+    /// hand one to each task, so tiles are written in place with no private
+    /// buffers or copies. Callers pass at most one payload per thread
+    /// (payloads beyond `threads` still run, on the spawned workers'
+    /// threads, but sequentially per worker index — [`Pool::partition`]
+    /// produces the right count). Like every pool primitive, workers run
+    /// with nested parallelism disabled and inherit the dispatching span.
+    pub fn run_parts<T: Send>(&self, parts: Vec<T>, f: impl Fn(T) + Sync) {
+        let n = parts.len();
+        if n == 0 {
+            return;
+        }
+        if self.threads <= 1 || n == 1 {
+            for part in parts {
+                with_threads(1, || f(part));
+            }
+            return;
+        }
+        metadpa_obs::counter_add!("pool.tasks", n as u64);
+        metadpa_obs::counter_add!("pool.steal", (n - 1) as u64);
+        let parent = metadpa_obs::span::current_path();
+        let mut iter = parts.into_iter();
+        let first = iter.next().expect("run_parts: parts is non-empty");
+        std::thread::scope(|scope| {
+            for (w, part) in iter.enumerate() {
+                let parent = parent.clone();
+                let f = &f;
+                let builder = std::thread::Builder::new().name(format!("metadpa-pool-{}", w + 1));
+                builder
+                    .spawn_scoped(scope, move || {
+                        let _root = metadpa_obs::span::inherit_root(parent);
+                        with_threads(1, || f(part));
+                    })
+                    .expect("pool: failed to spawn scoped worker");
+            }
+            with_threads(1, || f(first));
+        });
+    }
+
     /// Partitions `0..n_items` into contiguous chunks (see
     /// [`Pool::partition`]) and maps `f` over the chunks, returning per-chunk
     /// results in chunk order. This is the row-blocking primitive the matmul
@@ -272,5 +314,39 @@ mod tests {
         let pool = Pool::with_size(4);
         assert!(pool.map_tasks(0, |i| i).is_empty());
         assert_eq!(pool.map_tasks(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn run_parts_writes_disjoint_slices_in_place() {
+        for threads in [1, 2, 7] {
+            let pool = Pool::with_size(threads);
+            let mut out = vec![0usize; 17];
+            let ranges = pool.partition(17);
+            let mut parts: Vec<(Range<usize>, &mut [usize])> = Vec::new();
+            let mut rest = out.as_mut_slice();
+            for r in ranges {
+                let (head, tail) = rest.split_at_mut(r.len());
+                parts.push((r, head));
+                rest = tail;
+            }
+            pool.run_parts(parts, |(range, slice)| {
+                for (s, i) in slice.iter_mut().zip(range) {
+                    *s = i * i;
+                }
+            });
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_parts_tasks_observe_serial_pool() {
+        let pool = Pool::with_size(4);
+        let counts = Mutex::new(Vec::new());
+        pool.run_parts(vec![(), (), (), ()], |()| {
+            counts.lock().unwrap().push(current_threads());
+        });
+        let counts = counts.into_inner().unwrap();
+        assert_eq!(counts.len(), 4);
+        assert!(counts.iter().all(|&c| c == 1), "nested parallelism must be off: {counts:?}");
     }
 }

@@ -43,6 +43,16 @@ cargo bench -p metadpa-bench --bench parallel -- --smoke --bench-out "$PWD/BENCH
 cargo run --release -q -p metadpa-bench --bin obs-report -- \
   check BENCH_parallel_ci.json --baseline benchmarks/BENCH_parallel_baseline.json --tolerance 0.5
 
+echo "== blocked kernels bench + alloc gate =="
+# Blocked-vs-naive matmul throughput and the training epoch's allocation
+# budget. The bench enforces its own floors: >= 1.5x blocked throughput on
+# 4+ core hosts (warn-only below) and >= 5x fewer allocations per epoch
+# through the workspace API everywhere. The BENCH record is additionally
+# gated against the checked-in baseline.
+cargo bench -p metadpa-bench --bench kernels -- --smoke --bench-out "$PWD/BENCH_kernel_ci.json"
+cargo run --release -q -p metadpa-bench --bin obs-report -- \
+  check BENCH_kernel_ci.json --baseline benchmarks/BENCH_kernel_baseline.json --tolerance 0.5
+
 echo "== serve smoke (export -> load -> every route -> shutdown) =="
 # Exercise the full serving path end to end: fit + export a tiny artifact,
 # reload it, walk every HTTP route (health, warm/cold recommend, adapt,
