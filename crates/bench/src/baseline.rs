@@ -25,6 +25,7 @@ pub fn bench_report(scenario: &str, blocks: Vec<BenchBlock>) -> BenchReport {
         git_rev: git_rev(),
         scenario: scenario.to_string(),
         host: HostInfo::current(),
+        requests: 0,
         blocks,
     }
 }
@@ -57,6 +58,7 @@ mod tests {
             flops: 0,
             alloc_count: 0,
             alloc_bytes: 0,
+            server_p99_ns: 0,
         }];
         let report = bench_report("unit.scenario", blocks);
         assert!(!report.git_rev.is_empty());

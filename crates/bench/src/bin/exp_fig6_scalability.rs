@@ -42,6 +42,7 @@ fn bench_block(name: String, ms: f64, epochs: usize) -> BenchBlock {
         flops: 0,
         alloc_count: 0,
         alloc_bytes: 0,
+        server_p99_ns: 0,
     }
 }
 

@@ -6,6 +6,8 @@
 //! obs-report diff <a.jsonl> <b.jsonl>        per-span / per-metric deltas
 //! obs-report check <current.json> --baseline <BENCH.json>
 //!            [--tolerance 0.15] [--warn-only]
+//! obs-report tail <trace.jsonl> [--interval-ms 2000] [--max-seconds S] [--once]
+//! obs-report check-trace <trace.jsonl> [--expect-requests N] [--expect-bench BENCH.json]
 //! ```
 //!
 //! `report` renders the span tree as a text flamegraph (inclusive and
@@ -19,17 +21,37 @@
 //! fingerprint mismatch downgrades failures to warnings unless the
 //! `METADPA_BENCH_STRICT` environment variable is set (non-empty, not
 //! `"0"`); `--warn-only` downgrades unconditionally.
+//!
+//! `tail` follows a live serve trace log (the `--trace-out` file of
+//! `metadpa-serve run` / `serve-loadgen`), re-rendering a rolling summary
+//! every interval: per-endpoint/per-state latency percentiles over the
+//! most recent requests plus the hottest span paths by total time. It
+//! survives log rotation and skips partially written lines. `--once`
+//! renders a single snapshot of what is on disk and exits.
+//!
+//! `check-trace` stream-parses a finished trace log (rotated generation
+//! included) with the crash-lenient reader and exits `1` unless: there
+//! are zero interior parse errors (a truncated final line is a warning,
+//! not an error), every request record carries a unique nonzero request
+//! id, the request count matches `--expect-requests` (or, with
+//! `--expect-bench`, the recommend-endpoint count matches the BENCH
+//! file's `requests`), and the closing metrics snapshot carries windowed
+//! p99 records.
 
-use std::io::Write;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::time::{Duration, Instant};
 
 use metadpa_obs::diff::{check, StreamDiff};
 use metadpa_obs::report::{BenchReport, Report};
-use metadpa_obs::stream::read_file;
+use metadpa_obs::stream::{parse_line, read_file, read_file_lenient, JsonValue, StreamEvent};
 
 const USAGE: &str = "usage:
   obs-report report <run.jsonl> [--json]
   obs-report diff <a.jsonl> <b.jsonl>
-  obs-report check <current.json> --baseline <BENCH.json> [--tolerance 0.15] [--warn-only]";
+  obs-report check <current.json> --baseline <BENCH.json> [--tolerance 0.15] [--warn-only]
+  obs-report tail <trace.jsonl> [--interval-ms 2000] [--max-seconds S] [--once]
+  obs-report check-trace <trace.jsonl> [--expect-requests N] [--expect-bench BENCH.json]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("obs-report: {msg}\n{USAGE}");
@@ -149,6 +171,306 @@ fn cmd_check(args: &[String]) {
     std::process::exit(1);
 }
 
+/// How many recent per-key request durations the tail keeps: the rolling
+/// window the percentiles are computed over.
+const TAIL_WINDOW: usize = 4096;
+
+/// Rolling aggregates for `obs-report tail`.
+#[derive(Default)]
+struct TailState {
+    parse_errors: u64,
+    requests: u64,
+    error_responses: u64,
+    /// `endpoint/state` → most recent request durations (µs).
+    recent_us: BTreeMap<String, VecDeque<u64>>,
+    /// Span path → (count, total ns), cumulative over the whole log.
+    spans: BTreeMap<String, (u64, u64)>,
+    rotations: u64,
+}
+
+impl TailState {
+    fn ingest(&mut self, line: &str) {
+        let Ok(ev) = parse_line(line) else {
+            self.parse_errors += 1;
+            return;
+        };
+        match ev.kind.as_str() {
+            "request" => {
+                self.requests += 1;
+                if ev.field_u64("status").unwrap_or(0) >= 400 {
+                    self.error_responses += 1;
+                }
+                let state = ev.field("state").and_then(JsonValue::as_str).unwrap_or("");
+                let key =
+                    if state.is_empty() { ev.name.clone() } else { format!("{}/{state}", ev.name) };
+                let ring = self.recent_us.entry(key).or_default();
+                if ring.len() == TAIL_WINDOW {
+                    ring.pop_front();
+                }
+                ring.push_back(ev.field_u64("dur_us").unwrap_or(0));
+            }
+            "span" => {
+                let slot = self.spans.entry(ev.name).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += ev
+                    .fields
+                    .iter()
+                    .find(|(k, _)| k == "dur_ns")
+                    .map_or(0, |(_, v)| v.as_u64().unwrap_or(0));
+            }
+            _ => {}
+        }
+    }
+
+    fn render(&self, path: &str, elapsed: Duration) -> String {
+        let mut s = format!(
+            "== obs-report tail: {path} (t+{:.1}s) ==\n  requests: {} total, {} error responses",
+            elapsed.as_secs_f64(),
+            self.requests,
+            self.error_responses,
+        );
+        if self.parse_errors > 0 {
+            s.push_str(&format!(", {} unparsable line(s) skipped", self.parse_errors));
+        }
+        if self.rotations > 0 {
+            s.push_str(&format!(", {} rotation(s)", self.rotations));
+        }
+        s.push('\n');
+        for (key, ring) in &self.recent_us {
+            let mut sorted: Vec<u64> = ring.iter().copied().collect();
+            sorted.sort_unstable();
+            let q = |p: f64| -> u64 {
+                if sorted.is_empty() {
+                    return 0;
+                }
+                let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+                sorted[rank - 1]
+            };
+            s.push_str(&format!(
+                "    {key}: n={} p50={}us p90={}us p99={}us (last {} requests)\n",
+                ring.len(),
+                q(0.5),
+                q(0.9),
+                q(0.99),
+                ring.len(),
+            ));
+        }
+        if !self.spans.is_empty() {
+            let mut by_total: Vec<(&String, &(u64, u64))> = self.spans.iter().collect();
+            by_total.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(b.0)));
+            s.push_str("  hottest span paths by total time:\n");
+            for (path, (count, total_ns)) in by_total.into_iter().take(8) {
+                s.push_str(&format!("    {:>9.3}ms  n={count}  {path}\n", *total_ns as f64 / 1e6));
+            }
+        }
+        s
+    }
+}
+
+fn cmd_tail(args: &[String]) {
+    let mut path: Option<String> = None;
+    let mut interval_ms: u64 = 2000;
+    let mut max_seconds: Option<f64> = None;
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval-ms" => {
+                let v = it.next().unwrap_or_else(|| fail("--interval-ms needs a value"));
+                interval_ms = v.parse().unwrap_or_else(|_| fail(&format!("bad --interval-ms {v}")));
+            }
+            "--max-seconds" => {
+                let v = it.next().unwrap_or_else(|| fail("--max-seconds needs a value"));
+                max_seconds =
+                    Some(v.parse().unwrap_or_else(|_| fail(&format!("bad --max-seconds {v}"))));
+            }
+            "--once" => once = true,
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => fail(&format!("unexpected argument {other}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("tail needs a trace path"));
+
+    let started = Instant::now();
+    let mut state = TailState::default();
+    let mut offset: u64 = 0;
+    let mut pending = String::new();
+    loop {
+        match std::fs::File::open(&path) {
+            Ok(mut f) => {
+                let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+                if len < offset {
+                    // The recorder rotated underneath us: the active file
+                    // restarted. Begin again from its head.
+                    state.rotations += 1;
+                    pending.clear();
+                    offset = 0;
+                }
+                if len > offset && f.seek(SeekFrom::Start(offset)).is_ok() {
+                    let mut buf = Vec::with_capacity((len - offset) as usize);
+                    if f.take(len - offset).read_to_end(&mut buf).is_ok() {
+                        offset = len;
+                        pending.push_str(&String::from_utf8_lossy(&buf));
+                    }
+                }
+            }
+            Err(e) => {
+                if once {
+                    fail(&format!("{path}: {e}"));
+                }
+                // A live server may not have created the log yet.
+            }
+        }
+        while let Some(pos) = pending.find('\n') {
+            let line: String = pending.drain(..=pos).collect();
+            let line = line.trim();
+            if !line.is_empty() {
+                state.ingest(line);
+            }
+        }
+        out(state.render(&path, started.elapsed()));
+        if once {
+            return;
+        }
+        if let Some(max) = max_seconds {
+            if started.elapsed().as_secs_f64() >= max {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms.max(10)));
+    }
+}
+
+/// Lenient-reads a trace log plus its rotated generation (`<path>.1`),
+/// oldest records first. Returns the events, the hard per-line errors, and
+/// the truncated-tail warnings.
+fn read_trace(path: &str) -> (Vec<StreamEvent>, Vec<String>, Vec<String>) {
+    let mut events = Vec::new();
+    let mut hard = Vec::new();
+    let mut warnings = Vec::new();
+    let rotated = format!("{path}.1");
+    if std::fs::metadata(&rotated).is_ok() {
+        match read_file_lenient(&rotated) {
+            Ok(read) => {
+                for (line, e) in &read.errors {
+                    hard.push(format!("{rotated}: line {line}: {e}"));
+                }
+                if let Some(w) = read.truncated_tail {
+                    warnings.push(format!("{rotated}: {w}"));
+                }
+                events.extend(read.events);
+            }
+            Err(e) => hard.push(e),
+        }
+    }
+    match read_file_lenient(path) {
+        Ok(read) => {
+            for (line, e) in &read.errors {
+                hard.push(format!("{path}: line {line}: {e}"));
+            }
+            if let Some(w) = read.truncated_tail {
+                warnings.push(format!("{path}: {w}"));
+            }
+            events.extend(read.events);
+        }
+        Err(e) => fail(&e),
+    }
+    (events, hard, warnings)
+}
+
+fn cmd_check_trace(args: &[String]) {
+    let mut path: Option<String> = None;
+    let mut expect_requests: Option<u64> = None;
+    let mut expect_bench: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--expect-requests" => {
+                let v = it.next().unwrap_or_else(|| fail("--expect-requests needs a value"));
+                expect_requests =
+                    Some(v.parse().unwrap_or_else(|_| fail(&format!("bad --expect-requests {v}"))));
+            }
+            "--expect-bench" => {
+                expect_bench =
+                    Some(it.next().unwrap_or_else(|| fail("--expect-bench needs a value")).clone());
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => fail(&format!("unexpected argument {other}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("check-trace needs a trace path"));
+
+    let (events, hard, warnings) = read_trace(&path);
+    for w in &warnings {
+        eprintln!("obs-report: warning: {w}");
+    }
+    let mut failures: Vec<String> = hard;
+
+    // Every request record must carry a unique, nonzero request id.
+    let mut seen = std::collections::BTreeSet::new();
+    let mut total_requests = 0u64;
+    let mut recommend_requests = 0u64;
+    for ev in events.iter().filter(|e| e.kind == "request") {
+        total_requests += 1;
+        if ev.name == "recommend" {
+            recommend_requests += 1;
+        }
+        match ev.field_u64("req") {
+            None | Some(0) => {
+                failures.push(format!("request record without a request id: {:?}", ev.name));
+            }
+            Some(id) => {
+                if !seen.insert(id) {
+                    failures.push(format!("duplicate request id {id}"));
+                }
+            }
+        }
+    }
+
+    match (expect_requests, &expect_bench) {
+        (Some(want), _) if total_requests != want => {
+            failures.push(format!("expected {want} request record(s), found {total_requests}"));
+        }
+        (None, Some(bench_path)) => {
+            let bench = load_bench(bench_path);
+            if recommend_requests != bench.requests {
+                failures.push(format!(
+                    "BENCH file drove {} recommend request(s) but the trace recorded {}",
+                    bench.requests, recommend_requests
+                ));
+            }
+        }
+        _ => {}
+    }
+
+    // The closing metrics snapshot must include windowed p99 digests.
+    let has_window_p99 = events.iter().any(|e| {
+        e.kind == "metric"
+            && e.field("metric_kind").and_then(JsonValue::as_str) == Some("window")
+            && e.field("p99").is_some()
+    });
+    if !has_window_p99 {
+        failures.push("no windowed p99 metric records (snapshot missing?)".to_string());
+    }
+
+    out(format!(
+        "== obs-report check-trace: {path} ==\n  {} event(s), {} request record(s) \
+         ({} recommend), {} warning(s)\n",
+        events.len(),
+        total_requests,
+        recommend_requests,
+        warnings.len(),
+    ));
+    if failures.is_empty() {
+        out("  ok: unique request ids, zero interior parse errors, windowed p99 present\n");
+        return;
+    }
+    for f in &failures {
+        eprintln!("obs-report: check-trace: {f}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -156,6 +478,8 @@ fn main() {
             "report" => cmd_report(rest),
             "diff" => cmd_diff(rest),
             "check" => cmd_check(rest),
+            "tail" => cmd_tail(rest),
+            "check-trace" => cmd_check_trace(rest),
             other => fail(&format!("unknown subcommand {other}")),
         },
         None => fail("missing subcommand"),

@@ -6,12 +6,20 @@
 //! threads with a seeded 80/20 mix of warm (`user_id`) and cold
 //! (`content`) `/v1/recommend` requests over real TCP. Reports
 //! throughput and exact latency percentiles, and optionally writes a
-//! `metadpa-bench/v1` BENCH file (`--bench-out`) that `obs-report check`
+//! `metadpa-bench/v2` BENCH file (`--bench-out`) that `obs-report check`
 //! can gate against a baseline.
+//!
+//! With `--trace-out PATH` the server traces every request to a rotating
+//! JSONL log (see `obs-report tail` / `check-trace`), and each BENCH block
+//! additionally carries the server's own windowed p99 for its state
+//! (`server_p99_ns`, scraped from `/metrics` after the run) next to the
+//! client-side percentiles. Without the flag observability stays off and
+//! the hot path keeps its zero-allocation budget; `server_p99_ns` is then
+//! recorded as 0.
 //!
 //! ```text
 //! serve-loadgen [--seed N] [--duration-ms N] [--clients N] [--workers N]
-//!               [--k N] [--min-rps N] [--bench-out PATH]
+//!               [--k N] [--min-rps N] [--bench-out PATH] [--trace-out PATH]
 //! ```
 //!
 //! Exits nonzero when any request fails or throughput lands under
@@ -23,7 +31,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use metadpa_bench::baseline::write_bench_report;
+use metadpa_bench::baseline::bench_report;
 use metadpa_core::artifact::artifact_from_learner;
 use metadpa_core::augmentation::DiversityReport;
 use metadpa_core::{MetaDpaConfig, MetaLearner};
@@ -164,7 +172,33 @@ fn block_from(name: &str, mut ns: Vec<u64>, allocs_per_req: u64, bytes_per_req: 
         flops: 0,
         alloc_count: allocs_per_req,
         alloc_bytes: bytes_per_req,
+        server_p99_ns: 0,
     }
+}
+
+/// One loopback `GET /metrics`; returns the plain-text body ("" on error).
+fn scrape_metrics(addr: SocketAddr) -> String {
+    let Ok(mut s) = TcpStream::connect(addr) else { return String::new() };
+    if s.write_all(b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\nContent-Length: 0\r\n\r\n").is_err()
+    {
+        return String::new();
+    }
+    let mut out = String::new();
+    if s.read_to_string(&mut out).is_err() {
+        return String::new();
+    }
+    out.split_once("\r\n\r\n").map(|(_, body)| body.to_string()).unwrap_or_default()
+}
+
+/// Value of a `name value` line in a `/metrics` body.
+fn metric_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let mut tokens = line.split_whitespace();
+        if tokens.next() != Some(name) {
+            return None;
+        }
+        tokens.next()?.parse().ok()
+    })
 }
 
 fn main() -> ExitCode {
@@ -176,6 +210,21 @@ fn main() -> ExitCode {
     let k: usize = flag(&args, "--k", 10);
     let min_rps: f64 = flag(&args, "--min-rps", 0.0);
     let bench_out = flag_opt(&args, "--bench-out");
+    let trace_out = flag_opt(&args, "--trace-out");
+
+    if let Some(path) = &trace_out {
+        use metadpa_obs::recorder::RotatingFileRecorder;
+        match RotatingFileRecorder::create(path, RotatingFileRecorder::DEFAULT_MAX_BYTES) {
+            Ok(rec) => {
+                eprintln!("tracing requests to {path}");
+                metadpa_obs::enable(Arc::new(rec));
+            }
+            Err(e) => {
+                eprintln!("serve-loadgen: --trace-out {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     eprintln!("building loadgen engine (seed {seed})...");
     let engine = build_engine(seed);
@@ -222,6 +271,9 @@ fn main() -> ExitCode {
     }
     let elapsed = started.elapsed().as_secs_f64();
     let alloc_after = metadpa_obs::alloc::snapshot();
+    // Scrape the server's own rolling-window percentiles before it goes
+    // away; only populated when tracing enabled the metrics registry.
+    let metrics_body = scrape_metrics(addr);
     server.shutdown();
 
     let total = (warm_ns.len() + cold_ns.len()) as u64;
@@ -230,26 +282,43 @@ fn main() -> ExitCode {
         alloc_after.alloc_count.saturating_sub(alloc_before.alloc_count) / requests;
     let bytes_per_req = alloc_after.alloc_bytes.saturating_sub(alloc_before.alloc_bytes) / requests;
     let rps = total as f64 / elapsed;
-    let warm_block = block_from("serve.recommend.warm", warm_ns, allocs_per_req, bytes_per_req);
-    let cold_block = block_from("serve.recommend.cold", cold_ns, allocs_per_req, bytes_per_req);
+    let mut warm_block = block_from("serve.recommend.warm", warm_ns, allocs_per_req, bytes_per_req);
+    let mut cold_block = block_from("serve.recommend.cold", cold_ns, allocs_per_req, bytes_per_req);
+    // The windows are in microseconds; BENCH blocks carry nanoseconds.
+    warm_block.server_p99_ns = metric_value(&metrics_body, "serve_window_recommend_warm_us_p99")
+        .map_or(0, |us| (us * 1000.0) as u64);
+    cold_block.server_p99_ns = metric_value(&metrics_body, "serve_window_recommend_cold_us_p99")
+        .map_or(0, |us| (us * 1000.0) as u64);
     eprintln!(
         "loadgen: {total} ok ({failures} failed) in {elapsed:.2}s = {rps:.0} req/s\n\
-         \x20 warm: n={} p50={}us p90={}us\n\
-         \x20 cold: n={} p50={}us p90={}us\n\
+         \x20 warm: n={} p50={}us p90={}us server-window-p99={}us\n\
+         \x20 cold: n={} p50={}us p90={}us server-window-p99={}us\n\
          \x20 allocs/request {allocs_per_req} ({bytes_per_req} B, process-wide incl. clients)",
         warm_block.iters,
         warm_block.p50_ns / 1000,
         warm_block.p90_ns / 1000,
+        warm_block.server_p99_ns / 1000,
         cold_block.iters,
         cold_block.p50_ns / 1000,
         cold_block.p90_ns / 1000,
+        cold_block.server_p99_ns / 1000,
     );
 
     if let Some(path) = bench_out {
-        if let Err(e) = write_bench_report(&path, "serve.loadgen", vec![warm_block, cold_block]) {
+        let mut report = bench_report("serve.loadgen", vec![warm_block, cold_block]);
+        report.requests = total + failures;
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("serve-loadgen: writing {path} failed: {e}");
             return ExitCode::FAILURE;
         }
+        eprintln!("wrote {} block(s) to {path}", report.blocks.len());
+    }
+    if trace_out.is_some() {
+        // Stamp the trace log with a final metrics snapshot (windowed
+        // p99s, drift gauges) so `obs-report check-trace` can verify the
+        // run without the live server.
+        metadpa_obs::emit_metrics_snapshot();
+        metadpa_obs::flush();
     }
     if failures > 0 {
         eprintln!("serve-loadgen: FAILED: {failures} requests did not return 200");

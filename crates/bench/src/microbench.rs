@@ -71,6 +71,7 @@ impl BenchResult {
             flops: self.flops_per_iter,
             alloc_count: self.alloc_count_per_iter,
             alloc_bytes: self.alloc_bytes_per_iter,
+            server_p99_ns: 0,
         }
     }
 }

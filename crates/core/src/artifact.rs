@@ -33,6 +33,55 @@ pub const ARTIFACT_SCHEMA: &str = "metadpa-artifact/v1";
 /// (`preference.p000`, `preference.p001`, …).
 pub const PARAM_PREFIX: &str = "preference";
 
+/// Cumulative probabilities of the exported score fingerprint — fixed so
+/// every artifact's sketch is comparable to every other's.
+pub const FINGERPRINT_PROBS: [f32; 9] = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99];
+
+/// Quantile sketch of the training-time ranking-score distribution.
+///
+/// Stamped into [`ArtifactMeta`] at export so the serving layer can compare
+/// the live score distribution against training and report drift: the
+/// fingerprint's quantile values become frozen bin thresholds, and the
+/// drift statistic is the sup-distance between the live windowed empirical
+/// CDF at those thresholds and `probs`. An empty fingerprint (artifacts
+/// exported before this field existed, or degenerate training data)
+/// disables drift tracking.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScoreFingerprint {
+    /// Cumulative probabilities, ascending ([`FINGERPRINT_PROBS`]).
+    pub probs: Vec<f32>,
+    /// Training-score quantiles at those probabilities, ascending.
+    pub quantiles: Vec<f32>,
+}
+
+impl ScoreFingerprint {
+    /// Whether the sketch carries no data (drift tracking disabled).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Sketches `scores` at [`FINGERPRINT_PROBS`] (ceil-rank quantiles over
+    /// the finite values); empty when there is nothing finite to sketch.
+    pub fn from_scores(scores: &[f32]) -> Self {
+        let mut finite: Vec<f32> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+        if finite.is_empty() {
+            return Self::default();
+        }
+        finite.sort_by(f32::total_cmp);
+        let n = finite.len();
+        let quantiles = FINGERPRINT_PROBS
+            .iter()
+            .map(|&p| {
+                // The epsilon absorbs f32→f64 widening error (0.99f32 is
+                // 0.9900000095… as f64, which would overshoot the ceil rank).
+                let rank = ((p as f64 * n as f64 - 1e-6).ceil() as usize).clamp(1, n);
+                finite[rank - 1]
+            })
+            .collect();
+        Self { probs: FINGERPRINT_PROBS.to_vec(), quantiles }
+    }
+}
+
 /// Provenance and architecture metadata stored alongside the tensors.
 #[derive(Clone, Debug)]
 pub struct ArtifactMeta {
@@ -53,6 +102,9 @@ pub struct ArtifactMeta {
     pub maml: MamlConfig,
     /// Diversity statistics of the augmentation that trained this model.
     pub diversity: DiversityReport,
+    /// Training-score-distribution sketch for serve-time drift detection;
+    /// empty on artifacts exported before the field existed.
+    pub score_fingerprint: ScoreFingerprint,
 }
 
 /// A self-contained exported model: metadata, named parameter tensors and
@@ -141,6 +193,22 @@ impl fmt::Display for ArtifactError {
             ArtifactError::NonFiniteScores { item } => {
                 write!(f, "scoring produced a non-finite value at item {item}")
             }
+        }
+    }
+}
+
+impl ArtifactError {
+    /// Stable slug naming this error's cause, used by the serving layer's
+    /// error-taxonomy counters (`serve.errors.422.<cause>`).
+    pub fn cause(&self) -> &'static str {
+        match self {
+            ArtifactError::UserOutOfRange { .. } => "user_out_of_range",
+            ArtifactError::ItemOutOfRange { .. } => "item_out_of_range",
+            ArtifactError::EmptySupport => "empty_support",
+            ArtifactError::NonFiniteLabel { .. } => "non_finite_label",
+            ArtifactError::ContentDimMismatch { .. } => "content_dim_mismatch",
+            ArtifactError::BadParams(_) => "bad_params",
+            ArtifactError::NonFiniteScores { .. } => "non_finite_scores",
         }
     }
 }
@@ -235,6 +303,13 @@ impl ArtifactRecommender {
     /// visit order) — the rewind point for all adaptation.
     pub fn theta(&self) -> &[Matrix] {
         &self.theta
+    }
+
+    /// The full-catalogue scores of the most recent successful ranking
+    /// call (the reused per-request buffer). The serving layer samples
+    /// these into its live drift window; empty before the first request.
+    pub fn last_scores(&self) -> &[f32] {
+        &self.scores
     }
 
     /// Column mean of the user-content matrix: the "average user" vector
@@ -400,10 +475,14 @@ fn rank_catalogue(
     k: usize,
     params: Option<&[Matrix]>,
 ) -> Result<Vec<(usize, f32)>, ArtifactError> {
+    let _sp = metadpa_obs::span!("rank.catalogue");
     if let Some(p) = params {
         restore(learner.model_mut(), p);
     }
-    learner.score_into(content, item_content, catalogue, scores);
+    {
+        let _k = metadpa_obs::span!("kernels.score");
+        learner.score_into(content, item_content, catalogue, scores);
+    }
     if params.is_some() {
         restore(learner.model_mut(), theta);
     }
@@ -426,6 +505,7 @@ pub fn artifact_from_learner(
     user_content: Matrix,
     item_content: Matrix,
 ) -> Artifact {
+    let score_fingerprint = training_score_fingerprint(learner, &user_content, &item_content);
     Artifact {
         meta: ArtifactMeta {
             schema: ARTIFACT_SCHEMA.to_string(),
@@ -435,11 +515,36 @@ pub fn artifact_from_learner(
             preference: learner.model().config(),
             maml: learner.config(),
             diversity,
+            score_fingerprint,
         },
         params: named_snapshot(learner.model_mut(), PARAM_PREFIX),
         user_content,
         item_content,
     }
+}
+
+/// Sketches the model's ranking-score distribution over the training
+/// population: full-catalogue scores for up to 64 stride-sampled users.
+/// Forward passes only — θ, the RNG, and the exported tensors are
+/// untouched, so stamping the fingerprint never changes what is exported.
+fn training_score_fingerprint(
+    learner: &mut MetaLearner,
+    user_content: &Matrix,
+    item_content: &Matrix,
+) -> ScoreFingerprint {
+    let n_users = user_content.rows();
+    if n_users == 0 || item_content.rows() == 0 {
+        return ScoreFingerprint::default();
+    }
+    let catalogue: Vec<usize> = (0..item_content.rows()).collect();
+    let stride = n_users.div_ceil(64).max(1);
+    let mut all = Vec::new();
+    let mut user = 0;
+    while user < n_users {
+        all.extend(learner.score(user_content.row(user), item_content, &catalogue));
+        user += stride;
+    }
+    ScoreFingerprint::from_scores(&all)
 }
 
 #[cfg(test)]
@@ -520,6 +625,35 @@ mod tests {
         rec.recommend_content(&mean, 2, None).expect("mean content scores");
         let by_content = rec.adapt_content(&mean, &support).expect("content adapt");
         assert_eq!(by_content.len(), adapted.len());
+    }
+
+    #[test]
+    fn exported_fingerprint_sketches_training_scores() {
+        let artifact = tiny_artifact(16);
+        let fp = &artifact.meta.score_fingerprint;
+        assert_eq!(fp.probs.len(), FINGERPRINT_PROBS.len());
+        assert_eq!(fp.quantiles.len(), fp.probs.len());
+        for w in fp.quantiles.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must ascend: {:?}", fp.quantiles);
+        }
+        assert!(fp.quantiles.iter().all(|q| q.is_finite()));
+
+        // The sketch itself: ceil-rank over the finite values only.
+        assert!(ScoreFingerprint::from_scores(&[]).is_empty());
+        assert!(ScoreFingerprint::from_scores(&[f32::NAN, f32::INFINITY]).is_empty());
+        let ramp: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        let sketch = ScoreFingerprint::from_scores(&ramp);
+        assert_eq!(sketch.quantiles[4], 50.0, "p50 of 1..=100");
+        assert_eq!(sketch.quantiles[8], 99.0, "p99 of 1..=100");
+    }
+
+    #[test]
+    fn last_scores_expose_the_most_recent_full_catalogue_ranking() {
+        let mut rec = tiny_artifact(17).into_recommender().expect("valid artifact");
+        assert!(rec.last_scores().is_empty(), "no request yet");
+        rec.recommend(0, 3, None).expect("recommend");
+        assert_eq!(rec.last_scores().len(), rec.n_items());
+        assert!(rec.last_scores().iter().all(|s| s.is_finite()));
     }
 
     #[test]

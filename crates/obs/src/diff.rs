@@ -258,6 +258,7 @@ mod tests {
             flops: 0,
             alloc_count: 0,
             alloc_bytes: 0,
+            server_p99_ns: 0,
         }
     }
 
@@ -266,6 +267,7 @@ mod tests {
             git_rev: "test".into(),
             scenario: "unit".into(),
             host: HostInfo::current(),
+            requests: 0,
             blocks,
         }
     }

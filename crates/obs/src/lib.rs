@@ -79,13 +79,15 @@ pub mod report;
 pub mod span;
 pub mod stream;
 pub mod summary;
+pub mod window;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 pub use recorder::{
-    Event, FileRecorder, MemoryRecorder, NullRecorder, Recorder, StderrRecorder, TeeRecorder, Value,
+    Event, FileRecorder, MemoryRecorder, NullRecorder, Recorder, RotatingFileRecorder,
+    StderrRecorder, TeeRecorder, Value,
 };
 
 /// Fast global on/off switch. One relaxed load on every instrumentation
@@ -208,6 +210,15 @@ pub fn emit_metrics_snapshot() {
                 ev.push("min", min);
                 ev.push("max", max);
             }
+            metrics::MetricSnapshot::Window { window_s, count, mean, p50, p90, p99 } => {
+                ev.push("metric_kind", "window");
+                ev.push("window_s", window_s);
+                ev.push("count", count);
+                ev.push("mean", mean);
+                ev.push("p50", p50);
+                ev.push("p90", p90);
+                ev.push("p99", p99);
+            }
         }
         emit(ev);
     }
@@ -300,6 +311,20 @@ macro_rules! histogram_observe {
             static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
                 ::std::sync::OnceLock::new();
             CELL.get_or_init(|| $crate::metrics::histogram($name)).observe($v as u64);
+        }
+    };
+}
+
+/// Records an observation in the named sliding-window histogram through a
+/// per-callsite cached handle. Same disabled-path contract as
+/// [`histogram_observe!`]: one relaxed atomic load, nothing else.
+#[macro_export]
+macro_rules! window_observe {
+    ($name:expr, $v:expr) => {
+        if $crate::enabled() {
+            static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::window::WindowHistogram>> =
+                ::std::sync::OnceLock::new();
+            CELL.get_or_init(|| $crate::metrics::window($name)).observe($v as u64);
         }
     };
 }

@@ -65,9 +65,9 @@ impl Gauge {
 /// Values 0..16 land in exact buckets; above that, one major bucket per
 /// power of two, split into 8 linear sub-buckets.
 const EXACT: u64 = 16;
-const N_BUCKETS: usize = 16 + (64 - 4) * 8; // 496
+pub(crate) const N_BUCKETS: usize = 16 + (64 - 4) * 8; // 496
 
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v < EXACT {
         v as usize
     } else {
@@ -79,7 +79,7 @@ fn bucket_index(v: u64) -> usize {
 
 /// Midpoint of the bucket's value range — the representative a quantile
 /// query reports.
-fn bucket_midpoint(idx: usize) -> u64 {
+pub(crate) fn bucket_midpoint(idx: usize) -> u64 {
     if idx < EXACT as usize {
         idx as u64
     } else {
@@ -202,6 +202,7 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    Window(Arc<crate::window::WindowHistogram>),
 }
 
 fn registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
@@ -256,6 +257,22 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
     }
 }
 
+/// Gets or registers the named sliding-window histogram (default 60 s
+/// window: 12 slots of 5 s).
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn window(name: &str) -> Arc<crate::window::WindowHistogram> {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Window(Arc::new(crate::window::WindowHistogram::default())))
+    {
+        Metric::Window(w) => w.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
 /// Zeroes every registered metric **in place**. Entries are never removed:
 /// per-callsite cached handles (the `OnceLock<Arc<...>>` cells inside the
 /// macros) must stay connected to live storage.
@@ -266,6 +283,7 @@ pub fn reset() {
             Metric::Counter(c) => c.reset(),
             Metric::Gauge(g) => g.reset(),
             Metric::Histogram(h) => h.reset(),
+            Metric::Window(w) => w.reset(),
         }
     }
 }
@@ -294,6 +312,22 @@ pub enum MetricSnapshot {
         /// Largest observation.
         max: u64,
     },
+    /// Sliding-window histogram digest (counts only what is still inside
+    /// the window, unlike the cumulative [`MetricSnapshot::Histogram`]).
+    Window {
+        /// Window length in seconds.
+        window_s: f64,
+        /// Observations inside the window.
+        count: u64,
+        /// Windowed mean.
+        mean: f64,
+        /// Windowed median.
+        p50: u64,
+        /// Windowed 90th percentile.
+        p90: u64,
+        /// Windowed 99th percentile.
+        p99: u64,
+    },
 }
 
 /// Snapshot of every registered metric, sorted by name.
@@ -313,6 +347,17 @@ pub fn snapshot() -> Vec<(String, MetricSnapshot)> {
                     min: h.min(),
                     max: h.max(),
                 },
+                Metric::Window(w) => {
+                    let s = w.snapshot();
+                    MetricSnapshot::Window {
+                        window_s: s.window_s,
+                        count: s.count,
+                        mean: s.mean,
+                        p50: s.p50,
+                        p90: s.p90,
+                        p99: s.p99,
+                    }
+                }
             };
             (name.clone(), snap)
         })
@@ -344,6 +389,14 @@ pub fn render_text() -> String {
                 out.push_str(&format!("{flat}_p99 {p99}\n"));
                 out.push_str(&format!("{flat}_min {min}\n"));
                 out.push_str(&format!("{flat}_max {max}\n"));
+            }
+            MetricSnapshot::Window { window_s, count, mean, p50, p90, p99 } => {
+                out.push_str(&format!("{flat}_window_s {}\n", crate::json::number(window_s)));
+                out.push_str(&format!("{flat}_count {count}\n"));
+                out.push_str(&format!("{flat}_mean {}\n", crate::json::number(mean)));
+                out.push_str(&format!("{flat}_p50 {p50}\n"));
+                out.push_str(&format!("{flat}_p90 {p90}\n"));
+                out.push_str(&format!("{flat}_p99 {p99}\n"));
             }
         }
     }
@@ -478,6 +531,30 @@ mod tests {
     fn kind_mismatch_panics() {
         counter("test.metrics.kind_clash");
         gauge("test.metrics.kind_clash");
+    }
+
+    #[test]
+    fn window_registers_snapshots_and_renders() {
+        let w = window("test.metrics.window");
+        w.observe(42);
+        let snap = snapshot();
+        let found = snap.iter().find(|(n, _)| n == "test.metrics.window").map(|(_, s)| s.clone());
+        match found {
+            Some(MetricSnapshot::Window { window_s, count, .. }) => {
+                assert_eq!(window_s, 60.0, "default window is one minute");
+                assert_eq!(count, 1);
+            }
+            other => panic!("expected a window snapshot, got {other:?}"),
+        }
+        let text = render_text();
+        assert!(text.contains("test_metrics_window_window_s 60.0"), "{text}");
+        assert!(text.contains("test_metrics_window_count 1"), "{text}");
+        assert!(text.contains("test_metrics_window_p99 42"), "{text}");
+        for line in text.lines() {
+            assert_eq!(line.split(' ').count(), 2, "one name one value per line: {line:?}");
+        }
+        reset();
+        assert!(render_text().contains("test_metrics_window_count 0"), "reset clears the window");
     }
 
     #[test]

@@ -190,6 +190,88 @@ impl Recorder for FileRecorder {
     }
 }
 
+/// Size-rotated JSONL sink for live trace logs.
+///
+/// When writing the next record would push the active file past
+/// `max_bytes`, the file is renamed to `<path>.1` (displacing any previous
+/// generation) and a fresh file is started — at most two generations live
+/// on disk, bounding a long-running server's trace footprint. Rotation
+/// happens on record boundaries, so rotated files always contain complete
+/// lines; only a crash mid-write can leave a truncated final line, which
+/// [`crate::stream::read_str_lenient`] skips with a warning instead of
+/// failing the whole parse.
+pub struct RotatingFileRecorder {
+    path: std::path::PathBuf,
+    max_bytes: u64,
+    inner: Mutex<RotState>,
+}
+
+struct RotState {
+    out: BufWriter<File>,
+    written: u64,
+}
+
+impl RotatingFileRecorder {
+    /// Default rotation threshold: 64 MiB.
+    pub const DEFAULT_MAX_BYTES: u64 = 64 << 20;
+
+    /// Creates (truncating) the active sink file and removes any stale
+    /// rotated generation from a previous run.
+    pub fn create(path: impl AsRef<Path>, max_bytes: u64) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(Self::rotated_of(&path));
+        let file = File::create(&path)?;
+        Ok(Self {
+            path,
+            max_bytes: max_bytes.max(1),
+            inner: Mutex::new(RotState { out: BufWriter::new(file), written: 0 }),
+        })
+    }
+
+    fn rotated_of(path: &Path) -> std::path::PathBuf {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".1");
+        std::path::PathBuf::from(os)
+    }
+
+    /// Where the rotated-out generation lives (`<path>.1`).
+    pub fn rotated_path(&self) -> std::path::PathBuf {
+        Self::rotated_of(&self.path)
+    }
+}
+
+impl Recorder for RotatingFileRecorder {
+    fn record(&self, event: &Event) {
+        let line = event.to_json_line();
+        let needed = line.len() as u64 + 1;
+        let mut st = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if st.written > 0 && st.written + needed > self.max_bytes {
+            let _ = st.out.flush();
+            // Swap in a fresh file; on any failure keep appending to the
+            // current one — a failing sink never takes the server down.
+            if std::fs::rename(&self.path, Self::rotated_of(&self.path)).is_ok() {
+                if let Ok(file) = File::create(&self.path) {
+                    st.out = BufWriter::new(file);
+                    st.written = 0;
+                }
+            }
+        }
+        let _ = writeln!(st.out, "{line}");
+        st.written += needed;
+    }
+
+    fn flush(&self) {
+        let mut st = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = st.out.flush();
+    }
+}
+
 /// Human-readable progress lines on stderr, replacing the ad-hoc
 /// `eprintln!` calls the bench binaries used to carry.
 #[derive(Default)]
@@ -296,6 +378,40 @@ mod tests {
             assert!(line.contains(r#""name":"file.test""#));
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotating_recorder_rotates_on_record_boundaries_and_loses_nothing() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("metadpa_obs_rot_{}.jsonl", std::process::id()));
+        // Threshold sized to force several rotations over 50 records.
+        let rec = RotatingFileRecorder::create(&path, 400).expect("create sink");
+        for i in 0..50u64 {
+            let mut ev = Event::new("event", "rot.test");
+            ev.push("i", i);
+            rec.record(&ev);
+        }
+        rec.flush();
+        let active = std::fs::read_to_string(&path).expect("active file");
+        let rotated = std::fs::read_to_string(rec.rotated_path()).expect("rotated generation");
+        for line in active.lines().chain(rotated.lines()) {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "rotation must land on record boundaries: {line:?}"
+            );
+        }
+        // Only two generations are kept, so early records may be gone, but
+        // the surviving tail is contiguous and ends at the last record.
+        let last = active.lines().last().expect("active file has records");
+        assert!(last.contains("\"i\":49"), "{last}");
+        assert!(
+            !rotated.is_empty() && active.len() as u64 <= 400,
+            "rotation actually happened (active={}, rotated={})",
+            active.len(),
+            rotated.len()
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(rec.rotated_path());
     }
 
     #[test]

@@ -34,9 +34,9 @@ pub struct SpanPathStat {
 /// One metric reading carried by a stream's `metric` records.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MetricReading {
-    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    /// `"counter"`, `"gauge"`, `"histogram"`, or `"window"`.
     pub metric_kind: String,
-    /// Scalar value (counter total / gauge value / histogram p50).
+    /// Scalar value (counter total / gauge value / histogram or window p50).
     pub value: f64,
     /// Full payload for rendering (count, mean, p90, ... for histograms).
     pub fields: Vec<(String, JsonValue)>,
@@ -76,7 +76,7 @@ impl Report {
                         .unwrap_or("counter")
                         .to_string();
                     let value = match metric_kind.as_str() {
-                        "histogram" => ev.field("p50").and_then(JsonValue::as_f64),
+                        "histogram" | "window" => ev.field("p50").and_then(JsonValue::as_f64),
                         _ => ev.field("value").and_then(JsonValue::as_f64),
                     }
                     .unwrap_or(0.0);
@@ -190,6 +190,24 @@ impl Report {
                         g("max") as u64,
                     ));
                 }
+                "window" => {
+                    let g = |k: &str| {
+                        m.fields
+                            .iter()
+                            .find(|(fk, _)| fk == k)
+                            .and_then(|(_, v)| v.as_f64())
+                            .unwrap_or(0.0)
+                    };
+                    out.push_str(&format!(
+                        "  {name} [{:.0}s window]: n={} mean={:.1} p50={} p90={} p99={}\n",
+                        g("window_s"),
+                        g("count") as u64,
+                        g("mean"),
+                        g("p50") as u64,
+                        g("p90") as u64,
+                        g("p99") as u64,
+                    ));
+                }
                 "gauge" => out.push_str(&format!("  {name} = {:.6}\n", m.value)),
                 _ => out.push_str(&format!("  {name} = {}\n", m.value as u64)),
             }
@@ -298,8 +316,14 @@ fn fmt_allocs(stat: &SpanPathStat) -> String {
     }
 }
 
-/// BENCH baseline schema version tag.
-pub const BENCH_SCHEMA: &str = "metadpa-bench/v1";
+/// BENCH baseline schema version tag. v2 adds the optional per-block
+/// `server_p99_ns` (the serving layer's own windowed 99th percentile, as
+/// scraped from `/metrics`) and the top-level `requests` total; both
+/// default to 0, and v1 documents still decode.
+pub const BENCH_SCHEMA: &str = "metadpa-bench/v2";
+
+/// The previous schema tag, still accepted by [`BenchReport::from_json`].
+pub const BENCH_SCHEMA_V1: &str = "metadpa-bench/v1";
 
 /// The current git revision (short hash, `-dirty` suffixed when the tree
 /// has local modifications), or `"unknown"` outside a git checkout.
@@ -370,6 +394,10 @@ pub struct BenchBlock {
     pub alloc_count: u64,
     /// Allocated bytes per iteration.
     pub alloc_bytes: u64,
+    /// Server-side windowed p99 for this block, nanoseconds, as scraped
+    /// from the serving layer's `/metrics` (0 when not applicable — every
+    /// v1 document and all client-only measurements).
+    pub server_p99_ns: u64,
 }
 
 /// A perf baseline: stable, machine-readable, diffable. See DESIGN.md §6
@@ -382,6 +410,9 @@ pub struct BenchReport {
     pub scenario: String,
     /// Hardware fingerprint.
     pub host: HostInfo,
+    /// Total requests behind the report (0 when not a load scenario or
+    /// when decoded from a v1 document).
+    pub requests: u64,
     /// Per-block statistics.
     pub blocks: Vec<BenchBlock>,
 }
@@ -407,7 +438,8 @@ impl BenchReport {
                 .f64_field("mean_ns", b.mean_ns)
                 .u64_field("flops", b.flops)
                 .u64_field("alloc_count", b.alloc_count)
-                .u64_field("alloc_bytes", b.alloc_bytes);
+                .u64_field("alloc_bytes", b.alloc_bytes)
+                .u64_field("server_p99_ns", b.server_p99_ns);
             blocks.push_str("    ");
             blocks.push_str(&w.finish());
         }
@@ -416,6 +448,7 @@ impl BenchReport {
         w.str_field("schema", BENCH_SCHEMA)
             .str_field("git_rev", &self.git_rev)
             .str_field("scenario", &self.scenario)
+            .u64_field("requests", self.requests)
             .raw_field("host", &host.finish())
             .raw_field("blocks", &blocks);
         // Re-indent the top level for readability.
@@ -423,17 +456,22 @@ impl BenchReport {
             .replacen("{\"schema\"", "{\n  \"schema\"", 1)
             .replacen(",\"git_rev\"", ",\n  \"git_rev\"", 1)
             .replacen(",\"scenario\"", ",\n  \"scenario\"", 1)
+            .replacen(",\"requests\"", ",\n  \"requests\"", 1)
             .replacen(",\"host\"", ",\n  \"host\"", 1)
             .replacen(",\"blocks\"", ",\n  \"blocks\"", 1)
             + "\n"
     }
 
-    /// Parses a BENCH JSON document, validating the schema tag.
+    /// Parses a BENCH JSON document, validating the schema tag. Both the
+    /// current v2 schema and the older v1 are accepted; v1 documents
+    /// simply decode with `requests` and every `server_p99_ns` at 0.
     pub fn from_json(text: &str) -> Result<Self, String> {
         let v = crate::stream::parse(text).map_err(|e| e.to_string())?;
         let schema = v.get("schema").and_then(JsonValue::as_str).unwrap_or("");
-        if schema != BENCH_SCHEMA {
-            return Err(format!("unsupported BENCH schema {schema:?} (want {BENCH_SCHEMA:?})"));
+        if schema != BENCH_SCHEMA && schema != BENCH_SCHEMA_V1 {
+            return Err(format!(
+                "unsupported BENCH schema {schema:?} (want {BENCH_SCHEMA:?} or {BENCH_SCHEMA_V1:?})"
+            ));
         }
         let str_of = |key: &str| {
             v.get(key).and_then(JsonValue::as_str).map(str::to_string).unwrap_or_default()
@@ -458,9 +496,16 @@ impl BenchReport {
                 flops: u("flops"),
                 alloc_count: u("alloc_count"),
                 alloc_bytes: u("alloc_bytes"),
+                server_p99_ns: u("server_p99_ns"),
             });
         }
-        Ok(Self { git_rev: str_of("git_rev"), scenario: str_of("scenario"), host, blocks })
+        Ok(Self {
+            git_rev: str_of("git_rev"),
+            scenario: str_of("scenario"),
+            host,
+            requests: v.get("requests").and_then(JsonValue::as_u64).unwrap_or(0),
+            blocks,
+        })
     }
 }
 
@@ -540,6 +585,7 @@ mod tests {
             git_rev: "abc123".into(),
             scenario: "microbench.blocks".into(),
             host: HostInfo { arch: "x86_64".into(), os: "linux".into(), cpus: 8 },
+            requests: 27_000,
             blocks: vec![BenchBlock {
                 name: "block1/100".into(),
                 iters: 10,
@@ -549,10 +595,29 @@ mod tests {
                 flops: 64000,
                 alloc_count: 12,
                 alloc_bytes: 4096,
+                server_p99_ns: 1500,
             }],
         };
         let parsed = BenchReport::from_json(&report.to_json()).expect("round trip");
         assert_eq!(parsed, report);
+        assert!(report.to_json().contains("metadpa-bench/v2"));
+    }
+
+    #[test]
+    fn bench_v1_documents_still_decode_with_defaulted_v2_fields() {
+        // A literal pre-v2 document: no `requests`, no `server_p99_ns`.
+        let v1 = "{\n  \"schema\":\"metadpa-bench/v1\",\n  \"git_rev\":\"cafe01\",\n  \
+                  \"scenario\":\"serve.loadgen\",\n  \
+                  \"host\":{\"arch\":\"x86_64\",\"os\":\"linux\",\"cpus\":4},\n  \
+                  \"blocks\":[\n    {\"name\":\"serve.recommend.warm\",\"iters\":100,\
+                  \"p50_ns\":5000,\"p90_ns\":9000,\"mean_ns\":6000.0,\"flops\":0,\
+                  \"alloc_count\":0,\"alloc_bytes\":0}\n  ]}\n";
+        let parsed = BenchReport::from_json(v1).expect("v1 stays decodable");
+        assert_eq!(parsed.scenario, "serve.loadgen");
+        assert_eq!(parsed.requests, 0, "v1 has no requests field");
+        assert_eq!(parsed.blocks.len(), 1);
+        assert_eq!(parsed.blocks[0].p50_ns, 5000);
+        assert_eq!(parsed.blocks[0].server_p99_ns, 0, "v1 blocks default the server p99");
     }
 
     #[test]

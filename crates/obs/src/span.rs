@@ -37,8 +37,9 @@
 //! while it was live (process-wide counters, so concurrent threads'
 //! allocations are attributed to every span open at the time).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -49,6 +50,51 @@ thread_local! {
     /// Path prefix installed by [`inherit_root`]; prepended to every span
     /// path opened on this thread while the guard is live.
     static INHERITED: RefCell<Option<String>> = const { RefCell::new(None) };
+    /// Request ID installed by [`enter_request`]; 0 = outside any request.
+    static REQUEST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-global request-ID sequence; see [`next_request_id`].
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates the next request ID: a deterministic process-wide sequence
+/// starting at 1 (0 is reserved for "no request"). IDs are unique within a
+/// server process, which is exactly the scope of one trace log.
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The request ID installed on this thread, or `None` outside a request
+/// scope.
+pub fn current_request() -> Option<u64> {
+    REQUEST.with(|r| match r.get() {
+        0 => None,
+        v => Some(v),
+    })
+}
+
+/// RAII guard for a request scope; see [`enter_request`].
+#[must_use = "dropping the guard immediately would uninstall the request ID"]
+pub struct RequestScope {
+    prev: u64,
+}
+
+/// Installs `req` as this thread's request ID. Every span completing on
+/// this thread while the guard is live carries a `req` field in its event,
+/// tying the whole span tree — across pool workers, via the same
+/// capture-and-install pattern as [`inherit_root`] — back to one HTTP
+/// request. `None` is accepted and is a no-op, so dispatchers can pass
+/// [`current_request`] through unconditionally.
+pub fn enter_request(req: Option<u64>) -> RequestScope {
+    let prev = REQUEST.with(|r| r.replace(req.unwrap_or(0)));
+    RequestScope { prev }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        REQUEST.with(|r| r.set(prev));
+    }
 }
 
 /// The `/`-joined path of the innermost span live on this thread (including
@@ -288,6 +334,9 @@ impl Span {
             ev.push("dur_ns", dur_ns);
             ev.push("depth", self.depth as u64);
             ev.push("thread", thread_label());
+            if let Some(req) = current_request() {
+                ev.push("req", req);
+            }
             if self.alloc0.is_some() {
                 ev.push("alloc_count", alloc_count);
                 ev.push("alloc_bytes", alloc_bytes);
@@ -449,6 +498,46 @@ mod tests {
         let paths: Vec<&str> = snap.iter().map(|(p, _)| p.as_str()).collect();
         assert!(paths.contains(&"dispatch.outer/pool.task"), "{paths:?}");
         assert!(paths.contains(&"dispatch.outer/pool.task/inner"), "{paths:?}");
+    }
+
+    #[test]
+    fn request_scope_tags_spans_here_and_on_inheriting_workers() {
+        let _g = crate::test_lock();
+        let sink = Arc::new(MemoryRecorder::default());
+        crate::enable(sink.clone());
+        reset_aggregates();
+        let req = next_request_id();
+        assert!(next_request_id() > req, "IDs are strictly increasing");
+        {
+            let _scope = enter_request(Some(req));
+            assert_eq!(current_request(), Some(req));
+            let _root = Span::enter_static("req.root");
+            let captured = (current_path(), current_request());
+            std::thread::spawn(move || {
+                let _parent = inherit_root(captured.0);
+                let _req = enter_request(captured.1);
+                let _sp = Span::enter_static("req.worker");
+            })
+            .join()
+            .expect("worker panicked");
+        }
+        assert_eq!(current_request(), None, "guard drop uninstalls the ID");
+        {
+            let _sp = Span::enter_static("req.outside");
+        }
+        crate::disable();
+
+        let events = sink.events();
+        let req_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.name.ends_with(name))
+                .map(|e| e.fields.iter().any(|(k, _)| *k == "req"))
+                .expect("span event present")
+        };
+        assert!(req_of("req.root"), "request-scoped span carries req");
+        assert!(req_of("req.worker"), "inheriting worker span carries req");
+        assert!(!req_of("req.outside"), "spans outside a request carry no req field");
     }
 
     #[test]

@@ -87,6 +87,66 @@ pub fn read_file(path: impl AsRef<Path>) -> Result<Vec<StreamEvent>, String> {
     read_str(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// Result of a lenient stream read ([`read_str_lenient`]): the events that
+/// parsed, plus per-line diagnostics for the ones that did not.
+#[derive(Debug, Default)]
+pub struct LenientRead {
+    /// Successfully parsed events, in stream order.
+    pub events: Vec<StreamEvent>,
+    /// `(line_number, message)` for interior malformed lines — real
+    /// corruption, not crash truncation.
+    pub errors: Vec<(usize, String)>,
+    /// Warning for a malformed **final** line, the signature a crash or
+    /// rotation race leaves behind; the rest of the stream is still good.
+    pub truncated_tail: Option<String>,
+}
+
+/// Reads a JSONL stream, tolerating a truncated final line.
+///
+/// Live trace logs are written by a server that may be killed mid-record,
+/// and the rotated generation of a [`crate::recorder::RotatingFileRecorder`]
+/// can end the same way. A malformed *last* line is therefore reported as
+/// [`LenientRead::truncated_tail`] (a warning, the line is skipped); a
+/// malformed line with valid lines *after* it is genuine corruption and
+/// lands in [`LenientRead::errors`]. Blank lines are skipped as in
+/// [`read_str`].
+pub fn read_str_lenient(text: &str) -> LenientRead {
+    let mut out = LenientRead::default();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(ev) => {
+                // A bad line followed by a good one cannot be tail
+                // truncation: promote it to a hard per-line error.
+                if let Some(err) = pending.take() {
+                    out.errors.push(err);
+                }
+                out.events.push(ev);
+            }
+            Err(e) => {
+                if let Some(err) = pending.take() {
+                    out.errors.push(err);
+                }
+                pending = Some((i + 1, e.to_string()));
+            }
+        }
+    }
+    if let Some((line_no, e)) = pending {
+        out.truncated_tail = Some(format!("line {line_no}: truncated record skipped ({e})"));
+    }
+    out
+}
+
+/// [`read_str_lenient`] over a file.
+pub fn read_file_lenient(path: impl AsRef<Path>) -> Result<LenientRead, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(read_str_lenient(&text))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +183,43 @@ mod tests {
     fn non_object_lines_are_rejected() {
         assert!(parse_line("[1,2,3]").is_err());
         assert!(parse_line("{\"name\":\"a\"}").is_err(), "missing kind");
+    }
+
+    #[test]
+    fn lenient_read_downgrades_a_truncated_tail_to_a_warning() {
+        // A crash mid-write: the final line stops partway through a record.
+        let crashed = "{\"kind\":\"event\",\"name\":\"a\",\"t_ns\":1}\n\
+                       {\"kind\":\"span\",\"name\":\"b\",\"t_ns\":2,\"dur_ns\":5}\n\
+                       {\"kind\":\"span\",\"name\":\"c\",\"t_";
+        let read = read_str_lenient(crashed);
+        assert_eq!(read.events.len(), 2, "intact prefix is kept");
+        assert!(read.errors.is_empty(), "tail truncation is not a hard error");
+        let warn = read.truncated_tail.expect("truncated tail reported");
+        assert!(warn.contains("line 3"), "{warn}");
+
+        // Strict reading of the same stream still fails — the lenient path
+        // is an explicit opt-in for crash-tolerant consumers.
+        assert!(read_str(crashed).is_err());
+    }
+
+    #[test]
+    fn lenient_read_still_hard_errors_on_interior_corruption() {
+        let corrupt = "{\"kind\":\"event\",\"name\":\"a\",\"t_ns\":1}\n\
+                       garbage in the middle\n\
+                       {\"kind\":\"event\",\"name\":\"b\",\"t_ns\":2}\n";
+        let read = read_str_lenient(corrupt);
+        assert_eq!(read.events.len(), 2);
+        assert!(read.truncated_tail.is_none());
+        assert_eq!(read.errors.len(), 1);
+        assert_eq!(read.errors[0].0, 2, "error carries its line number");
+    }
+
+    #[test]
+    fn lenient_read_of_a_clean_stream_is_silent() {
+        let ok = "{\"kind\":\"event\",\"name\":\"a\",\"t_ns\":1}\n";
+        let read = read_str_lenient(ok);
+        assert_eq!(read.events.len(), 1);
+        assert!(read.errors.is_empty());
+        assert!(read.truncated_tail.is_none());
     }
 }

@@ -67,6 +67,11 @@ fn render_metrics(out: &mut String) {
                     "  {name}: n={count} mean={mean:.1} p50={p50} p90={p90} p99={p99} min={min} max={max}\n"
                 ));
             }
+            MetricSnapshot::Window { window_s, count, mean, p50, p90, p99 } => {
+                out.push_str(&format!(
+                    "  {name} [{window_s:.0}s window]: n={count} mean={mean:.1} p50={p50} p90={p90} p99={p99}\n"
+                ));
+            }
         }
     }
 }

@@ -8,7 +8,9 @@
 //! save → load → [`Artifact::into_recommender`] scores bit-identically
 //! to the model that was exported.
 
-use metadpa_core::artifact::{Artifact, ArtifactMeta, ARTIFACT_SCHEMA, PARAM_PREFIX};
+use metadpa_core::artifact::{
+    Artifact, ArtifactMeta, ScoreFingerprint, ARTIFACT_SCHEMA, PARAM_PREFIX,
+};
 use metadpa_core::augmentation::DiversityReport;
 use metadpa_core::{MamlConfig, PreferenceConfig};
 use metadpa_obs::json::{self, JsonValue, ObjectWriter};
@@ -24,6 +26,18 @@ pub const ITEM_CONTENT_TENSOR: &str = "content.item";
 /// Byte offset of the metadata blob inside a v1 checkpoint (magic +
 /// version + meta_len); metadata-level load errors point here.
 const META_OFFSET: u64 = 20;
+
+fn f32_array_json(vals: &[f32]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&json::number(*v as f64));
+    }
+    s.push(']');
+    s
+}
 
 fn meta_to_json(meta: &ArtifactMeta) -> String {
     let mut pref = ObjectWriter::new();
@@ -43,6 +57,9 @@ fn meta_to_json(meta: &ArtifactMeta) -> String {
     div.u64_field("k", meta.diversity.k as u64)
         .f64_field("mean_pairwise_distance", meta.diversity.mean_pairwise_distance as f64)
         .f64_field("mean_confidence", meta.diversity.mean_confidence as f64);
+    let mut fp = ObjectWriter::new();
+    fp.raw_field("probs", &f32_array_json(&meta.score_fingerprint.probs))
+        .raw_field("quantiles", &f32_array_json(&meta.score_fingerprint.quantiles));
     let mut w = ObjectWriter::new();
     w.str_field("schema", &meta.schema)
         .str_field("model", &meta.model_name)
@@ -50,7 +67,8 @@ fn meta_to_json(meta: &ArtifactMeta) -> String {
         .str_field("data_fingerprint", &meta.data_fingerprint)
         .raw_field("preference", &pref.finish())
         .raw_field("maml", &maml.finish())
-        .raw_field("diversity", &div.finish());
+        .raw_field("diversity", &div.finish())
+        .raw_field("score_fingerprint", &fp.finish());
     w.finish()
 }
 
@@ -122,6 +140,36 @@ fn meta_from_json(path: &str, meta_json: &str) -> Result<ArtifactMeta, CkptError
         mean_pairwise_distance: get_f32(d, "mean_pairwise_distance", path)?,
         mean_confidence: get_f32(d, "mean_confidence", path)?,
     };
+    // Optional: checkpoints written before drift fingerprints existed have
+    // no "score_fingerprint" blob and load with an empty sketch.
+    let score_fingerprint = match root.get("score_fingerprint") {
+        Some(fp) => {
+            let arr = |key: &str| -> Result<Vec<f32>, CkptError> {
+                get(fp, key, path)?
+                    .as_arr()
+                    .ok_or_else(|| {
+                        meta_err(path, format!("score_fingerprint field {key:?} must be an array"))
+                    })?
+                    .iter()
+                    .map(|v| {
+                        v.as_f64().map(|x| x as f32).ok_or_else(|| {
+                            meta_err(
+                                path,
+                                format!("score_fingerprint {key:?} entries must be numbers"),
+                            )
+                        })
+                    })
+                    .collect()
+            };
+            let probs = arr("probs")?;
+            let quantiles = arr("quantiles")?;
+            if probs.len() != quantiles.len() {
+                return Err(meta_err(path, "score_fingerprint probs/quantiles lengths differ"));
+            }
+            ScoreFingerprint { probs, quantiles }
+        }
+        None => ScoreFingerprint::default(),
+    };
     Ok(ArtifactMeta {
         schema,
         model_name: get_str(&root, "model", path)?,
@@ -130,6 +178,7 @@ fn meta_from_json(path: &str, meta_json: &str) -> Result<ArtifactMeta, CkptError
         preference,
         maml,
         diversity,
+        score_fingerprint,
     })
 }
 
@@ -213,6 +262,8 @@ mod tests {
         assert_eq!(back.meta.maml.inner_lr, artifact.meta.maml.inner_lr, "f32 exact");
         assert_eq!(back.meta.maml.seed, artifact.meta.maml.seed);
         assert_eq!(back.meta.diversity.k, 2);
+        assert_eq!(back.meta.score_fingerprint, artifact.meta.score_fingerprint, "f32 exact");
+        assert!(!back.meta.score_fingerprint.is_empty(), "export stamps a fingerprint");
         assert_eq!(back.params, artifact.params, "parameters are bit-exact");
         assert_eq!(back.user_content, artifact.user_content);
         assert_eq!(back.item_content, artifact.item_content);
@@ -232,6 +283,19 @@ mod tests {
         let back = load_artifact(&path).expect("load");
         assert_eq!(back.params, artifact.params);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoints_predating_score_fingerprints_still_load() {
+        let artifact = tiny_artifact(6);
+        let mut ckpt = to_checkpoint(&artifact);
+        // Simulate an older writer: drop the trailing score_fingerprint blob.
+        let cut = ckpt.meta_json.find(",\"score_fingerprint\"").expect("field present");
+        ckpt.meta_json.truncate(cut);
+        ckpt.meta_json.push('}');
+        let back = from_checkpoint("mem", ckpt).expect("pre-fingerprint checkpoint loads");
+        assert!(back.meta.score_fingerprint.is_empty(), "defaults to an empty sketch");
+        assert_eq!(back.params, artifact.params);
     }
 
     #[test]

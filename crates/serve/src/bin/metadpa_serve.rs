@@ -14,6 +14,12 @@
 //!     through every route (including the 422 path), verify the
 //!     responses, shut down cleanly and exit 0 — the CI smoke stage.
 //! ```
+//!
+//! `run` and `smoke` additionally accept `--trace-out PATH`: write one
+//! JSONL record per request (plus every span and a final metrics snapshot)
+//! to a size-rotated trace log that `obs-report tail` / `check-trace` can
+//! stream. Without it the process keeps the default null recorder, and the
+//! serve hot path stays allocation-free.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -25,15 +31,15 @@ use metadpa_core::{MetaDpa, MetaDpaConfig};
 use metadpa_data::generator::generate_world;
 use metadpa_data::presets::tiny_world;
 use metadpa_data::splits::{ScenarioKind, SplitConfig, Splitter};
-use metadpa_obs::recorder::NullRecorder;
+use metadpa_obs::recorder::{NullRecorder, RotatingFileRecorder};
 use metadpa_serve::http::{serve, ServerConfig};
 use metadpa_serve::{load_artifact, router, save_artifact, Engine};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: metadpa-serve export --out PATH [--seed N]\n\
-         \x20      metadpa-serve run --artifact PATH [--addr HOST:PORT] [--workers N]\n\
-         \x20      metadpa-serve smoke --artifact PATH"
+         \x20      metadpa-serve run --artifact PATH [--addr HOST:PORT] [--workers N] [--trace-out PATH]\n\
+         \x20      metadpa-serve smoke --artifact PATH [--trace-out PATH]"
     );
     ExitCode::from(2)
 }
@@ -243,14 +249,35 @@ fn cmd_smoke(args: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    // Metrics (counters, latency histograms) only record while obs is
-    // enabled; the null recorder keeps the event stream free.
-    metadpa_obs::enable(Arc::new(NullRecorder));
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    match flag_value(&args, "--trace-out") {
+        Some(path) => {
+            match RotatingFileRecorder::create(&path, RotatingFileRecorder::DEFAULT_MAX_BYTES) {
+                Ok(rec) => {
+                    eprintln!("tracing requests to {path} (size-rotated, keeps 2 generations)");
+                    metadpa_obs::enable(Arc::new(rec));
+                }
+                Err(e) => {
+                    eprintln!("--trace-out {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        // Metrics (counters, latency histograms) only record while obs is
+        // enabled; the null recorder keeps the event stream free.
+        None => metadpa_obs::enable(Arc::new(NullRecorder)),
+    }
+    let code = match args.first().map(String::as_str) {
         Some("export") => cmd_export(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("smoke") => cmd_smoke(&args[1..]),
         _ => usage(),
-    }
+    };
+    // In trace mode, close the stream with a metrics snapshot so offline
+    // consumers see windowed p99s and drift gauges without scraping.
+    // (`run` never gets here — it serves until killed; the lenient stream
+    // reader tolerates the truncated tail that leaves behind.)
+    metadpa_obs::emit_metrics_snapshot();
+    metadpa_obs::flush();
+    code
 }

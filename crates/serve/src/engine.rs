@@ -19,7 +19,17 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
 use metadpa_core::artifact::{ArtifactError, ArtifactMeta, ArtifactRecommender};
+use metadpa_obs::window::QuantileDrift;
 use metadpa_tensor::Matrix;
+
+/// Windowed KS distance beyond which `serve.drift.alert` flips to 1: a
+/// sup-distance of 0.25 means some training quantile's live hit rate is off
+/// by 25 percentage points — far outside fingerprint sketch error.
+pub const DRIFT_ALERT_THRESHOLD: f64 = 0.25;
+
+/// How many live ranking scores (at most) feed the drift tracker per
+/// request; larger catalogues are stride-sampled down to this.
+const DRIFT_SAMPLE_CAP: usize = 256;
 
 /// Where a recommendation's parameters came from; reported in responses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +66,9 @@ pub struct Engine {
     n_users: usize,
     n_items: usize,
     content_dim: usize,
+    /// Live drift tracker seeded from the artifact's training-score
+    /// fingerprint; `None` for pre-fingerprint checkpoints.
+    drift: Option<QuantileDrift>,
 }
 
 impl Engine {
@@ -63,6 +76,10 @@ impl Engine {
     pub fn new(rec: ArtifactRecommender) -> Self {
         let meta = rec.meta().clone();
         let (n_users, n_items, content_dim) = (rec.n_users(), rec.n_items(), rec.content_dim());
+        let fp = &meta.score_fingerprint;
+        let probs: Vec<f64> = fp.probs.iter().map(|&p| p as f64).collect();
+        let thresholds: Vec<f64> = fp.quantiles.iter().map(|&q| q as f64).collect();
+        let drift = QuantileDrift::with_defaults(&probs, &thresholds);
         Self {
             rec: Mutex::new(rec),
             adapted: RwLock::new(HashMap::new()),
@@ -70,6 +87,44 @@ impl Engine {
             n_users,
             n_items,
             content_dim,
+            drift,
+        }
+    }
+
+    /// Whether the artifact carried a training-score fingerprint to track
+    /// drift against.
+    pub fn tracks_drift(&self) -> bool {
+        self.drift.is_some()
+    }
+
+    /// `(drift statistic, windowed sample count)` over the trailing window;
+    /// `None` without a fingerprint or before the first scored request.
+    pub fn drift_stat(&self) -> Option<(f64, u64)> {
+        self.drift.as_ref().and_then(QuantileDrift::stat)
+    }
+
+    /// Feeds the freshest full-catalogue ranking scores into the drift
+    /// window and refreshes the `serve.drift.*` gauges. Fully gated on
+    /// [`metadpa_obs::enabled`]: with observability off this is one relaxed
+    /// atomic load, keeping the zero-allocation serve contract intact.
+    fn observe_drift(&self, scores: &[f32]) {
+        if !metadpa_obs::enabled() {
+            return;
+        }
+        let Some(drift) = &self.drift else { return };
+        if scores.is_empty() {
+            return;
+        }
+        let stride = scores.len().div_ceil(DRIFT_SAMPLE_CAP).max(1);
+        for s in scores.iter().step_by(stride) {
+            drift.observe(*s as f64);
+        }
+        if let Some((stat, _)) = drift.stat() {
+            metadpa_obs::gauge_set!("serve.drift.stat", stat);
+            metadpa_obs::gauge_set!(
+                "serve.drift.alert",
+                if stat > DRIFT_ALERT_THRESHOLD { 1.0 } else { 0.0 }
+            );
         }
     }
 
@@ -109,6 +164,7 @@ impl Engine {
         user: usize,
         k: usize,
     ) -> Result<(Vec<(usize, f32)>, ServeSource), ArtifactError> {
+        let _s = metadpa_obs::span!("engine.recommend_user");
         let params = self.cached(user);
         let source = if params.is_some() {
             metadpa_obs::counter_add!("serve.adapt_cache.hit", 1);
@@ -119,6 +175,7 @@ impl Engine {
         };
         let mut rec = self.rec.lock().expect("engine recommender poisoned");
         let list = rec.recommend(user, k, params.as_deref().map(Vec::as_slice))?;
+        self.observe_drift(rec.last_scores());
         Ok((list, source))
     }
 
@@ -128,16 +185,22 @@ impl Engine {
         content: &[f32],
         k: usize,
     ) -> Result<Vec<(usize, f32)>, ArtifactError> {
+        let _s = metadpa_obs::span!("engine.recommend_content");
         let mut rec = self.rec.lock().expect("engine recommender poisoned");
-        rec.recommend_content(content, k, None)
+        let list = rec.recommend_content(content, k, None)?;
+        self.observe_drift(rec.last_scores());
+        Ok(list)
     }
 
     /// Top-`k` for a cold request carrying no content at all: scores the
     /// "average user" vector (column mean of the training user content).
     pub fn recommend_cold_default(&self, k: usize) -> Result<Vec<(usize, f32)>, ArtifactError> {
+        let _s = metadpa_obs::span!("engine.recommend_cold");
         let mut rec = self.rec.lock().expect("engine recommender poisoned");
         let mean = rec.mean_user_content();
-        rec.recommend_content(&mean, k, None)
+        let list = rec.recommend_content(&mean, k, None)?;
+        self.observe_drift(rec.last_scores());
+        Ok(list)
     }
 
     /// Runs the serve-time MAML inner loop on a known user's support set
@@ -149,6 +212,7 @@ impl Engine {
         user: usize,
         support: &[(usize, f32)],
     ) -> Result<usize, ArtifactError> {
+        let _s = metadpa_obs::span!("engine.adapt_user");
         let adapted = {
             let mut rec = self.rec.lock().expect("engine recommender poisoned");
             rec.adapt_user(user, support)?
@@ -168,10 +232,13 @@ impl Engine {
         support: &[(usize, f32)],
         k: usize,
     ) -> Result<Vec<(usize, f32)>, ArtifactError> {
+        let _s = metadpa_obs::span!("engine.adapt_content");
         let mut rec = self.rec.lock().expect("engine recommender poisoned");
         let adapted = rec.adapt_content(content, support)?;
         metadpa_obs::counter_add!("serve.adaptations", 1);
-        rec.recommend_content(content, k, Some(&adapted))
+        let list = rec.recommend_content(content, k, Some(&adapted))?;
+        self.observe_drift(rec.last_scores());
+        Ok(list)
     }
 
     /// Drops a user's cached adaptation; returns whether one existed.
@@ -264,6 +331,33 @@ mod tests {
                 assert_eq!(s.to_bits(), p.to_bits(), "score drift at threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn drift_tracker_follows_the_fingerprint_and_stays_quiet_on_distribution() {
+        let engine = tiny_engine(25);
+        assert!(engine.tracks_drift(), "export stamps a fingerprint");
+        assert!(engine.drift_stat().is_none(), "no scores observed yet");
+
+        // With observability off, scoring must not feed the tracker.
+        engine.recommend_user(0, 3).expect("obs-off recommend");
+        assert!(engine.drift_stat().is_none(), "drift is obs-gated");
+
+        let _obs = metadpa_obs::test_lock();
+        metadpa_obs::enable(Arc::new(metadpa_obs::NullRecorder));
+        metadpa_obs::metrics::reset();
+        // Score every training user: the live window then holds the same
+        // score population the export-time fingerprint sketched.
+        for user in 0..engine.n_users() {
+            engine.recommend_user(user, 3).expect("warm recommend");
+        }
+        let (stat, n) = engine.drift_stat().expect("windowed scores present");
+        assert_eq!(n as usize, engine.n_users() * engine.n_items(), "one score per pair");
+        assert!((0.0..=1.0).contains(&stat), "KS distance in [0,1], got {stat}");
+        // Live warm scores come from the distribution the fingerprint
+        // sketched, so the alert gauge must stay down.
+        assert!(stat < DRIFT_ALERT_THRESHOLD, "on-distribution scores, got {stat}");
+        metadpa_obs::disable();
     }
 
     #[test]

@@ -189,6 +189,18 @@ fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack.windows(needle.len()).position(|w| w == needle)
 }
 
+/// Counts a transport-level rejection (a request that never reached the
+/// router) in the `serve.errors.*` taxonomy. Error path only — the
+/// successful-request path never gets here.
+fn transport_error_counter(status: u16) {
+    match status {
+        400 => metadpa_obs::counter_add!("serve.errors.400.transport", 1),
+        408 => metadpa_obs::counter_add!("serve.errors.408.timeout", 1),
+        413 => metadpa_obs::counter_add!("serve.errors.413.body_too_large", 1),
+        _ => {}
+    }
+}
+
 fn handle_connection(
     mut stream: TcpStream,
     handler: &Handler,
@@ -202,7 +214,10 @@ fn handle_connection(
             write_response(&mut stream, &resp);
         }
         Ok(None) => {}
-        Err(resp) => write_response(&mut stream, &resp),
+        Err(resp) => {
+            transport_error_counter(resp.status);
+            write_response(&mut stream, &resp);
+        }
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }

@@ -22,7 +22,7 @@ use std::time::Instant;
 use metadpa_core::artifact::ArtifactError;
 use metadpa_obs::json::{self, number, JsonValue, ObjectWriter};
 
-use crate::engine::Engine;
+use crate::engine::{Engine, ServeSource};
 use crate::http::{Handler, Request, Response};
 
 /// Default list length when a request does not say.
@@ -34,13 +34,24 @@ fn error_json(message: &str) -> String {
     w.finish()
 }
 
+/// Bumps the `serve.errors.<status>.<cause>` taxonomy counter. Dynamic
+/// name lookup (a format + registry probe) is fine here: this only runs on
+/// error responses, never on the 200 hot path.
+fn error_cause_counter(status: u16, cause: &str) {
+    if metadpa_obs::enabled() {
+        metadpa_obs::metrics::counter(&format!("serve.errors.{status}.{cause}")).add(1);
+    }
+}
+
 fn artifact_error_response(err: &ArtifactError) -> Response {
     metadpa_obs::counter_add!("serve.responses.422", 1);
+    error_cause_counter(422, err.cause());
     Response::json(422, error_json(&err.to_string()))
 }
 
-fn bad_request(message: &str) -> Response {
+fn bad_request(cause: &'static str, message: &str) -> Response {
     metadpa_obs::counter_add!("serve.responses.400", 1);
+    error_cause_counter(400, cause);
     Response::json(400, error_json(message))
 }
 
@@ -55,13 +66,14 @@ fn list_json(items: &[(usize, f32)], source: &str) -> String {
 }
 
 fn parse_body(req: &Request) -> Result<JsonValue, Response> {
-    let text =
-        std::str::from_utf8(&req.body).map_err(|_| bad_request("request body is not UTF-8"))?;
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| bad_request("not_utf8", "request body is not UTF-8"))?;
     if text.trim().is_empty() {
         // An empty body is an empty request object.
         return Ok(JsonValue::Obj(Vec::new()));
     }
-    json::parse(text).map_err(|e| bad_request(&format!("request body is not valid JSON: {e}")))
+    json::parse(text)
+        .map_err(|e| bad_request("bad_json", &format!("request body is not valid JSON: {e}")))
 }
 
 fn parse_k(body: &JsonValue) -> Result<usize, Response> {
@@ -69,19 +81,23 @@ fn parse_k(body: &JsonValue) -> Result<usize, Response> {
         None => Ok(DEFAULT_K),
         Some(v) => match v.as_u64() {
             Some(k) if (1..=10_000).contains(&k) => Ok(k as usize),
-            _ => Err(bad_request("\"k\" must be an integer in 1..=10000")),
+            _ => Err(bad_request("bad_k", "\"k\" must be an integer in 1..=10000")),
         },
     }
 }
 
 fn parse_content(body: &JsonValue) -> Result<Option<Vec<f32>>, Response> {
     let Some(v) = body.get("content") else { return Ok(None) };
-    let arr = v.as_arr().ok_or_else(|| bad_request("\"content\" must be an array of numbers"))?;
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| bad_request("bad_content", "\"content\" must be an array of numbers"))?;
     let mut out = Vec::with_capacity(arr.len());
     for e in arr {
-        let x = e.as_f64().ok_or_else(|| bad_request("\"content\" must be an array of numbers"))?;
+        let x = e
+            .as_f64()
+            .ok_or_else(|| bad_request("bad_content", "\"content\" must be an array of numbers"))?;
         if !x.is_finite() {
-            return Err(bad_request("\"content\" values must be finite"));
+            return Err(bad_request("bad_content", "\"content\" values must be finite"));
         }
         out.push(x as f32);
     }
@@ -90,20 +106,20 @@ fn parse_content(body: &JsonValue) -> Result<Option<Vec<f32>>, Response> {
 
 fn parse_support(body: &JsonValue) -> Result<Option<Vec<(usize, f32)>>, Response> {
     let Some(v) = body.get("support") else { return Ok(None) };
-    let arr = v
-        .as_arr()
-        .ok_or_else(|| bad_request("\"support\" must be an array of [item, label] pairs"))?;
+    let arr = v.as_arr().ok_or_else(|| {
+        bad_request("bad_support", "\"support\" must be an array of [item, label] pairs")
+    })?;
     let mut out = Vec::with_capacity(arr.len());
     for e in arr {
-        let pair = e
-            .as_arr()
-            .filter(|p| p.len() == 2)
-            .ok_or_else(|| bad_request("each support entry must be an [item, label] pair"))?;
-        let item = pair[0]
-            .as_u64()
-            .ok_or_else(|| bad_request("support item ids must be non-negative integers"))?;
-        let label =
-            pair[1].as_f64().ok_or_else(|| bad_request("support labels must be numbers"))?;
+        let pair = e.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+            bad_request("bad_support", "each support entry must be an [item, label] pair")
+        })?;
+        let item = pair[0].as_u64().ok_or_else(|| {
+            bad_request("bad_support", "support item ids must be non-negative integers")
+        })?;
+        let label = pair[1]
+            .as_f64()
+            .ok_or_else(|| bad_request("bad_support", "support labels must be numbers"))?;
         out.push((item as usize, label as f32));
     }
     Ok(Some(out))
@@ -114,7 +130,7 @@ fn parse_user_id(body: &JsonValue) -> Result<Option<usize>, Response> {
         None => Ok(None),
         Some(v) => match v.as_u64() {
             Some(u) => Ok(Some(u as usize)),
-            None => Err(bad_request("\"user_id\" must be a non-negative integer")),
+            None => Err(bad_request("bad_user_id", "\"user_id\" must be a non-negative integer")),
         },
     }
 }
@@ -133,79 +149,127 @@ fn health(engine: &Engine) -> Response {
     Response::json(200, w.finish())
 }
 
-fn recommend(engine: &Engine, req: &Request) -> Response {
-    let start = Instant::now();
-    let resp = recommend_inner(engine, req);
-    metadpa_obs::histogram_observe!("serve.latency.recommend_us", start.elapsed().as_micros());
-    resp
+/// The warm/cold/adapted taxonomy a response belongs to; `""` for errors.
+type State = &'static str;
+
+fn state_of(source: ServeSource) -> State {
+    match source {
+        ServeSource::Warm => "warm",
+        ServeSource::Cold => "cold",
+        ServeSource::AdaptedCache | ServeSource::Adapted => "adapted",
+    }
 }
 
-fn recommend_inner(engine: &Engine, req: &Request) -> Response {
+fn recommend(engine: &Engine, req: &Request) -> (Response, State) {
+    let start = Instant::now();
+    let (resp, state) = recommend_inner(engine, req);
+    let us = start.elapsed().as_micros() as u64;
+    metadpa_obs::histogram_observe!("serve.latency.recommend_us", us);
+    if resp.status == 200 {
+        match state {
+            "warm" => {
+                metadpa_obs::counter_add!("serve.state.warm", 1);
+                metadpa_obs::window_observe!("serve.window.recommend.warm_us", us);
+            }
+            "cold" => {
+                metadpa_obs::counter_add!("serve.state.cold", 1);
+                metadpa_obs::window_observe!("serve.window.recommend.cold_us", us);
+            }
+            "adapted" => {
+                metadpa_obs::counter_add!("serve.state.adapted", 1);
+                metadpa_obs::window_observe!("serve.window.recommend.adapted_us", us);
+            }
+            _ => {}
+        }
+    }
+    (resp, state)
+}
+
+fn recommend_inner(engine: &Engine, req: &Request) -> (Response, State) {
     let body = match parse_body(req) {
         Ok(b) => b,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, ""),
     };
     let k = match parse_k(&body) {
         Ok(k) => k,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, ""),
     };
     let user = match parse_user_id(&body) {
         Ok(u) => u,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, ""),
     };
     let content = match parse_content(&body) {
         Ok(c) => c,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, ""),
     };
-    let result = match (user, content) {
+    let (result, state) = match (user, content) {
         (Some(_), Some(_)) => {
-            return bad_request("pass either \"user_id\" or \"content\", not both")
+            return (
+                bad_request("both_ids", "pass either \"user_id\" or \"content\", not both"),
+                "",
+            )
         }
-        (Some(user), None) => {
-            engine.recommend_user(user, k).map(|(list, source)| list_json(&list, source.as_str()))
-        }
+        (Some(user), None) => match engine.recommend_user(user, k) {
+            Ok((list, source)) => (Ok(list_json(&list, source.as_str())), state_of(source)),
+            Err(e) => (Err(e), ""),
+        },
         (None, Some(content)) => {
-            engine.recommend_content(&content, k).map(|list| list_json(&list, "cold"))
+            (engine.recommend_content(&content, k).map(|list| list_json(&list, "cold")), "cold")
         }
-        (None, None) => engine.recommend_cold_default(k).map(|list| list_json(&list, "cold")),
+        (None, None) => {
+            (engine.recommend_cold_default(k).map(|list| list_json(&list, "cold")), "cold")
+        }
     };
     match result {
         Ok(json) => {
             metadpa_obs::counter_add!("serve.responses.200", 1);
-            Response::json(200, json)
+            (Response::json(200, json), state)
         }
-        Err(e) => artifact_error_response(&e),
+        Err(e) => (artifact_error_response(&e), ""),
     }
 }
 
-fn adapt(engine: &Engine, req: &Request) -> Response {
+fn adapt(engine: &Engine, req: &Request) -> (Response, State) {
     let start = Instant::now();
-    let resp = adapt_inner(engine, req);
-    metadpa_obs::histogram_observe!("serve.latency.adapt_us", start.elapsed().as_micros());
-    resp
+    let (resp, state) = adapt_inner(engine, req);
+    let us = start.elapsed().as_micros() as u64;
+    metadpa_obs::histogram_observe!("serve.latency.adapt_us", us);
+    if resp.status == 200 {
+        metadpa_obs::counter_add!("serve.state.adapted", 1);
+        metadpa_obs::window_observe!("serve.window.adapt_us", us);
+    }
+    (resp, state)
 }
 
-fn adapt_inner(engine: &Engine, req: &Request) -> Response {
+fn adapt_inner(engine: &Engine, req: &Request) -> (Response, State) {
     let body = match parse_body(req) {
         Ok(b) => b,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, ""),
     };
     let Some(support) = (match parse_support(&body) {
         Ok(s) => s,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, ""),
     }) else {
-        return bad_request("adaptation requires a \"support\" array of [item, label] pairs");
+        return (
+            bad_request(
+                "missing_support",
+                "adaptation requires a \"support\" array of [item, label] pairs",
+            ),
+            "",
+        );
     };
     let user = match parse_user_id(&body) {
         Ok(u) => u,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, ""),
     };
     let content = match parse_content(&body) {
         Ok(c) => c,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, ""),
     };
     match (user, content) {
-        (Some(_), Some(_)) => bad_request("pass either \"user_id\" or \"content\", not both"),
+        (Some(_), Some(_)) => {
+            (bad_request("both_ids", "pass either \"user_id\" or \"content\", not both"), "")
+        }
         (Some(user), None) => match engine.adapt_user(user, &support) {
             Ok(cached) => {
                 metadpa_obs::counter_add!("serve.responses.200", 1);
@@ -213,49 +277,155 @@ fn adapt_inner(engine: &Engine, req: &Request) -> Response {
                 w.str_field("status", "adapted")
                     .u64_field("user_id", user as u64)
                     .u64_field("adapted_users", cached as u64);
-                Response::json(200, w.finish())
+                (Response::json(200, w.finish()), "adapted")
             }
-            Err(e) => artifact_error_response(&e),
+            Err(e) => (artifact_error_response(&e), ""),
         },
         (None, Some(content)) => {
             let k = match parse_k(&body) {
                 Ok(k) => k,
-                Err(resp) => return resp,
+                Err(resp) => return (resp, ""),
             };
             match engine.adapt_and_recommend_content(&content, &support, k) {
                 Ok(list) => {
                     metadpa_obs::counter_add!("serve.responses.200", 1);
-                    Response::json(200, list_json(&list, "adapted"))
+                    (Response::json(200, list_json(&list, "adapted")), "adapted")
                 }
-                Err(e) => artifact_error_response(&e),
+                Err(e) => (artifact_error_response(&e), ""),
             }
         }
-        (None, None) => bad_request("adaptation requires \"user_id\" or \"content\""),
+        (None, None) => {
+            (bad_request("missing_target", "adaptation requires \"user_id\" or \"content\""), "")
+        }
     }
 }
 
-/// Builds the HTTP handler for one engine.
-pub fn router(engine: Arc<Engine>) -> Handler {
-    // Counters only render once touched; seed the pool and kernel
-    // counters with zero so `/metrics` always exposes them, even before
-    // the first request exercises the blocked matmul or the thread pool.
+fn metrics_page(engine: &Engine) -> Response {
+    // Refresh the drift gauges at scrape time: they are otherwise only
+    // updated per scored request, so a scrape after traffic stopped would
+    // report a stale window.
+    if metadpa_obs::enabled() {
+        if let Some((stat, _)) = engine.drift_stat() {
+            metadpa_obs::gauge_set!("serve.drift.stat", stat);
+            metadpa_obs::gauge_set!(
+                "serve.drift.alert",
+                if stat > crate::engine::DRIFT_ALERT_THRESHOLD { 1.0 } else { 0.0 }
+            );
+        }
+    }
+    Response::text(200, metadpa_obs::metrics::render_text())
+}
+
+/// Dispatches one request; returns the response plus the endpoint label
+/// and warm/cold/adapted state for the trace record.
+fn route(engine: &Engine, req: &Request) -> (Response, &'static str, State) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (health(engine), "health", ""),
+        ("GET", "/metrics") => (metrics_page(engine), "metrics", ""),
+        ("POST", "/v1/recommend") => {
+            let (resp, state) = recommend(engine, req);
+            (resp, "recommend", state)
+        }
+        ("POST", "/v1/adapt") => {
+            let (resp, state) = adapt(engine, req);
+            (resp, "adapt", state)
+        }
+        (_, "/health" | "/metrics" | "/v1/recommend" | "/v1/adapt") => {
+            metadpa_obs::counter_add!("serve.errors.405.bad_method", 1);
+            (Response::json(405, error_json("method not allowed for this path")), "bad_method", "")
+        }
+        _ => {
+            metadpa_obs::counter_add!("serve.errors.404.unknown_path", 1);
+            (Response::json(404, error_json("unknown path")), "unknown_path", "")
+        }
+    }
+}
+
+/// Registers every serve-owned metric with its zero value. Counters (and
+/// windows, gauges) only render once touched; seeding at router build time
+/// makes `/metrics` expose the full name set from the first scrape, and
+/// gives dashboards a stable schema whether or not an error class has
+/// fired yet. No-op while observability is off.
+fn seed_serve_metrics() {
     metadpa_obs::counter_add!("pool.tasks", 0);
     metadpa_obs::counter_add!("pool.steal", 0);
     metadpa_obs::counter_add!("tensor.matmul.packed_panels", 0);
     metadpa_obs::counter_add!("tensor.matmul.dispatch.serial", 0);
     metadpa_obs::counter_add!("tensor.matmul.dispatch.blocked", 0);
+    metadpa_obs::counter_add!("serve.requests", 0);
+    metadpa_obs::counter_add!("serve.state.warm", 0);
+    metadpa_obs::counter_add!("serve.state.cold", 0);
+    metadpa_obs::counter_add!("serve.state.adapted", 0);
+    metadpa_obs::gauge_set!("serve.drift.stat", 0.0);
+    metadpa_obs::gauge_set!("serve.drift.alert", 0.0);
+    if !metadpa_obs::enabled() {
+        return;
+    }
+    for name in [
+        "serve.window.recommend.warm_us",
+        "serve.window.recommend.cold_us",
+        "serve.window.recommend.adapted_us",
+        "serve.window.adapt_us",
+    ] {
+        let _ = metadpa_obs::metrics::window(name);
+    }
+    for name in [
+        // Handler-level taxonomy (`bad_request` / `ArtifactError::cause`).
+        "serve.errors.400.not_utf8",
+        "serve.errors.400.bad_json",
+        "serve.errors.400.bad_k",
+        "serve.errors.400.bad_content",
+        "serve.errors.400.bad_support",
+        "serve.errors.400.bad_user_id",
+        "serve.errors.400.both_ids",
+        "serve.errors.400.missing_support",
+        "serve.errors.400.missing_target",
+        "serve.errors.404.unknown_path",
+        "serve.errors.405.bad_method",
+        "serve.errors.422.user_out_of_range",
+        "serve.errors.422.item_out_of_range",
+        "serve.errors.422.empty_support",
+        "serve.errors.422.non_finite_label",
+        "serve.errors.422.content_dim_mismatch",
+        "serve.errors.422.bad_params",
+        "serve.errors.422.non_finite_scores",
+        // Transport-level taxonomy (`crate::http`, before routing).
+        "serve.errors.400.transport",
+        "serve.errors.408.timeout",
+        "serve.errors.413.body_too_large",
+    ] {
+        let _ = metadpa_obs::metrics::counter(name);
+    }
+}
+
+/// Builds the HTTP handler for one engine.
+pub fn router(engine: Arc<Engine>) -> Handler {
+    seed_serve_metrics();
     Arc::new(move |req: &Request| {
         metadpa_obs::counter_add!("serve.requests", 1);
-        match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/health") => health(&engine),
-            ("GET", "/metrics") => Response::text(200, metadpa_obs::metrics::render_text()),
-            ("POST", "/v1/recommend") => recommend(&engine, req),
-            ("POST", "/v1/adapt") => adapt(&engine, req),
-            (_, "/health" | "/metrics" | "/v1/recommend" | "/v1/adapt") => {
-                Response::json(405, error_json("method not allowed for this path"))
-            }
-            _ => Response::json(404, error_json("unknown path")),
+        if !metadpa_obs::enabled() {
+            // The whole tracing block below is skipped: with observability
+            // off a request costs the same relaxed loads as before.
+            return route(&engine, req).0;
         }
+        let start = Instant::now();
+        let request_id = metadpa_obs::span::next_request_id();
+        let _scope = metadpa_obs::span::enter_request(Some(request_id));
+        let (resp, endpoint, state) = {
+            let _root = metadpa_obs::span!("serve.request");
+            route(&engine, req)
+        };
+        // One structured access record per request — the unit `obs-report
+        // tail` / `check-trace` stream over.
+        let mut ev = metadpa_obs::Event::new("request", endpoint);
+        ev.push("req", request_id);
+        ev.push("method", req.method.as_str());
+        ev.push("path", req.path.as_str());
+        ev.push("status", resp.status as u64);
+        ev.push("state", state);
+        ev.push("dur_us", start.elapsed().as_micros() as u64);
+        metadpa_obs::emit(ev);
+        resp
     })
 }
 
@@ -365,6 +535,7 @@ mod tests {
         // built, so its zero-seeding registers the names.
         let _obs = metadpa_obs::test_lock();
         metadpa_obs::enable(Arc::new(metadpa_obs::NullRecorder));
+        metadpa_obs::metrics::reset();
         let engine = tiny_engine(34);
         let server = serve(ServerConfig::default(), router(Arc::clone(&engine))).expect("bind");
         let addr = server.addr();
@@ -383,9 +554,32 @@ mod tests {
             "tensor_matmul_packed_panels",
             "tensor_matmul_dispatch_serial",
             "tensor_matmul_dispatch_blocked",
+            // Zero-seeded serve schema: per-state counters, drift gauges,
+            // windowed latency digests, and the error taxonomy — all
+            // present before (or regardless of) matching traffic.
+            "serve_state_warm",
+            "serve_state_cold",
+            "serve_state_adapted",
+            "serve_drift_stat",
+            "serve_drift_alert",
+            "serve_window_recommend_warm_us_p99",
+            "serve_window_recommend_cold_us_p99",
+            "serve_window_recommend_adapted_us_p99",
+            "serve_window_adapt_us_p99",
+            "serve_errors_400_bad_json",
+            "serve_errors_404_unknown_path",
+            "serve_errors_405_bad_method",
+            "serve_errors_413_body_too_large",
+            "serve_errors_422_user_out_of_range",
         ] {
             assert!(body.contains(name), "/metrics must expose {name}: {body}");
         }
+        // The cold/adapted states saw no traffic: still rendered, at zero.
+        assert!(body.contains("serve_state_cold 0\n"), "{body}");
+        assert!(body.contains("serve_errors_404_unknown_path 0\n"), "{body}");
+        // The warm request above landed in its state counter and window.
+        assert!(body.contains("serve_state_warm 1\n"), "{body}");
+        assert!(body.contains("serve_window_recommend_warm_us_count 1\n"), "{body}");
 
         server.shutdown();
         metadpa_obs::disable();

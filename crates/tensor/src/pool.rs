@@ -156,6 +156,7 @@ impl Pool {
         let stolen = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
         let parent = metadpa_obs::span::current_path();
+        let request = metadpa_obs::span::current_request();
         let run = |on_worker: bool| {
             // Workers must not recursively fan out: a matmul inside a
             // parallel MAML task runs serially on its worker.
@@ -178,6 +179,7 @@ impl Pool {
                 builder
                     .spawn_scoped(scope, move || {
                         let _root = metadpa_obs::span::inherit_root(parent);
+                        let _req = metadpa_obs::span::enter_request(request);
                         run(true);
                     })
                     .expect("pool: failed to spawn scoped worker");
@@ -219,6 +221,7 @@ impl Pool {
         metadpa_obs::counter_add!("pool.tasks", n as u64);
         metadpa_obs::counter_add!("pool.steal", (n - 1) as u64);
         let parent = metadpa_obs::span::current_path();
+        let request = metadpa_obs::span::current_request();
         let mut iter = parts.into_iter();
         let first = iter.next().expect("run_parts: parts is non-empty");
         std::thread::scope(|scope| {
@@ -229,6 +232,7 @@ impl Pool {
                 builder
                     .spawn_scoped(scope, move || {
                         let _root = metadpa_obs::span::inherit_root(parent);
+                        let _req = metadpa_obs::span::enter_request(request);
                         with_threads(1, || f(part));
                     })
                     .expect("pool: failed to spawn scoped worker");

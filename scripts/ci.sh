@@ -72,6 +72,26 @@ cargo run --release -q -p metadpa-bench --bin serve-loadgen -- \
 cargo run --release -q -p metadpa-bench --bin obs-report -- \
   check BENCH_serve_ci.json --baseline benchmarks/BENCH_serve_baseline.json --tolerance 0.5
 
+echo "== traced serve smoke + trace integrity gate =="
+# Re-run the serve smoke with request tracing on, then verify the trace:
+# the smoke drives exactly 7 loopback requests, and check-trace demands
+# one request record per request, unique request IDs, a parse-clean
+# stream, and windowed p99 fields in the closing metrics snapshot.
+cargo run --release -q -p metadpa-serve --bin metadpa-serve -- \
+  smoke --artifact serve_smoke.ckpt --trace-out trace_smoke.jsonl
+cargo run --release -q -p metadpa-bench --bin obs-report -- \
+  check-trace trace_smoke.jsonl --expect-requests 7
+
+echo "== traced loadgen + trace/BENCH cross-check =="
+# A short traced load burst, cross-checked against its own BENCH record:
+# every recommend the loadgen counted must appear in the trace exactly
+# once. (No --min-rps: tracing adds per-request I/O, and this stage gates
+# integrity, not throughput — the untraced stage above gates perf.)
+cargo run --release -q -p metadpa-bench --bin serve-loadgen -- \
+  --duration-ms 1000 --trace-out trace_load.jsonl --bench-out "$PWD/BENCH_trace_ci.json"
+cargo run --release -q -p metadpa-bench --bin obs-report -- \
+  check-trace trace_load.jsonl --expect-bench BENCH_trace_ci.json
+
 echo "== obs stream smoke (record -> report -> diff) =="
 cargo run --release -q -p metadpa-bench --bin exp_tables_1_2 -- \
   --fast --obs-out obs_smoke.jsonl >/dev/null

@@ -93,6 +93,7 @@ fn bench_fixture(p50_ns: u64) -> BenchReport {
         git_rev: "fixture".into(),
         scenario: "rt.gate".into(),
         host: HostInfo::current(),
+        requests: 0,
         blocks: vec![BenchBlock {
             name: "rt.block".into(),
             iters: 10,
@@ -102,6 +103,7 @@ fn bench_fixture(p50_ns: u64) -> BenchReport {
             flops: 0,
             alloc_count: 0,
             alloc_bytes: 0,
+            server_p99_ns: 0,
         }],
     }
 }

@@ -1,0 +1,172 @@
+//! Request-scoped tracing contracts, end to end: (1) switching
+//! observability on must never change a single response byte — the trace
+//! rides alongside the request, it is not allowed to perturb it; (2) with
+//! a file recorder attached, every request served over real sockets
+//! appears in the trace exactly once, carries a unique request ID, and its
+//! span tree reaches all the way down to the ranking kernels.
+
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use metadpa_core::artifact::Artifact;
+use metadpa_core::eval::Recommender;
+use metadpa_core::{MetaDpa, MetaDpaConfig};
+use metadpa_data::generator::generate_world;
+use metadpa_data::presets::tiny_world;
+use metadpa_data::splits::{ScenarioKind, SplitConfig, Splitter};
+use metadpa_obs::recorder::FileRecorder;
+use metadpa_obs::stream::read_file_lenient;
+use metadpa_serve::http::{serve, Handler, Request, ServerConfig};
+use metadpa_serve::{router, Engine};
+
+fn export_artifact(seed: u64) -> Artifact {
+    let world = generate_world(&tiny_world(seed));
+    let splitter = Splitter::new(&world.target, SplitConfig::default());
+    let warm = splitter.scenario(ScenarioKind::Warm);
+    let mut model = MetaDpa::new(MetaDpaConfig::fast());
+    model.fit(&world, &warm);
+    model.export_artifact(&world)
+}
+
+fn temp_path(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("metadpa_trace_{tag}_{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .to_string()
+}
+
+/// The canonical request sequence: every route, every serve state, and the
+/// interesting error paths. `/metrics` is deliberately absent — its body
+/// legitimately grows richer when observability is on.
+fn request_sequence(content_dim: usize) -> Vec<(&'static str, &'static str, String)> {
+    let cold = format!(r#"{{"content":[{}],"k":5}}"#, vec!["0.1"; content_dim].join(","));
+    vec![
+        ("GET", "/health", String::new()),
+        ("POST", "/v1/recommend", r#"{"user_id":3,"k":5}"#.to_string()),
+        ("POST", "/v1/adapt", r#"{"user_id":3,"support":[[0,1.0],[1,0.0]]}"#.to_string()),
+        ("POST", "/v1/recommend", r#"{"user_id":3,"k":5}"#.to_string()),
+        ("POST", "/v1/recommend", cold),
+        ("POST", "/v1/recommend", r#"{"user_id":999999}"#.to_string()),
+        ("GET", "/no/such/path", String::new()),
+        ("PUT", "/v1/recommend", String::new()),
+    ]
+}
+
+/// Drives the sequence straight through the router closure (no sockets —
+/// this test is about response bytes, not transport).
+fn drive(handler: &Handler, content_dim: usize) -> Vec<(u16, String)> {
+    request_sequence(content_dim)
+        .into_iter()
+        .map(|(method, path, body)| {
+            let req = Request {
+                method: method.to_string(),
+                path: path.to_string(),
+                body: body.into_bytes(),
+            };
+            let resp = handler(&req);
+            (resp.status, resp.body)
+        })
+        .collect()
+}
+
+#[test]
+fn tracing_never_changes_a_response_byte() {
+    let _guard = metadpa_obs::test_lock();
+    metadpa_obs::disable();
+
+    let artifact = export_artifact(21);
+    let content_dim = artifact.user_content.cols();
+
+    // Two engines from the same artifact: one served dark, one fully
+    // traced. Fresh engines on each side so the adapt-cache state machine
+    // walks the identical path.
+    let dark_engine =
+        Arc::new(Engine::new(artifact.clone().into_recommender().expect("recommender")));
+    let dark = drive(&router(dark_engine), content_dim);
+
+    let trace = temp_path("inert");
+    metadpa_obs::enable(Arc::new(FileRecorder::create(&trace).expect("trace file")));
+    let lit_engine = Arc::new(Engine::new(artifact.into_recommender().expect("recommender")));
+    let lit = drive(&router(lit_engine), content_dim);
+    metadpa_obs::flush();
+    metadpa_obs::disable();
+
+    let traced = read_file_lenient(&trace).expect("trace readable");
+    let _ = std::fs::remove_file(&trace);
+
+    assert_eq!(dark, lit, "enabling observability changed a response");
+    // And the traced run really was traced — this is not a vacuous pass.
+    let n_requests = traced.events.iter().filter(|e| e.kind == "request").count();
+    assert_eq!(n_requests, dark.len(), "traced run must log one record per request");
+}
+
+fn loopback(addr: SocketAddr, method: &str, path: &str, body: &str) -> u16 {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(raw.as_bytes()).expect("write request");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out.split_whitespace().nth(1).and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+#[test]
+fn every_served_request_is_traced_once_with_spans_down_to_the_kernels() {
+    let _guard = metadpa_obs::test_lock();
+    metadpa_obs::disable();
+
+    // Build the engine dark so the trace holds serving only, not training.
+    let artifact = export_artifact(22);
+    let content_dim = artifact.user_content.cols();
+    let engine = Arc::new(Engine::new(artifact.into_recommender().expect("recommender")));
+
+    let trace = temp_path("served");
+    metadpa_obs::enable(Arc::new(FileRecorder::create(&trace).expect("trace file")));
+    let server = serve(ServerConfig { workers: 2, ..ServerConfig::default() }, router(engine))
+        .expect("bind");
+    let addr = server.addr();
+    let sequence = request_sequence(content_dim);
+    let n_sent = sequence.len();
+    for (method, path, body) in sequence {
+        assert_ne!(loopback(addr, method, path, &body), 0, "{method} {path} got no response");
+    }
+    server.shutdown();
+    metadpa_obs::flush();
+    metadpa_obs::disable();
+
+    let traced = read_file_lenient(&trace).expect("trace readable");
+    let _ = std::fs::remove_file(&trace);
+    assert!(traced.errors.is_empty(), "trace has parse errors: {:?}", traced.errors);
+    assert!(traced.truncated_tail.is_none(), "flushed trace must not end mid-record");
+
+    // Exactly one request record per request sent, each with a unique
+    // nonzero request ID.
+    let requests: Vec<_> = traced.events.iter().filter(|e| e.kind == "request").collect();
+    assert_eq!(requests.len(), n_sent, "each request logs exactly one record");
+    let mut seen = BTreeSet::new();
+    for record in &requests {
+        let id = record.field_u64("req").expect("request record carries a req id");
+        assert!(id > 0, "request IDs start at 1");
+        assert!(seen.insert(id), "request ID {id} appeared twice");
+        assert!(record.field("status").is_some(), "request record carries the status");
+        assert!(record.field("dur_us").is_some(), "request record carries the duration");
+    }
+
+    // The span tree descends from the handler through the engine into the
+    // ranking kernels, and every level is tagged with its request ID.
+    let span_reaching = |leaf: &str| {
+        traced.events.iter().any(|e| {
+            e.kind == "span"
+                && e.name.starts_with("serve.request")
+                && e.name.ends_with(leaf)
+                && e.field_u64("req").is_some_and(|id| seen.contains(&id))
+        })
+    };
+    for leaf in ["engine.recommend_user", "rank.catalogue", "kernels.score"] {
+        assert!(span_reaching(leaf), "no serve.request span path reaches {leaf}");
+    }
+}
