@@ -19,13 +19,16 @@ pub fn git_rev() -> String {
     metadpa_obs::report::git_rev()
 }
 
-/// Assembles a [`BenchReport`] for this machine and revision.
+/// Assembles a [`BenchReport`] for this machine and revision, stamped
+/// with the current run-ledger key when the recording process has one
+/// installed (`""` otherwise — e.g. a pure-client loadgen run).
 pub fn bench_report(scenario: &str, blocks: Vec<BenchBlock>) -> BenchReport {
     BenchReport {
         git_rev: git_rev(),
         scenario: scenario.to_string(),
         host: HostInfo::current(),
         requests: 0,
+        run_id: metadpa_obs::run::current_string(),
         blocks,
     }
 }

@@ -8,6 +8,9 @@
 //!            [--tolerance 0.15] [--warn-only]
 //! obs-report tail <trace.jsonl> [--interval-ms 2000] [--max-seconds S] [--once]
 //! obs-report check-trace <trace.jsonl> [--expect-requests N] [--expect-bench BENCH.json]
+//! obs-report train-tail <trace.jsonl> [--interval-ms 2000] [--max-seconds S] [--once]
+//! obs-report check-train <trace.jsonl> [--min-improvement X] [--expect-epochs N]
+//! obs-report lineage <trace.jsonl> [--ckpt artifact.ckpt] [--health health.json]
 //! ```
 //!
 //! `report` renders the span tree as a text flamegraph (inclusive and
@@ -37,12 +40,36 @@
 //! `--expect-bench`, the recommend-endpoint count matches the BENCH
 //! file's `requests`), and the closing metrics snapshot carries windowed
 //! p99 records.
+//!
+//! `train-tail` is `tail` for *training* traces (the `--train-trace-out`
+//! file of `metadpa-serve export` or any pipeline run): it follows the
+//! rotated log live and re-renders a per-phase table — latest epoch, loss
+//! and grad-norm sparklines over the recent window, the rolling-rate ETA
+//! the trainer stamped into each record — plus the run-ledger ID and any
+//! sentinel anomaly events.
+//!
+//! `check-train` is the CI gate over a finished training trace: zero hard
+//! parse errors AND zero truncated tails (a training run ends cleanly, so
+//! a torn last line means the run died), at least one `train_epoch`
+//! record, exactly one run-ledger ID stamped on every training record,
+//! per-(phase, source) epoch sequences that count 0,1,2,… with no gap or
+//! duplicate, zero `train_anomaly` events, and a loss-improvement floor
+//! (first loss minus best loss per group must reach `--min-improvement`,
+//! default 0). `--expect-epochs N` additionally pins the total
+//! `train_epoch` record count.
+//!
+//! `lineage` reconstructs the train → export → serve chain: the trace's
+//! stamped run ID, the checkpoint's `meta.run_id` (via `--ckpt`), and a
+//! saved `/health` body (via `--health`) must all join on one run-ledger
+//! key. Prints the provenance report and exits `1` when any source is
+//! unstamped or disagrees.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::time::{Duration, Instant};
 
 use metadpa_obs::diff::{check, StreamDiff};
+use metadpa_obs::lineage::{run_id_from_health_json, Lineage};
 use metadpa_obs::report::{BenchReport, Report};
 use metadpa_obs::stream::{parse_line, read_file, read_file_lenient, JsonValue, StreamEvent};
 
@@ -51,7 +78,10 @@ const USAGE: &str = "usage:
   obs-report diff <a.jsonl> <b.jsonl>
   obs-report check <current.json> --baseline <BENCH.json> [--tolerance 0.15] [--warn-only]
   obs-report tail <trace.jsonl> [--interval-ms 2000] [--max-seconds S] [--once]
-  obs-report check-trace <trace.jsonl> [--expect-requests N] [--expect-bench BENCH.json]";
+  obs-report check-trace <trace.jsonl> [--expect-requests N] [--expect-bench BENCH.json]
+  obs-report train-tail <trace.jsonl> [--interval-ms 2000] [--max-seconds S] [--once]
+  obs-report check-train <trace.jsonl> [--min-improvement X] [--expect-epochs N]
+  obs-report lineage <trace.jsonl> [--ckpt artifact.ckpt] [--health health.json]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("obs-report: {msg}\n{USAGE}");
@@ -267,78 +297,136 @@ impl TailState {
     }
 }
 
-fn cmd_tail(args: &[String]) {
-    let mut path: Option<String> = None;
-    let mut interval_ms: u64 = 2000;
-    let mut max_seconds: Option<f64> = None;
-    let mut once = false;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--interval-ms" => {
-                let v = it.next().unwrap_or_else(|| fail("--interval-ms needs a value"));
-                interval_ms = v.parse().unwrap_or_else(|_| fail(&format!("bad --interval-ms {v}")));
-            }
-            "--max-seconds" => {
-                let v = it.next().unwrap_or_else(|| fail("--max-seconds needs a value"));
-                max_seconds =
-                    Some(v.parse().unwrap_or_else(|_| fail(&format!("bad --max-seconds {v}"))));
-            }
-            "--once" => once = true,
-            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
-            other => fail(&format!("unexpected argument {other}")),
-        }
-    }
-    let path = path.unwrap_or_else(|| fail("tail needs a trace path"));
+/// Shared flags of the two follow-mode subcommands (`tail`, `train-tail`).
+struct FollowOpts {
+    path: String,
+    interval_ms: u64,
+    max_seconds: Option<f64>,
+    once: bool,
+}
 
-    let started = Instant::now();
-    let mut state = TailState::default();
-    let mut offset: u64 = 0;
-    let mut pending = String::new();
-    loop {
-        match std::fs::File::open(&path) {
-            Ok(mut f) => {
-                let len = f.metadata().map(|m| m.len()).unwrap_or(0);
-                if len < offset {
-                    // The recorder rotated underneath us: the active file
-                    // restarted. Begin again from its head.
-                    state.rotations += 1;
-                    pending.clear();
-                    offset = 0;
+impl FollowOpts {
+    fn parse(cmd: &str, args: &[String]) -> FollowOpts {
+        let mut path: Option<String> = None;
+        let mut interval_ms: u64 = 2000;
+        let mut max_seconds: Option<f64> = None;
+        let mut once = false;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--interval-ms" => {
+                    let v = it.next().unwrap_or_else(|| fail("--interval-ms needs a value"));
+                    interval_ms =
+                        v.parse().unwrap_or_else(|_| fail(&format!("bad --interval-ms {v}")));
                 }
-                if len > offset && f.seek(SeekFrom::Start(offset)).is_ok() {
-                    let mut buf = Vec::with_capacity((len - offset) as usize);
-                    if f.take(len - offset).read_to_end(&mut buf).is_ok() {
-                        offset = len;
-                        pending.push_str(&String::from_utf8_lossy(&buf));
-                    }
+                "--max-seconds" => {
+                    let v = it.next().unwrap_or_else(|| fail("--max-seconds needs a value"));
+                    max_seconds =
+                        Some(v.parse().unwrap_or_else(|_| fail(&format!("bad --max-seconds {v}"))));
+                }
+                "--once" => once = true,
+                other if !other.starts_with("--") && path.is_none() => {
+                    path = Some(other.to_string());
+                }
+                other => fail(&format!("unexpected argument {other}")),
+            }
+        }
+        let path = path.unwrap_or_else(|| fail(&format!("{cmd} needs a trace path")));
+        FollowOpts { path, interval_ms, max_seconds, once }
+    }
+}
+
+/// Incremental reader over a live, size-rotated JSONL log: tracks a byte
+/// offset, restarts from the head when the active file shrinks underneath
+/// us (rotation), and only ever yields complete lines — a partially
+/// written tail stays pending until its newline lands.
+#[derive(Default)]
+struct LogFollower {
+    offset: u64,
+    pending: String,
+    rotations: u64,
+}
+
+impl LogFollower {
+    /// Drains newly appended complete lines. `Err` means the file could
+    /// not be opened — on a live run it may simply not exist yet.
+    fn poll(&mut self, path: &str) -> Result<Vec<String>, String> {
+        let mut f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+        if len < self.offset {
+            // The recorder rotated underneath us: the active file
+            // restarted. Begin again from its head.
+            self.rotations += 1;
+            self.pending.clear();
+            self.offset = 0;
+        }
+        if len > self.offset && f.seek(SeekFrom::Start(self.offset)).is_ok() {
+            let mut buf = Vec::with_capacity((len - self.offset) as usize);
+            if f.take(len - self.offset).read_to_end(&mut buf).is_ok() {
+                self.offset = len;
+                self.pending.push_str(&String::from_utf8_lossy(&buf));
+            }
+        }
+        let mut lines = Vec::new();
+        while let Some(pos) = self.pending.find('\n') {
+            let line: String = self.pending.drain(..=pos).collect();
+            let line = line.trim().to_string();
+            if !line.is_empty() {
+                lines.push(line);
+            }
+        }
+        Ok(lines)
+    }
+}
+
+/// Runs the follow loop: poll, ingest, render, sleep — until `--once`,
+/// `--max-seconds`, or forever.
+fn follow(
+    opts: &FollowOpts,
+    mut ingest: impl FnMut(&str),
+    mut render: impl FnMut(u64, Duration) -> String,
+) {
+    let started = Instant::now();
+    let mut follower = LogFollower::default();
+    loop {
+        match follower.poll(&opts.path) {
+            Ok(lines) => {
+                for line in &lines {
+                    ingest(line);
                 }
             }
             Err(e) => {
-                if once {
-                    fail(&format!("{path}: {e}"));
+                if opts.once {
+                    fail(&e);
                 }
-                // A live server may not have created the log yet.
             }
         }
-        while let Some(pos) = pending.find('\n') {
-            let line: String = pending.drain(..=pos).collect();
-            let line = line.trim();
-            if !line.is_empty() {
-                state.ingest(line);
-            }
-        }
-        out(state.render(&path, started.elapsed()));
-        if once {
+        out(render(follower.rotations, started.elapsed()));
+        if opts.once {
             return;
         }
-        if let Some(max) = max_seconds {
+        if let Some(max) = opts.max_seconds {
             if started.elapsed().as_secs_f64() >= max {
                 return;
             }
         }
-        std::thread::sleep(Duration::from_millis(interval_ms.max(10)));
+        std::thread::sleep(Duration::from_millis(opts.interval_ms.max(10)));
     }
+}
+
+fn cmd_tail(args: &[String]) {
+    let opts = FollowOpts::parse("tail", args);
+    let path = opts.path.clone();
+    let state = std::cell::RefCell::new(TailState::default());
+    follow(
+        &opts,
+        |line| state.borrow_mut().ingest(line),
+        |rotations, elapsed| {
+            let mut st = state.borrow_mut();
+            st.rotations = rotations;
+            st.render(&path, elapsed)
+        },
+    );
 }
 
 /// Lenient-reads a trace log plus its rotated generation (`<path>.1`),
@@ -471,6 +559,318 @@ fn cmd_check_trace(args: &[String]) {
     std::process::exit(1);
 }
 
+/// How many recent epochs the train-tail sparklines cover.
+const SPARK_WINDOW: usize = 32;
+
+/// Renders a unicode sparkline over the window, min-max normalised.
+/// Non-finite samples render as `!` — a NaN loss should leap off the page.
+fn sparkline(values: &VecDeque<f64>) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (lo, hi) = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)));
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '!'
+            } else if hi <= lo {
+                BARS[3]
+            } else {
+                BARS[(((v - lo) / (hi - lo) * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Rolling per-(phase, source) training telemetry for `train-tail`.
+#[derive(Default)]
+struct PhaseTail {
+    losses: VecDeque<f64>,
+    grad_norms: VecDeque<f64>,
+    epoch: u64,
+    epochs: u64,
+    eta_ms: f64,
+}
+
+#[derive(Default)]
+struct TrainTailState {
+    parse_errors: u64,
+    run_id: Option<String>,
+    /// `phase` or `phase/source` → rolling telemetry.
+    phases: BTreeMap<String, PhaseTail>,
+    anomaly_count: u64,
+    /// Most recent anomaly descriptions (capped).
+    recent_anomalies: VecDeque<String>,
+}
+
+impl TrainTailState {
+    fn ingest(&mut self, line: &str) {
+        let Ok(ev) = parse_line(line) else {
+            self.parse_errors += 1;
+            return;
+        };
+        if self.run_id.is_none() {
+            if let Some(run) = ev.field("run").and_then(JsonValue::as_str) {
+                self.run_id = Some(run.to_string());
+            }
+        }
+        let phase_key = |ev: &StreamEvent| {
+            let phase = ev.field("phase").and_then(JsonValue::as_str).unwrap_or("?").to_string();
+            match ev.field("source").and_then(JsonValue::as_str) {
+                Some(src) if !src.is_empty() => format!("{phase}/{src}"),
+                _ => phase,
+            }
+        };
+        match ev.kind.as_str() {
+            "train_epoch" => {
+                let slot = self.phases.entry(phase_key(&ev)).or_default();
+                for (ring, key) in [(&mut slot.losses, "loss"), (&mut slot.grad_norms, "grad_norm")]
+                {
+                    if ring.len() == SPARK_WINDOW {
+                        ring.pop_front();
+                    }
+                    ring.push_back(ev.field(key).and_then(JsonValue::as_f64).unwrap_or(f64::NAN));
+                }
+                slot.epoch = ev.field_u64("epoch").unwrap_or(0);
+                slot.epochs = ev.field_u64("epochs").unwrap_or(0);
+                slot.eta_ms = ev.field("eta_ms").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            }
+            "train_anomaly" => {
+                self.anomaly_count += 1;
+                if self.recent_anomalies.len() == 4 {
+                    self.recent_anomalies.pop_front();
+                }
+                self.recent_anomalies.push_back(format!(
+                    "{} at {} epoch {}",
+                    ev.name,
+                    phase_key(&ev),
+                    ev.field_u64("epoch").unwrap_or(0),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    fn render(&self, path: &str, rotations: u64, elapsed: Duration) -> String {
+        let mut s = format!(
+            "== obs-report train-tail: {path} (t+{:.1}s) ==\n  run: {}; {} anomaly event(s)",
+            elapsed.as_secs_f64(),
+            self.run_id.as_deref().unwrap_or("(not yet stamped)"),
+            self.anomaly_count,
+        );
+        if self.parse_errors > 0 {
+            s.push_str(&format!(", {} unparsable line(s) skipped", self.parse_errors));
+        }
+        if rotations > 0 {
+            s.push_str(&format!(", {rotations} rotation(s)"));
+        }
+        s.push('\n');
+        for (key, phase) in &self.phases {
+            let loss = phase.losses.back().copied().unwrap_or(f64::NAN);
+            let grad = phase.grad_norms.back().copied().unwrap_or(f64::NAN);
+            s.push_str(&format!(
+                "    {key:<18} epoch {:>3}/{:<3} loss {loss:<12.6} {:<w$} grad {grad:<10.3e} \
+                 {:<w$} eta ~{:.1}s\n",
+                phase.epoch + 1,
+                phase.epochs,
+                sparkline(&phase.losses),
+                sparkline(&phase.grad_norms),
+                phase.eta_ms / 1e3,
+                w = SPARK_WINDOW,
+            ));
+        }
+        if !self.recent_anomalies.is_empty() {
+            s.push_str("  last anomalies:\n");
+            for a in &self.recent_anomalies {
+                s.push_str(&format!("    {a}\n"));
+            }
+        }
+        s
+    }
+}
+
+fn cmd_train_tail(args: &[String]) {
+    let opts = FollowOpts::parse("train-tail", args);
+    let path = opts.path.clone();
+    let state = std::cell::RefCell::new(TrainTailState::default());
+    follow(
+        &opts,
+        |line| state.borrow_mut().ingest(line),
+        |rotations, elapsed| state.borrow().render(&path, rotations, elapsed),
+    );
+}
+
+fn cmd_check_train(args: &[String]) {
+    let mut path: Option<String> = None;
+    let mut min_improvement = 0.0f64;
+    let mut expect_epochs: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-improvement" => {
+                let v = it.next().unwrap_or_else(|| fail("--min-improvement needs a value"));
+                min_improvement =
+                    v.parse().unwrap_or_else(|_| fail(&format!("bad --min-improvement {v}")));
+            }
+            "--expect-epochs" => {
+                let v = it.next().unwrap_or_else(|| fail("--expect-epochs needs a value"));
+                expect_epochs =
+                    Some(v.parse().unwrap_or_else(|_| fail(&format!("bad --expect-epochs {v}"))));
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => fail(&format!("unexpected argument {other}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("check-train needs a trace path"));
+
+    let (events, hard, warnings) = read_trace(&path);
+    let mut failures: Vec<String> = hard;
+    // Unlike serve traces (killed mid-flight by design), a training run
+    // ends with an orderly flush — a torn last line means the run died.
+    for w in warnings {
+        failures.push(format!("truncated tail: {w}"));
+    }
+
+    let mut runs = std::collections::BTreeSet::new();
+    let mut unstamped = 0u64;
+    // `phase` or `phase/source` → (epoch, loss) in record order.
+    let mut groups: BTreeMap<String, Vec<(u64, f64)>> = BTreeMap::new();
+    for ev in &events {
+        if ev.kind != "train_epoch" && ev.kind != "train_anomaly" {
+            continue;
+        }
+        match ev.field("run").and_then(JsonValue::as_str) {
+            Some(run) if !run.is_empty() => {
+                runs.insert(run.to_string());
+            }
+            _ => unstamped += 1,
+        }
+        let phase = ev.field("phase").and_then(JsonValue::as_str).unwrap_or("?").to_string();
+        let key = match ev.field("source").and_then(JsonValue::as_str) {
+            Some(src) if !src.is_empty() => format!("{phase}/{src}"),
+            _ => phase,
+        };
+        if ev.kind == "train_anomaly" {
+            failures.push(format!(
+                "anomaly event: {} at {key} epoch {}",
+                ev.name,
+                ev.field_u64("epoch").unwrap_or(0)
+            ));
+            continue;
+        }
+        groups.entry(key).or_default().push((
+            ev.field_u64("epoch").unwrap_or(u64::MAX),
+            ev.field("loss").and_then(JsonValue::as_f64).unwrap_or(f64::NAN),
+        ));
+    }
+
+    let total: usize = groups.values().map(Vec::len).sum();
+    if total == 0 {
+        failures.push("no train_epoch records in the trace".to_string());
+    } else {
+        match runs.len() {
+            0 => failures.push("no run ID stamped on any training record".to_string()),
+            1 => {}
+            _ => failures.push(format!("multiple run IDs in one trace: {runs:?}")),
+        }
+    }
+    if unstamped > 0 {
+        failures.push(format!("{unstamped} training record(s) without a run ID"));
+    }
+    if let Some(want) = expect_epochs {
+        if total as u64 != want {
+            failures.push(format!("expected {want} train_epoch record(s), found {total}"));
+        }
+    }
+    for (key, recs) in &groups {
+        // Every epoch traced exactly once, in order, starting at zero.
+        for (i, (epoch, _)) in recs.iter().enumerate() {
+            if *epoch != i as u64 {
+                failures.push(format!(
+                    "{key}: epoch sequence broken at record {i} (saw epoch {epoch})"
+                ));
+                break;
+            }
+        }
+        if recs.iter().any(|(_, loss)| !loss.is_finite()) {
+            failures.push(format!("{key}: non-finite loss recorded"));
+            continue;
+        }
+        let first = recs.first().map_or(f64::NAN, |(_, l)| *l);
+        let best = recs.iter().map(|(_, l)| *l).fold(f64::INFINITY, f64::min);
+        if first - best < min_improvement {
+            failures.push(format!(
+                "{key}: loss improved {:.6} (first {first:.6} -> best {best:.6}), \
+                 below the {min_improvement:.6} floor",
+                first - best
+            ));
+        }
+    }
+
+    out(format!(
+        "== obs-report check-train: {path} ==\n  {} event(s), {total} train_epoch record(s) \
+         across {} phase group(s), run {}\n",
+        events.len(),
+        groups.len(),
+        runs.iter().next().map_or("(none)", String::as_str),
+    ));
+    if failures.is_empty() {
+        out("  ok: one run ID, contiguous epoch sequences, zero anomalies, loss improved\n");
+        return;
+    }
+    for f in &failures {
+        eprintln!("obs-report: check-train: {f}");
+    }
+    std::process::exit(1);
+}
+
+fn cmd_lineage(args: &[String]) {
+    let mut path: Option<String> = None;
+    let mut ckpt: Option<String> = None;
+    let mut health: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ckpt" => {
+                ckpt = Some(it.next().unwrap_or_else(|| fail("--ckpt needs a value")).clone())
+            }
+            "--health" => {
+                health = Some(it.next().unwrap_or_else(|| fail("--health needs a value")).clone());
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => fail(&format!("unexpected argument {other}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("lineage needs a trace path"));
+
+    let (events, hard, warnings) = read_trace(&path);
+    for w in warnings.iter().chain(hard.iter()) {
+        eprintln!("obs-report: warning: {w}");
+    }
+    let mut lineage = Lineage::from_events(&events);
+    if let Some(ckpt_path) = ckpt {
+        match metadpa_serve::load_artifact(&ckpt_path) {
+            Ok(artifact) => lineage = lineage.with_ckpt(&artifact.meta.run_id),
+            Err(e) => fail(&format!("{ckpt_path}: {e}")),
+        }
+    }
+    if let Some(health_path) = health {
+        let body = match std::fs::read_to_string(&health_path) {
+            Ok(b) => b,
+            Err(e) => fail(&format!("{health_path}: {e}")),
+        };
+        lineage = lineage.with_health(&run_id_from_health_json(&body).unwrap_or_default());
+    }
+    out(format!("== obs-report lineage: {path} ==\n"));
+    out(lineage.render());
+    if lineage.join().is_err() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -480,6 +880,9 @@ fn main() {
             "check" => cmd_check(rest),
             "tail" => cmd_tail(rest),
             "check-trace" => cmd_check_trace(rest),
+            "train-tail" => cmd_train_tail(rest),
+            "check-train" => cmd_check_train(rest),
+            "lineage" => cmd_lineage(rest),
             other => fail(&format!("unknown subcommand {other}")),
         },
         None => fail("missing subcommand"),

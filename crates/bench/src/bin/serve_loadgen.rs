@@ -87,6 +87,7 @@ fn build_engine(seed: u64) -> Arc<Engine> {
         DiversityReport::default(),
         world.target.user_content.clone(),
         world.target.item_content.clone(),
+        String::new(),
     );
     Arc::new(Engine::new(artifact.into_recommender().expect("loadgen artifact is valid")))
 }

@@ -6,11 +6,12 @@
 //! identical (and keeps every experiment single-threaded-deterministic).
 
 use metadpa_data::adaptation::AdaptationPair;
-use metadpa_nn::module::zero_grad;
-use metadpa_nn::optim::{Adam, Optimizer};
+use metadpa_nn::module::{restore, snapshot_into, zero_grad};
+use metadpa_nn::optim::{global_grad_norm, Adam, Optimizer};
 use metadpa_tensor::{Matrix, SeededRng};
 
 use crate::dual_cvae::{DualCvae, DualCvaeConfig, DualCvaeLosses};
+use crate::maml::{EpochRate, SentinelConfig, SentinelState, TrainAbort};
 
 /// Training hyper-parameters for the adaptation phase.
 #[derive(Clone, Copy, Debug)]
@@ -98,9 +99,35 @@ impl MultiSourceAdapter {
     /// # Panics
     /// Panics if `pairs` does not match the construction-time pair list.
     pub fn train(&mut self, pairs: &[AdaptationPair]) -> Vec<AdaptationReport> {
+        self.train_checked(pairs, &SentinelConfig::default())
+            .expect("train without fail_fast never aborts")
+    }
+
+    /// [`MultiSourceAdapter::train`] with anomaly sentinels: each epoch's
+    /// total loss and post-step gradient norm run through `sentinels`
+    /// (fresh loss window per source pair), typed `train_anomaly` events
+    /// are emitted while observability is on, and with
+    /// `sentinels.fail_fast` a fatal anomaly stops training with a
+    /// [`TrainAbort`] — the affected Dual-CVAE is rewound to its state at
+    /// the start of the aborted epoch.
+    ///
+    /// While observability is on, every epoch emits one structured
+    /// `train_epoch` record (phase `"cvae"`, per-term losses, grad norm,
+    /// wall time, rolling-rate ETA across the remaining pairs). Parameter
+    /// updates are identical whether observability is on or off.
+    ///
+    /// # Panics
+    /// Panics if `pairs` does not match the construction-time pair list.
+    pub fn train_checked(
+        &mut self,
+        pairs: &[AdaptationPair],
+        sentinels: &SentinelConfig,
+    ) -> Result<Vec<AdaptationReport>, TrainAbort> {
         assert_eq!(pairs.len(), self.duals.len(), "MultiSourceAdapter::train: pair count changed");
         let cfg = self.train_config;
         let mut reports = Vec::with_capacity(pairs.len());
+        let mut rate = EpochRate::new();
+        let mut theta_entry: Vec<Matrix> = Vec::new();
         for (idx, pair) in pairs.iter().enumerate() {
             let _pair_span = metadpa_obs::span!("adaptation.pair.{}", pair.source_name);
             let mut rng = SeededRng::new(cfg.seed.wrapping_add(idx as u64 * 7919));
@@ -110,8 +137,17 @@ impl MultiSourceAdapter {
             let n = r_s.rows();
             let mut order: Vec<usize> = (0..n).collect();
             let mut train_losses = Vec::with_capacity(cfg.epochs);
+            // Each pair is an independent model: its loss series gets a
+            // fresh sentinel window.
+            let mut sentinel = SentinelState::new("cvae");
             for epoch in 0..cfg.epochs {
                 let _epoch_span = metadpa_obs::span!("adaptation.epoch");
+                let telemetry = metadpa_obs::enabled();
+                let sentinel_active = sentinels.fail_fast || telemetry;
+                let epoch_start = telemetry.then(std::time::Instant::now);
+                if sentinels.fail_fast {
+                    snapshot_into(dual, &mut theta_entry);
+                }
                 rng.shuffle(&mut order);
                 let mut batch_losses = Vec::new();
                 for chunk in order.chunks(cfg.batch_size.max(2)) {
@@ -127,6 +163,9 @@ impl MultiSourceAdapter {
                     opt.step(dual);
                 }
                 let mean = DualCvaeLosses::mean(&batch_losses);
+                let total = mean.total(dual.config().beta1, dual.config().beta2);
+                // Read-only tap on the last batch's accumulated gradients.
+                let grad_norm = if sentinel_active { global_grad_norm(dual) } else { 0.0 };
                 metadpa_obs::event!(
                     "dual_cvae.epoch",
                     "source" => pair.source_name.as_str(),
@@ -137,9 +176,39 @@ impl MultiSourceAdapter {
                     "cross_reconstruction" => mean.cross_reconstruction,
                     "mdi" => mean.mdi,
                     "me" => mean.me,
-                    "total" => mean.total(dual.config().beta1, dual.config().beta2),
+                    "total" => total,
                 );
+                if let Some(start) = epoch_start {
+                    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                    let remaining = (pairs.len() - idx - 1) * cfg.epochs + (cfg.epochs - epoch - 1);
+                    let eta_ms = rate.eta_ms(wall_ms, remaining);
+                    let mut ev = metadpa_obs::Event::new("train_epoch", "train_epoch");
+                    ev.push("phase", "cvae");
+                    ev.push("source", pair.source_name.as_str());
+                    ev.push("epoch", epoch);
+                    ev.push("epochs", cfg.epochs);
+                    ev.push("loss", total as f64);
+                    ev.push("reconstruction", mean.reconstruction as f64);
+                    ev.push("kl", mean.kl as f64);
+                    ev.push("mse_align", mean.mse_align as f64);
+                    ev.push("cross_reconstruction", mean.cross_reconstruction as f64);
+                    ev.push("mdi", mean.mdi as f64);
+                    ev.push("me", mean.me as f64);
+                    ev.push("grad_norm", grad_norm);
+                    ev.push("wall_ms", wall_ms);
+                    ev.push("eta_ms", eta_ms);
+                    metadpa_obs::emit(ev);
+                }
                 train_losses.push(mean);
+                if sentinel_active {
+                    if let Some(anomaly) = sentinel.check(sentinels, epoch, total as f64, grad_norm)
+                    {
+                        if sentinels.fail_fast {
+                            restore(dual, &theta_entry);
+                            return Err(TrainAbort { anomaly });
+                        }
+                    }
+                }
             }
             let eval_losses = if pair.eval_rows.is_empty() {
                 DualCvaeLosses::default()
@@ -153,7 +222,7 @@ impl MultiSourceAdapter {
                 eval_losses,
             });
         }
-        reports
+        Ok(reports)
     }
 
     /// Runs the augmentation path of every Dual-CVAE over the full

@@ -105,6 +105,13 @@ pub struct ArtifactMeta {
     /// Training-score-distribution sketch for serve-time drift detection;
     /// empty on artifacts exported before the field existed.
     pub score_fingerprint: ScoreFingerprint,
+    /// Run-ledger key of the training run that produced this artifact
+    /// (`run-<seed>-<config fingerprint>-<seq>`, see
+    /// [`metadpa_obs::run`]); empty on artifacts exported before the run
+    /// ledger existed or outside an instrumented pipeline run. Joins the
+    /// checkpoint to its training trace, BENCH documents and the serving
+    /// `/health` document.
+    pub run_id: String,
 }
 
 /// A self-contained exported model: metadata, named parameter tensors and
@@ -495,7 +502,10 @@ fn rank_catalogue(
 
 /// Builds an [`Artifact`] directly from a live [`MetaLearner`] plus the
 /// content matrices it was trained against — the exporter shared by
-/// [`crate::MetaDpa::export_artifact`] and tests.
+/// [`crate::MetaDpa::export_artifact`] and tests. `run_id` is the
+/// run-ledger key of the producing training run (`""` when the caller has
+/// none, e.g. a hand-built test artifact).
+#[allow(clippy::too_many_arguments)]
 pub fn artifact_from_learner(
     learner: &mut MetaLearner,
     model_name: &str,
@@ -504,6 +514,7 @@ pub fn artifact_from_learner(
     diversity: DiversityReport,
     user_content: Matrix,
     item_content: Matrix,
+    run_id: String,
 ) -> Artifact {
     let score_fingerprint = training_score_fingerprint(learner, &user_content, &item_content);
     Artifact {
@@ -516,6 +527,7 @@ pub fn artifact_from_learner(
             maml: learner.config(),
             diversity,
             score_fingerprint,
+            run_id,
         },
         params: named_snapshot(learner.model_mut(), PARAM_PREFIX),
         user_content,
@@ -571,6 +583,7 @@ mod tests {
             DiversityReport::default(),
             uc,
             ic,
+            String::new(),
         )
     }
 
@@ -585,6 +598,7 @@ mod tests {
             DiversityReport::default(),
             uc.clone(),
             ic.clone(),
+            String::new(),
         );
         let mut rec = artifact.into_recommender().expect("valid artifact");
         assert_eq!(rec.n_users(), 4);

@@ -47,6 +47,6 @@ pub use adaptation::MultiSourceAdapter;
 pub use artifact::{Artifact, ArtifactError, ArtifactMeta, ArtifactRecommender, ARTIFACT_SCHEMA};
 pub use dual_cvae::{DualCvae, DualCvaeConfig, DualCvaeLosses};
 pub use eval::{evaluate_scenario, Recommender};
-pub use maml::{MamlConfig, MetaLearner};
+pub use maml::{MamlConfig, MetaLearner, SentinelConfig, TrainAbort, TrainAnomaly};
 pub use pipeline::{MetaDpa, MetaDpaConfig, Variant};
 pub use preference::{PreferenceConfig, PreferenceModel};

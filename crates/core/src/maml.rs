@@ -131,6 +131,243 @@ fn fomaml_task_grads(
     (grads, query_loss, support_loss)
 }
 
+/// Anomaly-sentinel thresholds for the training loops (DESIGN.md §11).
+///
+/// Detection works on the per-epoch loss series and the epoch's
+/// meta-gradient norm — values the training loop computes anyway — so it
+/// is deterministic and independent of the observability switch. Typed
+/// `train_anomaly` events are only *emitted* while observability is on;
+/// with `fail_fast` set, a fatal anomaly additionally stops training with
+/// a [`TrainAbort`] whether or not anything is being recorded.
+#[derive(Clone, Copy, Debug)]
+pub struct SentinelConfig {
+    /// Epochs in the divergence/plateau detection window.
+    pub window: usize,
+    /// Relative loss increase over the window that flags divergence:
+    /// `loss[e] > loss[e-window] * (1 + divergence_ratio)`.
+    pub divergence_ratio: f64,
+    /// Relative improvement floor under which the window is reported as a
+    /// plateau; `0.0` disables plateau detection (the default — late
+    /// epochs of a converged run legitimately plateau).
+    pub plateau_epsilon: f64,
+    /// Stop training with a typed [`TrainAbort`] on a fatal anomaly
+    /// (NaN/Inf loss or gradient norm, divergence) instead of burning the
+    /// remaining epochs. Plateaus are advisory and never fail-fast.
+    pub fail_fast: bool,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        Self { window: 5, divergence_ratio: 0.5, plateau_epsilon: 0.0, fail_fast: false }
+    }
+}
+
+/// A detected training anomaly (the payload of `train_anomaly` events and
+/// of the fail-fast [`TrainAbort`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrainAnomaly {
+    /// An epoch's loss left the finite range.
+    NonFiniteLoss {
+        /// Which loop flagged it (`"maml"` / `"cvae"`).
+        phase: &'static str,
+        /// Epoch index the anomaly surfaced at.
+        epoch: usize,
+        /// The offending loss value.
+        value: f64,
+    },
+    /// The epoch's gradient norm left the finite range.
+    NonFiniteGradNorm {
+        /// Which loop flagged it.
+        phase: &'static str,
+        /// Epoch index the anomaly surfaced at.
+        epoch: usize,
+    },
+    /// Loss rose past the windowed divergence threshold.
+    Divergence {
+        /// Which loop flagged it.
+        phase: &'static str,
+        /// Epoch index the anomaly surfaced at.
+        epoch: usize,
+        /// Loss at the start of the window.
+        from: f64,
+        /// Loss now.
+        to: f64,
+    },
+    /// Loss improvement over the window fell under the plateau floor.
+    Plateau {
+        /// Which loop flagged it.
+        phase: &'static str,
+        /// Epoch index the anomaly surfaced at.
+        epoch: usize,
+        /// Loss at the start of the window.
+        from: f64,
+        /// Loss now.
+        to: f64,
+    },
+}
+
+impl TrainAnomaly {
+    /// Stable slug used as the `train_anomaly` event name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TrainAnomaly::NonFiniteLoss { .. } => "non_finite_loss",
+            TrainAnomaly::NonFiniteGradNorm { .. } => "non_finite_grad_norm",
+            TrainAnomaly::Divergence { .. } => "divergence",
+            TrainAnomaly::Plateau { .. } => "plateau",
+        }
+    }
+
+    /// The training loop that flagged the anomaly.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            TrainAnomaly::NonFiniteLoss { phase, .. }
+            | TrainAnomaly::NonFiniteGradNorm { phase, .. }
+            | TrainAnomaly::Divergence { phase, .. }
+            | TrainAnomaly::Plateau { phase, .. } => phase,
+        }
+    }
+
+    /// The epoch the anomaly surfaced at.
+    pub fn epoch(&self) -> usize {
+        match self {
+            TrainAnomaly::NonFiniteLoss { epoch, .. }
+            | TrainAnomaly::NonFiniteGradNorm { epoch, .. }
+            | TrainAnomaly::Divergence { epoch, .. }
+            | TrainAnomaly::Plateau { epoch, .. } => *epoch,
+        }
+    }
+
+    /// Whether the anomaly stops a `fail_fast` run.
+    fn is_fatal(&self) -> bool {
+        !matches!(self, TrainAnomaly::Plateau { .. })
+    }
+}
+
+/// Typed fail-fast error returned by the `*_checked` training entry
+/// points. The model's parameters are intact: the loop rewinds θ to its
+/// state at the start of the aborted epoch before returning.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainAbort {
+    /// The fatal anomaly that stopped the run.
+    pub anomaly: TrainAnomaly,
+}
+
+impl std::fmt::Display for TrainAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.anomaly {
+            TrainAnomaly::NonFiniteLoss { phase, epoch, value } => {
+                write!(f, "{phase} training aborted: non-finite loss {value} at epoch {epoch}")
+            }
+            TrainAnomaly::NonFiniteGradNorm { phase, epoch } => {
+                write!(f, "{phase} training aborted: non-finite gradient norm at epoch {epoch}")
+            }
+            TrainAnomaly::Divergence { phase, epoch, from, to } => {
+                write!(f, "{phase} training aborted: loss diverged {from} -> {to} at epoch {epoch}")
+            }
+            TrainAnomaly::Plateau { phase, epoch, from, to } => {
+                write!(f, "{phase} training aborted: loss plateau {from} -> {to} at epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainAbort {}
+
+/// Emits one typed `train_anomaly` record (no-op while observability is
+/// off).
+fn emit_anomaly(anomaly: &TrainAnomaly) {
+    if !metadpa_obs::enabled() {
+        return;
+    }
+    let mut ev = metadpa_obs::Event::new("train_anomaly", anomaly.kind().to_string());
+    ev.push("phase", anomaly.phase());
+    ev.push("epoch", anomaly.epoch() as u64);
+    match anomaly {
+        TrainAnomaly::NonFiniteLoss { value, .. } => ev.push("value", *value),
+        TrainAnomaly::NonFiniteGradNorm { .. } => {}
+        TrainAnomaly::Divergence { from, to, .. } | TrainAnomaly::Plateau { from, to, .. } => {
+            ev.push("from", *from);
+            ev.push("to", *to);
+        }
+    }
+    metadpa_obs::emit(ev);
+}
+
+/// Rolling loss-series watcher shared by the MAML and CVAE loops: feeds
+/// each epoch's loss/grad-norm through the sentinel thresholds, emits the
+/// typed events, and hands the first *fatal* anomaly back for fail-fast
+/// handling.
+pub(crate) struct SentinelState {
+    phase: &'static str,
+    losses: Vec<f64>,
+}
+
+impl SentinelState {
+    pub(crate) fn new(phase: &'static str) -> Self {
+        Self { phase, losses: Vec::new() }
+    }
+
+    pub(crate) fn check(
+        &mut self,
+        cfg: &SentinelConfig,
+        epoch: usize,
+        loss: f64,
+        grad_norm: f64,
+    ) -> Option<TrainAnomaly> {
+        self.losses.push(loss);
+        let mut fatal: Option<TrainAnomaly> = None;
+        let flag = |anomaly: TrainAnomaly, fatal: &mut Option<TrainAnomaly>| {
+            emit_anomaly(&anomaly);
+            if anomaly.is_fatal() && fatal.is_none() {
+                *fatal = Some(anomaly);
+            }
+        };
+        let phase = self.phase;
+        if !loss.is_finite() {
+            flag(TrainAnomaly::NonFiniteLoss { phase, epoch, value: loss }, &mut fatal);
+        }
+        if !grad_norm.is_finite() {
+            flag(TrainAnomaly::NonFiniteGradNorm { phase, epoch }, &mut fatal);
+        }
+        if cfg.window > 0 && self.losses.len() > cfg.window && loss.is_finite() {
+            let from = self.losses[self.losses.len() - 1 - cfg.window];
+            if from.is_finite() {
+                let scale = from.abs().max(1e-12);
+                if loss > from + cfg.divergence_ratio * scale {
+                    flag(TrainAnomaly::Divergence { phase, epoch, from, to: loss }, &mut fatal);
+                } else if cfg.plateau_epsilon > 0.0 && from - loss < cfg.plateau_epsilon * scale {
+                    flag(TrainAnomaly::Plateau { phase, epoch, from, to: loss }, &mut fatal);
+                }
+            }
+        }
+        fatal
+    }
+}
+
+/// Rolling per-epoch wall-time window backing the `eta_ms` field of
+/// `train_epoch` records: ETA = mean of the last few epoch durations ×
+/// epochs remaining. Only driven while observability is on.
+pub(crate) struct EpochRate {
+    durs_ms: std::collections::VecDeque<f64>,
+}
+
+impl EpochRate {
+    const WINDOW: usize = 8;
+
+    pub(crate) fn new() -> Self {
+        Self { durs_ms: std::collections::VecDeque::with_capacity(Self::WINDOW) }
+    }
+
+    pub(crate) fn eta_ms(&mut self, wall_ms: f64, remaining_epochs: usize) -> f64 {
+        if self.durs_ms.len() == Self::WINDOW {
+            self.durs_ms.pop_front();
+        }
+        self.durs_ms.push_back(wall_ms);
+        let mean = self.durs_ms.iter().sum::<f64>() / self.durs_ms.len() as f64;
+        mean * remaining_epochs as f64
+    }
+}
+
 /// MAML hyper-parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct MamlConfig {
@@ -221,15 +458,39 @@ impl MetaLearner {
     /// `user_content` and `item_content` are the target domain's content
     /// matrices; tasks index into them.
     ///
-    /// Returns one report per epoch.
+    /// Returns one report per epoch. Infallible: runs with the default
+    /// (non-fail-fast) sentinels via [`MetaLearner::meta_train_checked`],
+    /// which is bit-identical to the historical loop.
     pub fn meta_train(
         &mut self,
         tasks: &[Task],
         user_content: &Matrix,
         item_content: &Matrix,
     ) -> Vec<MetaEpochReport> {
+        self.meta_train_checked(tasks, user_content, item_content, &SentinelConfig::default())
+            .expect("meta_train without fail_fast never aborts")
+    }
+
+    /// [`MetaLearner::meta_train`] with anomaly sentinels: each epoch's
+    /// query loss and meta-gradient norm run through `sentinels`, typed
+    /// `train_anomaly` events are emitted while observability is on, and
+    /// with `sentinels.fail_fast` a fatal anomaly stops training with a
+    /// [`TrainAbort`] — θ is rewound to its state at the start of the
+    /// aborted epoch, so the model stays usable.
+    ///
+    /// While observability is on, every epoch additionally emits one
+    /// structured `train_epoch` record (losses, grad norm, wall time,
+    /// rolling-rate ETA). The parameter updates themselves are identical
+    /// whether observability is on or off and at any thread count.
+    pub fn meta_train_checked(
+        &mut self,
+        tasks: &[Task],
+        user_content: &Matrix,
+        item_content: &Matrix,
+        sentinels: &SentinelConfig,
+    ) -> Result<Vec<MetaEpochReport>, TrainAbort> {
         if tasks.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let _train_span = metadpa_obs::span!("maml.meta_train");
         metadpa_obs::event!(
@@ -253,9 +514,21 @@ impl MetaLearner {
         // overwrites every parameter, so reuse is exact.
         let mut serial_scratch = TaskScratch::default();
         let worker_scratch: Mutex<Vec<(PreferenceModel, TaskScratch)>> = Mutex::new(Vec::new());
+        // Sentinel/telemetry state. θ is additionally snapshotted at epoch
+        // entry when fail-fast is armed so an abort can rewind cleanly.
+        let mut sentinel = SentinelState::new("maml");
+        let mut rate = EpochRate::new();
+        let mut theta_entry: Vec<Matrix> = Vec::new();
 
         for epoch in 0..self.config.epochs {
             let _epoch_span = metadpa_obs::span!("maml.epoch");
+            let telemetry = metadpa_obs::enabled();
+            let sentinel_active = sentinels.fail_fast || telemetry;
+            let epoch_start = telemetry.then(std::time::Instant::now);
+            if sentinels.fail_fast {
+                snapshot_into(&mut self.model, &mut theta_entry);
+            }
+            let mut epoch_grad_norm = 0.0f64;
             rng.shuffle(&mut order);
             let mut query_total = 0.0f64;
             let mut support_total = 0.0f64;
@@ -362,6 +635,22 @@ impl MetaLearner {
                     for g in &mut grads {
                         g.map_inplace(|v| v * inv);
                     }
+                    if sentinel_active {
+                        // Read-only norm of the averaged meta-gradient; the
+                        // epoch reports the largest chunk (NaN is sticky —
+                        // f64::max would silently drop it).
+                        let mut sq = 0.0f64;
+                        for g in &grads {
+                            let n = g.frobenius_norm() as f64;
+                            sq += n * n;
+                        }
+                        let norm = sq.sqrt();
+                        epoch_grad_norm = if norm.is_nan() || epoch_grad_norm.is_nan() {
+                            f64::NAN
+                        } else {
+                            epoch_grad_norm.max(norm)
+                        };
+                    }
                     zero_grad(&mut self.model);
                     accumulate_grads(&mut self.model, &grads);
                     outer.step(&mut self.model);
@@ -379,9 +668,38 @@ impl MetaLearner {
                 "pre_adapt_support_loss" => report.pre_adapt_support_loss,
                 "tasks_used" => n_tasks,
             );
+            if let Some(start) = epoch_start {
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let eta_ms = rate.eta_ms(wall_ms, self.config.epochs - epoch - 1);
+                let mut ev = metadpa_obs::Event::new("train_epoch", "train_epoch");
+                ev.push("phase", "maml");
+                ev.push("epoch", epoch);
+                ev.push("epochs", self.config.epochs);
+                ev.push("loss", report.post_adapt_query_loss as f64);
+                ev.push("query_loss", report.post_adapt_query_loss as f64);
+                ev.push("support_loss", report.pre_adapt_support_loss as f64);
+                ev.push("grad_norm", epoch_grad_norm);
+                ev.push("tasks", n_tasks);
+                ev.push("wall_ms", wall_ms);
+                ev.push("eta_ms", eta_ms);
+                metadpa_obs::emit(ev);
+            }
             reports.push(report);
+            if sentinel_active {
+                if let Some(anomaly) = sentinel.check(
+                    sentinels,
+                    epoch,
+                    report.post_adapt_query_loss as f64,
+                    epoch_grad_norm,
+                ) {
+                    if sentinels.fail_fast {
+                        restore(&mut self.model, &theta_entry);
+                        return Err(TrainAbort { anomaly });
+                    }
+                }
+            }
         }
-        reports
+        Ok(reports)
     }
 
     /// Meta-testing adaptation: fine-tunes the current parameters on the
@@ -580,6 +898,65 @@ mod tests {
                         "θ layer {layer} element {i} drifts at threads={threads}: {x} vs {y}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn sentinels_flag_divergence_and_non_finite_but_keep_plateau_advisory() {
+        let cfg = SentinelConfig {
+            window: 2,
+            divergence_ratio: 0.5,
+            plateau_epsilon: 1e-3,
+            fail_fast: true,
+        };
+        let mut s = SentinelState::new("maml");
+        assert!(s.check(&cfg, 0, 1.0, 0.1).is_none());
+        assert!(s.check(&cfg, 1, 0.9, 0.1).is_none());
+        let fatal = s.check(&cfg, 2, 1.9, 0.1).expect("a 90% loss rise is a divergence");
+        assert_eq!(fatal.kind(), "divergence");
+
+        let mut s = SentinelState::new("maml");
+        assert_eq!(s.check(&cfg, 0, f64::NAN, 0.1).map(|a| a.kind()), Some("non_finite_loss"));
+
+        let mut s = SentinelState::new("maml");
+        assert_eq!(
+            s.check(&cfg, 0, 1.0, f64::INFINITY).map(|a| a.kind()),
+            Some("non_finite_grad_norm")
+        );
+
+        // A flat loss series is a plateau: reported, never fatal.
+        let mut s = SentinelState::new("maml");
+        assert!(s.check(&cfg, 0, 1.0, 0.1).is_none());
+        assert!(s.check(&cfg, 1, 1.0, 0.1).is_none());
+        assert!(s.check(&cfg, 2, 1.0, 0.1).is_none(), "plateau must stay advisory");
+    }
+
+    #[test]
+    fn fail_fast_abort_on_poisoned_theta_leaves_parameters_intact() {
+        let mut rng = SeededRng::new(11);
+        let (pc, mc) = toy_config();
+        let mut learner = MetaLearner::new(pc, mc, &mut rng);
+        let (tasks, uc, ic) = toy_tasks(&mut rng, 8, 8);
+        // Poison θ: every forward pass now yields a NaN loss.
+        learner.model_mut().visit_params(&mut |p| {
+            if !p.value.is_empty() {
+                p.value.as_mut_slice()[0] = f32::NAN;
+            }
+        });
+        let before = snapshot(learner.model_mut());
+        let sentinels = SentinelConfig { fail_fast: true, ..SentinelConfig::default() };
+        let err = learner
+            .meta_train_checked(&tasks, &uc, &ic, &sentinels)
+            .expect_err("a NaN loss must trip the fail-fast sentinel");
+        assert_eq!(err.anomaly.kind(), "non_finite_loss");
+        assert_eq!(err.anomaly.epoch(), 0);
+        assert_eq!(err.anomaly.phase(), "maml");
+        let after = snapshot(learner.model_mut());
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(after.iter()) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "abort must rewind θ intact");
             }
         }
     }

@@ -176,6 +176,11 @@ pub struct MetaDpa {
     adapter: Option<MultiSourceAdapter>,
     diversity: DiversityReport,
     timings: BlockTimings,
+    /// Run-ledger key minted at the start of the most recent `fit`
+    /// (`None` before the first). Stamped into every record the run emits
+    /// and into exported artifacts, so trace, checkpoint, BENCH documents
+    /// and the serving `/health` endpoint all join on one key.
+    run: Option<metadpa_obs::run::RunId>,
 }
 
 impl MetaDpa {
@@ -187,6 +192,7 @@ impl MetaDpa {
             adapter: None,
             diversity: DiversityReport::default(),
             timings: BlockTimings::default(),
+            run: None,
         }
     }
 
@@ -211,6 +217,13 @@ impl MetaDpa {
         self.adapter.as_ref()
     }
 
+    /// The run-ledger key of the most recent `fit` (`""` before the
+    /// first) — the same string stamped into trace records and exported
+    /// artifacts.
+    pub fn run_id(&self) -> String {
+        self.run.as_ref().map(ToString::to_string).unwrap_or_default()
+    }
+
     fn learner_mut(&mut self) -> &mut MetaLearner {
         self.learner.as_mut().expect("MetaDpa: call fit before using the model")
     }
@@ -225,9 +238,10 @@ impl MetaDpa {
     pub fn export_artifact(&mut self, world: &World) -> crate::artifact::Artifact {
         let model_name = self.name();
         let diversity = self.diversity;
+        let run_id = self.run_id();
         let learner =
             self.learner.as_mut().expect("MetaDpa: call fit before exporting an artifact");
-        crate::artifact::artifact_from_learner(
+        let artifact = crate::artifact::artifact_from_learner(
             learner,
             &model_name,
             metadpa_obs::report::git_rev(),
@@ -235,7 +249,15 @@ impl MetaDpa {
             diversity,
             world.target.user_content.clone(),
             world.target.item_content.clone(),
-        )
+            run_id,
+        );
+        metadpa_obs::event!(
+            "artifact.export",
+            "model" => artifact.meta.model_name.as_str(),
+            "data_fingerprint" => artifact.meta.data_fingerprint.as_str(),
+            "params" => artifact.params.len(),
+        );
+        artifact
     }
 }
 
@@ -250,6 +272,23 @@ impl Recommender for MetaDpa {
 
     fn fit(&mut self, world: &World, scenario: &Scenario) {
         let _fit_span = metadpa_obs::span!("pipeline.fit");
+        // Mint the run-ledger key: seed + config fingerprint + a
+        // process-monotonic sequence number — no wall clock, so run IDs
+        // are reproducible across identical invocations. Installing it
+        // makes `emit` stamp every record of this run; minting itself
+        // never touches the training path, so results stay bit-identical
+        // whether observability is on or off.
+        let run = metadpa_obs::run::mint(
+            self.config.seed,
+            metadpa_obs::run::fingerprint(format!("{:?}", self.config).as_bytes()),
+        );
+        metadpa_obs::run::install(run.clone());
+        metadpa_obs::event!(
+            "pipeline.run",
+            "seed" => self.config.seed,
+            "model" => self.name().as_str(),
+        );
+        self.run = Some(run);
         let mut rng = SeededRng::new(self.config.seed);
         let content_dim = world.target.user_content.cols();
 
@@ -354,6 +393,7 @@ impl Recommender for MetaDpa {
             adapter: None,
             diversity: self.diversity,
             timings: self.timings,
+            run: self.run.clone(),
         }))
     }
 }

@@ -19,6 +19,19 @@ pub trait Optimizer {
     fn step(&mut self, module: &mut dyn Module);
 }
 
+/// Global L2 norm over every parameter gradient of `module`, in visit
+/// order — the grad-norm tap shared by the optimizers' gauges and the
+/// training-telemetry `train_epoch` records. Read-only: never touches
+/// parameter values, so calling it cannot perturb training.
+pub fn global_grad_norm(module: &mut dyn Module) -> f64 {
+    let mut sq_norm = 0.0f64;
+    module.visit_params(&mut |p| {
+        let n = p.grad.frobenius_norm() as f64;
+        sq_norm += n * n;
+    });
+    sq_norm.sqrt()
+}
+
 /// Plain stochastic gradient descent with optional L2 weight decay.
 pub struct Sgd {
     lr: f32,
@@ -75,12 +88,7 @@ impl Optimizer for Sgd {
     fn step(&mut self, module: &mut dyn Module) {
         metadpa_obs::counter_add!("nn.optim.sgd.steps", 1u64);
         if metadpa_obs::enabled() {
-            let mut sq_norm = 0.0f64;
-            module.visit_params(&mut |p| {
-                let n = p.grad.frobenius_norm() as f64;
-                sq_norm += n * n;
-            });
-            metadpa_obs::gauge_set!("nn.optim.sgd.grad_norm", sq_norm.sqrt());
+            metadpa_obs::gauge_set!("nn.optim.sgd.grad_norm", global_grad_norm(module));
         }
         module.visit_params(&mut |p| self.step_param(p));
     }
@@ -162,12 +170,7 @@ impl Optimizer for Adam {
     fn step(&mut self, module: &mut dyn Module) {
         metadpa_obs::counter_add!("nn.optim.adam.steps", 1u64);
         if metadpa_obs::enabled() {
-            let mut sq_norm = 0.0f64;
-            module.visit_params(&mut |p| {
-                let n = p.grad.frobenius_norm() as f64;
-                sq_norm += n * n;
-            });
-            metadpa_obs::gauge_set!("nn.optim.adam.grad_norm", sq_norm.sqrt());
+            metadpa_obs::gauge_set!("nn.optim.adam.grad_norm", global_grad_norm(module));
         }
         self.t += 1;
         let t = self.t;

@@ -268,6 +268,7 @@ mod tests {
             scenario: "unit".into(),
             host: HostInfo::current(),
             requests: 0,
+            run_id: String::new(),
             blocks,
         }
     }

@@ -73,9 +73,11 @@
 pub mod alloc;
 pub mod diff;
 pub mod json;
+pub mod lineage;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod run;
 pub mod span;
 pub mod stream;
 pub mod summary;
@@ -131,10 +133,15 @@ pub fn disable() {
     *recorder_slot().write().expect("obs recorder lock poisoned") = None;
 }
 
-/// Sends an event to the installed recorder, if enabled.
-pub fn emit(event: Event) {
+/// Sends an event to the installed recorder, if enabled. When a run is
+/// installed ([`run::install`]), the record is stamped with a `"run"`
+/// field so every span/event/metric line joins the run ledger.
+pub fn emit(mut event: Event) {
     if !enabled() {
         return;
+    }
+    if let Some(run) = run::current() {
+        event.push("run", run.to_string());
     }
     if let Some(rec) = recorder_slot().read().expect("obs recorder lock poisoned").as_ref() {
         rec.record(&event);

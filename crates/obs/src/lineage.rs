@@ -1,0 +1,226 @@
+//! Run-lineage reconstruction: join a training trace, an exported
+//! checkpoint's metadata, and a live server's `/health` document on the
+//! run-ledger key ([`crate::run::RunId`]) and render one provenance
+//! report.
+//!
+//! The heavy lifting (reading trace files, loading checkpoints, scraping
+//! `/health`) stays with the callers — `obs-report lineage` and the
+//! integration tests — so this module depends only on already-parsed
+//! [`StreamEvent`]s and plain strings and stays free of serve-crate
+//! dependencies.
+
+use crate::json;
+use crate::stream::StreamEvent;
+
+/// What one evidence source contributed to the lineage join.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineageSource {
+    /// Human label: `"trace"`, `"ckpt"`, `"health"`.
+    pub label: &'static str,
+    /// The run ID that source carries (`None` = source present but
+    /// unstamped, e.g. a pre-run-ledger checkpoint).
+    pub run_id: Option<String>,
+}
+
+/// The reconstructed train → export → serve chain.
+#[derive(Clone, Debug, Default)]
+pub struct Lineage {
+    /// Evidence sources in join order.
+    pub sources: Vec<LineageSource>,
+    /// `train_epoch` records seen in the trace, per phase label.
+    pub train_epochs: Vec<(String, usize)>,
+    /// `train_anomaly` records seen in the trace.
+    pub anomalies: usize,
+    /// Whether the trace contains an `artifact.export` event.
+    pub exported: bool,
+    /// `request` records seen in the trace (a serve-side trace).
+    pub requests: usize,
+}
+
+impl Lineage {
+    /// Extracts the trace-side evidence from a parsed event stream: the
+    /// run ID stamped on training/serve records, epoch counts per phase,
+    /// anomaly count, and whether export/serving happened.
+    pub fn from_events(events: &[StreamEvent]) -> Lineage {
+        let mut lineage = Lineage::default();
+        let mut run_id: Option<String> = None;
+        let remember_run = |ev: &StreamEvent, out: &mut Option<String>| {
+            if out.is_none() {
+                if let Some(run) = ev.field("run").and_then(json::JsonValue::as_str) {
+                    *out = Some(run.to_string());
+                }
+            }
+        };
+        for ev in events {
+            match ev.kind.as_str() {
+                "train_epoch" => {
+                    remember_run(ev, &mut run_id);
+                    let phase = ev
+                        .field("phase")
+                        .and_then(json::JsonValue::as_str)
+                        .unwrap_or("unknown")
+                        .to_string();
+                    match lineage.train_epochs.iter_mut().find(|(p, _)| *p == phase) {
+                        Some((_, n)) => *n += 1,
+                        None => lineage.train_epochs.push((phase, 1)),
+                    }
+                }
+                "train_anomaly" => {
+                    remember_run(ev, &mut run_id);
+                    lineage.anomalies += 1;
+                }
+                "request" => lineage.requests += 1,
+                "event" if ev.name == "artifact.export" => {
+                    remember_run(ev, &mut run_id);
+                    lineage.exported = true;
+                }
+                // A serving process records which artifact run it loaded.
+                "event" if ev.name == "serve.artifact" => {
+                    if run_id.is_none() {
+                        run_id = ev
+                            .field("run_id")
+                            .and_then(json::JsonValue::as_str)
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string);
+                    }
+                }
+                _ => remember_run(ev, &mut run_id),
+            }
+        }
+        lineage.sources.push(LineageSource { label: "trace", run_id });
+        lineage
+    }
+
+    /// Adds the checkpoint's stamped run ID (`""` = pre-ledger artifact).
+    pub fn with_ckpt(mut self, run_id: &str) -> Lineage {
+        let run_id = (!run_id.is_empty()).then(|| run_id.to_string());
+        self.sources.push(LineageSource { label: "ckpt", run_id });
+        self
+    }
+
+    /// Adds the run ID a live server reported on `/health`.
+    pub fn with_health(mut self, run_id: &str) -> Lineage {
+        let run_id = (!run_id.is_empty()).then(|| run_id.to_string());
+        self.sources.push(LineageSource { label: "health", run_id });
+        self
+    }
+
+    /// The join verdict: `Ok(run_id)` when every source carries the same
+    /// run ID, `Err(reason)` when any source is unstamped or disagrees.
+    pub fn join(&self) -> Result<String, String> {
+        let mut joined: Option<&str> = None;
+        for src in &self.sources {
+            let Some(id) = src.run_id.as_deref() else {
+                return Err(format!("{} carries no run ID", src.label));
+            };
+            match joined {
+                None => joined = Some(id),
+                Some(prev) if prev != id => {
+                    return Err(format!(
+                        "run IDs disagree: {} has {prev:?}, {} has {id:?}",
+                        self.sources[0].label, src.label
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        joined.map(str::to_string).ok_or_else(|| "no lineage sources".to_string())
+    }
+
+    /// Renders the provenance report the `lineage` subcommand prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self.join() {
+            Ok(id) => out.push_str(&format!("lineage: {id} — all sources join\n")),
+            Err(why) => out.push_str(&format!("lineage: BROKEN — {why}\n")),
+        }
+        for src in &self.sources {
+            let id = src.run_id.as_deref().unwrap_or("(unstamped)");
+            out.push_str(&format!("  {:<6} {id}\n", src.label));
+        }
+        if !self.train_epochs.is_empty() {
+            let phases: Vec<String> =
+                self.train_epochs.iter().map(|(p, n)| format!("{p}×{n}")).collect();
+            out.push_str(&format!(
+                "  train  {} epoch record(s) [{}], {} anomal{}\n",
+                self.train_epochs.iter().map(|(_, n)| n).sum::<usize>(),
+                phases.join(", "),
+                self.anomalies,
+                if self.anomalies == 1 { "y" } else { "ies" },
+            ));
+        }
+        if self.exported {
+            out.push_str("  export artifact.export recorded in trace\n");
+        }
+        if self.requests > 0 {
+            out.push_str(&format!("  serve  {} request record(s) in trace\n", self.requests));
+        }
+        out
+    }
+}
+
+/// Pulls the `run_id` field out of a `/health` response body.
+pub fn run_id_from_health_json(body: &str) -> Option<String> {
+    let root = json::parse(body).ok()?;
+    root.get("run_id").and_then(json::JsonValue::as_str).map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::read_str_lenient;
+
+    fn trace(lines: &[&str]) -> Vec<StreamEvent> {
+        read_str_lenient(&lines.join("\n")).events
+    }
+
+    #[test]
+    fn a_consistent_chain_joins_on_one_run_id() {
+        let events = trace(&[
+            r#"{"kind":"train_epoch","name":"train_epoch","t_ns":1,"phase":"maml","epoch":0,"run":"run-07-aa-1"}"#,
+            r#"{"kind":"train_epoch","name":"train_epoch","t_ns":2,"phase":"maml","epoch":1,"run":"run-07-aa-1"}"#,
+            r#"{"kind":"event","name":"artifact.export","t_ns":3,"run":"run-07-aa-1"}"#,
+        ]);
+        let lineage =
+            Lineage::from_events(&events).with_ckpt("run-07-aa-1").with_health("run-07-aa-1");
+        assert_eq!(lineage.join().as_deref(), Ok("run-07-aa-1"));
+        assert_eq!(lineage.train_epochs, vec![("maml".to_string(), 2)]);
+        assert!(lineage.exported);
+        let report = lineage.render();
+        assert!(report.contains("all sources join"), "{report}");
+        assert!(report.contains("2 epoch record(s) [maml×2]"), "{report}");
+    }
+
+    #[test]
+    fn a_mismatched_or_unstamped_source_breaks_the_join() {
+        let events = trace(&[
+            r#"{"kind":"train_epoch","name":"train_epoch","t_ns":1,"phase":"maml","epoch":0,"run":"run-07-aa-1"}"#,
+        ]);
+        let mismatch = Lineage::from_events(&events).with_ckpt("run-07-aa-2");
+        let err = mismatch.join().unwrap_err();
+        assert!(err.contains("disagree"), "{err}");
+        assert!(mismatch.render().contains("BROKEN"), "{}", mismatch.render());
+
+        let unstamped = Lineage::from_events(&events).with_ckpt("");
+        assert!(unstamped.join().unwrap_err().contains("no run ID"));
+    }
+
+    #[test]
+    fn serve_traces_join_through_the_serve_artifact_event() {
+        let events = trace(&[
+            r#"{"kind":"event","name":"serve.artifact","t_ns":1,"run_id":"run-07-aa-3"}"#,
+            r#"{"kind":"request","name":"/v1/recommend","t_ns":2,"req":1,"status":200}"#,
+        ]);
+        let lineage = Lineage::from_events(&events).with_ckpt("run-07-aa-3");
+        assert_eq!(lineage.join().as_deref(), Ok("run-07-aa-3"));
+        assert_eq!(lineage.requests, 1);
+    }
+
+    #[test]
+    fn health_bodies_yield_their_run_id() {
+        let body = r#"{"status":"ok","model":"m","run_id":"run-07-aa-4"}"#;
+        assert_eq!(run_id_from_health_json(body).as_deref(), Some("run-07-aa-4"));
+        assert_eq!(run_id_from_health_json("{}"), None);
+        assert_eq!(run_id_from_health_json("not json"), None);
+    }
+}

@@ -415,6 +415,50 @@ mod tests {
     }
 
     #[test]
+    fn a_record_landing_exactly_on_the_cap_rotates_on_the_record_boundary() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("metadpa_obs_rot_exact_{}.jsonl", std::process::id()));
+        let events: Vec<Event> = (0..3u64)
+            .map(|i| {
+                let mut ev = Event::new("event", "rot.exact");
+                ev.push("i", i);
+                ev
+            })
+            .collect();
+        let lens: Vec<u64> = events.iter().map(|e| e.to_json_line().len() as u64 + 1).collect();
+        // Cap sized to exactly two records: the second lands flush on the
+        // cap and must complete the current generation in full; only the
+        // third opens a fresh file.
+        let cap = lens[0] + lens[1];
+        let rec = RotatingFileRecorder::create(&path, cap).expect("create sink");
+        for ev in &events {
+            rec.record(ev);
+        }
+        rec.flush();
+        let active = std::fs::read_to_string(&path).expect("active file");
+        let rotated = std::fs::read_to_string(rec.rotated_path()).expect("rotated generation");
+        assert_eq!(rotated.len() as u64, cap, "the exact-fit record stays in its generation");
+        assert_eq!(rotated.lines().count(), 2);
+        assert_eq!(active.lines().count(), 1);
+        // No record is split across the boundary or duplicated: the three
+        // records appear exactly once each, in order, each a whole object.
+        let all: Vec<&str> = rotated.lines().chain(active.lines()).collect();
+        assert_eq!(all.len(), 3);
+        for (i, line) in all.iter().enumerate() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "record split across rotation: {line:?}"
+            );
+            assert!(
+                line.contains(&format!("\"i\":{i}")),
+                "record {i} duplicated or out of order: {line:?}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(rec.rotated_path());
+    }
+
+    #[test]
     fn tee_delivers_to_all_sinks() {
         let a = std::sync::Arc::new(MemoryRecorder::default());
         let b = std::sync::Arc::new(MemoryRecorder::default());

@@ -316,13 +316,17 @@ fn fmt_allocs(stat: &SpanPathStat) -> String {
     }
 }
 
-/// BENCH baseline schema version tag. v2 adds the optional per-block
-/// `server_p99_ns` (the serving layer's own windowed 99th percentile, as
-/// scraped from `/metrics`) and the top-level `requests` total; both
-/// default to 0, and v1 documents still decode.
-pub const BENCH_SCHEMA: &str = "metadpa-bench/v2";
+/// BENCH baseline schema version tag. v3 adds the top-level `run_id`
+/// (the run-ledger key of [`crate::run`], `""` when the recording process
+/// had no run installed); v2 added the optional per-block `server_p99_ns`
+/// and the top-level `requests` total. Every added field defaults, so v2
+/// and v1 documents still decode.
+pub const BENCH_SCHEMA: &str = "metadpa-bench/v3";
 
-/// The previous schema tag, still accepted by [`BenchReport::from_json`].
+/// The previous schema tags, still accepted by [`BenchReport::from_json`].
+pub const BENCH_SCHEMA_V2: &str = "metadpa-bench/v2";
+
+/// The original schema tag, still accepted by [`BenchReport::from_json`].
 pub const BENCH_SCHEMA_V1: &str = "metadpa-bench/v1";
 
 /// The current git revision (short hash, `-dirty` suffixed when the tree
@@ -413,6 +417,10 @@ pub struct BenchReport {
     /// Total requests behind the report (0 when not a load scenario or
     /// when decoded from a v1 document).
     pub requests: u64,
+    /// Run-ledger key of the run that produced the numbers (see
+    /// [`crate::run`]); `""` when no run was installed or when decoded
+    /// from a pre-v3 document.
+    pub run_id: String,
     /// Per-block statistics.
     pub blocks: Vec<BenchBlock>,
 }
@@ -449,6 +457,7 @@ impl BenchReport {
             .str_field("git_rev", &self.git_rev)
             .str_field("scenario", &self.scenario)
             .u64_field("requests", self.requests)
+            .str_field("run_id", &self.run_id)
             .raw_field("host", &host.finish())
             .raw_field("blocks", &blocks);
         // Re-indent the top level for readability.
@@ -457,20 +466,23 @@ impl BenchReport {
             .replacen(",\"git_rev\"", ",\n  \"git_rev\"", 1)
             .replacen(",\"scenario\"", ",\n  \"scenario\"", 1)
             .replacen(",\"requests\"", ",\n  \"requests\"", 1)
+            .replacen(",\"run_id\"", ",\n  \"run_id\"", 1)
             .replacen(",\"host\"", ",\n  \"host\"", 1)
             .replacen(",\"blocks\"", ",\n  \"blocks\"", 1)
             + "\n"
     }
 
-    /// Parses a BENCH JSON document, validating the schema tag. Both the
-    /// current v2 schema and the older v1 are accepted; v1 documents
-    /// simply decode with `requests` and every `server_p99_ns` at 0.
+    /// Parses a BENCH JSON document, validating the schema tag. The
+    /// current v3 schema and the older v2/v1 are all accepted; older
+    /// documents simply decode with the added fields at their defaults
+    /// (`run_id = ""`, `requests`/`server_p99_ns` = 0).
     pub fn from_json(text: &str) -> Result<Self, String> {
         let v = crate::stream::parse(text).map_err(|e| e.to_string())?;
         let schema = v.get("schema").and_then(JsonValue::as_str).unwrap_or("");
-        if schema != BENCH_SCHEMA && schema != BENCH_SCHEMA_V1 {
+        if schema != BENCH_SCHEMA && schema != BENCH_SCHEMA_V2 && schema != BENCH_SCHEMA_V1 {
             return Err(format!(
-                "unsupported BENCH schema {schema:?} (want {BENCH_SCHEMA:?} or {BENCH_SCHEMA_V1:?})"
+                "unsupported BENCH schema {schema:?} \
+                 (want {BENCH_SCHEMA:?}, {BENCH_SCHEMA_V2:?} or {BENCH_SCHEMA_V1:?})"
             ));
         }
         let str_of = |key: &str| {
@@ -504,6 +516,7 @@ impl BenchReport {
             scenario: str_of("scenario"),
             host,
             requests: v.get("requests").and_then(JsonValue::as_u64).unwrap_or(0),
+            run_id: str_of("run_id"),
             blocks,
         })
     }
@@ -586,6 +599,7 @@ mod tests {
             scenario: "microbench.blocks".into(),
             host: HostInfo { arch: "x86_64".into(), os: "linux".into(), cpus: 8 },
             requests: 27_000,
+            run_id: "run-0000000000000007-00000000deadbeef-1".into(),
             blocks: vec![BenchBlock {
                 name: "block1/100".into(),
                 iters: 10,
@@ -600,7 +614,23 @@ mod tests {
         };
         let parsed = BenchReport::from_json(&report.to_json()).expect("round trip");
         assert_eq!(parsed, report);
-        assert!(report.to_json().contains("metadpa-bench/v2"));
+        assert!(report.to_json().contains("metadpa-bench/v3"));
+    }
+
+    #[test]
+    fn bench_v2_documents_still_decode_with_a_defaulted_run_id() {
+        // A literal v2 document: `requests` and `server_p99_ns` present,
+        // no `run_id` yet.
+        let v2 = "{\n  \"schema\":\"metadpa-bench/v2\",\n  \"git_rev\":\"cafe02\",\n  \
+                  \"scenario\":\"serve.loadgen\",\n  \"requests\":500,\n  \
+                  \"host\":{\"arch\":\"x86_64\",\"os\":\"linux\",\"cpus\":4},\n  \
+                  \"blocks\":[\n    {\"name\":\"serve.recommend.warm\",\"iters\":100,\
+                  \"p50_ns\":5000,\"p90_ns\":9000,\"mean_ns\":6000.0,\"flops\":0,\
+                  \"alloc_count\":0,\"alloc_bytes\":0,\"server_p99_ns\":7000}\n  ]}\n";
+        let parsed = BenchReport::from_json(v2).expect("v2 stays decodable");
+        assert_eq!(parsed.requests, 500);
+        assert_eq!(parsed.run_id, "", "v2 has no run_id field");
+        assert_eq!(parsed.blocks[0].server_p99_ns, 7000);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! The process-global **run ledger**: deterministic run IDs that join a
+//! training trace, the exported checkpoint, BENCH documents and the live
+//! server on one key.
+//!
+//! A [`RunId`] is minted at pipeline start from the training seed, a
+//! fingerprint of the full config, and a process-global monotonic
+//! counter. There is deliberately **no wall-clock component**: two runs
+//! of the same binary with the same seed and config produce the same ID
+//! sequence, so determinism suites can compare artifacts across thread
+//! counts without masking the metadata.
+//!
+//! Once [`install`]ed, the current run is stamped as a `"run"` field into
+//! every span/event record by [`crate::emit`] (only while observability
+//! is enabled — the disabled path stays one relaxed atomic load), read by
+//! `export` into checkpoint metadata, and by the BENCH writer into
+//! `metadpa-bench/v3` documents.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Monotonic per-process run counter; the first minted run is sequence 1.
+static NEXT_RUN_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// The currently installed run, if any. Written once per pipeline fit;
+/// read under the same lock discipline as the recorder slot.
+static CURRENT: RwLock<Option<RunId>> = RwLock::new(None);
+
+/// A run-ledger key: `run-<seed:016x>-<config fingerprint:016x>-<seq>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunId {
+    /// Training seed the run was launched with.
+    pub seed: u64,
+    /// FNV-1a fingerprint of the full pipeline config (see [`fingerprint`]).
+    pub config_fingerprint: u64,
+    /// Process-global monotonic sequence number (starts at 1).
+    pub seq: u64,
+}
+
+impl RunId {
+    /// Parses a rendered run ID back into its components.
+    pub fn parse(s: &str) -> Option<RunId> {
+        let rest = s.strip_prefix("run-")?;
+        let mut parts = rest.splitn(3, '-');
+        let seed = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let config_fingerprint = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let seq = parts.next()?.parse().ok()?;
+        Some(RunId { seed, config_fingerprint, seq })
+    }
+}
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run-{:016x}-{:016x}-{}", self.seed, self.config_fingerprint, self.seq)
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — the config fingerprint used in run IDs.
+/// Stable across platforms and thread counts (pure byte fold).
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Mints the next run ID for this process. Pure arithmetic plus one
+/// relaxed atomic increment — no wall-clock, no I/O, no allocation.
+pub fn mint(seed: u64, config_fingerprint: u64) -> RunId {
+    RunId { seed, config_fingerprint, seq: NEXT_RUN_SEQ.fetch_add(1, Ordering::Relaxed) }
+}
+
+/// Installs `run` as the process-current run; subsequent records emitted
+/// while observability is enabled carry it as a `"run"` field.
+pub fn install(run: RunId) {
+    *CURRENT.write().expect("obs run lock poisoned") = Some(run);
+}
+
+/// Clears the current run (tests; production runs leave it installed so
+/// the closing metrics snapshot is stamped too).
+pub fn clear() {
+    *CURRENT.write().expect("obs run lock poisoned") = None;
+}
+
+/// The currently installed run, if any.
+pub fn current() -> Option<RunId> {
+    CURRENT.read().expect("obs run lock poisoned").clone()
+}
+
+/// The rendered current run ID, or `""` when no run is installed — the
+/// form stamped into checkpoint metadata and BENCH documents.
+pub fn current_string() -> String {
+    current().map(|r| r.to_string()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ids_render_and_parse_round_trip() {
+        let run = mint(7, fingerprint(b"config"));
+        let rendered = run.to_string();
+        assert!(rendered.starts_with("run-0000000000000007-"), "{rendered}");
+        assert_eq!(RunId::parse(&rendered), Some(run.clone()));
+        assert_eq!(RunId::parse("not-a-run"), None);
+        assert_eq!(RunId::parse("run-zz-00-1"), None);
+    }
+
+    #[test]
+    fn minting_is_monotonic_and_wall_clock_free() {
+        let a = mint(3, 9);
+        let b = mint(3, 9);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.config_fingerprint, b.config_fingerprint);
+        assert!(b.seq > a.seq, "sequence numbers increase: {} then {}", a.seq, b.seq);
+        // Identical inputs differ only in the sequence component.
+        let (sa, sb) = (a.to_string(), b.to_string());
+        assert_eq!(sa.rsplit_once('-').unwrap().0, sb.rsplit_once('-').unwrap().0);
+    }
+
+    #[test]
+    fn install_current_clear_cycle() {
+        let _g = crate::test_lock();
+        let run = mint(11, fingerprint(b"cycle"));
+        install(run.clone());
+        assert_eq!(current(), Some(run.clone()));
+        assert_eq!(current_string(), run.to_string());
+        clear();
+        assert_eq!(current(), None);
+        assert_eq!(current_string(), "");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        assert_eq!(fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint(b"metadpa"), fingerprint(b"metadpa"));
+        assert_ne!(fingerprint(b"metadpa"), fingerprint(b"metadpb"));
+    }
+}

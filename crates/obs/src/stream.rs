@@ -136,6 +136,11 @@ pub fn read_str_lenient(text: &str) -> LenientRead {
     }
     if let Some((line_no, e)) = pending {
         out.truncated_tail = Some(format!("line {line_no}: truncated record skipped ({e})"));
+        // Surface the skip as a typed signal, not stderr-only prose:
+        // `check-trace`/`check-train` can assert on the counter/event.
+        // Inert while observability is off (one relaxed load per macro).
+        crate::counter_add!("obs.stream.truncated_tail", 1u64);
+        crate::event!("obs.stream.truncated_tail", "line" => line_no as u64);
     }
     out
 }
@@ -212,6 +217,30 @@ mod tests {
         assert!(read.truncated_tail.is_none());
         assert_eq!(read.errors.len(), 1);
         assert_eq!(read.errors[0].0, 2, "error carries its line number");
+    }
+
+    #[test]
+    fn truncated_tail_is_surfaced_as_a_typed_counter_and_event() {
+        let _g = crate::test_lock();
+        let sink = std::sync::Arc::new(crate::recorder::MemoryRecorder::default());
+        crate::enable(sink.clone());
+        let before = crate::metrics::counter("obs.stream.truncated_tail").get();
+        let crashed = "{\"kind\":\"event\",\"name\":\"a\",\"t_ns\":1}\n\
+                       {\"kind\":\"span\",\"name\":\"c\",\"t_";
+        let read = read_str_lenient(crashed);
+        crate::disable();
+        assert!(read.truncated_tail.is_some());
+        assert_eq!(
+            crate::metrics::counter("obs.stream.truncated_tail").get(),
+            before + 1,
+            "skipped tail increments the typed counter"
+        );
+        let ev = sink
+            .events()
+            .into_iter()
+            .find(|e| e.name == "obs.stream.truncated_tail")
+            .expect("typed truncated-tail event in the stream");
+        assert_eq!(ev.kind, "event");
     }
 
     #[test]

@@ -376,6 +376,36 @@ mod tests {
     }
 
     #[test]
+    fn a_scrape_after_a_long_idle_reports_only_fresh_data() {
+        // Fill every slot in the ring, go idle for longer than the whole
+        // window, then resume. The resumed epochs wrap onto the same slot
+        // indices as the stale data; the first write must lazily clear its
+        // slot and the first scrape must see only post-idle observations.
+        let h = WindowHistogram::new(4, W);
+        for epoch in 0..4u64 {
+            h.observe_at(epoch * W, 1_000);
+        }
+        assert_eq!(h.snapshot_at(3 * W).count, 4, "ring fully populated before the idle");
+
+        // > one full window of silence (e.g. >60 s on the default shape).
+        let resume = 100 * W;
+
+        // A read-only scrape during the idle: every slot still physically
+        // holds stale data, but none of it is in-window any more.
+        let idle = h.snapshot_at(resume);
+        assert_eq!(idle.count, 0, "stale epochs must not leak into a post-idle scrape");
+        assert_eq!(idle.p99, 0);
+
+        // First post-idle write lands on a slot holding epoch-0 data and
+        // must wipe it rather than merge with it.
+        h.observe_at(resume, 7);
+        let snap = h.snapshot_at(resume);
+        assert_eq!(snap.count, 1, "only the fresh observation is visible");
+        assert_eq!(snap.max, 7, "stale pre-idle values must not survive the wraparound");
+        assert_eq!(snap.min, 7);
+    }
+
+    #[test]
     fn windowed_quantiles_match_the_bucket_error_band() {
         let h = WindowHistogram::new(8, W);
         for v in 1..=1000u64 {

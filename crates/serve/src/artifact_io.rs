@@ -68,7 +68,8 @@ fn meta_to_json(meta: &ArtifactMeta) -> String {
         .raw_field("preference", &pref.finish())
         .raw_field("maml", &maml.finish())
         .raw_field("diversity", &div.finish())
-        .raw_field("score_fingerprint", &fp.finish());
+        .raw_field("score_fingerprint", &fp.finish())
+        .str_field("run_id", &meta.run_id);
     w.finish()
 }
 
@@ -170,6 +171,10 @@ fn meta_from_json(path: &str, meta_json: &str) -> Result<ArtifactMeta, CkptError
         }
         None => ScoreFingerprint::default(),
     };
+    // Optional: checkpoints written before the run ledger existed carry
+    // no "run_id" and load unstamped.
+    let run_id =
+        root.get("run_id").and_then(JsonValue::as_str).map(str::to_string).unwrap_or_default();
     Ok(ArtifactMeta {
         schema,
         model_name: get_str(&root, "model", path)?,
@@ -179,6 +184,7 @@ fn meta_from_json(path: &str, meta_json: &str) -> Result<ArtifactMeta, CkptError
         maml,
         diversity,
         score_fingerprint,
+        run_id,
     })
 }
 
@@ -246,6 +252,7 @@ mod tests {
             DiversityReport { k: 2, mean_pairwise_distance: 0.5, mean_confidence: 0.75 },
             user_content,
             item_content,
+            format!("run-{seed:016x}-00000000deadbeef-1"),
         )
     }
 
@@ -264,6 +271,7 @@ mod tests {
         assert_eq!(back.meta.diversity.k, 2);
         assert_eq!(back.meta.score_fingerprint, artifact.meta.score_fingerprint, "f32 exact");
         assert!(!back.meta.score_fingerprint.is_empty(), "export stamps a fingerprint");
+        assert_eq!(back.meta.run_id, "run-0000000000000003-00000000deadbeef-1");
         assert_eq!(back.params, artifact.params, "parameters are bit-exact");
         assert_eq!(back.user_content, artifact.user_content);
         assert_eq!(back.item_content, artifact.item_content);
@@ -295,6 +303,19 @@ mod tests {
         ckpt.meta_json.push('}');
         let back = from_checkpoint("mem", ckpt).expect("pre-fingerprint checkpoint loads");
         assert!(back.meta.score_fingerprint.is_empty(), "defaults to an empty sketch");
+        assert_eq!(back.params, artifact.params);
+    }
+
+    #[test]
+    fn checkpoints_predating_the_run_ledger_still_load() {
+        let artifact = tiny_artifact(7);
+        let mut ckpt = to_checkpoint(&artifact);
+        // Simulate an older writer: drop the trailing run_id field.
+        let cut = ckpt.meta_json.find(",\"run_id\"").expect("field present");
+        ckpt.meta_json.truncate(cut);
+        ckpt.meta_json.push('}');
+        let back = from_checkpoint("mem", ckpt).expect("pre-ledger checkpoint loads");
+        assert_eq!(back.meta.run_id, "", "defaults to an unstamped run");
         assert_eq!(back.params, artifact.params);
     }
 

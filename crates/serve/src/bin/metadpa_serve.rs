@@ -20,6 +20,12 @@
 //! to a size-rotated trace log that `obs-report tail` / `check-trace` can
 //! stream. Without it the process keeps the default null recorder, and the
 //! serve hot path stays allocation-free.
+//!
+//! `export` accepts `--train-trace-out PATH`: the same rotated JSONL
+//! recorder, but pointed at the *training* run — one `train_epoch` record
+//! per MAML/CVAE epoch (loss components, grad norm, wall time, ETA), typed
+//! `train_anomaly` events from the sentinels, and the run-ledger ID that
+//! `obs-report train-tail` / `check-train` / `lineage` join on.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -37,7 +43,7 @@ use metadpa_serve::{load_artifact, router, save_artifact, Engine};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: metadpa-serve export --out PATH [--seed N]\n\
+        "usage: metadpa-serve export --out PATH [--seed N] [--train-trace-out PATH]\n\
          \x20      metadpa-serve run --artifact PATH [--addr HOST:PORT] [--workers N] [--trace-out PATH]\n\
          \x20      metadpa-serve smoke --artifact PATH [--trace-out PATH]"
     );
@@ -250,11 +256,21 @@ fn cmd_smoke(args: &[String]) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match flag_value(&args, "--trace-out") {
+    // `--trace-out` traces the serve path; `--train-trace-out` traces the
+    // training run behind `export`. Both install the same rotated JSONL
+    // recorder — the flags are separate so scripts can name the two streams
+    // without ambiguity, and so `export` never silently inherits a serve
+    // trace destination.
+    let trace_path = flag_value(&args, "--trace-out").or_else(|| {
+        flag_value(&args, "--train-trace-out").inspect(|_| {
+            eprintln!("tracing training run (train_epoch records, anomaly sentinels, run ledger)");
+        })
+    });
+    match trace_path {
         Some(path) => {
             match RotatingFileRecorder::create(&path, RotatingFileRecorder::DEFAULT_MAX_BYTES) {
                 Ok(rec) => {
-                    eprintln!("tracing requests to {path} (size-rotated, keeps 2 generations)");
+                    eprintln!("tracing to {path} (size-rotated, keeps 2 generations)");
                     metadpa_obs::enable(Arc::new(rec));
                 }
                 Err(e) => {

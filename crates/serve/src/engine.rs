@@ -270,6 +270,7 @@ mod tests {
             DiversityReport::default(),
             user_content,
             item_content,
+            String::new(),
         );
         Engine::new(artifact.into_recommender().expect("valid artifact"))
     }

@@ -142,6 +142,7 @@ fn health(engine: &Engine) -> Response {
         .str_field("model", &meta.model_name)
         .str_field("git_rev", &meta.git_rev)
         .str_field("data_fingerprint", &meta.data_fingerprint)
+        .str_field("run_id", &meta.run_id)
         .u64_field("n_users", engine.n_users() as u64)
         .u64_field("n_items", engine.n_items() as u64)
         .u64_field("content_dim", engine.content_dim() as u64)
@@ -398,9 +399,40 @@ fn seed_serve_metrics() {
     }
 }
 
+/// Publishes which artifact run this server is holding: one
+/// `serve.artifact` trace event carrying the full run-ledger key (the
+/// lineage join point for serve-side traces) plus `serve.artifact.run.*`
+/// gauges on `/metrics`. Gauges are f64, which cannot hold a u64 exactly,
+/// so the 64-bit run components are split into exact 32-bit halves;
+/// `present` is 0 for pre-ledger (unstamped) artifacts. No-op while
+/// observability is off.
+fn publish_artifact_identity(engine: &Engine) {
+    if !metadpa_obs::enabled() {
+        return;
+    }
+    let meta = engine.meta();
+    let mut ev = metadpa_obs::Event::new("event", "serve.artifact");
+    ev.push("run_id", meta.run_id.as_str());
+    ev.push("model", meta.model_name.as_str());
+    ev.push("data_fingerprint", meta.data_fingerprint.as_str());
+    metadpa_obs::emit(ev);
+    let run = metadpa_obs::run::RunId::parse(&meta.run_id);
+    let (present, seed, fp, seq) = match &run {
+        Some(r) => (1.0, r.seed, r.config_fingerprint, r.seq),
+        None => (0.0, 0, 0, 0),
+    };
+    metadpa_obs::gauge_set!("serve.artifact.run.present", present);
+    metadpa_obs::gauge_set!("serve.artifact.run.seed_hi", (seed >> 32) as f64);
+    metadpa_obs::gauge_set!("serve.artifact.run.seed_lo", (seed & 0xffff_ffff) as f64);
+    metadpa_obs::gauge_set!("serve.artifact.run.fingerprint_hi", (fp >> 32) as f64);
+    metadpa_obs::gauge_set!("serve.artifact.run.fingerprint_lo", (fp & 0xffff_ffff) as f64);
+    metadpa_obs::gauge_set!("serve.artifact.run.seq", seq as f64);
+}
+
 /// Builds the HTTP handler for one engine.
 pub fn router(engine: Arc<Engine>) -> Handler {
     seed_serve_metrics();
+    publish_artifact_identity(&engine);
     Arc::new(move |req: &Request| {
         metadpa_obs::counter_add!("serve.requests", 1);
         if !metadpa_obs::enabled() {
@@ -456,6 +488,7 @@ mod tests {
             DiversityReport::default(),
             user_content,
             item_content,
+            format!("run-{seed:016x}-00000000cafef00d-1"),
         )
     }
 
@@ -491,6 +524,10 @@ mod tests {
         assert_eq!(status, 200, "{body}");
         assert!(body.contains("\"model\":\"unit\""), "{body}");
         assert!(body.contains("\"n_users\":4"), "{body}");
+        assert!(
+            body.contains("\"run_id\":\"run-000000000000001f-00000000cafef00d-1\""),
+            "/health must surface the artifact's run-ledger key: {body}"
+        );
 
         // Warm recommend.
         let (status, body) = post(addr, "/v1/recommend", r#"{"user_id":1,"k":3}"#);
@@ -566,6 +603,12 @@ mod tests {
             "serve_window_recommend_cold_us_p99",
             "serve_window_recommend_adapted_us_p99",
             "serve_window_adapt_us_p99",
+            // Artifact run-ledger identity (split into exact 32-bit
+            // halves; the full string lives on /health).
+            "serve_artifact_run_present",
+            "serve_artifact_run_seed_lo",
+            "serve_artifact_run_fingerprint_hi",
+            "serve_artifact_run_seq",
             "serve_errors_400_bad_json",
             "serve_errors_404_unknown_path",
             "serve_errors_405_bad_method",
@@ -580,6 +623,9 @@ mod tests {
         // The warm request above landed in its state counter and window.
         assert!(body.contains("serve_state_warm 1\n"), "{body}");
         assert!(body.contains("serve_window_recommend_warm_us_count 1\n"), "{body}");
+        // The artifact's parseable run id fills the identity gauges.
+        assert!(body.contains("serve_artifact_run_present 1"), "{body}");
+        assert!(body.contains("serve_artifact_run_seed_lo 34"), "{body}");
 
         server.shutdown();
         metadpa_obs::disable();

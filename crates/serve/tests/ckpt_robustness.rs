@@ -24,6 +24,7 @@ fn tiny_artifact(seed: u64) -> Artifact {
         DiversityReport::default(),
         user_content,
         item_content,
+        String::new(),
     )
 }
 

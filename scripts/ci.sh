@@ -92,6 +92,22 @@ cargo run --release -q -p metadpa-bench --bin serve-loadgen -- \
 cargo run --release -q -p metadpa-bench --bin obs-report -- \
   check-trace trace_load.jsonl --expect-bench BENCH_trace_ci.json
 
+echo "== traced training smoke + train gate + lineage =="
+# Fit + export with training telemetry on, then gate the training trace:
+# check-train demands one run-ledger ID on every record, contiguous
+# per-phase epoch sequences, zero sentinel anomalies, a clean (untruncated)
+# stream, and an overall loss improvement. lineage then joins the training
+# trace against the exported checkpoint's stamped run ID — the train →
+# export chain must agree on one key, end to end.
+cargo run --release -q -p metadpa-serve --bin metadpa-serve -- \
+  export --out train_smoke.ckpt --seed 7 --train-trace-out train_trace.jsonl
+cargo run --release -q -p metadpa-bench --bin obs-report -- \
+  check-train train_trace.jsonl
+cargo run --release -q -p metadpa-bench --bin obs-report -- \
+  lineage train_trace.jsonl --ckpt train_smoke.ckpt
+cargo run --release -q -p metadpa-bench --bin obs-report -- \
+  train-tail train_trace.jsonl --once >/dev/null
+
 echo "== obs stream smoke (record -> report -> diff) =="
 cargo run --release -q -p metadpa-bench --bin exp_tables_1_2 -- \
   --fast --obs-out obs_smoke.jsonl >/dev/null

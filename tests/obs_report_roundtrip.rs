@@ -94,6 +94,7 @@ fn bench_fixture(p50_ns: u64) -> BenchReport {
         scenario: "rt.gate".into(),
         host: HostInfo::current(),
         requests: 0,
+        run_id: String::new(),
         blocks: vec![BenchBlock {
             name: "rt.block".into(),
             iters: 10,
