@@ -10,7 +10,9 @@
 //! obs-report check-trace <trace.jsonl> [--expect-requests N] [--expect-bench BENCH.json]
 //! obs-report train-tail <trace.jsonl> [--interval-ms 2000] [--max-seconds S] [--once]
 //! obs-report check-train <trace.jsonl> [--min-improvement X] [--expect-epochs N]
+//! obs-report check-feedback <feedback.jsonl> [--threshold N] [--trace trace.jsonl]
 //! obs-report lineage <trace.jsonl> [--ckpt artifact.ckpt] [--health health.json]
+//!            [--feedback feedback.jsonl]
 //! ```
 //!
 //! `report` renders the span tree as a text flamegraph (inclusive and
@@ -58,11 +60,22 @@
 //! default 0). `--expect-epochs N` additionally pins the total
 //! `train_epoch` record count.
 //!
+//! `check-feedback` is the CI gate over a finished feedback event log
+//! (the `--feedback-log` file of `metadpa-serve run` / `serve-loadgen`):
+//! zero interior parse errors, at least one event, exactly one run-ledger
+//! ID stamped on every record, and a strictly contiguous sequence across
+//! both generations. It then replays the log through the graduation state
+//! machine (`--threshold`, default 5) to compute the expected
+//! graduation/refresh counts; with `--trace` it demands the live
+//! adapter's `feedback.graduation` events match that oracle exactly, and
+//! cross-checks the trace's `serve.artifact` run ID against the log's.
+//!
 //! `lineage` reconstructs the train → export → serve chain: the trace's
-//! stamped run ID, the checkpoint's `meta.run_id` (via `--ckpt`), and a
-//! saved `/health` body (via `--health`) must all join on one run-ledger
-//! key. Prints the provenance report and exits `1` when any source is
-//! unstamped or disagrees.
+//! stamped run ID, the checkpoint's `meta.run_id` (via `--ckpt`), a
+//! saved `/health` body (via `--health`), and a feedback event log (via
+//! `--feedback`) must all join on one run-ledger key. Prints the
+//! provenance report and exits `1` when any source is unstamped or
+//! disagrees.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -81,7 +94,8 @@ const USAGE: &str = "usage:
   obs-report check-trace <trace.jsonl> [--expect-requests N] [--expect-bench BENCH.json]
   obs-report train-tail <trace.jsonl> [--interval-ms 2000] [--max-seconds S] [--once]
   obs-report check-train <trace.jsonl> [--min-improvement X] [--expect-epochs N]
-  obs-report lineage <trace.jsonl> [--ckpt artifact.ckpt] [--health health.json]";
+  obs-report check-feedback <feedback.jsonl> [--threshold N] [--trace trace.jsonl]
+  obs-report lineage <trace.jsonl> [--ckpt artifact.ckpt] [--health health.json] [--feedback feedback.jsonl]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("obs-report: {msg}\n{USAGE}");
@@ -827,10 +841,140 @@ fn cmd_check_train(args: &[String]) {
     std::process::exit(1);
 }
 
+fn cmd_check_feedback(args: &[String]) {
+    let mut path: Option<String> = None;
+    let mut threshold: usize = metadpa_feedback::DEFAULT_THRESHOLD;
+    let mut trace: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = it.next().unwrap_or_else(|| fail("--threshold needs a value"));
+                threshold = v.parse().unwrap_or_else(|_| fail(&format!("bad --threshold {v}")));
+            }
+            "--trace" => {
+                trace = Some(it.next().unwrap_or_else(|| fail("--trace needs a value")).clone());
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => fail(&format!("unexpected argument {other}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("check-feedback needs a feedback log path"));
+
+    let read = match metadpa_feedback::read_log(&path) {
+        Ok(r) => r,
+        Err(e) => fail(&e),
+    };
+    for w in &read.truncated_tails {
+        eprintln!("obs-report: warning: {w}");
+    }
+    let mut failures: Vec<String> = read.interior_errors.clone();
+    if read.skipped > 0 {
+        failures.push(format!("{} non-feedback record(s) in the log", read.skipped));
+    }
+    if read.events.is_empty() {
+        failures.push("no feedback events in the log".to_string());
+    }
+
+    // Every record carries the same run-ledger key.
+    let mut runs = std::collections::BTreeSet::new();
+    let mut unstamped = 0u64;
+    for ev in &read.events {
+        if ev.run_id.is_empty() {
+            unstamped += 1;
+        } else {
+            runs.insert(ev.run_id.clone());
+        }
+    }
+    if unstamped > 0 {
+        failures.push(format!("{unstamped} event(s) without a run ID"));
+    }
+    if runs.len() > 1 {
+        failures.push(format!("multiple run IDs in one log: {runs:?}"));
+    }
+
+    // The surviving window is strictly contiguous (rotation may have
+    // dropped a prefix, never interior records).
+    for (i, pair) in read.events.windows(2).enumerate() {
+        if pair[1].seq != pair[0].seq + 1 {
+            failures.push(format!(
+                "sequence gap after record {i}: seq {} then {}",
+                pair[0].seq, pair[1].seq
+            ));
+            break;
+        }
+    }
+
+    // The replay oracle: what a clean consumer of this log must have done.
+    let cfg = metadpa_feedback::GraduationConfig::with_threshold(threshold);
+    let expected = metadpa_feedback::expected_outcome(&read.events, cfg);
+
+    if let Some(trace_path) = &trace {
+        let (trace_events, hard, warnings) = read_trace(trace_path);
+        for w in &warnings {
+            eprintln!("obs-report: warning: {w}");
+        }
+        failures.extend(hard);
+        let mut graduations = 0u64;
+        let mut refreshes = 0u64;
+        for ev in trace_events.iter().filter(|e| e.name == "feedback.graduation") {
+            match ev.field("first").and_then(JsonValue::as_bool) {
+                Some(true) => graduations += 1,
+                Some(false) => refreshes += 1,
+                None => failures.push(format!(
+                    "feedback.graduation event without a \"first\" field (seq {})",
+                    ev.field_u64("seq").unwrap_or(0)
+                )),
+            }
+        }
+        if graduations != expected.graduations || refreshes != expected.refreshes {
+            failures.push(format!(
+                "live adapter diverged from the replay oracle: trace has {graduations} \
+                 graduation(s) + {refreshes} refresh(es), replay expects {} + {}",
+                expected.graduations, expected.refreshes
+            ));
+        }
+        // The serving artifact and the feedback log must be the same run.
+        let trace_run = trace_events
+            .iter()
+            .find(|e| e.kind == "event" && e.name == "serve.artifact")
+            .and_then(|e| e.field("run_id").and_then(JsonValue::as_str).map(str::to_string));
+        if let (Some(trace_run), Some(log_run)) = (trace_run, runs.iter().next()) {
+            if !trace_run.is_empty() && trace_run != *log_run {
+                failures.push(format!(
+                    "trace serves artifact run {trace_run:?} but the log is stamped {log_run:?}"
+                ));
+            }
+        }
+    }
+
+    out(format!(
+        "== obs-report check-feedback: {path} ==\n  {} event(s), run {}, \
+         replay expects {} graduation(s) + {} refresh(es) at threshold {threshold}\n",
+        read.events.len(),
+        runs.iter().next().map_or("(none)", String::as_str),
+        expected.graduations,
+        expected.refreshes,
+    ));
+    if failures.is_empty() {
+        out("  ok: one run ID, contiguous sequence, zero interior parse errors");
+        if trace.is_some() {
+            out(", live adapter matches the replay oracle");
+        }
+        out("\n");
+        return;
+    }
+    for f in &failures {
+        eprintln!("obs-report: check-feedback: {f}");
+    }
+    std::process::exit(1);
+}
+
 fn cmd_lineage(args: &[String]) {
     let mut path: Option<String> = None;
     let mut ckpt: Option<String> = None;
     let mut health: Option<String> = None;
+    let mut feedback: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -839,6 +983,10 @@ fn cmd_lineage(args: &[String]) {
             }
             "--health" => {
                 health = Some(it.next().unwrap_or_else(|| fail("--health needs a value")).clone());
+            }
+            "--feedback" => {
+                feedback =
+                    Some(it.next().unwrap_or_else(|| fail("--feedback needs a value")).clone());
             }
             other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
             other => fail(&format!("unexpected argument {other}")),
@@ -864,6 +1012,22 @@ fn cmd_lineage(args: &[String]) {
         };
         lineage = lineage.with_health(&run_id_from_health_json(&body).unwrap_or_default());
     }
+    if let Some(feedback_path) = feedback {
+        match metadpa_feedback::read_log(&feedback_path) {
+            Ok(read) => {
+                // An empty or unstamped log contributes an unstamped
+                // source, which breaks the join — exactly right.
+                let run = read
+                    .events
+                    .iter()
+                    .map(|e| e.run_id.as_str())
+                    .find(|r| !r.is_empty())
+                    .unwrap_or_default();
+                lineage = lineage.with_feedback(run);
+            }
+            Err(e) => fail(&format!("{feedback_path}: {e}")),
+        }
+    }
     out(format!("== obs-report lineage: {path} ==\n"));
     out(lineage.render());
     if lineage.join().is_err() {
@@ -882,6 +1046,7 @@ fn main() {
             "check-trace" => cmd_check_trace(rest),
             "train-tail" => cmd_train_tail(rest),
             "check-train" => cmd_check_train(rest),
+            "check-feedback" => cmd_check_feedback(rest),
             "lineage" => cmd_lineage(rest),
             other => fail(&format!("unknown subcommand {other}")),
         },

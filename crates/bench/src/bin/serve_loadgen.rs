@@ -17,9 +17,18 @@
 //! the hot path keeps its zero-allocation budget; `server_p99_ns` is then
 //! recorded as 0.
 //!
+//! With `--feedback-frac F` (0..1) that fraction of each client's
+//! requests become seeded `POST /v1/feedback` events instead, written to
+//! the log at `--feedback-log PATH` (required when the fraction is
+//! nonzero) and consumed live by a background `FeedbackAdapter` that
+//! graduates users past `--feedback-threshold` events (default 3). The
+//! run fails if the adapter cannot drain the log, or if any graduation
+//! errored.
+//!
 //! ```text
 //! serve-loadgen [--seed N] [--duration-ms N] [--clients N] [--workers N]
 //!               [--k N] [--min-rps N] [--bench-out PATH] [--trace-out PATH]
+//!               [--feedback-frac F] [--feedback-log PATH] [--feedback-threshold N]
 //! ```
 //!
 //! Exits nonzero when any request fails or throughput lands under
@@ -37,9 +46,10 @@ use metadpa_core::augmentation::DiversityReport;
 use metadpa_core::{MetaDpaConfig, MetaLearner};
 use metadpa_data::generator::generate_world;
 use metadpa_data::presets::tiny_world;
+use metadpa_feedback::{AdapterConfig, FeedbackAdapter, FeedbackLog, GraduationConfig};
 use metadpa_obs::report::BenchBlock;
 use metadpa_serve::http::{serve, ServerConfig};
-use metadpa_serve::{router, Engine};
+use metadpa_serve::{router_with_feedback, Engine};
 use metadpa_tensor::SeededRng;
 
 fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
@@ -87,7 +97,9 @@ fn build_engine(seed: u64) -> Arc<Engine> {
         DiversityReport::default(),
         world.target.user_content.clone(),
         world.target.item_content.clone(),
-        String::new(),
+        // A real run-ledger key: the feedback log stamps it on every
+        // record, and `obs-report check-feedback` joins on it.
+        metadpa_obs::run::mint(seed, metadpa_obs::run::fingerprint(b"serve-loadgen")).to_string(),
     );
     Arc::new(Engine::new(artifact.into_recommender().expect("loadgen artifact is valid")))
 }
@@ -113,28 +125,44 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> u16 {
 struct ClientStats {
     warm_ns: Vec<u64>,
     cold_ns: Vec<u64>,
+    feedback_ok: u64,
     failures: u64,
 }
 
-fn run_client(
-    addr: SocketAddr,
-    seed: u64,
-    deadline: Instant,
+struct ClientCfg {
     n_users: usize,
+    n_items: usize,
     content_dim: usize,
     k: usize,
-) -> ClientStats {
+    feedback_frac: f64,
+}
+
+fn run_client(addr: SocketAddr, seed: u64, deadline: Instant, cfg: &ClientCfg) -> ClientStats {
     let mut rng = Mix(seed);
     let mut stats = ClientStats::default();
     while Instant::now() < deadline {
+        // Feedback events (when mixed in) replace a slice of the regular
+        // traffic; the remainder keeps the 80/20 warm/cold recommend mix.
+        if rng.unit() < cfg.feedback_frac {
+            let user = (rng.next() as usize) % cfg.n_users;
+            let item = (rng.next() as usize) % cfg.n_items;
+            let label = (rng.next() % 2) as f32;
+            let body = format!(r#"{{"user_id":{user},"item_id":{item},"label":{label:.1}}}"#);
+            if post(addr, "/v1/feedback", &body) == 200 {
+                stats.feedback_ok += 1;
+            } else {
+                stats.failures += 1;
+            }
+            continue;
+        }
         let warm = rng.unit() < 0.8;
         let body = if warm {
-            let user = (rng.next() as usize) % n_users;
-            format!(r#"{{"user_id":{user},"k":{k}}}"#)
+            let user = (rng.next() as usize) % cfg.n_users;
+            format!(r#"{{"user_id":{user},"k":{k}}}"#, k = cfg.k)
         } else {
             let content: Vec<String> =
-                (0..content_dim).map(|_| format!("{:.4}", rng.unit() * 2.0 - 1.0)).collect();
-            format!(r#"{{"content":[{}],"k":{k}}}"#, content.join(","))
+                (0..cfg.content_dim).map(|_| format!("{:.4}", rng.unit() * 2.0 - 1.0)).collect();
+            format!(r#"{{"content":[{}],"k":{k}}}"#, content.join(","), k = cfg.k)
         };
         let start = Instant::now();
         let status = post(addr, "/v1/recommend", &body);
@@ -212,6 +240,13 @@ fn main() -> ExitCode {
     let min_rps: f64 = flag(&args, "--min-rps", 0.0);
     let bench_out = flag_opt(&args, "--bench-out");
     let trace_out = flag_opt(&args, "--trace-out");
+    let feedback_frac: f64 = flag(&args, "--feedback-frac", 0.0);
+    let feedback_log_path = flag_opt(&args, "--feedback-log");
+    let feedback_threshold: usize = flag(&args, "--feedback-threshold", 3);
+    if feedback_frac > 0.0 && feedback_log_path.is_none() {
+        eprintln!("serve-loadgen: --feedback-frac needs --feedback-log PATH");
+        return ExitCode::from(2);
+    }
 
     if let Some(path) = &trace_out {
         use metadpa_obs::recorder::RotatingFileRecorder;
@@ -229,10 +264,32 @@ fn main() -> ExitCode {
 
     eprintln!("building loadgen engine (seed {seed})...");
     let engine = build_engine(seed);
-    let (n_users, content_dim) = (engine.n_users(), engine.content_dim());
+    let (n_users, n_items, content_dim) =
+        (engine.n_users(), engine.n_items(), engine.content_dim());
+    let feedback_log = match &feedback_log_path {
+        None => None,
+        Some(path) => {
+            use metadpa_obs::recorder::RotatingFileRecorder;
+            let run_id = engine.meta().run_id.clone();
+            match FeedbackLog::create(path, &run_id, RotatingFileRecorder::DEFAULT_MAX_BYTES) {
+                Ok(log) => Some(Arc::new(log)),
+                Err(e) => {
+                    eprintln!("serve-loadgen: --feedback-log {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let adapter = feedback_log.as_ref().map(|log| {
+        let cfg = AdapterConfig {
+            graduation: GraduationConfig::with_threshold(feedback_threshold),
+            poll_interval: Duration::from_millis(5),
+        };
+        FeedbackAdapter::spawn(log.path(), cfg, Arc::clone(&engine) as _)
+    });
     let server = match serve(
         ServerConfig { workers, ..ServerConfig::default() },
-        router(Arc::clone(&engine)),
+        router_with_feedback(Arc::clone(&engine), feedback_log.clone()),
     ) {
         Ok(s) => s,
         Err(e) => {
@@ -243,7 +300,9 @@ fn main() -> ExitCode {
     let addr = server.addr();
     eprintln!(
         "loadgen: {clients} clients x {duration_ms}ms against http://{addr} \
-         ({workers} workers, {n_users} users, k={k}, 80% warm / 20% cold)"
+         ({workers} workers, {n_users} users, k={k}, 80% warm / 20% cold, \
+         feedback {:.0}%)",
+        feedback_frac * 100.0
     );
 
     // Allocations per request, measured process-wide over the load window
@@ -255,30 +314,40 @@ fn main() -> ExitCode {
     let started = Instant::now();
     let deadline = started + Duration::from_millis(duration_ms);
     let mut joins = Vec::with_capacity(clients);
+    let cfg = Arc::new(ClientCfg { n_users, n_items, content_dim, k, feedback_frac });
     for c in 0..clients {
         let client_seed = seed.wrapping_mul(0x9E37_79B9).wrapping_add(c as u64);
-        joins.push(std::thread::spawn(move || {
-            run_client(addr, client_seed, deadline, n_users, content_dim, k)
-        }));
+        let cfg = Arc::clone(&cfg);
+        joins.push(std::thread::spawn(move || run_client(addr, client_seed, deadline, &cfg)));
     }
     let mut warm_ns: Vec<u64> = Vec::new();
     let mut cold_ns: Vec<u64> = Vec::new();
+    let mut feedback_ok = 0u64;
     let mut failures = 0u64;
     for j in joins {
         let s = j.join().expect("client thread");
         warm_ns.extend(s.warm_ns);
         cold_ns.extend(s.cold_ns);
+        feedback_ok += s.feedback_ok;
         failures += s.failures;
     }
     let elapsed = started.elapsed().as_secs_f64();
     let alloc_after = metadpa_obs::alloc::snapshot();
+    // Drain the feedback pipeline before scraping: the adapter must have
+    // consumed every appended event so graduation counters are final.
+    let mut feedback_drained = true;
+    if let (Some(log), Some(adapter)) = (&feedback_log, &adapter) {
+        log.flush();
+        feedback_drained = adapter.wait_for_seq(log.appended(), Duration::from_secs(15));
+    }
     // Scrape the server's own rolling-window percentiles before it goes
     // away; only populated when tracing enabled the metrics registry.
     let metrics_body = scrape_metrics(addr);
     server.shutdown();
+    let adapter_stats = adapter.map(FeedbackAdapter::stop);
 
     let total = (warm_ns.len() + cold_ns.len()) as u64;
-    let requests = (total + failures).max(1);
+    let requests = (total + feedback_ok + failures).max(1);
     let allocs_per_req =
         alloc_after.alloc_count.saturating_sub(alloc_before.alloc_count) / requests;
     let bytes_per_req = alloc_after.alloc_bytes.saturating_sub(alloc_before.alloc_bytes) / requests;
@@ -304,6 +373,27 @@ fn main() -> ExitCode {
         cold_block.p90_ns / 1000,
         cold_block.server_p99_ns / 1000,
     );
+
+    if let Some(stats) = &adapter_stats {
+        eprintln!(
+            "\x20 feedback: {feedback_ok} accepted, {} consumed (last seq {}), \
+             {} graduations, {} refreshes, {} invalidations, {} adapt errors",
+            stats.processed(),
+            stats.last_seq(),
+            stats.graduations(),
+            stats.refreshes(),
+            stats.invalidations(),
+            stats.adapt_errors(),
+        );
+        if !feedback_drained {
+            eprintln!("serve-loadgen: FAILED: adapter did not drain the feedback log in 15s");
+            return ExitCode::FAILURE;
+        }
+        if stats.adapt_errors() > 0 {
+            eprintln!("serve-loadgen: FAILED: {} graduation(s) errored", stats.adapt_errors());
+            return ExitCode::FAILURE;
+        }
+    }
 
     if let Some(path) = bench_out {
         let mut report = bench_report("serve.loadgen", vec![warm_block, cold_block]);

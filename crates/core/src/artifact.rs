@@ -369,6 +369,28 @@ impl ArtifactRecommender {
         Ok(())
     }
 
+    /// Validates one streaming implicit-feedback event against this
+    /// artifact: the user must be known, the item in the catalogue and the
+    /// label finite — the same checks adaptation applies to support pairs,
+    /// surfaced as an entry point so the feedback ingestion endpoint can
+    /// reject out-of-catalogue events (422) *before* they reach the
+    /// append-only log, keeping every logged event replayable.
+    pub fn validate_event(
+        &self,
+        user: usize,
+        item: usize,
+        label: f32,
+    ) -> Result<(), ArtifactError> {
+        self.check_user(user)?;
+        if item >= self.n_items() {
+            return Err(ArtifactError::ItemOutOfRange { item, n_items: self.n_items() });
+        }
+        if !label.is_finite() {
+            return Err(ArtifactError::NonFiniteLabel { item });
+        }
+        Ok(())
+    }
+
     /// Scores the whole catalogue for `content` and returns the top `k`
     /// `(item, score)` pairs, best first. With `params` the adapted
     /// parameter set is used for this call only (θ is restored after —

@@ -1,0 +1,394 @@
+//! The background feedback adapter: tail the log, graduate users live,
+//! react to drift.
+//!
+//! One consumer thread polls the event log ([`LogTailer`], rotation-aware)
+//! and feeds complete lines through the same
+//! [`GraduationState`]/[`FeedbackSink`] path that offline
+//! [`crate::replay`] uses — single-threaded, in log order, so the adapted
+//! cache the live adapter builds is bit-identical to what a replay of the
+//! same log rebuilds.
+//!
+//! Drift reaction rides the same tick: on the rising edge of the sink's
+//! drift alert the adapter invalidates every installed adaptation, bumps
+//! `serve.feedback.invalidations` by the entry count, and emits a typed
+//! `feedback.invalidation` event. Invalidation is deliberately *outside*
+//! the replay determinism contract — it depends on live traffic, not the
+//! log.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use metadpa_obs::stream;
+
+use crate::event::FeedbackEvent;
+use crate::graduate::{GraduationConfig, GraduationState};
+use crate::replay::FeedbackSink;
+
+/// Adapter tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct AdapterConfig {
+    /// When to graduate and how much support to adapt on.
+    pub graduation: GraduationConfig,
+    /// How long the consumer sleeps when the log has no new bytes.
+    pub poll_interval: Duration,
+}
+
+impl Default for AdapterConfig {
+    fn default() -> AdapterConfig {
+        AdapterConfig {
+            graduation: GraduationConfig::default(),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Live counters the adapter thread maintains (all relaxed: they are
+/// progress telemetry, not synchronization).
+#[derive(Debug, Default)]
+pub struct AdapterStats {
+    processed: AtomicU64,
+    last_seq: AtomicU64,
+    graduations: AtomicU64,
+    refreshes: AtomicU64,
+    invalidations: AtomicU64,
+    adapt_errors: AtomicU64,
+    parse_errors: AtomicU64,
+}
+
+impl AdapterStats {
+    /// Feedback events consumed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Highest event sequence number consumed so far.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq.load(Ordering::Relaxed)
+    }
+
+    /// First-time cold→warm graduations performed.
+    pub fn graduations(&self) -> u64 {
+        self.graduations.load(Ordering::Relaxed)
+    }
+
+    /// Post-graduation re-adaptations.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+
+    /// Adapted-cache entries dropped by drift reactions.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Adaptation calls the sink rejected.
+    pub fn adapt_errors(&self) -> u64 {
+        self.adapt_errors.load(Ordering::Relaxed)
+    }
+
+    /// Complete lines that failed to parse (interior corruption).
+    pub fn parse_errors(&self) -> u64 {
+        self.parse_errors.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to the running adapter thread.
+pub struct FeedbackAdapter {
+    stats: Arc<AdapterStats>,
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+impl FeedbackAdapter {
+    /// Starts the consumer thread tailing `path`.
+    pub fn spawn(
+        path: impl AsRef<Path>,
+        cfg: AdapterConfig,
+        sink: Arc<dyn FeedbackSink>,
+    ) -> FeedbackAdapter {
+        let stats = Arc::new(AdapterStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let path = path.as_ref().to_path_buf();
+        let handle = {
+            let (stats, stop) = (Arc::clone(&stats), Arc::clone(&stop));
+            std::thread::Builder::new()
+                .name("feedback-adapter".into())
+                .spawn(move || adapter_loop(path, cfg, sink, stats, stop))
+                .expect("spawn feedback adapter thread")
+        };
+        FeedbackAdapter { stats, stop, handle }
+    }
+
+    /// The adapter's live counters.
+    pub fn stats(&self) -> Arc<AdapterStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Blocks until the adapter has consumed event `seq` (or `timeout`
+    /// elapses); returns whether it drained. The drain hook loadgen and
+    /// tests use before reading final counters.
+    pub fn wait_for_seq(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.stats.last_seq() >= seq {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return self.stats.last_seq() >= seq;
+            }
+            self.handle.thread().unpark();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Stops the thread after one final drain of the log; returns the
+    /// final counters.
+    pub fn stop(self) -> Arc<AdapterStats> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle.thread().unpark();
+        let _ = self.handle.join();
+        self.stats
+    }
+}
+
+fn adapter_loop(
+    path: PathBuf,
+    cfg: AdapterConfig,
+    sink: Arc<dyn FeedbackSink>,
+    stats: Arc<AdapterStats>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut tailer = LogTailer::new(path);
+    let mut state = GraduationState::new(cfg.graduation);
+    let mut prev_alert = false;
+    loop {
+        // Read the flag before draining so a stop request still gets one
+        // final, complete pass over everything appended before it.
+        let stopping = stop.load(Ordering::SeqCst);
+        for line in tailer.poll() {
+            process_line(&line, &mut state, sink.as_ref(), &stats);
+        }
+        let alert = sink.drift_alert();
+        if alert && !prev_alert {
+            let dropped = sink.invalidate_adapted();
+            stats.invalidations.fetch_add(dropped as u64, Ordering::Relaxed);
+            metadpa_obs::counter_add!("serve.feedback.invalidations", dropped as u64);
+            if metadpa_obs::enabled() {
+                let mut ev = metadpa_obs::Event::new("event", "feedback.invalidation");
+                ev.push("entries", dropped);
+                metadpa_obs::emit(ev);
+            }
+        }
+        prev_alert = alert;
+        if stopping {
+            return;
+        }
+        std::thread::park_timeout(cfg.poll_interval);
+    }
+}
+
+fn process_line(
+    line: &str,
+    state: &mut GraduationState,
+    sink: &dyn FeedbackSink,
+    stats: &AdapterStats,
+) {
+    let Ok(raw) = stream::parse_line(line) else {
+        stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+        metadpa_obs::counter_add!("serve.feedback.parse_errors", 1);
+        return;
+    };
+    // Foreign record kinds in the file are not the adapter's business.
+    let Some(ev) = FeedbackEvent::from_stream(&raw) else { return };
+    stats.processed.fetch_add(1, Ordering::Relaxed);
+    stats.last_seq.fetch_max(ev.seq, Ordering::Relaxed);
+    let Some(g) = state.ingest(&ev) else { return };
+    match sink.graduate(g.user, &g.support, g.first) {
+        Ok(()) => {
+            if g.first {
+                stats.graduations.fetch_add(1, Ordering::Relaxed);
+                metadpa_obs::counter_add!("serve.feedback.graduations", 1);
+            } else {
+                stats.refreshes.fetch_add(1, Ordering::Relaxed);
+                metadpa_obs::counter_add!("serve.feedback.refreshes", 1);
+            }
+            if metadpa_obs::enabled() {
+                let mut out = metadpa_obs::Event::new("event", "feedback.graduation");
+                out.push("user", g.user);
+                out.push("seq", g.seq);
+                out.push("first", g.first);
+                out.push("support", g.support.len());
+                out.push("run_id", ev.run_id.as_str());
+                metadpa_obs::emit(out);
+            }
+        }
+        Err(why) => {
+            stats.adapt_errors.fetch_add(1, Ordering::Relaxed);
+            metadpa_obs::counter_add!("serve.feedback.errors", 1);
+            if metadpa_obs::enabled() {
+                let mut out = metadpa_obs::Event::new("event", "feedback.error");
+                out.push("user", g.user);
+                out.push("seq", g.seq);
+                out.push("error", why);
+                metadpa_obs::emit(out);
+            }
+        }
+    }
+}
+
+/// Incremental reader over a size-rotated JSONL log.
+///
+/// Tracks a byte offset into the active file and carries partial lines
+/// across polls, so it only ever yields complete lines. When the active
+/// file shrinks under the offset — the writer rotated it to `<path>.1` —
+/// the tailer first drains the remainder of the displaced generation from
+/// the saved offset, then restarts the active file from the head: no line
+/// is lost or seen twice across a rotation.
+struct LogTailer {
+    path: PathBuf,
+    rotated: PathBuf,
+    offset: u64,
+    carry: String,
+}
+
+impl LogTailer {
+    fn new(path: PathBuf) -> LogTailer {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".1");
+        LogTailer { path, rotated: PathBuf::from(os), offset: 0, carry: String::new() }
+    }
+
+    /// Complete lines appended since the last poll.
+    fn poll(&mut self) -> Vec<String> {
+        let mut lines = Vec::new();
+        let active_len = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
+        if active_len < self.offset {
+            // The active file was rotated out from under us: finish the
+            // displaced generation, then start over at the new head.
+            let rotated = self.rotated.clone();
+            self.drain_from(&rotated, self.offset, &mut lines);
+            self.offset = 0;
+        }
+        let path = self.path.clone();
+        let consumed = self.drain_from(&path, self.offset, &mut lines);
+        self.offset += consumed;
+        lines
+    }
+
+    /// Reads `path` from `offset` to EOF, splitting complete lines into
+    /// `lines` (partials stay in the carry). Returns bytes consumed; 0 on
+    /// any I/O problem (the unchanged offset retries next poll).
+    fn drain_from(&mut self, path: &Path, offset: u64, lines: &mut Vec<String>) -> u64 {
+        let Ok(mut file) = std::fs::File::open(path) else { return 0 };
+        if file.seek(SeekFrom::Start(offset)).is_err() {
+            return 0;
+        }
+        let mut buf = String::new();
+        let Ok(n) = file.read_to_string(&mut buf) else { return 0 };
+        self.carry.push_str(&buf);
+        while let Some(pos) = self.carry.find('\n') {
+            let line: String = self.carry.drain(..=pos).collect();
+            let line = line.trim_end();
+            if !line.is_empty() {
+                lines.push(line.to_string());
+            }
+        }
+        n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::FeedbackLog;
+    use std::sync::Mutex;
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("metadpa_fb_adapt_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[derive(Default)]
+    struct RecordingSink {
+        users: Mutex<Vec<(usize, bool)>>,
+        alert: AtomicBool,
+        dropped: AtomicU64,
+    }
+
+    impl FeedbackSink for RecordingSink {
+        fn graduate(&self, user: usize, _: &[(usize, f32)], first: bool) -> Result<(), String> {
+            self.users.lock().unwrap().push((user, first));
+            Ok(())
+        }
+        fn drift_alert(&self) -> bool {
+            self.alert.load(Ordering::SeqCst)
+        }
+        fn invalidate_adapted(&self) -> usize {
+            self.dropped.fetch_add(1, Ordering::SeqCst);
+            3
+        }
+    }
+
+    #[test]
+    fn the_adapter_tails_graduates_and_reacts_to_drift() {
+        let path = temp("live");
+        let log = FeedbackLog::create(&path, "run-live", 1 << 20).expect("create log");
+        let sink = Arc::new(RecordingSink::default());
+        let cfg = AdapterConfig {
+            graduation: GraduationConfig::with_threshold(2),
+            poll_interval: Duration::from_millis(5),
+        };
+        let adapter =
+            FeedbackAdapter::spawn(&path, cfg, Arc::clone(&sink) as Arc<dyn FeedbackSink>);
+
+        // Two events graduate user 4; a third refreshes it.
+        log.append(4, 0, 1.0);
+        log.append(4, 1, 1.0);
+        log.append(4, 2, 0.0);
+        log.flush();
+        assert!(adapter.wait_for_seq(3, Duration::from_secs(5)), "adapter drains the log");
+
+        // Flip the drift alert: the rising edge invalidates exactly once.
+        sink.alert.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while adapter.stats().invalidations() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = adapter.stop();
+        assert_eq!(stats.processed(), 3);
+        assert_eq!(stats.graduations(), 1);
+        assert_eq!(stats.refreshes(), 1);
+        assert_eq!(stats.invalidations(), 3, "counter carries dropped entries");
+        assert_eq!(sink.dropped.load(Ordering::SeqCst), 1, "edge-triggered, not level");
+        assert_eq!(*sink.users.lock().unwrap(), vec![(4, true), (4, false)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn the_tailer_survives_rotation_without_losing_lines() {
+        let path = temp("rot");
+        // Tiny cap: rotations every few records.
+        let log = FeedbackLog::create(&path, "run-rot", 500).expect("create log");
+        let mut tailer = LogTailer::new(path.clone());
+        let mut seen = Vec::new();
+        for i in 0..30u64 {
+            log.append((i % 3) as usize, i as usize, 1.0);
+            log.flush();
+            for line in tailer.poll() {
+                let ev = stream::parse_line(&line).expect("complete line parses");
+                seen.push(FeedbackEvent::from_stream(&ev).expect("feedback record").seq);
+            }
+        }
+        for line in tailer.poll() {
+            let ev = stream::parse_line(&line).expect("complete line parses");
+            seen.push(FeedbackEvent::from_stream(&ev).expect("feedback record").seq);
+        }
+        let want: Vec<u64> = (1..=30).collect();
+        assert_eq!(seen, want, "every record exactly once, in order, across rotations");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(log.rotated_path());
+    }
+}

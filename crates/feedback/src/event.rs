@@ -1,0 +1,94 @@
+//! The event-log record of one implicit-feedback signal.
+//!
+//! Feedback records ride the same JSONL framing as every other
+//! observability stream in the repo ([`metadpa_obs::recorder::Event`] out,
+//! [`metadpa_obs::stream::StreamEvent`] back in), so the lenient stream
+//! reader, rotation handling and `obs-report` tooling all apply unchanged.
+//! What makes a line a feedback record is its `kind` ([`FEEDBACK_KIND`])
+//! plus the four payload fields below; anything else in the file is
+//! skipped by [`FeedbackEvent::from_stream`].
+
+use metadpa_obs::json::JsonValue;
+use metadpa_obs::recorder::Event;
+use metadpa_obs::stream::StreamEvent;
+
+/// Record `kind` of every feedback-log line.
+pub const FEEDBACK_KIND: &str = "feedback";
+
+/// Record `name` of every feedback-log line.
+pub const FEEDBACK_NAME: &str = "feedback.event";
+
+/// One implicit-feedback event as it appears in the log: a user interacted
+/// with a catalogue item, with a label in the same `[0, 1]` convention the
+/// training support sets use (1.0 = positive, 0.0 = negative/skip).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeedbackEvent {
+    /// Log-assigned sequence number, contiguous from 1 within one log.
+    pub seq: u64,
+    /// Artifact user id the event is about.
+    pub user: usize,
+    /// Catalogue item id the user interacted with.
+    pub item: usize,
+    /// Implicit rating label (finite; validated before append).
+    pub label: f32,
+    /// Run-ledger key of the serving artifact the event was collected
+    /// under — the lineage join point for feedback logs.
+    pub run_id: String,
+}
+
+impl FeedbackEvent {
+    /// Serializes the event as the JSONL record the log writes.
+    pub fn to_record(&self) -> Event {
+        let mut ev = Event::new(FEEDBACK_KIND, FEEDBACK_NAME);
+        ev.push("seq", self.seq);
+        ev.push("user", self.user);
+        ev.push("item", self.item);
+        ev.push("label", self.label);
+        ev.push("run", self.run_id.as_str());
+        ev
+    }
+
+    /// Decodes a parsed stream record back into an event; `None` for
+    /// records of any other kind or with missing/mistyped payload fields.
+    pub fn from_stream(ev: &StreamEvent) -> Option<FeedbackEvent> {
+        if ev.kind != FEEDBACK_KIND {
+            return None;
+        }
+        Some(FeedbackEvent {
+            seq: ev.field_u64("seq")?,
+            user: ev.field_u64("user")? as usize,
+            item: ev.field_u64("item")? as usize,
+            label: ev.field("label").and_then(JsonValue::as_f64)? as f32,
+            run_id: ev.field("run").and_then(JsonValue::as_str).unwrap_or_default().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metadpa_obs::stream::parse_line;
+
+    #[test]
+    fn events_round_trip_through_the_jsonl_framing() {
+        let ev = FeedbackEvent {
+            seq: 7,
+            user: 3,
+            item: 11,
+            label: 1.0,
+            run_id: "run-0000000000000007-00000000cafef00d-1".into(),
+        };
+        let line = ev.to_record().to_json_line();
+        let parsed = parse_line(&line).expect("record parses");
+        assert_eq!(FeedbackEvent::from_stream(&parsed), Some(ev));
+    }
+
+    #[test]
+    fn foreign_records_are_not_feedback_events() {
+        let parsed = parse_line(r#"{"kind":"event","name":"x","t_ns":1,"seq":1}"#).unwrap();
+        assert_eq!(FeedbackEvent::from_stream(&parsed), None);
+        let missing =
+            parse_line(r#"{"kind":"feedback","name":"feedback.event","t_ns":1,"seq":1}"#).unwrap();
+        assert_eq!(FeedbackEvent::from_stream(&missing), None, "payload fields are required");
+    }
+}

@@ -1,0 +1,154 @@
+//! The cold→warm graduation state machine.
+//!
+//! Pure bookkeeping, deliberately free of model code: it consumes
+//! [`FeedbackEvent`]s in log order and decides *when* a user has enough
+//! fresh implicit feedback to be worth a serve-time MAML adaptation, and
+//! *which* events form the support set. Because the decision depends only
+//! on the event sequence, feeding the same log through the machine always
+//! produces the same adaptation calls — the heart of the replay
+//! determinism contract.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::event::FeedbackEvent;
+
+/// Default event-count threshold at which a user graduates.
+pub const DEFAULT_THRESHOLD: usize = 5;
+
+/// When to graduate and how much support to adapt on.
+#[derive(Clone, Copy, Debug)]
+pub struct GraduationConfig {
+    /// A user graduates when their cumulative event count reaches this.
+    pub threshold: usize,
+    /// How many of the user's most recent events form the support set
+    /// (each event past the threshold re-adapts on the fresh window).
+    pub max_support: usize,
+}
+
+impl GraduationConfig {
+    /// A config graduating at `threshold` events, adapting on the last
+    /// `threshold` of them.
+    pub fn with_threshold(threshold: usize) -> GraduationConfig {
+        let threshold = threshold.max(1);
+        GraduationConfig { threshold, max_support: threshold }
+    }
+}
+
+impl Default for GraduationConfig {
+    fn default() -> GraduationConfig {
+        GraduationConfig::with_threshold(DEFAULT_THRESHOLD)
+    }
+}
+
+/// One adaptation decision: adapt `user` on `support` now.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Graduation {
+    /// The user crossing (or re-crossing) the threshold.
+    pub user: usize,
+    /// Sequence number of the triggering event.
+    pub seq: u64,
+    /// `true` exactly once per user: the cold→warm crossing itself.
+    /// Subsequent decisions are refreshes on a newer support window.
+    pub first: bool,
+    /// The support set to adapt on: the user's most recent events, in
+    /// arrival order, capped at [`GraduationConfig::max_support`].
+    pub support: Vec<(usize, f32)>,
+}
+
+#[derive(Debug, Default)]
+struct UserState {
+    recent: VecDeque<(usize, f32)>,
+    count: u64,
+    graduated: bool,
+}
+
+/// Per-user event bookkeeping; see the module docs.
+pub struct GraduationState {
+    cfg: GraduationConfig,
+    users: HashMap<usize, UserState>,
+}
+
+impl GraduationState {
+    /// An empty state machine.
+    pub fn new(cfg: GraduationConfig) -> GraduationState {
+        GraduationState { cfg, users: HashMap::new() }
+    }
+
+    /// The configuration this machine graduates under.
+    pub fn config(&self) -> GraduationConfig {
+        self.cfg
+    }
+
+    /// Consumes one event; returns the adaptation to perform, if any.
+    /// Exactly at the threshold the decision has `first == true`; every
+    /// event after that re-adapts (`first == false`) on the freshest
+    /// support window.
+    pub fn ingest(&mut self, ev: &FeedbackEvent) -> Option<Graduation> {
+        let cfg = self.cfg;
+        let st = self.users.entry(ev.user).or_default();
+        if st.recent.len() == cfg.max_support {
+            st.recent.pop_front();
+        }
+        st.recent.push_back((ev.item, ev.label));
+        st.count += 1;
+        if (st.count as usize) < cfg.threshold {
+            return None;
+        }
+        let first = !st.graduated;
+        st.graduated = true;
+        Some(Graduation {
+            user: ev.user,
+            seq: ev.seq,
+            first,
+            support: st.recent.iter().copied().collect(),
+        })
+    }
+
+    /// Cumulative event count seen for `user`.
+    pub fn count(&self, user: usize) -> u64 {
+        self.users.get(&user).map_or(0, |st| st.count)
+    }
+
+    /// How many users have graduated so far.
+    pub fn graduated(&self) -> usize {
+        self.users.values().filter(|st| st.graduated).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, user: usize, item: usize) -> FeedbackEvent {
+        FeedbackEvent { seq, user, item, label: 1.0, run_id: "run-t".into() }
+    }
+
+    #[test]
+    fn graduation_happens_exactly_at_the_threshold() {
+        let mut state = GraduationState::new(GraduationConfig::with_threshold(3));
+        assert_eq!(state.ingest(&ev(1, 0, 10)), None);
+        assert_eq!(state.ingest(&ev(2, 0, 11)), None);
+        let g = state.ingest(&ev(3, 0, 12)).expect("threshold crossing graduates");
+        assert!(g.first);
+        assert_eq!(g.support, vec![(10, 1.0), (11, 1.0), (12, 1.0)]);
+        assert_eq!(state.graduated(), 1);
+
+        // The next event refreshes on a slid window, not a new graduation.
+        let g = state.ingest(&ev(4, 0, 13)).expect("post-threshold events refresh");
+        assert!(!g.first);
+        assert_eq!(g.support, vec![(11, 1.0), (12, 1.0), (13, 1.0)]);
+        assert_eq!(state.graduated(), 1, "still one graduated user");
+    }
+
+    #[test]
+    fn users_are_tracked_independently() {
+        let mut state = GraduationState::new(GraduationConfig::with_threshold(2));
+        assert_eq!(state.ingest(&ev(1, 0, 1)), None);
+        assert_eq!(state.ingest(&ev(2, 1, 2)), None);
+        assert!(state.ingest(&ev(3, 0, 3)).is_some_and(|g| g.first));
+        assert_eq!(state.count(0), 2);
+        assert_eq!(state.count(1), 1);
+        assert_eq!(state.count(9), 0);
+        assert_eq!(state.graduated(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # metadpa-feedback
+//!
+//! Streaming implicit-feedback ingestion and online cold→warm graduation
+//! for the MetaDPA serving stack.
+//!
+//! The offline pipeline trains a meta-learned cold-start model; this crate
+//! closes the loop at serve time. Four pieces, each usable on its own:
+//!
+//! 1. [`event`] + [`log`] — the append-only feedback event log:
+//!    [`FeedbackEvent`]s as JSONL records (the same framing as every obs
+//!    stream, so the lenient reader and rotation semantics apply), written
+//!    through a dedicated size-rotated sink, every record stamped with the
+//!    serving artifact's run-ledger key and a contiguous sequence number.
+//! 2. [`graduate`] — the pure graduation state machine: per-user event
+//!    counts and sliding support windows decide, from the event sequence
+//!    alone, when to re-run the trained MAML inner loop for a user.
+//! 3. [`adapter`] — the live consumer: a background thread tails the log
+//!    (rotation-aware), drives the state machine, calls a [`FeedbackSink`]
+//!    (implemented by the serve engine) to install adapted parameters, and
+//!    invalidates the cache on the rising edge of the drift alert.
+//! 4. [`replay`] — the determinism contract made executable: replaying a
+//!    recorded log through the same state machine against the same
+//!    artifact reproduces the adapted cache bit-exactly at any
+//!    `METADPA_THREADS`.
+//!
+//! The crate depends only on `metadpa-obs` (framing, metrics, events); the
+//! model side arrives through the [`FeedbackSink`] trait, which keeps the
+//! dependency arrow pointing from `metadpa-serve` to here, not back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod event;
+pub mod graduate;
+pub mod log;
+pub mod replay;
+
+pub use adapter::{AdapterConfig, AdapterStats, FeedbackAdapter};
+pub use event::{FeedbackEvent, FEEDBACK_KIND, FEEDBACK_NAME};
+pub use graduate::{Graduation, GraduationConfig, GraduationState, DEFAULT_THRESHOLD};
+pub use log::FeedbackLog;
+pub use replay::{expected_outcome, read_log, replay, FeedbackSink, LogRead, ReplayOutcome};

@@ -1,0 +1,140 @@
+//! The append-only feedback event log.
+//!
+//! [`FeedbackLog`] wraps a [`RotatingFileRecorder`] *instance* (not the
+//! global observability sink): feedback is a data path that must keep
+//! working whether or not tracing is enabled, and it must never share a
+//! file with the request trace. Size rotation keeps at most two
+//! generations on disk (`<path>` and `<path>.1`), the same bound the trace
+//! logs honor, so an always-on ingestion endpoint cannot grow disk without
+//! limit.
+//!
+//! Every record is stamped with the serving artifact's run-ledger key and
+//! a log-local sequence number. The sequence counter and the write are
+//! advanced under one lock, so file order equals sequence order — the
+//! property that makes a log replay deterministic and lets
+//! `obs-report check-feedback` demand a contiguous sequence.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use metadpa_obs::recorder::{Recorder, RotatingFileRecorder};
+
+use crate::event::FeedbackEvent;
+
+/// Append-only, size-rotated JSONL sink for [`FeedbackEvent`]s.
+pub struct FeedbackLog {
+    rec: RotatingFileRecorder,
+    path: PathBuf,
+    run_id: String,
+    next_seq: Mutex<u64>,
+}
+
+impl FeedbackLog {
+    /// Creates (truncating) the log at `path`, stamping every record with
+    /// `run_id`. `max_bytes` is the rotation threshold
+    /// ([`RotatingFileRecorder::DEFAULT_MAX_BYTES`] for servers).
+    pub fn create(
+        path: impl AsRef<Path>,
+        run_id: &str,
+        max_bytes: u64,
+    ) -> std::io::Result<FeedbackLog> {
+        let path = path.as_ref().to_path_buf();
+        let rec = RotatingFileRecorder::create(&path, max_bytes)?;
+        Ok(FeedbackLog { rec, path, run_id: run_id.to_string(), next_seq: Mutex::new(0) })
+    }
+
+    /// Where the active generation lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Where the rotated-out generation lives (`<path>.1`).
+    pub fn rotated_path(&self) -> PathBuf {
+        self.rec.rotated_path()
+    }
+
+    /// The run-ledger key stamped on every record.
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    /// Appends one validated event and returns its sequence number
+    /// (contiguous from 1). Validation is the caller's job — the log
+    /// stores whatever it is handed.
+    pub fn append(&self, user: usize, item: usize, label: f32) -> u64 {
+        let mut next = match self.next_seq.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *next += 1;
+        let event = FeedbackEvent { seq: *next, user, item, label, run_id: self.run_id.clone() };
+        // Recording under the sequence lock pins file order == seq order.
+        self.rec.record(&event.to_record());
+        *next
+    }
+
+    /// How many events have been appended (== the last assigned seq).
+    pub fn appended(&self) -> u64 {
+        match self.next_seq.lock() {
+            Ok(g) => *g,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
+    }
+
+    /// Flushes buffered records to disk.
+    pub fn flush(&self) {
+        self.rec.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::read_log;
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("metadpa_fb_log_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn appends_are_sequenced_and_read_back_in_order() {
+        let path = temp("seq");
+        let log = FeedbackLog::create(&path, "run-x", 1 << 20).expect("create log");
+        assert_eq!(log.append(0, 1, 1.0), 1);
+        assert_eq!(log.append(1, 2, 0.0), 2);
+        assert_eq!(log.append(0, 3, 1.0), 3);
+        assert_eq!(log.appended(), 3);
+        log.flush();
+        let read = read_log(&path).expect("read back");
+        assert_eq!(read.events.len(), 3);
+        for (i, ev) in read.events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64 + 1);
+            assert_eq!(ev.run_id, "run-x");
+        }
+        assert_eq!(read.events[1].user, 1);
+        assert_eq!(read.events[2].item, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_keeps_the_tail_contiguous_across_generations() {
+        let path = temp("rot");
+        // A threshold small enough to force several rotations.
+        let log = FeedbackLog::create(&path, "run-rot", 600).expect("create log");
+        for i in 0..40 {
+            log.append(i % 5, i, 1.0);
+        }
+        log.flush();
+        let read = read_log(&path).expect("read back");
+        assert!(read.interior_errors.is_empty(), "{:?}", read.interior_errors);
+        // Two generations survive; the surviving window is contiguous and
+        // ends at the last append.
+        let seqs: Vec<u64> = read.events.iter().map(|e| e.seq).collect();
+        assert_eq!(*seqs.last().expect("events survive"), 40);
+        for w in seqs.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "gap in surviving sequence: {seqs:?}");
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(log.rotated_path());
+    }
+}

@@ -1,0 +1,205 @@
+//! Reading a feedback log back and replaying it through a sink.
+//!
+//! Replay is the determinism contract made executable: the same log,
+//! driven through [`replay`] against the same artifact, performs the same
+//! adaptation calls in the same order — and because the serve-time MAML
+//! inner loop is bit-identical at any `METADPA_THREADS`, the resulting
+//! adapted-parameter cache is bit-exact too. The live
+//! [`crate::FeedbackAdapter`] runs the identical code path (one consumer,
+//! log order), so "what the server built online" and "what a replay
+//! rebuilds offline" are the same thing.
+
+use std::path::Path;
+
+use metadpa_obs::stream;
+
+use crate::event::FeedbackEvent;
+use crate::graduate::{GraduationConfig, GraduationState};
+
+/// What the graduation machinery asks of the serving layer.
+///
+/// `crates/serve`'s `Engine` implements this (adaptation installs into the
+/// adapted-parameter cache); keeping the trait here lets the feedback
+/// crate stay free of serve dependencies while the adapter and replay
+/// drive a real engine.
+pub trait FeedbackSink: Send + Sync {
+    /// Re-runs the trained MAML inner loop for `user` on `support` and
+    /// installs the adapted parameters. `first` is true on the cold→warm
+    /// crossing, false on refreshes.
+    fn graduate(&self, user: usize, support: &[(usize, f32)], first: bool) -> Result<(), String>;
+
+    /// Whether the serving layer's drift alert is currently raised.
+    fn drift_alert(&self) -> bool {
+        false
+    }
+
+    /// Drops every installed adaptation (drift reaction); returns how many
+    /// entries were invalidated.
+    fn invalidate_adapted(&self) -> usize {
+        0
+    }
+}
+
+/// A sink that accepts every graduation without doing anything — the
+/// oracle behind [`expected_outcome`].
+struct NullSink;
+
+impl FeedbackSink for NullSink {
+    fn graduate(&self, _: usize, _: &[(usize, f32)], _: bool) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A feedback log read back from disk (rotated generation first).
+#[derive(Debug, Default)]
+pub struct LogRead {
+    /// Feedback events in log order.
+    pub events: Vec<FeedbackEvent>,
+    /// `(line, message)` for interior malformed lines, prefixed with the
+    /// generation they came from — real corruption, never tail truncation.
+    pub interior_errors: Vec<String>,
+    /// Warnings for malformed final lines (crash/kill signatures).
+    pub truncated_tails: Vec<String>,
+    /// Parsed JSONL records that were not feedback events (foreign kinds).
+    pub skipped: usize,
+}
+
+fn rotated_of(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".1");
+    std::path::PathBuf::from(os)
+}
+
+/// Reads a feedback log leniently: the rotated generation (`<path>.1`,
+/// when present) followed by the active file. Errors only when the active
+/// file itself is unreadable.
+pub fn read_log(path: impl AsRef<Path>) -> Result<LogRead, String> {
+    let path = path.as_ref();
+    let mut out = LogRead::default();
+    let rotated = rotated_of(path);
+    let mut generations = Vec::new();
+    if rotated.exists() {
+        generations.push(rotated);
+    }
+    generations.push(path.to_path_buf());
+    for gen in generations {
+        let read = stream::read_file_lenient(&gen)?;
+        let label = gen.display().to_string();
+        for (line, msg) in &read.errors {
+            out.interior_errors.push(format!("{label}: line {line}: {msg}"));
+        }
+        if let Some(warn) = read.truncated_tail {
+            out.truncated_tails.push(format!("{label}: {warn}"));
+        }
+        for ev in &read.events {
+            match FeedbackEvent::from_stream(ev) {
+                Some(fb) => out.events.push(fb),
+                None => out.skipped += 1,
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Tallies of one replay (or of a live adapter run over the same log).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Feedback events consumed.
+    pub events: u64,
+    /// First-time cold→warm graduations performed.
+    pub graduations: u64,
+    /// Post-graduation re-adaptations on a fresher support window.
+    pub refreshes: u64,
+    /// Adaptation calls the sink rejected.
+    pub errors: u64,
+}
+
+/// Drives `events` (in order) through a fresh graduation state machine,
+/// calling `sink` for every adaptation decision.
+pub fn replay(
+    events: &[FeedbackEvent],
+    cfg: GraduationConfig,
+    sink: &dyn FeedbackSink,
+) -> ReplayOutcome {
+    let mut state = GraduationState::new(cfg);
+    let mut out = ReplayOutcome::default();
+    for ev in events {
+        out.events += 1;
+        if let Some(g) = state.ingest(ev) {
+            match sink.graduate(g.user, &g.support, g.first) {
+                Ok(()) if g.first => out.graduations += 1,
+                Ok(()) => out.refreshes += 1,
+                Err(_) => out.errors += 1,
+            }
+        }
+    }
+    out
+}
+
+/// The outcome a clean replay of `events` must produce — computed from the
+/// log alone, with no model in the loop. `obs-report check-feedback` uses
+/// this as its oracle against the live adapter's trace.
+pub fn expected_outcome(events: &[FeedbackEvent], cfg: GraduationConfig) -> ReplayOutcome {
+    replay(events, cfg, &NullSink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn ev(seq: u64, user: usize, item: usize) -> FeedbackEvent {
+        FeedbackEvent { seq, user, item, label: 1.0, run_id: "run-t".into() }
+    }
+
+    /// One recorded graduation call: (user, support, first).
+    type GraduateCall = (usize, Vec<(usize, f32)>, bool);
+
+    /// Records every graduation call it receives.
+    #[derive(Default)]
+    struct RecordingSink {
+        calls: Mutex<Vec<GraduateCall>>,
+    }
+
+    impl FeedbackSink for RecordingSink {
+        fn graduate(
+            &self,
+            user: usize,
+            support: &[(usize, f32)],
+            first: bool,
+        ) -> Result<(), String> {
+            self.calls.lock().unwrap().push((user, support.to_vec(), first));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn replay_counts_and_call_order_are_deterministic() {
+        let events = vec![ev(1, 0, 1), ev(2, 1, 2), ev(3, 0, 3), ev(4, 0, 4), ev(5, 1, 5)];
+        let cfg = GraduationConfig::with_threshold(2);
+        let sink = RecordingSink::default();
+        let outcome = replay(&events, cfg, &sink);
+        assert_eq!(outcome, ReplayOutcome { events: 5, graduations: 2, refreshes: 1, errors: 0 });
+        assert_eq!(outcome, expected_outcome(&events, cfg));
+        let calls = sink.calls.lock().unwrap();
+        assert_eq!(calls.len(), 3);
+        assert_eq!((calls[0].0, calls[0].2), (0, true), "user 0 graduates at seq 3");
+        assert_eq!((calls[1].0, calls[1].2), (0, false), "seq 4 refreshes user 0");
+        assert_eq!((calls[2].0, calls[2].2), (1, true), "user 1 graduates at seq 5");
+        assert_eq!(calls[1].1, vec![(3, 1.0), (4, 1.0)], "refresh uses the slid window");
+    }
+
+    #[test]
+    fn sink_failures_are_tallied_not_fatal() {
+        struct FailSink;
+        impl FeedbackSink for FailSink {
+            fn graduate(&self, _: usize, _: &[(usize, f32)], _: bool) -> Result<(), String> {
+                Err("nope".into())
+            }
+        }
+        let events = vec![ev(1, 0, 1), ev(2, 0, 2)];
+        let outcome = replay(&events, GraduationConfig::with_threshold(2), &FailSink);
+        assert_eq!(outcome.errors, 1);
+        assert_eq!(outcome.graduations, 0);
+    }
+}

@@ -105,6 +105,14 @@ impl Lineage {
         self
     }
 
+    /// Adds the run ID stamped on a feedback event log (the key every
+    /// record of `POST /v1/feedback` ingestion carries).
+    pub fn with_feedback(mut self, run_id: &str) -> Lineage {
+        let run_id = (!run_id.is_empty()).then(|| run_id.to_string());
+        self.sources.push(LineageSource { label: "feedback", run_id });
+        self
+    }
+
     /// The join verdict: `Ok(run_id)` when every source carries the same
     /// run ID, `Err(reason)` when any source is unstamped or disagrees.
     pub fn join(&self) -> Result<String, String> {
@@ -136,7 +144,7 @@ impl Lineage {
         }
         for src in &self.sources {
             let id = src.run_id.as_deref().unwrap_or("(unstamped)");
-            out.push_str(&format!("  {:<6} {id}\n", src.label));
+            out.push_str(&format!("  {:<8} {id}\n", src.label));
         }
         if !self.train_epochs.is_empty() {
             let phases: Vec<String> =
@@ -214,6 +222,20 @@ mod tests {
         let lineage = Lineage::from_events(&events).with_ckpt("run-07-aa-3");
         assert_eq!(lineage.join().as_deref(), Ok("run-07-aa-3"));
         assert_eq!(lineage.requests, 1);
+    }
+
+    #[test]
+    fn feedback_logs_join_like_any_other_source() {
+        let events =
+            trace(&[r#"{"kind":"event","name":"serve.artifact","t_ns":1,"run_id":"run-07-aa-5"}"#]);
+        let joined = Lineage::from_events(&events).with_feedback("run-07-aa-5");
+        assert_eq!(joined.join().as_deref(), Ok("run-07-aa-5"));
+        assert!(joined.render().contains("feedback"), "{}", joined.render());
+
+        let broken = Lineage::from_events(&events).with_feedback("run-07-aa-6");
+        assert!(broken.join().unwrap_err().contains("disagree"));
+        let unstamped = Lineage::from_events(&events).with_feedback("");
+        assert!(unstamped.join().unwrap_err().contains("feedback carries no run ID"));
     }
 
     #[test]

@@ -7,7 +7,15 @@
 //!
 //! metadpa-serve run --artifact artifact.ckpt [--addr 127.0.0.1:8787] [--workers 4]
 //!     Load an artifact and serve /v1/recommend, /v1/adapt, /health,
-//!     /metrics until the process is killed.
+//!     /metrics until the process is killed. With --feedback-log PATH the
+//!     server also ingests implicit feedback on POST /v1/feedback into a
+//!     size-rotated JSONL log, and a background adapter thread tails that
+//!     log, re-running the trained MAML inner loop for any user who
+//!     crosses --feedback-threshold events (default 5) — cold users
+//!     graduate into the adapted-parameter cache live, and the cache is
+//!     invalidated on the rising edge of the drift alert.
+//!     --adapt-cache-capacity N bounds the adapted cache (LRU, default
+//!     4096).
 //!
 //! metadpa-serve smoke --artifact artifact.ckpt
 //!     Load an artifact, bind an ephemeral port, drive loopback requests
@@ -37,14 +45,17 @@ use metadpa_core::{MetaDpa, MetaDpaConfig};
 use metadpa_data::generator::generate_world;
 use metadpa_data::presets::tiny_world;
 use metadpa_data::splits::{ScenarioKind, SplitConfig, Splitter};
+use metadpa_feedback::{AdapterConfig, FeedbackAdapter, FeedbackLog, GraduationConfig};
 use metadpa_obs::recorder::{NullRecorder, RotatingFileRecorder};
+use metadpa_serve::engine::DEFAULT_ADAPT_CACHE_CAPACITY;
 use metadpa_serve::http::{serve, ServerConfig};
-use metadpa_serve::{load_artifact, router, save_artifact, Engine};
+use metadpa_serve::{load_artifact, router, router_with_feedback, save_artifact, Engine};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: metadpa-serve export --out PATH [--seed N] [--train-trace-out PATH]\n\
          \x20      metadpa-serve run --artifact PATH [--addr HOST:PORT] [--workers N] [--trace-out PATH]\n\
+         \x20          [--feedback-log PATH] [--feedback-threshold N] [--adapt-cache-capacity N]\n\
          \x20      metadpa-serve smoke --artifact PATH [--trace-out PATH]"
     );
     ExitCode::from(2)
@@ -96,10 +107,10 @@ fn cmd_export(args: &[String]) -> ExitCode {
     }
 }
 
-fn build_engine(artifact_path: &str) -> Result<Arc<Engine>, String> {
+fn build_engine(artifact_path: &str, adapt_capacity: usize) -> Result<Arc<Engine>, String> {
     let artifact = load_artifact(artifact_path).map_err(|e| e.to_string())?;
     let rec = artifact.into_recommender().map_err(|e| e.to_string())?;
-    Ok(Arc::new(Engine::new(rec)))
+    Ok(Arc::new(Engine::with_adapt_capacity(rec, adapt_capacity)))
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -116,7 +127,25 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let engine = match build_engine(&path) {
+    let threshold: usize = match flag_value(args, "--feedback-threshold").as_deref().map(str::parse)
+    {
+        None => metadpa_feedback::DEFAULT_THRESHOLD,
+        Some(Ok(t)) => t,
+        Some(Err(_)) => {
+            eprintln!("run: --feedback-threshold must be an integer");
+            return ExitCode::from(2);
+        }
+    };
+    let capacity: usize =
+        match flag_value(args, "--adapt-cache-capacity").as_deref().map(str::parse) {
+            None => DEFAULT_ADAPT_CACHE_CAPACITY,
+            Some(Ok(c)) => c,
+            Some(Err(_)) => {
+                eprintln!("run: --adapt-cache-capacity must be an integer");
+                return ExitCode::from(2);
+            }
+        };
+    let engine = match build_engine(&path, capacity) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("run: {e}");
@@ -124,9 +153,35 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
     let meta = engine.meta().clone();
+    // Feedback wiring: the HTTP route appends to the log; the background
+    // adapter tails the same file and graduates users through the engine.
+    let feedback = match flag_value(args, "--feedback-log") {
+        None => None,
+        Some(fb_path) => {
+            match FeedbackLog::create(
+                &fb_path,
+                &meta.run_id,
+                RotatingFileRecorder::DEFAULT_MAX_BYTES,
+            ) {
+                Ok(log) => Some((Arc::new(log), fb_path)),
+                Err(e) => {
+                    eprintln!("run: --feedback-log {fb_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let _adapter = feedback.as_ref().map(|(log, fb_path)| {
+        let cfg = AdapterConfig {
+            graduation: GraduationConfig::with_threshold(threshold),
+            ..AdapterConfig::default()
+        };
+        eprintln!("feedback log at {fb_path} (graduation threshold {threshold})");
+        FeedbackAdapter::spawn(log.path(), cfg, Arc::clone(&engine) as _)
+    });
     let server = match serve(
         ServerConfig { addr, workers, ..ServerConfig::default() },
-        router(Arc::clone(&engine)),
+        router_with_feedback(Arc::clone(&engine), feedback.map(|(log, _)| log)),
     ) {
         Ok(s) => s,
         Err(e) => {
@@ -235,7 +290,7 @@ fn cmd_smoke(args: &[String]) -> ExitCode {
         eprintln!("smoke: --artifact PATH is required");
         return ExitCode::from(2);
     };
-    let engine = match build_engine(&path) {
+    let engine = match build_engine(&path, DEFAULT_ADAPT_CACHE_CAPACITY) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("smoke: {e}");

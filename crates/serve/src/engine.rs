@@ -1,11 +1,20 @@
 //! The thread-safe inference engine: scoring plus the adaptation cache.
 //!
 //! [`Engine`] wraps an [`ArtifactRecommender`] behind a mutex (the model
-//! caches activations, so scoring needs `&mut`) and keeps a read-mostly
-//! per-user cache of serve-time-adapted parameter sets. Adaptation is
-//! deterministic — the same support set always produces the same
-//! parameters — so cache entries never go stale until replaced by a new
-//! `/v1/adapt` call for the same user.
+//! caches activations, so scoring needs `&mut`) and keeps a per-user cache
+//! of serve-time-adapted parameter sets, LRU-bounded at a configurable
+//! capacity so online graduation at scale cannot grow memory without
+//! limit. Adaptation is deterministic — the same support set always
+//! produces the same parameters — so cache entries never go stale until
+//! replaced by a newer adaptation for the same user, evicted under
+//! capacity pressure (`serve.adapt_cache.evictions`), or invalidated
+//! wholesale by a drift reaction ([`Engine::invalidate_adapted`]).
+//!
+//! The engine is also the serving side of the streaming feedback loop: it
+//! implements [`metadpa_feedback::FeedbackSink`], so the background
+//! `FeedbackAdapter` graduates users cold→warm by calling straight into
+//! [`Engine::adapt_user`] and reacts to the drift alert through
+//! [`Engine::invalidate_adapted`].
 //!
 //! Batch scoring parallelism comes from the tensor layer: a recommend call
 //! ranks the whole catalogue with one batched forward pass (an
@@ -16,9 +25,10 @@
 //! level.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 
 use metadpa_core::artifact::{ArtifactError, ArtifactMeta, ArtifactRecommender};
+use metadpa_feedback::FeedbackSink;
 use metadpa_obs::window::QuantileDrift;
 use metadpa_tensor::Matrix;
 
@@ -27,9 +37,70 @@ use metadpa_tensor::Matrix;
 /// by 25 percentage points — far outside fingerprint sketch error.
 pub const DRIFT_ALERT_THRESHOLD: f64 = 0.25;
 
+/// Default LRU capacity of the adapted-parameter cache.
+pub const DEFAULT_ADAPT_CACHE_CAPACITY: usize = 4096;
+
 /// How many live ranking scores (at most) feed the drift tracker per
 /// request; larger catalogues are stride-sampled down to this.
 const DRIFT_SAMPLE_CAP: usize = 256;
+
+/// One cached adaptation: the parameters plus its LRU recency tick.
+struct CacheEntry {
+    params: Arc<Vec<Matrix>>,
+    tick: u64,
+}
+
+/// LRU-bounded map from user id to adapted parameters. A plain HashMap
+/// with recency ticks and a linear min-scan on eviction: adaptation costs
+/// milliseconds of matmuls per insert, so an O(capacity) scan on the
+/// (rare) over-capacity insert is noise next to an intrusive-list LRU.
+struct AdaptedCache {
+    map: HashMap<usize, CacheEntry>,
+    capacity: usize,
+    clock: u64,
+    evictions: u64,
+}
+
+impl AdaptedCache {
+    fn new(capacity: usize) -> Self {
+        Self { map: HashMap::new(), capacity: capacity.max(1), clock: 0, evictions: 0 }
+    }
+
+    /// Cache hit: refreshes the entry's recency and hands back the params.
+    fn touch(&mut self, user: usize) -> Option<Arc<Vec<Matrix>>> {
+        self.clock += 1;
+        let tick = self.clock;
+        self.map.get_mut(&user).map(|e| {
+            e.tick = tick;
+            Arc::clone(&e.params)
+        })
+    }
+
+    /// Read without touching recency (tests compare cached tensors).
+    fn peek(&self, user: usize) -> Option<Arc<Vec<Matrix>>> {
+        self.map.get(&user).map(|e| Arc::clone(&e.params))
+    }
+
+    /// Inserts (or replaces) a user's adaptation, evicting the least
+    /// recently used entry when a *new* user would exceed capacity.
+    fn insert(&mut self, user: usize, params: Arc<Vec<Matrix>>) {
+        if !self.map.contains_key(&user) && self.map.len() >= self.capacity {
+            if let Some(&lru) = self.map.iter().min_by_key(|(_, e)| e.tick).map(|(u, _)| u) {
+                self.map.remove(&lru);
+                self.evictions += 1;
+                metadpa_obs::counter_add!("serve.adapt_cache.evictions", 1);
+            }
+        }
+        self.clock += 1;
+        self.map.insert(user, CacheEntry { params, tick: self.clock });
+    }
+
+    fn clear(&mut self) -> usize {
+        let n = self.map.len();
+        self.map.clear();
+        n
+    }
+}
 
 /// Where a recommendation's parameters came from; reported in responses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,7 +132,7 @@ impl ServeSource {
 /// adaptation cache.
 pub struct Engine {
     rec: Mutex<ArtifactRecommender>,
-    adapted: RwLock<HashMap<usize, Arc<Vec<Matrix>>>>,
+    adapted: Mutex<AdaptedCache>,
     meta: ArtifactMeta,
     n_users: usize,
     n_items: usize,
@@ -72,8 +143,14 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Wraps a reloaded recommender.
+    /// Wraps a reloaded recommender with the default adapted-cache bound.
     pub fn new(rec: ArtifactRecommender) -> Self {
+        Self::with_adapt_capacity(rec, DEFAULT_ADAPT_CACHE_CAPACITY)
+    }
+
+    /// Wraps a reloaded recommender, bounding the adapted-parameter cache
+    /// at `capacity` users (LRU eviction beyond that; min 1).
+    pub fn with_adapt_capacity(rec: ArtifactRecommender, capacity: usize) -> Self {
         let meta = rec.meta().clone();
         let (n_users, n_items, content_dim) = (rec.n_users(), rec.n_items(), rec.content_dim());
         let fp = &meta.score_fingerprint;
@@ -82,7 +159,7 @@ impl Engine {
         let drift = QuantileDrift::with_defaults(&probs, &thresholds);
         Self {
             rec: Mutex::new(rec),
-            adapted: RwLock::new(HashMap::new()),
+            adapted: Mutex::new(AdaptedCache::new(capacity)),
             meta,
             n_users,
             n_items,
@@ -150,11 +227,45 @@ impl Engine {
 
     /// Number of users with a cached adaptation.
     pub fn cached_adaptations(&self) -> usize {
-        self.adapted.read().expect("engine adaptation cache poisoned").len()
+        self.adapted.lock().expect("engine adaptation cache poisoned").map.len()
+    }
+
+    /// How many cache entries LRU pressure has evicted so far.
+    pub fn adapt_cache_evictions(&self) -> u64 {
+        self.adapted.lock().expect("engine adaptation cache poisoned").evictions
+    }
+
+    /// A user's cached adapted parameters, without touching LRU recency —
+    /// the hook replay tests use to compare cache tensors bit-for-bit.
+    pub fn adapted_params(&self, user: usize) -> Option<Arc<Vec<Matrix>>> {
+        self.adapted.lock().expect("engine adaptation cache poisoned").peek(user)
+    }
+
+    /// Drops every cached adaptation (the drift reaction); returns how
+    /// many entries were invalidated. Warm serving from θ is untouched.
+    pub fn invalidate_adapted(&self) -> usize {
+        self.adapted.lock().expect("engine adaptation cache poisoned").clear()
+    }
+
+    /// Whether the live drift statistic is currently over
+    /// [`DRIFT_ALERT_THRESHOLD`].
+    pub fn drift_alerting(&self) -> bool {
+        self.drift_stat().is_some_and(|(stat, _)| stat > DRIFT_ALERT_THRESHOLD)
+    }
+
+    /// Validates one implicit-feedback event against the artifact (known
+    /// user, in-catalogue item, finite label) without touching any state.
+    pub fn validate_feedback(
+        &self,
+        user: usize,
+        item: usize,
+        label: f32,
+    ) -> Result<(), ArtifactError> {
+        self.rec.lock().expect("engine recommender poisoned").validate_event(user, item, label)
     }
 
     fn cached(&self, user: usize) -> Option<Arc<Vec<Matrix>>> {
-        self.adapted.read().expect("engine adaptation cache poisoned").get(&user).cloned()
+        self.adapted.lock().expect("engine adaptation cache poisoned").touch(user)
     }
 
     /// Top-`k` for a known user id. Uses the user's cached adapted
@@ -218,9 +329,9 @@ impl Engine {
             rec.adapt_user(user, support)?
         };
         metadpa_obs::counter_add!("serve.adaptations", 1);
-        let mut cache = self.adapted.write().expect("engine adaptation cache poisoned");
+        let mut cache = self.adapted.lock().expect("engine adaptation cache poisoned");
         cache.insert(user, Arc::new(adapted));
-        Ok(cache.len())
+        Ok(cache.map.len())
     }
 
     /// One-shot adaptation for a brand-new user: adapts on the supplied
@@ -243,7 +354,25 @@ impl Engine {
 
     /// Drops a user's cached adaptation; returns whether one existed.
     pub fn evict(&self, user: usize) -> bool {
-        self.adapted.write().expect("engine adaptation cache poisoned").remove(&user).is_some()
+        self.adapted.lock().expect("engine adaptation cache poisoned").map.remove(&user).is_some()
+    }
+}
+
+/// The serving side of the streaming feedback loop: the background
+/// `FeedbackAdapter` graduates users by re-running the trained MAML inner
+/// loop through [`Engine::adapt_user`] (installing into the same LRU cache
+/// `/v1/adapt` uses) and reacts to the drift alert by invalidating it.
+impl FeedbackSink for Engine {
+    fn graduate(&self, user: usize, support: &[(usize, f32)], _first: bool) -> Result<(), String> {
+        self.adapt_user(user, support).map(|_| ()).map_err(|e| e.to_string())
+    }
+
+    fn drift_alert(&self) -> bool {
+        self.drift_alerting()
+    }
+
+    fn invalidate_adapted(&self) -> usize {
+        Engine::invalidate_adapted(self)
     }
 }
 
@@ -255,7 +384,7 @@ mod tests {
     use metadpa_core::{MamlConfig, MetaLearner, PreferenceConfig};
     use metadpa_tensor::SeededRng;
 
-    fn tiny_engine(seed: u64) -> Engine {
+    fn tiny_rec(seed: u64) -> ArtifactRecommender {
         let pref = PreferenceConfig { content_dim: 6, embed_dim: 5, hidden: [8, 4] };
         let maml = MamlConfig { finetune_steps: 2, ..MamlConfig::default() };
         let mut rng = SeededRng::new(seed);
@@ -272,7 +401,11 @@ mod tests {
             item_content,
             String::new(),
         );
-        Engine::new(artifact.into_recommender().expect("valid artifact"))
+        artifact.into_recommender().expect("valid artifact")
+    }
+
+    fn tiny_engine(seed: u64) -> Engine {
+        Engine::new(tiny_rec(seed))
     }
 
     #[test]
@@ -359,6 +492,50 @@ mod tests {
         // sketched, so the alert gauge must stay down.
         assert!(stat < DRIFT_ALERT_THRESHOLD, "on-distribution scores, got {stat}");
         metadpa_obs::disable();
+    }
+
+    #[test]
+    fn adapted_cache_is_lru_bounded_and_bulk_invalidatable() {
+        let engine = Engine::with_adapt_capacity(tiny_rec(26), 2);
+        let support = [(0usize, 1.0f32), (5, 0.0)];
+        engine.adapt_user(0, &support).expect("adapt 0");
+        engine.adapt_user(1, &support).expect("adapt 1");
+        assert_eq!(engine.cached_adaptations(), 2);
+        assert_eq!(engine.adapt_cache_evictions(), 0);
+
+        // Touch user 0 so user 1 becomes least-recently-used, then overflow.
+        engine.recommend_user(0, 3).expect("touch 0");
+        engine.adapt_user(2, &support).expect("adapt 2 evicts 1");
+        assert_eq!(engine.cached_adaptations(), 2, "capacity is a hard bound");
+        assert_eq!(engine.adapt_cache_evictions(), 1);
+        assert!(engine.adapted_params(1).is_none(), "LRU entry evicted");
+        assert!(engine.adapted_params(0).is_some(), "recently used entry survives");
+        assert!(engine.adapted_params(2).is_some(), "new entry installed");
+
+        // Re-adapting a resident user must not evict anyone.
+        engine.adapt_user(0, &support).expect("refresh 0");
+        assert_eq!(engine.adapt_cache_evictions(), 1, "refresh is not an eviction");
+
+        assert_eq!(engine.invalidate_adapted(), 2);
+        assert_eq!(engine.cached_adaptations(), 0);
+        let (_, source) = engine.recommend_user(0, 3).expect("after invalidate");
+        assert_eq!(source, ServeSource::Warm);
+    }
+
+    #[test]
+    fn feedback_sink_graduation_installs_adapted_params() {
+        let engine = tiny_engine(27);
+        let sink: &dyn FeedbackSink = &engine;
+        sink.graduate(1, &[(0, 1.0), (3, 0.0), (4, 1.0)], true).expect("graduate");
+        assert_eq!(engine.cached_adaptations(), 1);
+        let (_, source) = engine.recommend_user(1, 3).expect("serve graduated user");
+        assert_eq!(source, ServeSource::AdaptedCache);
+        assert!(!sink.drift_alert(), "no drift observed yet");
+        assert_eq!(sink.invalidate_adapted(), 1);
+        assert_eq!(engine.cached_adaptations(), 0);
+
+        let err = sink.graduate(99, &[(0, 1.0)], true).expect_err("bad user");
+        assert!(err.contains("99"), "error carries the offending user: {err}");
     }
 
     #[test]

@@ -16,9 +16,12 @@
 //!    pipeline exports) onto that container, so a model round-trips
 //!    through disk bit-exactly.
 //! 3. [`engine`] + [`http`] + [`server`] — a thread-safe inference engine
-//!    with a per-user adaptation cache, a minimal HTTP/1.1 server on
-//!    `std::net` with a fixed worker pool and graceful shutdown, and the
-//!    route table (`/v1/recommend`, `/v1/adapt`, `/health`, `/metrics`).
+//!    with an LRU-bounded per-user adaptation cache, a minimal HTTP/1.1
+//!    server on `std::net` with a fixed worker pool and graceful shutdown,
+//!    and the route table (`/v1/recommend`, `/v1/adapt`, `/v1/feedback`,
+//!    `/health`, `/metrics`). The engine implements
+//!    [`metadpa_feedback::FeedbackSink`], so the streaming feedback
+//!    adapter can graduate cold users into the adapted cache live.
 //!
 //! Everything is `std`-only, matching the workspace's offline-build
 //! constraint; JSON is read and written with `metadpa_obs::json`.
@@ -36,4 +39,4 @@ pub use artifact_io::{load_artifact, save_artifact};
 pub use ckpt::{Checkpoint, CkptError, CkptErrorKind};
 pub use engine::Engine;
 pub use http::{Server, ServerConfig};
-pub use server::router;
+pub use server::{router, router_with_feedback};

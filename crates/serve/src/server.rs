@@ -10,16 +10,23 @@
 //!   `{"user_id": u, "support": [[item, label], ...]}` caches adapted
 //!   parameters for that user; `{"content": [...], "support": [...]}`
 //!   adapts one-shot and returns the adapted top-K directly.
+//! * `POST /v1/feedback` — implicit-feedback ingestion:
+//!   `{"user_id": u, "item_id": i, "label": x}` (label optional,
+//!   default 1.0) is validated against the catalogue and appended to the
+//!   configured [`FeedbackLog`]; the background feedback adapter tails
+//!   that log and graduates cold users live. 503 when the server runs
+//!   without a feedback log.
 //!
 //! Request-data problems (unknown user id, out-of-range item, wrong
-//! content width, empty support) are 422 with a JSON explanation — typed
-//! [`ArtifactError`]s all the way out, never panics. Malformed JSON is
-//! 400; unknown paths 404; wrong methods 405.
+//! content width, empty support, non-finite label) are 422 with a JSON
+//! explanation — typed [`ArtifactError`]s all the way out, never panics.
+//! Malformed JSON is 400; unknown paths 404; wrong methods 405.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use metadpa_core::artifact::ArtifactError;
+use metadpa_feedback::FeedbackLog;
 use metadpa_obs::json::{self, number, JsonValue, ObjectWriter};
 
 use crate::engine::{Engine, ServeSource};
@@ -135,7 +142,7 @@ fn parse_user_id(body: &JsonValue) -> Result<Option<usize>, Response> {
     }
 }
 
-fn health(engine: &Engine) -> Response {
+fn health(engine: &Engine, feedback_enabled: bool) -> Response {
     let meta = engine.meta();
     let mut w = ObjectWriter::new();
     w.str_field("status", "ok")
@@ -146,7 +153,8 @@ fn health(engine: &Engine) -> Response {
         .u64_field("n_users", engine.n_users() as u64)
         .u64_field("n_items", engine.n_items() as u64)
         .u64_field("content_dim", engine.content_dim() as u64)
-        .u64_field("adapted_users", engine.cached_adaptations() as u64);
+        .u64_field("adapted_users", engine.cached_adaptations() as u64)
+        .bool_field("feedback_enabled", feedback_enabled);
     Response::json(200, w.finish())
 }
 
@@ -301,6 +309,68 @@ fn adapt_inner(engine: &Engine, req: &Request) -> (Response, State) {
     }
 }
 
+fn feedback(engine: &Engine, log: Option<&Arc<FeedbackLog>>, req: &Request) -> Response {
+    let start = Instant::now();
+    let resp = feedback_inner(engine, log, req);
+    let us = start.elapsed().as_micros() as u64;
+    metadpa_obs::histogram_observe!("serve.latency.feedback_us", us);
+    if resp.status == 200 {
+        metadpa_obs::counter_add!("serve.feedback.accepted", 1);
+        metadpa_obs::window_observe!("serve.window.feedback_us", us);
+    } else if resp.status == 400 || resp.status == 422 {
+        // The typed rejection counter: malformed or out-of-catalogue
+        // events never reach the log (and never panic the worker).
+        metadpa_obs::counter_add!("serve.feedback.rejected", 1);
+    }
+    resp
+}
+
+fn feedback_inner(engine: &Engine, log: Option<&Arc<FeedbackLog>>, req: &Request) -> Response {
+    let Some(log) = log else {
+        metadpa_obs::counter_add!("serve.responses.503", 1);
+        error_cause_counter(503, "feedback_disabled");
+        return Response::json(503, error_json("this server runs without a feedback log"));
+    };
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let user = match parse_user_id(&body) {
+        Ok(Some(u)) => u,
+        Ok(None) => {
+            return bad_request("missing_user_id", "feedback requires a \"user_id\"");
+        }
+        Err(resp) => return resp,
+    };
+    let item = match body.get("item_id") {
+        None => return bad_request("missing_item_id", "feedback requires an \"item_id\""),
+        Some(v) => match v.as_u64() {
+            Some(i) => i as usize,
+            None => {
+                return bad_request("bad_item_id", "\"item_id\" must be a non-negative integer")
+            }
+        },
+    };
+    let label = match body.get("label") {
+        None => 1.0f32,
+        Some(v) => match v.as_f64() {
+            Some(x) => x as f32,
+            None => return bad_request("bad_label", "\"label\" must be a number"),
+        },
+    };
+    if let Err(e) = engine.validate_feedback(user, item, label) {
+        return artifact_error_response(&e);
+    }
+    let seq = log.append(user, item, label);
+    metadpa_obs::counter_add!("serve.responses.200", 1);
+    let mut w = ObjectWriter::new();
+    w.str_field("status", "accepted")
+        .u64_field("seq", seq)
+        .u64_field("user_id", user as u64)
+        .u64_field("item_id", item as u64);
+    Response::json(200, w.finish())
+}
+
 fn metrics_page(engine: &Engine) -> Response {
     // Refresh the drift gauges at scrape time: they are otherwise only
     // updated per scored request, so a scrape after traffic stopped would
@@ -313,15 +383,23 @@ fn metrics_page(engine: &Engine) -> Response {
                 if stat > crate::engine::DRIFT_ALERT_THRESHOLD { 1.0 } else { 0.0 }
             );
         }
+        // The adapted-cache occupancy moves on graduation, eviction, and
+        // invalidation — all off the request path — so it is also refreshed
+        // at scrape time rather than per event.
+        metadpa_obs::gauge_set!("serve.adapt_cache.size", engine.cached_adaptations() as f64);
     }
     Response::text(200, metadpa_obs::metrics::render_text())
 }
 
 /// Dispatches one request; returns the response plus the endpoint label
 /// and warm/cold/adapted state for the trace record.
-fn route(engine: &Engine, req: &Request) -> (Response, &'static str, State) {
+fn route(
+    engine: &Engine,
+    feedback_log: Option<&Arc<FeedbackLog>>,
+    req: &Request,
+) -> (Response, &'static str, State) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/health") => (health(engine), "health", ""),
+        ("GET", "/health") => (health(engine, feedback_log.is_some()), "health", ""),
         ("GET", "/metrics") => (metrics_page(engine), "metrics", ""),
         ("POST", "/v1/recommend") => {
             let (resp, state) = recommend(engine, req);
@@ -331,7 +409,8 @@ fn route(engine: &Engine, req: &Request) -> (Response, &'static str, State) {
             let (resp, state) = adapt(engine, req);
             (resp, "adapt", state)
         }
-        (_, "/health" | "/metrics" | "/v1/recommend" | "/v1/adapt") => {
+        ("POST", "/v1/feedback") => (feedback(engine, feedback_log, req), "feedback", ""),
+        (_, "/health" | "/metrics" | "/v1/recommend" | "/v1/adapt" | "/v1/feedback") => {
             metadpa_obs::counter_add!("serve.errors.405.bad_method", 1);
             (Response::json(405, error_json("method not allowed for this path")), "bad_method", "")
         }
@@ -357,8 +436,17 @@ fn seed_serve_metrics() {
     metadpa_obs::counter_add!("serve.state.warm", 0);
     metadpa_obs::counter_add!("serve.state.cold", 0);
     metadpa_obs::counter_add!("serve.state.adapted", 0);
+    metadpa_obs::counter_add!("serve.feedback.accepted", 0);
+    metadpa_obs::counter_add!("serve.feedback.rejected", 0);
+    metadpa_obs::counter_add!("serve.feedback.graduations", 0);
+    metadpa_obs::counter_add!("serve.feedback.refreshes", 0);
+    metadpa_obs::counter_add!("serve.feedback.invalidations", 0);
+    metadpa_obs::counter_add!("serve.feedback.errors", 0);
+    metadpa_obs::counter_add!("serve.feedback.parse_errors", 0);
+    metadpa_obs::counter_add!("serve.adapt_cache.evictions", 0);
     metadpa_obs::gauge_set!("serve.drift.stat", 0.0);
     metadpa_obs::gauge_set!("serve.drift.alert", 0.0);
+    metadpa_obs::gauge_set!("serve.adapt_cache.size", 0.0);
     if !metadpa_obs::enabled() {
         return;
     }
@@ -367,6 +455,7 @@ fn seed_serve_metrics() {
         "serve.window.recommend.cold_us",
         "serve.window.recommend.adapted_us",
         "serve.window.adapt_us",
+        "serve.window.feedback_us",
     ] {
         let _ = metadpa_obs::metrics::window(name);
     }
@@ -381,6 +470,11 @@ fn seed_serve_metrics() {
         "serve.errors.400.both_ids",
         "serve.errors.400.missing_support",
         "serve.errors.400.missing_target",
+        "serve.errors.400.missing_user_id",
+        "serve.errors.400.missing_item_id",
+        "serve.errors.400.bad_item_id",
+        "serve.errors.400.bad_label",
+        "serve.errors.503.feedback_disabled",
         "serve.errors.404.unknown_path",
         "serve.errors.405.bad_method",
         "serve.errors.422.user_out_of_range",
@@ -429,8 +523,20 @@ fn publish_artifact_identity(engine: &Engine) {
     metadpa_obs::gauge_set!("serve.artifact.run.seq", seq as f64);
 }
 
-/// Builds the HTTP handler for one engine.
+/// Builds the HTTP handler for one engine, without feedback ingestion
+/// (`POST /v1/feedback` answers 503).
 pub fn router(engine: Arc<Engine>) -> Handler {
+    router_with_feedback(engine, None)
+}
+
+/// Builds the HTTP handler for one engine. With a [`FeedbackLog`],
+/// `POST /v1/feedback` validates events against the engine's catalogue and
+/// appends them; the background [`metadpa_feedback::FeedbackAdapter`]
+/// (wired up by the serve binary) consumes them from the file.
+pub fn router_with_feedback(
+    engine: Arc<Engine>,
+    feedback_log: Option<Arc<FeedbackLog>>,
+) -> Handler {
     seed_serve_metrics();
     publish_artifact_identity(&engine);
     Arc::new(move |req: &Request| {
@@ -438,14 +544,14 @@ pub fn router(engine: Arc<Engine>) -> Handler {
         if !metadpa_obs::enabled() {
             // The whole tracing block below is skipped: with observability
             // off a request costs the same relaxed loads as before.
-            return route(&engine, req).0;
+            return route(&engine, feedback_log.as_ref(), req).0;
         }
         let start = Instant::now();
         let request_id = metadpa_obs::span::next_request_id();
         let _scope = metadpa_obs::span::enter_request(Some(request_id));
         let (resp, endpoint, state) = {
             let _root = metadpa_obs::span!("serve.request");
-            route(&engine, req)
+            route(&engine, feedback_log.as_ref(), req)
         };
         // One structured access record per request — the unit `obs-report
         // tail` / `check-trace` stream over.
@@ -614,6 +720,20 @@ mod tests {
             "serve_errors_405_bad_method",
             "serve_errors_413_body_too_large",
             "serve_errors_422_user_out_of_range",
+            // Feedback subsystem schema: ingestion counters, adapter-side
+            // graduation/invalidation counters, and the cache gauges are
+            // all visible before any feedback traffic exists.
+            "serve_feedback_accepted",
+            "serve_feedback_rejected",
+            "serve_feedback_graduations",
+            "serve_feedback_refreshes",
+            "serve_feedback_invalidations",
+            "serve_feedback_errors",
+            "serve_feedback_parse_errors",
+            "serve_adapt_cache_evictions",
+            "serve_adapt_cache_size",
+            "serve_window_feedback_us_p99",
+            "serve_errors_503_feedback_disabled",
         ] {
             assert!(body.contains(name), "/metrics must expose {name}: {body}");
         }
@@ -660,6 +780,66 @@ mod tests {
         assert_eq!(status, 405);
 
         server.shutdown();
+    }
+
+    #[test]
+    fn feedback_route_validates_appends_and_fails_closed() {
+        let engine = tiny_engine(35);
+
+        // Without a configured log the endpoint fails closed: 503, typed.
+        let server = serve(ServerConfig::default(), router(Arc::clone(&engine))).expect("bind");
+        let (status, body) = post(server.addr(), "/v1/feedback", r#"{"user_id":0,"item_id":1}"#);
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("without a feedback log"), "{body}");
+        let (_, body) = request(server.addr(), "GET", "/health", "");
+        assert!(body.contains("\"feedback_enabled\":false"), "{body}");
+        server.shutdown();
+
+        // With a log: validated events are appended with contiguous seqs.
+        let path = std::env::temp_dir()
+            .join(format!("metadpa_serve_fb_route_{}.jsonl", std::process::id()));
+        let log = Arc::new(
+            FeedbackLog::create(&path, &engine.meta().run_id, 1 << 20).expect("create log"),
+        );
+        let server = serve(
+            ServerConfig::default(),
+            router_with_feedback(Arc::clone(&engine), Some(Arc::clone(&log))),
+        )
+        .expect("bind");
+        let addr = server.addr();
+        let (_, body) = request(addr, "GET", "/health", "");
+        assert!(body.contains("\"feedback_enabled\":true"), "{body}");
+
+        let (status, body) = post(addr, "/v1/feedback", r#"{"user_id":1,"item_id":3}"#);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"seq\":1"), "{body}");
+        let (status, body) = post(addr, "/v1/feedback", r#"{"user_id":2,"item_id":0,"label":0}"#);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"seq\":2"), "{body}");
+
+        // Malformed and out-of-catalogue events are rejected, never logged.
+        for (body_text, want) in [
+            (r#"{"item_id":1}"#, 400),                         // missing_user_id
+            (r#"{"user_id":0}"#, 400),                         // missing_item_id
+            (r#"{"user_id":0,"item_id":"x"}"#, 400),           // bad_item_id
+            (r#"{"user_id":0,"item_id":1,"label":"x"}"#, 400), // bad_label
+            (r#"{"user_id":99,"item_id":1}"#, 422),            // user out of range
+            (r#"{"user_id":0,"item_id":99}"#, 422),            // item out of range
+        ] {
+            let (status, resp) = post(addr, "/v1/feedback", body_text);
+            assert_eq!(status, want, "{body_text} → {resp}");
+        }
+        assert_eq!(log.appended(), 2, "rejected events must not reach the log");
+
+        log.flush();
+        let read = metadpa_feedback::read_log(&path).expect("read back");
+        assert_eq!(read.events.len(), 2);
+        assert_eq!(read.events[0].user, 1);
+        assert_eq!(read.events[1].label, 0.0);
+        assert_eq!(read.events[1].run_id, engine.meta().run_id);
+
+        server.shutdown();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

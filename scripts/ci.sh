@@ -92,6 +92,20 @@ cargo run --release -q -p metadpa-bench --bin serve-loadgen -- \
 cargo run --release -q -p metadpa-bench --bin obs-report -- \
   check-trace trace_load.jsonl --expect-bench BENCH_trace_ci.json
 
+echo "== feedback smoke + replay gate =="
+# The streaming-feedback loop end to end: the loadgen mixes seeded
+# POST /v1/feedback events into its traffic, the background adapter tails
+# the log and graduates users live (the loadgen itself fails if the log
+# does not drain or any graduation errors), then check-feedback replays
+# the recorded log through the graduation state machine and demands the
+# live adapter's trace match that oracle exactly — same run-ledger key,
+# contiguous sequence, identical graduation/refresh counts.
+cargo run --release -q -p metadpa-bench --bin serve-loadgen -- \
+  --duration-ms 1200 --feedback-frac 0.3 --feedback-threshold 3 \
+  --feedback-log feedback_ci.jsonl --trace-out trace_feedback.jsonl
+cargo run --release -q -p metadpa-bench --bin obs-report -- \
+  check-feedback feedback_ci.jsonl --threshold 3 --trace trace_feedback.jsonl
+
 echo "== traced training smoke + train gate + lineage =="
 # Fit + export with training telemetry on, then gate the training trace:
 # check-train demands one run-ledger ID on every record, contiguous

@@ -15,7 +15,10 @@
 //! * [`metrics`] — HR/MRR/NDCG/AUC and the Wilcoxon signed-rank test,
 //! * [`core`] — Dual-CVAE adaptation, diverse augmentation, preference
 //!   meta-learning, and the end-to-end [`core::pipeline::MetaDpa`] pipeline,
-//! * [`baselines`] — the seven comparison systems from the paper.
+//! * [`baselines`] — the seven comparison systems from the paper,
+//! * [`serve`] — versioned checkpoints and the cold-start inference server,
+//! * [`feedback`] — streaming implicit feedback, online cold→warm
+//!   graduation, and deterministic log replay.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and experiment index.
@@ -23,7 +26,9 @@
 pub use metadpa_baselines as baselines;
 pub use metadpa_core as core;
 pub use metadpa_data as data;
+pub use metadpa_feedback as feedback;
 pub use metadpa_metrics as metrics;
 pub use metadpa_nn as nn;
 pub use metadpa_obs as obs;
+pub use metadpa_serve as serve;
 pub use metadpa_tensor as tensor;

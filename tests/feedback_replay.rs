@@ -1,0 +1,290 @@
+//! The streaming-feedback determinism contract, end to end.
+//!
+//! 1. Replaying a recorded feedback log against the same artifact rebuilds
+//!    the adapted-parameter cache *bit-exactly* at any `METADPA_THREADS` —
+//!    the serve-side extension of the training determinism contract.
+//! 2. Graduation fires exactly at the configured threshold, not before.
+//! 3. The θ-rewind invariant survives the whole pipeline: feedback-driven
+//!    adaptation never moves the shared meta-parameters, and invalidating
+//!    the cache restores the exact pre-feedback warm responses.
+//! 4. A drift alert invalidates the adapted cache live, observably: the
+//!    background adapter drops every entry, bumps the
+//!    `serve_feedback_invalidations` counter on `/metrics`, and emits a
+//!    typed `feedback.invalidation` event.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use metadpa_core::artifact::{artifact_from_learner, Artifact};
+use metadpa_core::augmentation::DiversityReport;
+use metadpa_core::{MamlConfig, MetaLearner, PreferenceConfig};
+use metadpa_feedback::{
+    read_log, replay, AdapterConfig, FeedbackAdapter, FeedbackEvent, FeedbackLog, FeedbackSink,
+    GraduationConfig,
+};
+use metadpa_serve::engine::ServeSource;
+use metadpa_serve::http::{serve, ServerConfig};
+use metadpa_serve::{router_with_feedback, Engine};
+use metadpa_tensor::SeededRng;
+
+fn tiny_artifact(seed: u64) -> Artifact {
+    let pref = PreferenceConfig { content_dim: 6, embed_dim: 5, hidden: [8, 4] };
+    let maml = MamlConfig { finetune_steps: 2, ..MamlConfig::default() };
+    let mut rng = SeededRng::new(seed);
+    let mut learner = MetaLearner::new(pref, maml, &mut rng);
+    let user_content = rng.uniform_matrix(4, 6, -1.0, 1.0);
+    let item_content = rng.uniform_matrix(9, 6, -1.0, 1.0);
+    artifact_from_learner(
+        &mut learner,
+        "feedback-test",
+        "rev".into(),
+        "fp".into(),
+        DiversityReport::default(),
+        user_content,
+        item_content,
+        format!("run-{seed:016x}-00000000feedbac4-1"),
+    )
+}
+
+fn fresh_engine(seed: u64) -> Engine {
+    Engine::new(tiny_artifact(seed).into_recommender().expect("valid artifact"))
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("metadpa_fb_replay_{tag}_{}.jsonl", std::process::id()))
+}
+
+/// The canonical event sequence (threshold 3): user 1 crosses and then
+/// refreshes twice, user 2 crosses exactly, user 3 stays short.
+fn write_log(path: &PathBuf, run_id: &str) -> Vec<FeedbackEvent> {
+    let log = FeedbackLog::create(path, run_id, 1 << 20).expect("create log");
+    for (user, item, label) in [
+        (1usize, 0usize, 1.0f32),
+        (2, 4, 1.0),
+        (1, 5, 0.0),
+        (3, 1, 1.0),
+        (1, 2, 1.0), // user 1 graduates here
+        (2, 6, 0.0),
+        (3, 7, 0.0),
+        (1, 8, 1.0), // refresh 1
+        (2, 3, 1.0), // user 2 graduates here
+        (1, 6, 0.0), // refresh 2
+    ] {
+        log.append(user, item, label);
+    }
+    log.flush();
+    let read = read_log(path).expect("read back");
+    assert!(read.interior_errors.is_empty(), "{:?}", read.interior_errors);
+    assert_eq!(read.events.len(), 10);
+    read.events
+}
+
+/// Every adapted matrix of every cached user, flattened to exact bits.
+fn cache_bits(engine: &Engine, users: &[usize]) -> Vec<(usize, Vec<Vec<u32>>)> {
+    users
+        .iter()
+        .filter_map(|&u| {
+            engine.adapted_params(u).map(|params| {
+                let bits = params
+                    .iter()
+                    .map(|m| m.as_slice().iter().map(|v| v.to_bits()).collect())
+                    .collect();
+                (u, bits)
+            })
+        })
+        .collect()
+}
+
+fn ranked_bits(list: &[(usize, f32)]) -> Vec<(usize, u32)> {
+    list.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+}
+
+#[test]
+fn replaying_a_log_rebuilds_the_cache_bit_exactly_at_any_thread_count() {
+    let path = temp_path("bitexact");
+    let events = write_log(&path, "run-bitexact");
+    let cfg = GraduationConfig::with_threshold(3);
+
+    let mut per_threads = Vec::new();
+    for threads in [1usize, 2, 7] {
+        let engine = fresh_engine(41);
+        let outcome = metadpa_tensor::pool::with_threads(threads, || replay(&events, cfg, &engine));
+        assert_eq!(outcome.events, 10);
+        assert_eq!(outcome.graduations, 2, "users 1 and 2 cross the threshold");
+        assert_eq!(outcome.refreshes, 2, "user 1 re-adapts twice");
+        assert_eq!(outcome.errors, 0);
+        assert!(engine.adapted_params(3).is_none(), "user 3 never graduates");
+        let lists: Vec<_> = [1usize, 2]
+            .iter()
+            .map(|&u| {
+                let (list, source) = metadpa_tensor::pool::with_threads(threads, || {
+                    engine.recommend_user(u, 5).expect("graduated user serves")
+                });
+                assert_eq!(source, ServeSource::AdaptedCache);
+                ranked_bits(&list)
+            })
+            .collect();
+        per_threads.push((threads, cache_bits(&engine, &[1, 2, 3]), lists));
+    }
+    let (_, base_cache, base_lists) = &per_threads[0];
+    assert_eq!(base_cache.len(), 2, "exactly users 1 and 2 are cached");
+    for (threads, cache, lists) in &per_threads[1..] {
+        assert_eq!(cache, base_cache, "adapted cache drifted at {threads} threads");
+        assert_eq!(lists, base_lists, "served lists drifted at {threads} threads");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn graduation_fires_exactly_at_the_threshold() {
+    let path = temp_path("threshold");
+    let events = write_log(&path, "run-threshold");
+    let user1: Vec<FeedbackEvent> = events.iter().filter(|e| e.user == 1).cloned().collect();
+    let cfg = GraduationConfig::with_threshold(3);
+
+    // One event short of the threshold: nothing may be installed.
+    let engine = fresh_engine(42);
+    let below = replay(&user1[..2], cfg, &engine);
+    assert_eq!((below.graduations, below.refreshes), (0, 0));
+    assert_eq!(engine.cached_adaptations(), 0, "no adaptation below the threshold");
+    let (_, source) = engine.recommend_user(1, 5).expect("warm serve");
+    assert_eq!(source, ServeSource::Warm);
+
+    // The third event is the crossing — exactly one graduation.
+    let engine = fresh_engine(42);
+    let at = replay(&user1[..3], cfg, &engine);
+    assert_eq!((at.graduations, at.refreshes), (1, 0));
+    assert_eq!(engine.cached_adaptations(), 1);
+    let (_, source) = engine.recommend_user(1, 5).expect("adapted serve");
+    assert_eq!(source, ServeSource::AdaptedCache);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn feedback_adaptation_never_moves_theta_and_invalidation_restores_warm() {
+    let path = temp_path("rewind");
+    let events = write_log(&path, "run-rewind");
+    let engine = fresh_engine(43);
+
+    // Warm responses before any feedback touches the engine.
+    let warm_user1 = ranked_bits(&engine.recommend_user(1, 5).expect("warm 1").0);
+    let warm_user0 = ranked_bits(&engine.recommend_user(0, 5).expect("warm 0").0);
+
+    let outcome = replay(&events, GraduationConfig::with_threshold(3), &engine);
+    assert_eq!(outcome.graduations, 2);
+
+    // A user no feedback event ever named still serves the identical
+    // bits: the inner loop rewound θ after every adaptation.
+    let after_user0 = ranked_bits(&engine.recommend_user(0, 5).expect("untouched user").0);
+    assert_eq!(after_user0, warm_user0, "feedback adaptation leaked into θ");
+
+    // Dropping the cache restores the graduated user's exact warm list.
+    assert_eq!(engine.invalidate_adapted(), 2);
+    let (list, source) = engine.recommend_user(1, 5).expect("back to warm");
+    assert_eq!(source, ServeSource::Warm);
+    assert_eq!(ranked_bits(&list), warm_user1, "invalidation must restore warm serving");
+    let _ = std::fs::remove_file(&path);
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(raw.as_bytes()).expect("write");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read");
+    let status = out.split_whitespace().nth(1).and_then(|v| v.parse().ok()).unwrap_or(0);
+    (status, out.split("\r\n\r\n").nth(1).unwrap_or("").to_string())
+}
+
+fn metric_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let mut tokens = line.split_whitespace();
+        (tokens.next() == Some(name)).then(|| tokens.next()?.parse().ok())?
+    })
+}
+
+#[test]
+fn a_drift_alert_invalidates_the_adapted_cache_observably() {
+    let _guard = metadpa_obs::test_lock();
+    let recorder = Arc::new(metadpa_obs::MemoryRecorder::default());
+    metadpa_obs::enable(Arc::clone(&recorder) as Arc<dyn metadpa_obs::Recorder>);
+    metadpa_obs::metrics::reset();
+
+    // Poison the exported fingerprint: every live score now sits far from
+    // the sketched training quantiles, so any scored traffic raises the
+    // drift alert.
+    let mut artifact = tiny_artifact(44);
+    let run_id = artifact.meta.run_id.clone();
+    artifact.meta.score_fingerprint.quantiles = vec![1e6; 9];
+    let engine = Arc::new(Engine::new(artifact.into_recommender().expect("poisoned artifact")));
+
+    let path = temp_path("drift");
+    let log = Arc::new(FeedbackLog::create(&path, &run_id, 1 << 20).expect("create log"));
+    let cfg = AdapterConfig {
+        graduation: GraduationConfig::with_threshold(3),
+        poll_interval: Duration::from_millis(5),
+    };
+    let adapter =
+        FeedbackAdapter::spawn(log.path(), cfg, Arc::clone(&engine) as Arc<dyn FeedbackSink>);
+    let server = serve(
+        ServerConfig { workers: 2, ..ServerConfig::default() },
+        router_with_feedback(Arc::clone(&engine), Some(Arc::clone(&log))),
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Graduate user 1 through the real ingestion path. No scoring has
+    // happened yet, so the drift alert is still down.
+    for item in [0, 5, 2] {
+        let body = format!(r#"{{"user_id":1,"item_id":{item}}}"#);
+        let (status, resp) = http(addr, "POST", "/v1/feedback", &body);
+        assert_eq!(status, 200, "{resp}");
+    }
+    log.flush();
+    assert!(adapter.wait_for_seq(3, Duration::from_secs(10)), "adapter must drain the log");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while engine.cached_adaptations() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(engine.cached_adaptations(), 1, "user 1 graduated into the cache");
+    assert_eq!(adapter.stats().invalidations(), 0, "no drift yet, no invalidation");
+
+    // Scored traffic fills the drift window with scores nowhere near the
+    // poisoned quantiles; the alert rises and the adapter reacts.
+    let (status, _) = http(addr, "POST", "/v1/recommend", r#"{"user_id":0,"k":3}"#);
+    assert_eq!(status, 200);
+    assert!(engine.drift_alerting(), "poisoned fingerprint must raise the alert");
+    while adapter.stats().invalidations() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(adapter.stats().invalidations(), 1, "drift edge drops the one cached entry");
+    assert_eq!(engine.cached_adaptations(), 0, "the adapted cache is empty after the alert");
+
+    // The reaction is observable from the outside: /metrics carries the
+    // counter, the event stream carries the typed record.
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(metric_value(&metrics, "serve_feedback_invalidations"), Some(1.0), "{metrics}");
+    assert_eq!(metric_value(&metrics, "serve_feedback_graduations"), Some(1.0), "{metrics}");
+    assert_eq!(metric_value(&metrics, "serve_adapt_cache_size"), Some(0.0), "{metrics}");
+    let events = recorder.events();
+    let invalidation = events
+        .iter()
+        .find(|e| e.name == "feedback.invalidation")
+        .expect("typed feedback.invalidation event");
+    assert!(
+        invalidation.fields.iter().any(|(k, v)| *k == "entries" && format!("{v:?}").contains('1')),
+        "invalidation event carries the dropped-entry count: {invalidation:?}"
+    );
+
+    server.shutdown();
+    adapter.stop();
+    metadpa_obs::disable();
+    let _ = std::fs::remove_file(&path);
+}
