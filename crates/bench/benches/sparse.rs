@@ -1,0 +1,236 @@
+//! Sparse-path benchmarks: streaming generation memory/throughput and the
+//! CSR CVAE-input feed.
+//!
+//! Three claims from the CSR + streaming-generator work are locked in as
+//! BENCH blocks (`benchmarks/BENCH_sparse_baseline.json`, gated by
+//! `obs-report check` in CI):
+//!
+//! 1. **Peak memory** — a full streaming-generation pass never materializes
+//!    anything dense of shape `n_users x n_items`. The peak live-bytes
+//!    watermark of the pass (CountingAlloc, reported in the
+//!    `sparse/stream/generate` block's `alloc_bytes` column) must stay under
+//!    `--max-peak-mb` (default 256 MB) — a hard floor enforced everywhere,
+//!    since allocation patterns do not depend on host speed. For reference,
+//!    the smoke shape's *dense* interaction matrix alone would be 1.6 GB and
+//!    the `--full` shape's 400 GB.
+//! 2. **Generator throughput** — users/sec of the chunked generator, the
+//!    number quoted in the README's scaling walkthrough.
+//! 3. **CVAE-input throughput** — rows/sec of the sparse input path the
+//!    training loop and server consume: batched `gather_rows_dense_into`
+//!    and per-row `row_to_dense_into`. (`spmm_dense_into` is timed and
+//!    printed too, but kept out of the gated report — it is memory-
+//!    bandwidth-bound and too host-sensitive to gate.)
+//!
+//! Flags (after `cargo bench -p metadpa-bench --bench sparse --`):
+//! `--smoke` shrinks shapes and iteration counts for CI;
+//! `--full` runs the 1M-user x 100k-item demonstration pass;
+//! `--bench-out <path>` writes a BENCH perf-baseline JSON;
+//! `--max-peak-mb <mb>` adjusts the streaming-pass memory cap.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use metadpa_bench::microbench::{self, BenchResult};
+use metadpa_data::{DomainConfig, StreamConfig, StreamingDomainGenerator};
+use metadpa_obs::report::BenchBlock;
+use metadpa_tensor::{CsrMatrix, Matrix, SeededRng};
+
+struct BenchArgs {
+    smoke: bool,
+    full: bool,
+    bench_out: Option<String>,
+    max_peak_mb: f64,
+}
+
+fn parse_args() -> BenchArgs {
+    let mut out = BenchArgs { smoke: false, full: false, bench_out: None, max_peak_mb: 256.0 };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => out.smoke = true,
+            "--full" => out.full = true,
+            "--bench-out" => {
+                out.bench_out =
+                    Some(it.next().unwrap_or_else(|| panic!("--bench-out needs a value")));
+            }
+            "--max-peak-mb" => {
+                out.max_peak_mb = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--max-peak-mb needs a number"));
+            }
+            // `cargo bench` appends `--bench` to harness = false targets.
+            "--bench" => {}
+            other => panic!(
+                "unknown flag {other}; supported: --smoke, --full, --bench-out <path>, \
+                 --max-peak-mb <mb>"
+            ),
+        }
+    }
+    out
+}
+
+fn stream_config(n_users: usize, n_items: usize, chunk_users: usize) -> StreamConfig {
+    StreamConfig {
+        domain: DomainConfig::new("bench", n_users, n_items, 8.0),
+        latent_dim: 16,
+        content_dim: 48,
+        n_topics: 8,
+        content_gap: 0.35,
+        chunk_users,
+        seed: 2024,
+    }
+}
+
+/// One full streaming-generation pass; returns wall time, emitted users,
+/// emitted ratings, and the peak live-bytes watermark of the pass.
+fn run_stream_pass(cfg: StreamConfig) -> (std::time::Duration, u64, u64, u64) {
+    // Reset so the watermark reflects this pass, not harness setup. Frees
+    // of pre-pass allocations clamp at zero, so the watermark is the net
+    // new-allocation peak — exactly the "did we materialize something
+    // dense" signal this gate wants.
+    metadpa_obs::alloc::reset_counters();
+    let started = Instant::now();
+    let mut gen = StreamingDomainGenerator::new(cfg);
+    let mut users = 0u64;
+    let mut ratings = 0u64;
+    while let Some(chunk) = gen.next_chunk() {
+        users += chunk.n_users() as u64;
+        ratings += chunk.interactions.nnz() as u64;
+        std::hint::black_box(&chunk);
+    }
+    let peak = metadpa_obs::alloc::snapshot().peak_live_bytes;
+    (started.elapsed(), users, ratings, peak)
+}
+
+fn main() {
+    let args = parse_args();
+    metadpa_obs::enable(Arc::new(metadpa_obs::NullRecorder));
+    metadpa_obs::alloc::enable_profiling();
+
+    // ------------------------------------------------------------------
+    // 1. Streaming generation: wall time + peak live bytes.
+    // ------------------------------------------------------------------
+    let (n_users, n_items, chunk) = if args.full {
+        (1_000_000, 100_000, 8_192)
+    } else if args.smoke {
+        (20_000, 20_000, 2_048)
+    } else {
+        (100_000, 50_000, 8_192)
+    };
+    let (elapsed, users, ratings, peak) = run_stream_pass(stream_config(n_users, n_items, chunk));
+    let users_per_sec = users as f64 / elapsed.as_secs_f64();
+    let peak_mb = peak as f64 / (1024.0 * 1024.0);
+    let dense_gb = n_users as f64 * n_items as f64 * 4.0 / 1e9;
+    println!(
+        "  stream/generate: {users} users x {n_items} items ({ratings} ratings) in {:.2}s \
+         = {users_per_sec:.0} users/s, peak {peak_mb:.1} MB (dense matrix would be {dense_gb:.1} GB)",
+        elapsed.as_secs_f64()
+    );
+    let elapsed_ns = elapsed.as_nanos() as u64;
+    let mut blocks = vec![BenchBlock {
+        name: format!("sparse/stream/generate/{}", if args.full { "full" } else { "smoke" }),
+        iters: 1,
+        p50_ns: elapsed_ns,
+        p90_ns: elapsed_ns,
+        mean_ns: elapsed_ns as f64,
+        flops: ratings,
+        alloc_count: users,
+        alloc_bytes: peak,
+        server_p99_ns: 0,
+    }];
+
+    // ------------------------------------------------------------------
+    // 2. CVAE-input feed: CSR batch gather, row extraction, spmm.
+    // ------------------------------------------------------------------
+    // One chunk of realistic interactions as the fixture matrix.
+    let fixture_users = 8_192;
+    let fixture_items = if args.smoke { 20_000 } else { 50_000 };
+    let csr: CsrMatrix =
+        StreamingDomainGenerator::new(stream_config(fixture_users, fixture_items, fixture_users))
+            .next_chunk()
+            .expect("fixture chunk")
+            .interactions;
+
+    // The input-feed blocks are cheap (sub-ms to tens of ms), so even smoke
+    // mode can afford enough iterations for a stable p50 — 3-sample medians
+    // of sub-ms cases are too noisy to gate on shared hardware.
+    let iters = if args.smoke { 10 } else { 20 };
+    let batch = 128usize;
+    let batches_per_iter = 64usize;
+    let rows_per_iter = (batch * batches_per_iter) as f64;
+
+    let mut ws = Matrix::default();
+    let mut cursor = 0usize;
+    let gather = microbench::run("sparse/cvae_input/gather128", iters as u64, || {
+        for _ in 0..batches_per_iter {
+            let rows: Vec<usize> = (0..batch).map(|k| (cursor + k * 31) % fixture_users).collect();
+            csr.gather_rows_dense_into(&rows, &mut ws);
+            cursor = (cursor + batch) % fixture_users;
+            std::hint::black_box(&ws);
+        }
+    });
+    println!(
+        "  cvae_input/gather128: {:.0} rows/s into a reused dense workspace",
+        rows_per_iter / (gather.mean_ns / 1e9)
+    );
+
+    let mut row_ws = vec![0.0f32; fixture_items];
+    let row_extract = microbench::run("sparse/cvae_input/row_to_dense", iters as u64, || {
+        for r in 0..fixture_users {
+            csr.row_to_dense_into(r, &mut row_ws);
+        }
+        std::hint::black_box(&row_ws);
+    });
+    println!(
+        "  cvae_input/row_to_dense: {:.0} rows/s",
+        fixture_users as f64 / (row_extract.mean_ns / 1e9)
+    );
+
+    let b = SeededRng::new(7).normal_matrix(fixture_items, 32);
+    let mut spmm_out = Matrix::default();
+    // Gate the serial path: it times the per-element kernel cost stably,
+    // whereas pool fan-out on quota-throttled CI hosts drifts run to run.
+    // Thread-count behaviour is pinned by the bit-identity oracle tests,
+    // and parallel throughput by the `parallel` bench.
+    let spmm = metadpa_tensor::pool::with_threads(1, || {
+        microbench::run("sparse/spmm/dense32/serial", iters as u64, || {
+            csr.spmm_dense_into(&b, &mut spmm_out);
+            std::hint::black_box(&spmm_out);
+        })
+    });
+    println!(
+        "  spmm/dense32: {} x {} @ nnz {} times [{} x 32] in {:.2} ms",
+        fixture_users,
+        fixture_items,
+        csr.nnz(),
+        fixture_items,
+        spmm.mean_ns / 1e6
+    );
+
+    // The spmm case is deliberately *not* part of the gated report: it is
+    // memory-bandwidth-bound over a multi-MB random-access panel and swings
+    // up to ~1.7x run-to-run on shared hosts, which no sane tolerance can
+    // gate. It stays as a printed diagnostic; its correctness across thread
+    // counts is pinned by the oracle test suite.
+    drop(spmm);
+    for r in [&gather, &row_extract] {
+        blocks.push(BenchResult::to_bench_block(r));
+    }
+
+    if let Some(path) = &args.bench_out {
+        metadpa_bench::baseline::write_bench_report(path, "microbench.sparse", blocks)
+            .unwrap_or_else(|e| panic!("--bench-out {path}: {e}"));
+    }
+
+    // The memory cap is enforced everywhere: allocation watermarks are a
+    // property of the code, not the host.
+    if peak_mb > args.max_peak_mb {
+        eprintln!(
+            "streaming pass peaked at {peak_mb:.1} MB > cap {:.1} MB — something dense leaked \
+             into the generator",
+            args.max_peak_mb
+        );
+        std::process::exit(1);
+    }
+}

@@ -133,9 +133,17 @@ impl MultiSourceAdapter {
             let mut rng = SeededRng::new(cfg.seed.wrapping_add(idx as u64 * 7919));
             let dual = &mut self.duals[idx];
             let opt = &mut self.optimizers[idx];
-            let (r_s, r_t, x_s, x_t) = pair.train_batch();
-            let n = r_s.rows();
+            // Content is small (`n_shared x content_dim`) and gathered once;
+            // the rating rows stay in the pair's CSR storage and densify
+            // only into the per-batch workspaces below — no dense
+            // `n_shared x n_items` matrix ever exists on this path.
+            let x_s = pair.source_content.gather_rows(&pair.train_rows);
+            let x_t = pair.target_content.gather_rows(&pair.train_rows);
+            let n = pair.train_rows.len();
             let mut order: Vec<usize> = (0..n).collect();
+            let (mut br_s, mut br_t) = (Matrix::default(), Matrix::default());
+            let (mut bx_s, mut bx_t) = (Matrix::default(), Matrix::default());
+            let mut batch_rows: Vec<usize> = Vec::with_capacity(cfg.batch_size.max(2));
             let mut train_losses = Vec::with_capacity(cfg.epochs);
             // Each pair is an independent model: its loss series gets a
             // fresh sentinel window.
@@ -154,10 +162,13 @@ impl MultiSourceAdapter {
                     if chunk.len() < 2 {
                         continue; // InfoNCE terms need in-batch negatives.
                     }
-                    let br_s = r_s.gather_rows(chunk);
-                    let br_t = r_t.gather_rows(chunk);
-                    let bx_s = x_s.gather_rows(chunk);
-                    let bx_t = x_t.gather_rows(chunk);
+                    // Map shuffled positions back to pair rows, then scatter
+                    // the sparse rating rows into the reused workspaces.
+                    batch_rows.clear();
+                    batch_rows.extend(chunk.iter().map(|&c| pair.train_rows[c]));
+                    pair.gather_ratings_into(&batch_rows, &mut br_s, &mut br_t);
+                    x_s.gather_rows_into(chunk, &mut bx_s);
+                    x_t.gather_rows_into(chunk, &mut bx_t);
                     zero_grad(dual);
                     batch_losses.push(dual.train_step(&br_s, &br_t, &bx_s, &bx_t, &mut rng));
                     opt.step(dual);

@@ -6,7 +6,7 @@
 //! discards users/items with too few positive ratings for this phase and
 //! splits shared users 80/20 into train/eval.
 
-use metadpa_tensor::{Matrix, SeededRng};
+use metadpa_tensor::{CsrBuilder, CsrMatrix, Matrix, SeededRng};
 
 use crate::domain::{Domain, World};
 
@@ -15,10 +15,14 @@ use crate::domain::{Domain, World};
 pub struct AdaptationPair {
     /// Source domain name (for reporting).
     pub source_name: String,
-    /// `n_shared x n_source_items` binary rating matrix (`r_s`).
-    pub source_ratings: Matrix,
-    /// `n_shared x n_target_items` binary rating matrix (`r_t`).
-    pub target_ratings: Matrix,
+    /// `n_shared x n_source_items` binary rating matrix (`r_s`), stored
+    /// sparse: at Amazon scale a dense copy of this pair alone would dwarf
+    /// the model. Dense rows materialize only in per-batch workspaces via
+    /// [`AdaptationPair::gather_ratings_into`].
+    pub source_ratings: CsrMatrix,
+    /// `n_shared x n_target_items` binary rating matrix (`r_t`), sparse
+    /// like [`AdaptationPair::source_ratings`].
+    pub target_ratings: CsrMatrix,
     /// `n_shared x content_dim` source-domain user content (`x_s`).
     pub source_content: Matrix,
     /// `n_shared x content_dim` target-domain user content (`x_t`).
@@ -38,24 +42,33 @@ impl AdaptationPair {
     }
 
     /// Gathers the training-row slices of all four tensors:
-    /// `(r_s, r_t, x_s, x_t)`.
+    /// `(r_s, r_t, x_s, x_t)`, densifying the rating rows. Allocates four
+    /// fresh matrices — tests and one-shot callers only; the training loop
+    /// batches through [`AdaptationPair::gather_ratings_into`] instead so
+    /// no dense `n_shared x n_items` matrix ever exists.
     pub fn train_batch(&self) -> (Matrix, Matrix, Matrix, Matrix) {
-        (
-            self.source_ratings.gather_rows(&self.train_rows),
-            self.target_ratings.gather_rows(&self.train_rows),
-            self.source_content.gather_rows(&self.train_rows),
-            self.target_content.gather_rows(&self.train_rows),
-        )
+        self.dense_batch(&self.train_rows)
     }
 
-    /// Gathers the evaluation-row slices of all four tensors.
+    /// Gathers the evaluation-row slices of all four tensors (the 20%
+    /// held-out split — small by construction, so densifying is fine).
     pub fn eval_batch(&self) -> (Matrix, Matrix, Matrix, Matrix) {
-        (
-            self.source_ratings.gather_rows(&self.eval_rows),
-            self.target_ratings.gather_rows(&self.eval_rows),
-            self.source_content.gather_rows(&self.eval_rows),
-            self.target_content.gather_rows(&self.eval_rows),
-        )
+        self.dense_batch(&self.eval_rows)
+    }
+
+    fn dense_batch(&self, rows: &[usize]) -> (Matrix, Matrix, Matrix, Matrix) {
+        let mut r_s = Matrix::default();
+        let mut r_t = Matrix::default();
+        self.gather_ratings_into(rows, &mut r_s, &mut r_t);
+        (r_s, r_t, self.source_content.gather_rows(rows), self.target_content.gather_rows(rows))
+    }
+
+    /// Densifies the selected shared-user rating rows into two reused
+    /// `rows.len() x n_items` workspaces — the per-batch materialization
+    /// point of the Dual-CVAE input path. Steady-state allocates nothing.
+    pub fn gather_ratings_into(&self, rows: &[usize], r_s: &mut Matrix, r_t: &mut Matrix) {
+        self.source_ratings.gather_rows_dense_into(rows, r_s);
+        self.target_ratings.gather_rows_dense_into(rows, r_t);
     }
 }
 
@@ -111,23 +124,21 @@ fn build_pair(
         .collect();
 
     let n = kept.len();
-    let mut source_ratings = Matrix::zeros(n, source.n_items());
-    let mut target_ratings = Matrix::zeros(n, target.n_items());
+    let mut source_builder = CsrBuilder::new(source.n_items());
+    let mut target_builder = CsrBuilder::new(target.n_items());
     let mut source_content = Matrix::zeros(n, source.user_content.cols());
     let mut target_content = Matrix::zeros(n, target.user_content.cols());
     let mut target_user_ids = Vec::with_capacity(n);
 
     for (row, &(su, tu)) in kept.iter().enumerate() {
-        for &i in &source.interactions[su] {
-            source_ratings.set(row, i, 1.0);
-        }
-        for &i in &target.interactions[tu] {
-            target_ratings.set(row, i, 1.0);
-        }
+        source_builder.push_row(&source.interactions[su]);
+        target_builder.push_row(&target.interactions[tu]);
         source_content.row_mut(row).copy_from_slice(source.user_content.row(su));
         target_content.row_mut(row).copy_from_slice(target.user_content.row(tu));
         target_user_ids.push(tu);
     }
+    let source_ratings = source_builder.finish();
+    let target_ratings = target_builder.finish();
 
     // 80/20 shuffle split.
     let mut rng = SeededRng::new(config.seed.wrapping_add(stream));
@@ -192,13 +203,14 @@ mod tests {
         let p = &pairs[0];
         // Find the original pairing for row 0 via target_user_ids.
         let tu = p.target_user_ids[0];
-        let row = p.target_ratings.row(0);
+        let mut row = vec![0.0f32; p.target_ratings.cols()];
+        p.target_ratings.row_to_dense_into(0, &mut row);
         for (i, &v) in row.iter().enumerate() {
             let rated = w.target.has_interaction(tu, i);
             assert_eq!(v == 1.0, rated, "target item {i}");
         }
-        let nnz: f32 = row.iter().sum();
-        assert_eq!(nnz as usize, w.target.interactions[tu].len());
+        assert_eq!(p.target_ratings.row_nnz(0), w.target.interactions[tu].len());
+        assert!(p.target_ratings.is_binary(), "implicit feedback takes the binary fast path");
     }
 
     #[test]
@@ -208,10 +220,10 @@ mod tests {
         let pairs = build_adaptation_pairs(&w, &cfg);
         for p in &pairs {
             for row in 0..p.n_shared() {
-                let s_pos: f32 = p.source_ratings.row(row).iter().sum();
-                let t_pos: f32 = p.target_ratings.row(row).iter().sum();
-                assert!(s_pos >= 8.0, "source positives {s_pos}");
-                assert!(t_pos >= 8.0, "target positives {t_pos}");
+                let s_pos = p.source_ratings.row_nnz(row);
+                let t_pos = p.target_ratings.row_nnz(row);
+                assert!(s_pos >= 8, "source positives {s_pos}");
+                assert!(t_pos >= 8, "target positives {t_pos}");
             }
         }
     }
@@ -241,7 +253,14 @@ mod tests {
         assert_eq!(rt.rows(), p.train_rows.len());
         assert_eq!(xs.rows(), p.train_rows.len());
         assert_eq!(xt.rows(), p.train_rows.len());
-        assert_eq!(rs.row(0), p.source_ratings.row(p.train_rows[0]));
+        let mut expect = vec![0.0f32; p.source_ratings.cols()];
+        p.source_ratings.row_to_dense_into(p.train_rows[0], &mut expect);
+        assert_eq!(rs.row(0), &expect[..]);
+        // The zero-alloc workspace gather agrees with the allocating path.
+        let (mut ws_s, mut ws_t) = (Matrix::default(), Matrix::default());
+        p.gather_ratings_into(&p.train_rows, &mut ws_s, &mut ws_t);
+        assert_eq!(ws_s, rs);
+        assert_eq!(ws_t, rt);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The materialized dataset types produced by the generator.
 
-use metadpa_tensor::Matrix;
+use metadpa_tensor::{CsrMatrix, Matrix};
 
 /// FNV-1a accumulator used by the structural fingerprints below.
 fn fnv1a(hash: &mut u64, bytes: &[u8]) {
@@ -49,13 +49,33 @@ impl Domain {
     }
 
     /// Dense 0/1 rating vector of user `u` over the full catalogue
-    /// (the CVAE input `r` of the paper).
+    /// (the CVAE input `r` of the paper). Allocates a fresh `1 x n_items`
+    /// row — fine for tests and tiny catalogues; hot paths use
+    /// [`Domain::rating_vector_into`] over a reused workspace instead.
     pub fn rating_vector(&self, u: usize) -> Matrix {
-        let mut r = Matrix::zeros(1, self.n_items());
-        for &item in &self.interactions[u] {
-            r.set(0, item, 1.0);
-        }
+        let mut r = Matrix::default();
+        self.rating_vector_into(u, &mut r);
         r
+    }
+
+    /// Zero-alloc variant of [`Domain::rating_vector`]: resizes `out` to
+    /// `1 x n_items` in place (no allocation once it has reached capacity),
+    /// zero-fills it, and scatters user `u`'s positives.
+    pub fn rating_vector_into(&self, u: usize, out: &mut Matrix) {
+        out.resize_for_overwrite(1, self.n_items());
+        let row = out.row_mut(0);
+        row.fill(0.0);
+        for &item in &self.interactions[u] {
+            row[item] = 1.0;
+        }
+    }
+
+    /// The interactions as a binary CSR matrix (`n_users x n_items`,
+    /// 4 bytes per interaction) — the sparse view the CVAE input path and
+    /// the adaptation pairs consume. Built on demand in O(nnz); the
+    /// per-user lists stay the storage of record.
+    pub fn interactions_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_rows(self.n_items(), &self.interactions)
     }
 
     /// Number of ratings received by each item.
@@ -208,6 +228,25 @@ mod tests {
         assert_eq!(r.as_slice(), &[1.0, 0.0, 1.0]);
         let empty = d.rating_vector(2);
         assert_eq!(empty.sum(), 0.0);
+    }
+
+    #[test]
+    fn rating_vector_into_reuses_workspace_and_matches_csr_view() {
+        let d = tiny_domain();
+        let mut ws = Matrix::default();
+        d.rating_vector_into(0, &mut ws);
+        assert_eq!(ws.as_slice(), &[1.0, 0.0, 1.0]);
+        // Reuse with stale contents: the workspace must be fully rewritten.
+        d.rating_vector_into(2, &mut ws);
+        assert_eq!(ws.as_slice(), &[0.0, 0.0, 0.0]);
+
+        let csr = d.interactions_csr();
+        assert_eq!(csr.shape(), (3, 3));
+        assert_eq!(csr.nnz(), d.n_ratings());
+        assert!(csr.is_binary());
+        for u in 0..d.n_users() {
+            assert_eq!(csr.to_dense().row(u), d.rating_vector(u).as_slice(), "user {u}");
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod io;
 pub mod presets;
 pub mod splits;
 pub mod stats;
+pub mod stream;
 pub mod task;
 
 pub use adaptation::AdaptationPair;
@@ -46,4 +47,5 @@ pub use domain::{Domain, World};
 pub use generator::generate_world;
 pub use splits::{Scenario, ScenarioKind, SplitConfig, Splitter};
 pub use stats::{domain_stats, DomainStats};
+pub use stream::{StreamConfig, StreamingDomainGenerator, UserChunk};
 pub use task::{EvalInstance, Task};

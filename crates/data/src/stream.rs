@@ -1,0 +1,494 @@
+//! Chunked streaming SynthAmazon generation for million-user catalogues.
+//!
+//! [`generate_world`](crate::generate_world) materializes a dense
+//! `n_users x n_items` affinity matrix before sampling interactions. That is
+//! the right trade for the paper-scale worlds the training pipeline consumes
+//! (hundreds of users), but it caps the generator well below realistic
+//! catalogue sizes: at 1M users x 100k items the affinity matrix alone would
+//! be 400 GB. This module generates the same *family* of worlds one
+//! user-chunk at a time with O(n_items + chunk) peak memory:
+//!
+//! * Item-side state (latents, Zipf popularity CDF, topic model, content) is
+//!   precomputed once — O(n_items · dim) floats.
+//! * Each user draws from their own RNG stream derived purely from
+//!   `(seed, user index)`, so the output is **bit-identical for every chunk
+//!   size** — chunking is a memory decision, not a statistical one.
+//! * Interactions are sampled by proposal/acceptance instead of a dense
+//!   affinity row: propose an item from the popularity CDF (binary search),
+//!   accept with probability `sigmoid(α · uᵀ M v_i)`. The stationary
+//!   distribution is `pop_i · σ(α a_i)` — the same popularity-times-affinity
+//!   tilt as the dense sampler's `pop_i · exp(α (a_i - max))` weights, at
+//!   O(d) per candidate instead of O(n_items) per draw.
+//! * Chunks emit interactions as binary [`CsrMatrix`] blocks; nothing dense
+//!   of width `n_items` is ever allocated per user.
+
+use metadpa_tensor::{CsrBuilder, CsrMatrix, Matrix, SeededRng};
+
+use crate::config::DomainConfig;
+use crate::domain::Domain;
+
+/// Sharpness of the affinity tilt, matching the dense generator.
+const AFFINITY_SHARPNESS: f32 = 1.2;
+
+/// Log-normal shape parameter for ratings-per-user counts, matching the
+/// dense generator.
+const COUNT_SIGMA: f32 = 0.7;
+
+/// Temperature of the latent-to-topic softmax, matching the dense generator.
+const TOPIC_TEMPERATURE: f32 = 0.8;
+
+/// Proposal attempts per interaction slot before the deterministic
+/// linear-probe fallback kicks in. High-affinity users accept on the first
+/// or second proposal; the fallback only matters for tiny catalogues where
+/// a user rates a large fraction of all items.
+const MAX_PROPOSALS: usize = 64;
+
+/// Configuration for one streamed domain.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// The domain's population/catalogue/popularity parameters.
+    pub domain: DomainConfig,
+    /// Dimensionality of the latent taste space.
+    pub latent_dim: usize,
+    /// Dimensionality of the content (bag-of-words) space.
+    pub content_dim: usize,
+    /// Number of latent review topics.
+    pub n_topics: usize,
+    /// Content/preference inconsistency in `[0, 1]` (see
+    /// [`WorldConfig::content_gap`](crate::WorldConfig)).
+    pub content_gap: f32,
+    /// Users per emitted chunk. Purely a memory knob: any value produces
+    /// bit-identical users.
+    pub chunk_users: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on structurally invalid values.
+    pub fn validate(&self) {
+        self.domain.validate();
+        assert!(self.latent_dim > 0, "latent_dim must be positive");
+        assert!(self.content_dim > 0, "content_dim must be positive");
+        assert!(self.n_topics > 0, "n_topics must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.content_gap),
+            "content_gap must be in [0, 1], got {}",
+            self.content_gap
+        );
+        assert!(self.chunk_users > 0, "chunk_users must be positive");
+        assert!(
+            self.domain.n_items <= u32::MAX as usize,
+            "streamed catalogues are limited to u32 item ids"
+        );
+    }
+}
+
+/// One emitted block of users.
+#[derive(Clone, Debug)]
+pub struct UserChunk {
+    /// Global index of the first user in this chunk.
+    pub start_user: usize,
+    /// Binary `chunk_rows x n_items` interaction block.
+    pub interactions: CsrMatrix,
+    /// `chunk_rows x content_dim` user review-content embeddings
+    /// (unit-L2 rows, like the dense generator's).
+    pub user_content: Matrix,
+}
+
+impl UserChunk {
+    /// Number of users in this chunk.
+    pub fn n_users(&self) -> usize {
+        self.interactions.rows()
+    }
+}
+
+/// Streaming single-domain generator. Construct with
+/// [`StreamingDomainGenerator::new`], then pull chunks via the [`Iterator`]
+/// impl (or [`next_chunk`](StreamingDomainGenerator::next_chunk)).
+pub struct StreamingDomainGenerator {
+    cfg: StreamConfig,
+    /// Domain taste transform, `d x d`.
+    transform: Matrix,
+    /// Item latents, `n_items x d`.
+    item_latents: Matrix,
+    /// Cumulative popularity distribution; `cdf[i]` is the probability mass
+    /// at or below item `i`, ending at 1.0.
+    pop_cdf: Vec<f32>,
+    /// Noise-free item content signal, `n_items x content_dim` (user content
+    /// is a mean over these rows, as in the dense generator).
+    item_signal: Matrix,
+    /// Observed item content (signal + gap noise, unit-L2 rows).
+    item_content: Matrix,
+    next_user: usize,
+}
+
+impl StreamingDomainGenerator {
+    /// Precomputes all item-side state (O(`n_items` · dim) memory) and
+    /// positions the stream at user 0.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: StreamConfig) -> Self {
+        cfg.validate();
+        let d = cfg.latent_dim;
+        let n_items = cfg.domain.n_items;
+
+        // Item-side streams fork off the master seed exactly once, in a
+        // fixed order; per-user streams never touch this RNG (see
+        // `user_rng`), which is what makes chunk boundaries invisible.
+        let mut rng = SeededRng::new(cfg.seed);
+        let mut item_rng = rng.fork(1);
+
+        let transform = item_rng.normal_matrix(d, d).scale(1.0 / (d as f32).sqrt());
+        let item_latents = item_rng.normal_matrix(n_items, d);
+
+        // Zipf popularity over a shuffled rank assignment, folded into a
+        // prefix-sum CDF so proposals are a binary search.
+        let mut ranks: Vec<usize> = (0..n_items).collect();
+        item_rng.shuffle(&mut ranks);
+        let mut weights = vec![0.0f32; n_items];
+        for (rank, &item) in ranks.iter().enumerate() {
+            weights[item] = ((rank + 1) as f32).powf(-cfg.domain.popularity_skew);
+        }
+        let total: f64 = weights.iter().map(|&w| w as f64).sum();
+        let mut acc = 0.0f64;
+        let mut pop_cdf = Vec::with_capacity(n_items);
+        for &w in &weights {
+            acc += w as f64 / total;
+            pop_cdf.push(acc as f32);
+        }
+        if let Some(last) = pop_cdf.last_mut() {
+            *last = 1.0;
+        }
+
+        // Topic model and item content, mirroring the dense generator.
+        let topics = {
+            let raw = item_rng.normal_matrix(cfg.n_topics, cfg.content_dim);
+            let mut t = raw.map(|v| (v * 1.2).exp());
+            for r in 0..t.rows() {
+                let inv = 1.0 / t.row(r).iter().sum::<f32>();
+                for v in t.row_mut(r).iter_mut() {
+                    *v *= inv;
+                }
+            }
+            t
+        };
+        let topic_proj = item_rng.normal_matrix(d, cfg.n_topics).scale(1.0 / (d as f32).sqrt());
+        let item_topic_logits = item_latents.matmul(&topic_proj).scale(1.0 / TOPIC_TEMPERATURE);
+        let item_mixtures = softmax_rows(&item_topic_logits);
+        let item_signal = item_mixtures.matmul(&topics);
+        let mut item_content = item_signal.clone();
+        for r in 0..item_content.rows() {
+            blend_row_with_noise(item_content.row_mut(r), cfg.content_gap, &mut item_rng);
+        }
+
+        Self { cfg, transform, item_latents, pop_cdf, item_signal, item_content, next_user: 0 }
+    }
+
+    /// The streamed configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Observed item content for the whole catalogue
+    /// (`n_items x content_dim`, unit-L2 rows).
+    pub fn item_content(&self) -> &Matrix {
+        &self.item_content
+    }
+
+    /// Users emitted so far.
+    pub fn users_emitted(&self) -> usize {
+        self.next_user
+    }
+
+    /// Generates the next chunk of up to `chunk_users` users, or `None` once
+    /// every user has been emitted.
+    pub fn next_chunk(&mut self) -> Option<UserChunk> {
+        let n_users = self.cfg.domain.n_users;
+        if self.next_user >= n_users {
+            return None;
+        }
+        let start = self.next_user;
+        let end = (start + self.cfg.chunk_users).min(n_users);
+        self.next_user = end;
+
+        let d = self.cfg.latent_dim;
+        let n_items = self.cfg.domain.n_items;
+        let max_count = (n_items / 3).max(1);
+
+        let mut builder = CsrBuilder::new(n_items);
+        let mut user_content = Matrix::zeros(end - start, self.cfg.content_dim);
+        let mut latent = vec![0.0f32; d];
+        let mut projected = vec![0.0f32; d];
+        let mut chosen: Vec<usize> = Vec::new();
+
+        for u in start..end {
+            let mut rng = user_rng(self.cfg.seed, u);
+
+            // Latent taste and its domain projection (uᵀ M, O(d²)).
+            for l in latent.iter_mut() {
+                *l = rng.normal();
+            }
+            projected.fill(0.0);
+            for (k, &lk) in latent.iter().enumerate() {
+                for (p, &t) in projected.iter_mut().zip(self.transform.row(k)) {
+                    *p += lk * t;
+                }
+            }
+
+            // Log-normal rating count, same law as the dense generator.
+            let z = rng.normal();
+            let raw = self.cfg.domain.mean_ratings_per_user
+                * (COUNT_SIGMA * z - COUNT_SIGMA * COUNT_SIGMA / 2.0).exp();
+            let count = (raw.round() as usize).clamp(1, max_count);
+
+            // Popularity-proposal / affinity-acceptance sampling without
+            // replacement. `chosen` stays sorted so the dedup check and the
+            // final CSR push are both cheap.
+            chosen.clear();
+            for _ in 0..count {
+                let mut picked = None;
+                for _ in 0..MAX_PROPOSALS {
+                    let x = rng.uniform();
+                    let item = self.pop_cdf.partition_point(|&c| c <= x).min(n_items - 1);
+                    if chosen.binary_search(&item).is_ok() {
+                        continue;
+                    }
+                    let affinity: f32 = projected
+                        .iter()
+                        .zip(self.item_latents.row(item))
+                        .map(|(&p, &v)| p * v)
+                        .sum();
+                    if rng.uniform() < sigmoid(AFFINITY_SHARPNESS * affinity) {
+                        picked = Some(item);
+                        break;
+                    }
+                }
+                // Deterministic fallback for near-saturated users: probe
+                // upward from a popularity proposal for the first free item.
+                let item = picked.unwrap_or_else(|| {
+                    let x = rng.uniform();
+                    let mut probe = self.pop_cdf.partition_point(|&c| c <= x).min(n_items - 1);
+                    while chosen.binary_search(&probe).is_ok() {
+                        probe = (probe + 1) % n_items;
+                    }
+                    probe
+                });
+                let slot = chosen.binary_search(&item).unwrap_err();
+                chosen.insert(slot, item);
+            }
+            builder.push_row(&chosen);
+
+            // Content: mean of rated items' signal rows, then per-user gap
+            // noise + L2 normalization — the per-row form of the dense
+            // generator's `blend_with_noise`.
+            let row = user_content.row_mut(u - start);
+            let inv = 1.0 / chosen.len().max(1) as f32;
+            for &i in &chosen {
+                for (dst, &v) in row.iter_mut().zip(self.item_signal.row(i)) {
+                    *dst += v * inv;
+                }
+            }
+            blend_row_with_noise(row, self.cfg.content_gap, &mut rng);
+        }
+
+        Some(UserChunk { start_user: start, interactions: builder.finish(), user_content })
+    }
+
+    /// Drains the stream into a materialized [`Domain`]. Convenience for
+    /// tests and paper-scale shapes — at million-user scale, consume chunks
+    /// instead.
+    pub fn collect_domain(mut self) -> Domain {
+        let n_users = self.cfg.domain.n_users;
+        let mut interactions: Vec<Vec<usize>> = Vec::with_capacity(n_users);
+        let mut user_content = Matrix::zeros(n_users, self.cfg.content_dim);
+        while let Some(chunk) = self.next_chunk() {
+            for r in 0..chunk.n_users() {
+                interactions
+                    .push(chunk.interactions.row_indices(r).iter().map(|&c| c as usize).collect());
+                user_content
+                    .row_mut(chunk.start_user + r)
+                    .copy_from_slice(chunk.user_content.row(r));
+            }
+        }
+        let domain = Domain {
+            name: self.cfg.domain.name.clone(),
+            interactions,
+            user_content,
+            item_content: self.item_content,
+        };
+        domain.validate();
+        domain
+    }
+}
+
+impl Iterator for StreamingDomainGenerator {
+    type Item = UserChunk;
+
+    fn next(&mut self) -> Option<UserChunk> {
+        self.next_chunk()
+    }
+}
+
+/// Per-user RNG derived purely from `(seed, user)` via a SplitMix64
+/// finalizer. Because no state is shared between users, user `u`'s draws are
+/// identical whether the stream is pulled in chunks of 1 or 1M.
+fn user_rng(seed: u64, user: usize) -> SeededRng {
+    let mut z = seed ^ (user as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    SeededRng::new(z ^ (z >> 31))
+}
+
+/// Logistic acceptance curve for the affinity tilt.
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Row-wise softmax (same as the dense generator's local helper).
+fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut total = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            total += *v;
+        }
+        let inv = 1.0 / total;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// In-place single-row form of the dense generator's `blend_with_noise`:
+/// `(1-gap) * signal + gap * noise` with `noise ~ U[0,1)/cols`, then L2
+/// normalization.
+fn blend_row_with_noise(row: &mut [f32], gap: f32, rng: &mut SeededRng) {
+    let inv_cols = 1.0 / row.len() as f32;
+    for v in row.iter_mut() {
+        let noise = rng.uniform() * inv_cols;
+        *v = (1.0 - gap) * *v + gap * noise;
+    }
+    let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        let inv = 1.0 / norm;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64, chunk_users: usize) -> StreamConfig {
+        StreamConfig {
+            domain: DomainConfig::new("stream", 150, 90, 8.0),
+            latent_dim: 8,
+            content_dim: 24,
+            n_topics: 5,
+            content_gap: 0.3,
+            chunk_users,
+            seed,
+        }
+    }
+
+    #[test]
+    fn chunked_output_is_bit_identical_across_chunk_sizes() {
+        let whole = StreamingDomainGenerator::new(small_config(7, 150)).collect_domain();
+        for chunk in [1usize, 7, 64, 1000] {
+            let chunked = StreamingDomainGenerator::new(small_config(7, chunk)).collect_domain();
+            assert_eq!(whole.interactions, chunked.interactions, "chunk size {chunk}");
+            assert_eq!(whole.user_content, chunked.user_content, "chunk size {chunk}");
+            assert_eq!(whole.item_content, chunked.item_content, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_and_shapes_line_up() {
+        let mut gen = StreamingDomainGenerator::new(small_config(3, 40));
+        let mut seen = 0usize;
+        let mut sizes = Vec::new();
+        while let Some(chunk) = gen.next_chunk() {
+            assert_eq!(chunk.start_user, seen);
+            assert_eq!(chunk.interactions.cols(), 90);
+            assert!(chunk.interactions.is_binary());
+            assert_eq!(chunk.user_content.shape(), (chunk.n_users(), 24));
+            seen += chunk.n_users();
+            sizes.push(chunk.n_users());
+        }
+        assert_eq!(seen, 150);
+        assert_eq!(sizes, vec![40, 40, 40, 30]);
+        assert_eq!(gen.users_emitted(), 150);
+        assert!(gen.next_chunk().is_none(), "stream stays exhausted");
+    }
+
+    #[test]
+    fn seeds_matter_and_generation_is_deterministic() {
+        let a = StreamingDomainGenerator::new(small_config(1, 32)).collect_domain();
+        let b = StreamingDomainGenerator::new(small_config(1, 32)).collect_domain();
+        let c = StreamingDomainGenerator::new(small_config(2, 32)).collect_domain();
+        assert_eq!(a.interactions, b.interactions);
+        assert_eq!(a.user_content, b.user_content);
+        assert_ne!(a.interactions, c.interactions);
+    }
+
+    #[test]
+    fn streamed_domain_has_dense_generator_statistics() {
+        let d = StreamingDomainGenerator::new(small_config(11, 50)).collect_domain();
+        assert!(d.interactions.iter().all(|v| !v.is_empty()), "every user rates something");
+
+        let mean = d.n_ratings() as f32 / d.n_users() as f32;
+        assert!((mean - 8.0).abs() < 3.0, "mean ratings {mean} should be near configured 8");
+
+        let cold = d.interactions.iter().filter(|v| v.len() < 5).count();
+        let heavy = d.interactions.iter().filter(|v| v.len() >= 10).count();
+        assert!(cold > 0 && heavy > 0, "long tail: {cold} cold, {heavy} heavy");
+
+        let counts = d.item_rating_counts();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top = sorted.iter().take(counts.len() / 10).sum::<usize>() as f32;
+        assert!(
+            top / d.n_ratings() as f32 > 0.2,
+            "top-decile share {}",
+            top / d.n_ratings() as f32
+        );
+
+        for r in 0..d.item_content.rows() {
+            let norm: f32 = d.item_content.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "item row {r} has norm {norm}");
+        }
+        for r in 0..d.user_content.rows() {
+            let norm: f32 = d.user_content.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "user row {r} has norm {norm}");
+        }
+    }
+
+    #[test]
+    fn saturated_catalogue_still_terminates() {
+        // mean far above the count clamp forces the linear-probe fallback.
+        let mut cfg = small_config(5, 16);
+        cfg.domain = DomainConfig::new("dense", 30, 12, 3.9);
+        let d = StreamingDomainGenerator::new(cfg).collect_domain();
+        for items in &d.interactions {
+            assert!(items.len() <= 4, "count clamp is n_items/3 = 4, got {}", items.len());
+            assert!(items.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_users")]
+    fn rejects_zero_chunk() {
+        StreamConfig { chunk_users: 0, ..small_config(1, 1) }.validate();
+    }
+}

@@ -135,9 +135,7 @@ mod deterministic {
             let w = generate_world(&cfg);
             let pairs = build_adaptation_pairs(&w, &AdaptationConfig::default());
             for p in &pairs {
-                for v in p.source_ratings.as_slice() {
-                    assert!(*v == 0.0 || *v == 1.0);
-                }
+                assert!(p.source_ratings.is_binary(), "implicit ratings stay 0/1");
                 let mut rows: Vec<usize> =
                     p.train_rows.iter().chain(p.eval_rows.iter()).copied().collect();
                 rows.sort_unstable();
@@ -145,8 +143,7 @@ mod deterministic {
                 assert_eq!(rows.len(), p.n_shared());
                 // Row content matches interactions for the aligned target user.
                 for (row, &tu) in p.target_user_ids.iter().enumerate() {
-                    let nnz = p.target_ratings.row(row).iter().filter(|&&v| v == 1.0).count();
-                    assert_eq!(nnz, w.target.interactions[tu].len());
+                    assert_eq!(p.target_ratings.row_nnz(row), w.target.interactions[tu].len());
                 }
             }
         }
@@ -264,17 +261,14 @@ mod property {
             let w = generate_world(&cfg);
             let pairs = build_adaptation_pairs(&w, &AdaptationConfig::default());
             for p in &pairs {
-                for v in p.source_ratings.as_slice() {
-                    prop_assert!(*v == 0.0 || *v == 1.0);
-                }
+                prop_assert!(p.source_ratings.is_binary(), "implicit ratings stay 0/1");
                 let mut rows: Vec<usize> =
                     p.train_rows.iter().chain(p.eval_rows.iter()).copied().collect();
                 rows.sort_unstable();
                 rows.dedup();
                 prop_assert_eq!(rows.len(), p.n_shared());
                 for (row, &tu) in p.target_user_ids.iter().enumerate() {
-                    let nnz = p.target_ratings.row(row).iter().filter(|&&v| v == 1.0).count();
-                    prop_assert_eq!(nnz, w.target.interactions[tu].len());
+                    prop_assert_eq!(p.target_ratings.row_nnz(row), w.target.interactions[tu].len());
                 }
             }
         }

@@ -85,7 +85,11 @@ impl AdaptedCache {
     /// recently used entry when a *new* user would exceed capacity.
     fn insert(&mut self, user: usize, params: Arc<Vec<Matrix>>) {
         if !self.map.contains_key(&user) && self.map.len() >= self.capacity {
-            if let Some(&lru) = self.map.iter().min_by_key(|(_, e)| e.tick).map(|(u, _)| u) {
+            // Tie-break equal ticks on the user id: `min_by_key` over bare
+            // HashMap iteration picks whichever equal-tick entry the hash
+            // order yields first, which varies per process and would break
+            // the bit-exact feedback-replay contract.
+            if let Some(&lru) = self.map.iter().min_by_key(|(u, e)| (e.tick, **u)).map(|(u, _)| u) {
                 self.map.remove(&lru);
                 self.evictions += 1;
                 metadpa_obs::counter_add!("serve.adapt_cache.evictions", 1);
@@ -520,6 +524,43 @@ mod tests {
         assert_eq!(engine.cached_adaptations(), 0);
         let (_, source) = engine.recommend_user(0, 3).expect("after invalidate");
         assert_eq!(source, ServeSource::Warm);
+    }
+
+    #[test]
+    fn adapted_cache_evicts_equal_ticks_deterministically() {
+        // Regression: the eviction scan used `min_by_key` on tick alone, so
+        // equal-tick entries were evicted in HashMap iteration order —
+        // different per process, breaking bit-exact feedback replay. The
+        // tie now breaks on the smaller user id, every time.
+        for _ in 0..8 {
+            let mut cache = AdaptedCache::new(3);
+            let params = Arc::new(Vec::new());
+            for user in [7usize, 2, 9] {
+                cache.insert(user, Arc::clone(&params));
+            }
+            // Force the degenerate equal-tick state directly (the public
+            // API hands out unique ticks; replay of a truncated log or a
+            // clock reset can still collide).
+            for e in cache.map.values_mut() {
+                e.tick = 5;
+            }
+            cache.insert(11, Arc::clone(&params));
+            assert!(cache.peek(2).is_none(), "smallest equal-tick user is the victim");
+            assert!(cache.peek(7).is_some());
+            assert!(cache.peek(9).is_some());
+            assert!(cache.peek(11).is_some());
+            assert_eq!(cache.evictions, 1);
+        }
+
+        // With distinct ticks the tie-break never engages: plain LRU.
+        let mut cache = AdaptedCache::new(2);
+        let params = Arc::new(Vec::new());
+        cache.insert(5, Arc::clone(&params));
+        cache.insert(1, Arc::clone(&params));
+        cache.touch(5);
+        cache.insert(3, params);
+        assert!(cache.peek(1).is_none(), "oldest tick evicted even with a larger-id peer");
+        assert!(cache.peek(5).is_some());
     }
 
     #[test]

@@ -115,9 +115,22 @@ fn write_response(stream: &mut TcpStream, resp: &Response) {
     let _ = stream.flush();
 }
 
+/// A transport-level rejection: the response to send plus the
+/// `serve.errors.<status>.<cause>` taxonomy cause it is counted under.
+struct Reject {
+    resp: Response,
+    cause: &'static str,
+}
+
+impl Reject {
+    fn text(status: u16, cause: &'static str, body: String) -> Self {
+        Self { resp: Response::text(status, body), cause }
+    }
+}
+
 /// Reads and parses one request. Returns `Ok(None)` when the peer closed
 /// without sending anything (e.g. a shutdown wake-up connect).
-fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Option<Request>, Response> {
+fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Option<Request>, Reject> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     // Read until the header terminator.
@@ -126,21 +139,29 @@ fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Option<Reques
             break pos;
         }
         if buf.len() > 64 * 1024 {
-            return Err(Response::text(400, "request head too large\n".into()));
+            return Err(Reject::text(400, "transport", "request head too large\n".into()));
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
                 if buf.is_empty() {
                     return Ok(None);
                 }
-                return Err(Response::text(400, "connection closed mid-request\n".into()));
+                return Err(Reject::text(
+                    400,
+                    "transport",
+                    "connection closed mid-request\n".into(),
+                ));
             }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                return Err(Response::text(408, "timed out reading request head\n".into()));
+                return Err(Reject::text(
+                    408,
+                    "timeout",
+                    "timed out reading request head\n".into(),
+                ));
             }
             Err(_) => return Ok(None),
         }
@@ -151,19 +172,32 @@ fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Option<Reques
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Err(Response::text(400, "malformed request line\n".into()));
+        return Err(Reject::text(400, "transport", "malformed request line\n".into()));
     };
+    // A missing Content-Length means "no body" (GETs); a present but
+    // unparseable one is a hard 400 — silently treating it as 0 would drop
+    // the body and surface as a baffling downstream 400/422 instead.
     let mut content_length = 0usize;
     for line in lines {
         if let Some((k, v)) = line.split_once(':') {
             if k.trim().eq_ignore_ascii_case("content-length") {
-                content_length = v.trim().parse().unwrap_or(0);
+                content_length = match v.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Err(Reject::text(
+                            400,
+                            "bad_content_length",
+                            format!("malformed Content-Length header: {:?}\n", v.trim()),
+                        ));
+                    }
+                };
             }
         }
     }
     if content_length > max_body {
-        return Err(Response::text(
+        return Err(Reject::text(
             413,
+            "body_too_large",
             format!("body of {content_length} bytes exceeds the {max_body} byte cap\n"),
         ));
     }
@@ -171,15 +205,21 @@ fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Option<Reques
     let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
         match stream.read(&mut chunk) {
-            Ok(0) => return Err(Response::text(400, "connection closed mid-body\n".into())),
+            Ok(0) => {
+                return Err(Reject::text(400, "transport", "connection closed mid-body\n".into()))
+            }
             Ok(n) => body.extend_from_slice(&chunk[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                return Err(Response::text(408, "timed out reading request body\n".into()));
+                return Err(Reject::text(
+                    408,
+                    "timeout",
+                    "timed out reading request body\n".into(),
+                ));
             }
-            Err(_) => return Err(Response::text(400, "read error\n".into())),
+            Err(_) => return Err(Reject::text(400, "transport", "read error\n".into())),
         }
     }
     body.truncate(content_length);
@@ -192,12 +232,16 @@ fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 
 /// Counts a transport-level rejection (a request that never reached the
 /// router) in the `serve.errors.*` taxonomy. Error path only — the
-/// successful-request path never gets here.
-fn transport_error_counter(status: u16) {
-    match status {
-        400 => metadpa_obs::counter_add!("serve.errors.400.transport", 1),
-        408 => metadpa_obs::counter_add!("serve.errors.408.timeout", 1),
-        413 => metadpa_obs::counter_add!("serve.errors.413.body_too_large", 1),
+/// successful-request path never gets here. Causes are a closed static set
+/// so every counter is zero-seeded by `seed_serve_metrics`.
+fn transport_error_counter(status: u16, cause: &'static str) {
+    match (status, cause) {
+        (400, "bad_content_length") => {
+            metadpa_obs::counter_add!("serve.errors.400.bad_content_length", 1)
+        }
+        (400, _) => metadpa_obs::counter_add!("serve.errors.400.transport", 1),
+        (408, _) => metadpa_obs::counter_add!("serve.errors.408.timeout", 1),
+        (413, _) => metadpa_obs::counter_add!("serve.errors.413.body_too_large", 1),
         _ => {}
     }
 }
@@ -215,9 +259,9 @@ fn handle_connection(
             write_response(&mut stream, &resp);
         }
         Ok(None) => {}
-        Err(resp) => {
-            transport_error_counter(resp.status);
-            write_response(&mut stream, &resp);
+        Err(reject) => {
+            transport_error_counter(reject.resp.status, reject.cause);
+            write_response(&mut stream, &reject.resp);
         }
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -343,6 +387,33 @@ mod tests {
 
         let resp = raw_request(addr, "POST / HTTP/1.1\r\nContent-Length: 100000\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_content_length_is_a_typed_400() {
+        let server = start_echo(1);
+        let addr = server.addr();
+
+        // Regression: this used to parse as `unwrap_or(0)`, silently dropping
+        // the body and echoing an empty request instead of rejecting it.
+        for bad in ["banana", "-5", "18446744073709551616", "12abc"] {
+            let resp = raw_request(
+                addr,
+                &format!("POST /echo HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nhello"),
+            );
+            assert!(resp.starts_with("HTTP/1.1 400"), "Content-Length {bad:?}: {resp}");
+            assert!(resp.contains("malformed Content-Length"), "Content-Length {bad:?}: {resp}");
+        }
+
+        // A missing Content-Length still means "no body" — bodyless GETs
+        // must keep working.
+        let resp = raw_request(addr, "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+
+        // And a well-formed value still delivers the body.
+        let resp = raw_request(addr, "POST /echo HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        assert!(resp.contains("POST /echo hello"), "{resp}");
         server.shutdown();
     }
 }

@@ -486,6 +486,7 @@ fn seed_serve_metrics() {
         "serve.errors.422.non_finite_scores",
         // Transport-level taxonomy (`crate::http`, before routing).
         "serve.errors.400.transport",
+        "serve.errors.400.bad_content_length",
         "serve.errors.408.timeout",
         "serve.errors.413.body_too_large",
     ] {

@@ -30,8 +30,10 @@ pub mod matrix;
 pub mod pool;
 pub mod reference;
 pub mod rng;
+pub mod sparse;
 pub mod stats;
 
 pub use matrix::Matrix;
 pub use pool::Pool;
 pub use rng::SeededRng;
+pub use sparse::{CsrBuilder, CsrMatrix};

@@ -1,0 +1,541 @@
+//! Compressed sparse row (CSR) storage for implicit-feedback interaction
+//! matrices.
+//!
+//! The paper's regime is ~99.9 %-sparse binary ratings over millions of
+//! users, which a dense [`Matrix`] cannot hold (1M users x 100k items is
+//! 400 GB of `f32`). [`CsrMatrix`] stores only the nonzero pattern in the
+//! classic row-pointer / column-index / value layout, with a dedicated
+//! **binary fast path**: implicit-feedback matrices whose stored entries are
+//! all `1.0` carry no value array at all — `row_ptr` + `col_idx` only, 12
+//! bytes per row plus 4 bytes per interaction.
+//!
+//! Determinism contract (DESIGN §8/§9): [`CsrMatrix::spmm_dense`] accumulates
+//! every output element over the stored entries of its row in **ascending
+//! column order, starting from `+0.0`** — exactly the addends (and the order)
+//! the dense kernels use on `to_dense()` when their zero-skip fast path is
+//! active. The parallel path only partitions output rows across
+//! [`crate::pool::Pool`] workers, so results are bit-identical at any
+//! `METADPA_THREADS`, and bit-identical to [`crate::reference::matmul`] on
+//! the densified matrix whenever the dense operand is finite (with a
+//! non-finite dense operand the dense kernels disable zero-skip and fold
+//! `0 * inf` terms that a sparse matrix structurally does not have).
+//!
+//! Constructors never store an explicit `0.0`: [`CsrMatrix::scatter_from_dense`]
+//! and [`CsrBuilder`] drop exact zeros, so "stored entry" and "nonzero" are
+//! the same thing and the zero-skip equivalence above has no edge cases.
+
+use crate::matrix::Matrix;
+use std::ops::Range;
+
+/// Parallel threshold for [`CsrMatrix::spmm_dense`], matching the dense
+/// kernels: below ~2^20 multiply-adds the fan-out cost exceeds the win.
+const PAR_MIN_MULADDS: usize = 1 << 20;
+
+/// A compressed-sparse-row matrix over `f32` with a binary fast path.
+///
+/// Invariants (enforced by every constructor):
+/// * `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`, monotonically
+///   non-decreasing, `row_ptr[rows] == col_idx.len()`.
+/// * Column indices are strictly ascending within each row and `< cols`.
+/// * `values` is `None` for binary matrices (every stored entry is `1.0`)
+///   or `Some` with exactly one finite-or-not value per stored entry; an
+///   exact `0.0` is never stored.
+/// * `cols <= u32::MAX` (column indices are stored as `u32` to halve the
+///   index footprint at the 100k-item scale).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Option<Vec<f32>>,
+}
+
+impl CsrMatrix {
+    /// An empty `rows x cols` binary matrix (no stored entries).
+    ///
+    /// # Panics
+    /// Panics if `cols > u32::MAX`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(cols <= u32::MAX as usize, "CsrMatrix: cols {cols} exceeds u32 index range");
+        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: None }
+    }
+
+    /// Builds a binary matrix from per-row sorted item lists — the layout
+    /// `metadpa-data` keeps per-user interactions in.
+    ///
+    /// # Panics
+    /// Panics if `cols > u32::MAX` or any row is unsorted, has duplicates,
+    /// or references a column `>= cols`.
+    pub fn from_rows(cols: usize, rows: &[Vec<usize>]) -> Self {
+        let mut b = CsrBuilder::new(cols);
+        for row in rows {
+            b.push_row(row);
+        }
+        b.finish()
+    }
+
+    /// Collects the nonzero entries of a dense matrix into CSR form —
+    /// the inverse of [`CsrMatrix::to_dense`]. Exact zeros are dropped;
+    /// if every surviving entry is `1.0` the result takes the binary fast
+    /// path (no value array).
+    ///
+    /// # Panics
+    /// Panics if `dense.cols() > u32::MAX`.
+    pub fn scatter_from_dense(dense: &Matrix) -> Self {
+        let mut b = CsrBuilder::new(dense.cols());
+        let mut entries: Vec<(usize, f32)> = Vec::new();
+        for r in 0..dense.rows() {
+            entries.clear();
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    entries.push((c, v));
+                }
+            }
+            b.push_weighted_row(&entries);
+        }
+        b.finish()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// True when the matrix takes the binary fast path (all entries `1.0`,
+    /// no value array stored).
+    pub fn is_binary(&self) -> bool {
+        self.values.is_none()
+    }
+
+    /// Number of stored entries in row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_range(r).len()
+    }
+
+    /// The sorted column indices stored in row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    pub fn row_indices(&self, r: usize) -> &[u32] {
+        let range = self.row_range(r);
+        &self.col_idx[range]
+    }
+
+    /// Iterates `(col, value)` pairs of row `r` in ascending column order.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let range = self.row_range(r);
+        let vals = self.values.as_deref();
+        let start = range.start;
+        self.col_idx[range]
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (c as usize, vals.map_or(1.0, |v| v[start + i])))
+    }
+
+    /// Heap footprint of the index + value arrays in bytes (the number the
+    /// scaling bench reports alongside peak RSS).
+    pub fn heap_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<u32>()
+            + self.values.as_ref().map_or(0, |v| v.len() * std::mem::size_of::<f32>())
+    }
+
+    /// Fraction of absent cells, `1 - nnz / (rows * cols)`, clamped to
+    /// `[0, 1]` (see [`crate::stats::sparsity`]).
+    pub fn sparsity(&self) -> f64 {
+        crate::stats::sparsity(self.nnz(), self.rows, self.cols)
+    }
+
+    /// Densifies into a row-major [`Matrix`] — test/oracle helper, never a
+    /// production path at scale.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            self.row_to_dense_into(r, out.row_mut(r));
+        }
+        out
+    }
+
+    /// Scatters row `r` into a dense slice: zero-fills `out`, then writes
+    /// each stored entry at its column. Zero-alloc; the building block for
+    /// per-batch workspaces (`rating_vector_into` in `metadpa-data`).
+    ///
+    /// # Panics
+    /// Panics if `r >= rows` or `out.len() != cols`.
+    pub fn row_to_dense_into(&self, r: usize, out: &mut [f32]) {
+        assert_eq!(
+            out.len(),
+            self.cols,
+            "CsrMatrix::row_to_dense_into: slice length {} != cols {}",
+            out.len(),
+            self.cols
+        );
+        out.fill(0.0);
+        let range = self.row_range(r);
+        match &self.values {
+            None => {
+                for &c in &self.col_idx[range] {
+                    out[c as usize] = 1.0;
+                }
+            }
+            Some(vals) => {
+                for (&c, &v) in self.col_idx[range.clone()].iter().zip(&vals[range]) {
+                    out[c as usize] = v;
+                }
+            }
+        }
+    }
+
+    /// Densifies the selected rows into a reused `rows.len() x cols`
+    /// workspace matrix — the per-batch gather the Dual-CVAE input path
+    /// uses. Steady-state this allocates nothing (the workspace is resized
+    /// in place once it has reached capacity).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather_rows_dense_into(&self, rows: &[usize], out: &mut Matrix) {
+        out.resize_for_overwrite(rows.len(), self.cols);
+        for (local, &r) in rows.iter().enumerate() {
+            self.row_to_dense_into(r, out.row_mut(local));
+        }
+    }
+
+    /// Sparse-times-dense product `self @ b` (`m x k` sparse times `k x n`
+    /// dense -> `m x n` dense).
+    ///
+    /// # Panics
+    /// Panics if `self.cols != b.rows()`.
+    #[must_use]
+    pub fn spmm_dense(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.spmm_dense_into(b, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::spmm_dense`] into a reused output matrix.
+    ///
+    /// Each output row accumulates its row's stored entries in ascending
+    /// column order from `+0.0` — the identical addends in the identical
+    /// order as the dense zero-skip kernels on [`CsrMatrix::to_dense`], so
+    /// for a finite `b` the result is bit-identical to the dense oracle and
+    /// bit-identical at any thread count (the parallel path only partitions
+    /// output rows).
+    ///
+    /// # Panics
+    /// Panics if `self.cols != b.rows()`.
+    pub fn spmm_dense_into(&self, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            b.rows(),
+            "CsrMatrix::spmm_dense: inner dimension mismatch {}x{} @ {}x{}",
+            self.rows,
+            self.cols,
+            b.rows(),
+            b.cols()
+        );
+        let (m, n) = (self.rows, b.cols());
+        metadpa_obs::counter_add!("tensor.spmm.calls", 1u64);
+        metadpa_obs::counter_add!("tensor.spmm.flops", 2 * (self.nnz() * n) as u64);
+        out.resize_for_overwrite(m, n);
+        out.fill(0.0);
+        let muladds = self.nnz() * n;
+        let threads = crate::pool::current_threads();
+        if threads <= 1 || m <= 1 || muladds < PAR_MIN_MULADDS {
+            self.spmm_rows(b, 0..m, out.as_mut_slice());
+            return;
+        }
+        let pool = crate::pool::Pool::with_size(threads);
+        let ranges = pool.partition(m);
+        let mut parts: Vec<(Range<usize>, &mut [f32])> = Vec::with_capacity(ranges.len());
+        let mut rest = out.as_mut_slice();
+        for r in ranges {
+            let (head, tail) = rest.split_at_mut(r.len() * n);
+            parts.push((r, head));
+            rest = tail;
+        }
+        pool.run_parts(parts, |(rows, slice)| self.spmm_rows(b, rows, slice));
+    }
+
+    /// Computes output rows `rows` of `self @ b` into a dense tile —
+    /// contiguous axpy per stored entry with columns ascending, mirroring
+    /// `reference::matmul_rows` with its zero-skip path taken.
+    fn spmm_rows(&self, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+        let n = b.cols();
+        for (local, i) in rows.enumerate() {
+            let out_row = &mut out[local * n..(local + 1) * n];
+            let range = self.row_range(i);
+            match &self.values {
+                None => {
+                    for &c in &self.col_idx[range] {
+                        let b_row = &b.as_slice()[c as usize * n..(c as usize + 1) * n];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += bv;
+                        }
+                    }
+                }
+                Some(vals) => {
+                    for (&c, &v) in self.col_idx[range.clone()].iter().zip(&vals[range]) {
+                        let b_row = &b.as_slice()[c as usize * n..(c as usize + 1) * n];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += v * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn row_range(&self, r: usize) -> Range<usize> {
+        assert!(r < self.rows, "CsrMatrix: row {r} out of range for {} rows", self.rows);
+        self.row_ptr[r]..self.row_ptr[r + 1]
+    }
+}
+
+/// Incremental row-by-row CSR constructor — the streaming generator appends
+/// one user chunk at a time without ever holding a dense matrix.
+///
+/// Starts on the binary fast path and transparently materializes a value
+/// array (backfilled with `1.0`) the first time a non-unit weight arrives.
+#[derive(Clone, Debug)]
+pub struct CsrBuilder {
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Option<Vec<f32>>,
+}
+
+impl CsrBuilder {
+    /// A builder for matrices with `cols` columns and no rows yet.
+    ///
+    /// # Panics
+    /// Panics if `cols > u32::MAX`.
+    pub fn new(cols: usize) -> Self {
+        assert!(cols <= u32::MAX as usize, "CsrBuilder: cols {cols} exceeds u32 index range");
+        Self { cols, row_ptr: vec![0], col_idx: Vec::new(), values: None }
+    }
+
+    /// Number of rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Appends a binary row (every stored entry `1.0`).
+    ///
+    /// # Panics
+    /// Panics if `cols_sorted` is not strictly ascending or references a
+    /// column `>= cols`.
+    pub fn push_row(&mut self, cols_sorted: &[usize]) {
+        self.check_sorted(cols_sorted.iter().copied());
+        self.col_idx.extend(cols_sorted.iter().map(|&c| c as u32));
+        if let Some(vals) = &mut self.values {
+            vals.resize(self.col_idx.len(), 1.0);
+        }
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Appends a weighted row. Exact-zero entries are dropped; a row whose
+    /// surviving weights are all `1.0` keeps the builder on the binary path.
+    ///
+    /// # Panics
+    /// Panics if the entries are not strictly ascending by column or
+    /// reference a column `>= cols`.
+    pub fn push_weighted_row(&mut self, entries: &[(usize, f32)]) {
+        self.check_sorted(entries.iter().map(|&(c, _)| c));
+        for &(c, v) in entries {
+            if v == 0.0 {
+                continue;
+            }
+            if v != 1.0 && self.values.is_none() {
+                // First non-unit weight: leave the binary fast path and
+                // backfill everything stored so far as 1.0.
+                self.values = Some(vec![1.0; self.col_idx.len()]);
+            }
+            self.col_idx.push(c as u32);
+            if let Some(vals) = &mut self.values {
+                vals.push(v);
+            }
+        }
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Finalizes into an immutable [`CsrMatrix`].
+    pub fn finish(self) -> CsrMatrix {
+        CsrMatrix {
+            rows: self.row_ptr.len() - 1,
+            cols: self.cols,
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            values: self.values,
+        }
+    }
+
+    fn check_sorted(&self, cols: impl Iterator<Item = usize>) {
+        let mut prev: Option<usize> = None;
+        for c in cols {
+            assert!(c < self.cols, "CsrBuilder: column {c} out of range for {} cols", self.cols);
+            assert!(
+                prev.is_none_or(|p| p < c),
+                "CsrBuilder: row columns must be strictly ascending (saw {c} after {prev:?})"
+            );
+            prev = Some(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn sample_csr() -> CsrMatrix {
+        CsrMatrix::from_rows(5, &[vec![0, 3], vec![], vec![1, 2, 4], vec![4]])
+    }
+
+    #[test]
+    fn construction_round_trips_through_dense() {
+        let csr = sample_csr();
+        assert_eq!(csr.shape(), (4, 5));
+        assert_eq!(csr.nnz(), 6);
+        assert!(csr.is_binary());
+        let dense = csr.to_dense();
+        assert_eq!(dense.get(0, 3), 1.0);
+        assert_eq!(dense.get(1, 0), 0.0);
+        let back = CsrMatrix::scatter_from_dense(&dense);
+        assert_eq!(back, csr);
+        assert!(back.is_binary(), "all-ones scatter keeps the binary fast path");
+    }
+
+    #[test]
+    fn weighted_scatter_round_trips_and_drops_zeros() {
+        let dense = Matrix::from_vec(2, 3, vec![0.5, 0.0, 1.0, 0.0, -2.0, 0.0]);
+        let csr = CsrMatrix::scatter_from_dense(&dense);
+        assert!(!csr.is_binary());
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.to_dense(), dense);
+        assert_eq!(csr.row_entries(1).collect::<Vec<_>>(), vec![(1, -2.0)]);
+    }
+
+    #[test]
+    fn row_to_dense_into_scatters_and_zero_fills() {
+        let csr = sample_csr();
+        let mut buf = vec![9.0f32; 5];
+        csr.row_to_dense_into(2, &mut buf);
+        assert_eq!(buf, vec![0.0, 1.0, 1.0, 0.0, 1.0]);
+        csr.row_to_dense_into(1, &mut buf);
+        assert_eq!(buf, vec![0.0; 5], "empty row must clear stale data");
+    }
+
+    #[test]
+    fn gather_rows_dense_into_reuses_workspace() {
+        let csr = sample_csr();
+        let mut ws = Matrix::default();
+        csr.gather_rows_dense_into(&[2, 0], &mut ws);
+        assert_eq!(ws.shape(), (2, 5));
+        assert_eq!(ws.row(0), &[0.0, 1.0, 1.0, 0.0, 1.0]);
+        assert_eq!(ws.row(1), &[1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn spmm_matches_dense_oracle_bitwise() {
+        let mut rng = SeededRng::new(42);
+        for &(m, k, n, density) in
+            &[(1, 1, 1, 1.0), (4, 7, 3, 0.4), (16, 33, 8, 0.1), (9, 5, 9, 0.0)]
+        {
+            let mut b = CsrBuilder::new(k);
+            for _ in 0..m {
+                let mut cols: Vec<usize> =
+                    (0..k).filter(|_| rng.uniform() < density as f32).collect();
+                cols.dedup();
+                b.push_row(&cols);
+            }
+            let csr = b.finish();
+            let dense_b = rng.normal_matrix(k, n);
+            let sparse = csr.spmm_dense(&dense_b);
+            let oracle = crate::reference::matmul(&csr.to_dense(), &dense_b);
+            assert_eq!(sparse.as_slice(), oracle.as_slice(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn spmm_is_bit_identical_across_thread_counts() {
+        let mut rng = SeededRng::new(7);
+        // Big enough to clear PAR_MIN_MULADDS on the dense side of the
+        // partition logic exercised here.
+        let rows: Vec<Vec<usize>> =
+            (0..64).map(|_| (0..256).filter(|_| rng.uniform() < 0.3).collect()).collect();
+        let csr = CsrMatrix::from_rows(256, &rows);
+        let b = rng.normal_matrix(256, 96);
+        let serial = crate::pool::with_threads(1, || csr.spmm_dense(&b));
+        for threads in [2, 7] {
+            let par = crate::pool::with_threads(threads, || csr.spmm_dense(&b));
+            assert_eq!(par.as_slice(), serial.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn builder_mixes_binary_and_weighted_rows() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row(&[0, 2]);
+        b.push_weighted_row(&[(1, 0.5), (3, 1.0)]);
+        b.push_row(&[3]);
+        let csr = b.finish();
+        assert!(!csr.is_binary());
+        assert_eq!(csr.row_entries(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 1.0)]);
+        assert_eq!(csr.row_entries(1).collect::<Vec<_>>(), vec![(1, 0.5), (3, 1.0)]);
+        assert_eq!(csr.row_entries(2).collect::<Vec<_>>(), vec![(3, 1.0)]);
+    }
+
+    #[test]
+    fn sparsity_and_heap_bytes_report_the_layout() {
+        let csr = sample_csr();
+        assert!((csr.sparsity() - (1.0 - 6.0 / 20.0)).abs() < 1e-12);
+        assert_eq!(
+            csr.heap_bytes(),
+            5 * std::mem::size_of::<usize>() + 6 * std::mem::size_of::<u32>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn builder_rejects_unsorted_rows() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row(&[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_out_of_range_columns() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row(&[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn spmm_rejects_shape_mismatch() {
+        let csr = sample_csr();
+        let b = Matrix::zeros(4, 2);
+        let _ = csr.spmm_dense(&b);
+    }
+}

@@ -108,14 +108,21 @@ pub fn mean_pairwise_row_distance(m: &Matrix) -> f32 {
 /// Sparsity of an interaction count: `1 - nnz / (rows * cols)`, as reported
 /// in Tables I-II of the paper.
 ///
-/// Returns 1 for an empty matrix shape.
+/// Returns 1 for an empty matrix shape. The result is clamped to `[0, 1]`:
+/// an `nnz` exceeding the cell count (double-counted interactions, or a
+/// caller passing per-row lists with duplicates) is a contract violation —
+/// flagged by a `debug_assert` — but must not surface as a negative
+/// "sparsity" in release reports.
 pub fn sparsity(nnz: usize, rows: usize, cols: usize) -> f64 {
     let cells = rows as f64 * cols as f64;
     if cells == 0.0 {
-        1.0
-    } else {
-        1.0 - nnz as f64 / cells
+        return 1.0;
     }
+    debug_assert!(
+        nnz as f64 <= cells,
+        "stats::sparsity: nnz {nnz} exceeds {rows}x{cols} = {cells} cells"
+    );
+    (1.0 - nnz as f64 / cells).clamp(0.0, 1.0)
 }
 
 /// Indices that would sort `values` descending (ties broken by index for
@@ -197,6 +204,36 @@ mod tests {
         // 100 ratings in a 100x100 matrix -> 99% sparse.
         assert!((sparsity(100, 100, 100) - 0.99).abs() < 1e-12);
         assert_eq!(sparsity(0, 0, 10), 1.0);
+    }
+
+    #[test]
+    fn sparsity_handles_degenerate_shapes() {
+        // Every empty shape is fully sparse, regardless of which side is 0.
+        assert_eq!(sparsity(0, 10, 0), 1.0);
+        assert_eq!(sparsity(0, 0, 0), 1.0);
+        assert_eq!(sparsity(7, 0, 0), 1.0, "nnz with no cells still reports 1");
+        // Saturated and empty matrices hit the exact bounds.
+        assert_eq!(sparsity(50, 5, 10), 0.0);
+        assert_eq!(sparsity(0, 5, 10), 1.0);
+        // Huge shapes must not overflow into garbage: stays within [0, 1].
+        let s = sparsity(usize::MAX / 2, usize::MAX / 2, 2);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn sparsity_flags_overfull_counts_in_debug() {
+        let _ = sparsity(51, 5, 10);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn sparsity_clamps_overfull_counts_in_release() {
+        // nnz > cells is a caller bug, but release builds must clamp
+        // instead of reporting a negative sparsity.
+        assert_eq!(sparsity(51, 5, 10), 0.0);
+        assert_eq!(sparsity(usize::MAX, 2, 2), 0.0);
     }
 
     #[test]

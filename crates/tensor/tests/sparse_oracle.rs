@@ -1,0 +1,173 @@
+//! CSR-vs-dense-oracle bit-identity suite.
+//!
+//! Every sparse operation must agree **bit-for-bit** with the retained naive
+//! kernels in `metadpa_tensor::reference` applied to the densified matrix,
+//! and be bit-identical across `METADPA_THREADS ∈ {1, 2, 7}` (pinned here
+//! via `pool::with_threads`, the same harness the dense determinism suite
+//! uses). The fixed grid below always compiles; the randomized `proptest`
+//! suite is opt-in (`--features proptest`), mirroring `tests/proptests.rs` —
+//! the offline build environment cannot carry `proptest` as a default
+//! dev-dependency.
+
+use metadpa_tensor::{pool, reference, CsrBuilder, CsrMatrix, Matrix, SeededRng};
+
+/// Deterministic sparse pattern: each of `m` rows keeps a column with
+/// probability `density`.
+fn random_pattern(rng: &mut SeededRng, m: usize, k: usize, density: f32) -> Vec<Vec<usize>> {
+    (0..m).map(|_| (0..k).filter(|_| rng.uniform() < density).collect()).collect()
+}
+
+/// Fixed shape/density/seed grid standing in for proptest's generators.
+/// Shapes straddle the empty-row, single-row, and parallel-dispatch regimes.
+fn case_grid() -> Vec<(usize, usize, usize, f32, u64)> {
+    let mut cases = Vec::new();
+    for &(m, k, n) in &[(1, 1, 1), (3, 7, 2), (8, 16, 5), (17, 33, 9), (40, 64, 24)] {
+        for &density in &[0.0f32, 0.15, 0.5, 1.0] {
+            for seed in [0u64, 7, 42] {
+                cases.push((m, k, n, density, seed));
+            }
+        }
+    }
+    cases
+}
+
+#[test]
+fn construction_round_trips_bit_exactly() {
+    for (m, k, _n, density, seed) in case_grid() {
+        let mut rng = SeededRng::new(seed);
+        let pattern = random_pattern(&mut rng, m, k, density);
+        let csr = CsrMatrix::from_rows(k, &pattern);
+        let dense = csr.to_dense();
+        // Dense -> CSR -> dense is the identity, and the CSR forms agree.
+        assert_eq!(CsrMatrix::scatter_from_dense(&dense), csr);
+        assert_eq!(csr.to_dense(), dense);
+        assert_eq!(csr.nnz(), pattern.iter().map(Vec::len).sum::<usize>());
+    }
+}
+
+#[test]
+fn spmm_is_bit_identical_to_dense_oracle() {
+    for (m, k, n, density, seed) in case_grid() {
+        let mut rng = SeededRng::new(seed);
+        let pattern = random_pattern(&mut rng, m, k, density);
+        let csr = CsrMatrix::from_rows(k, &pattern);
+        let b = rng.normal_matrix(k, n);
+        let oracle = reference::matmul(&csr.to_dense(), &b);
+        for threads in [1usize, 2, 7] {
+            let got = pool::with_threads(threads, || csr.spmm_dense(&b));
+            assert_eq!(
+                got.as_slice(),
+                oracle.as_slice(),
+                "spmm mismatch m={m} k={k} n={n} density={density} seed={seed} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn weighted_spmm_matches_oracle_across_threads() {
+    for seed in [1u64, 9, 77] {
+        let mut rng = SeededRng::new(seed);
+        let mut b = CsrBuilder::new(24);
+        for _ in 0..12 {
+            let mut entries: Vec<(usize, f32)> = Vec::new();
+            for c in 0..24 {
+                if rng.uniform() < 0.3 {
+                    let v = rng.normal();
+                    if v != 0.0 {
+                        entries.push((c, v));
+                    }
+                }
+            }
+            b.push_weighted_row(&entries);
+        }
+        let csr = b.finish();
+        let dense_b = rng.normal_matrix(24, 7);
+        let oracle = reference::matmul(&csr.to_dense(), &dense_b);
+        for threads in [1usize, 2, 7] {
+            let got = pool::with_threads(threads, || csr.spmm_dense(&dense_b));
+            assert_eq!(got.as_slice(), oracle.as_slice(), "seed={seed} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn spmm_parallel_path_is_bit_identical_to_serial() {
+    // Large enough that nnz * n clears the 2^20-muladd parallel threshold,
+    // so threads 2 and 7 take the pool path rather than the serial one.
+    let mut rng = SeededRng::new(123);
+    let pattern = random_pattern(&mut rng, 96, 512, 0.4);
+    let csr = CsrMatrix::from_rows(512, &pattern);
+    let b = rng.normal_matrix(512, 64);
+    assert!(csr.nnz() * b.cols() >= 1 << 20, "case must reach the parallel dispatch");
+    let serial = pool::with_threads(1, || csr.spmm_dense(&b));
+    for threads in [2usize, 7] {
+        let par = pool::with_threads(threads, || csr.spmm_dense(&b));
+        assert_eq!(par.as_slice(), serial.as_slice(), "threads={threads}");
+    }
+}
+
+#[test]
+fn row_extraction_matches_dense_rows_bit_exactly() {
+    for (m, k, _n, density, seed) in case_grid() {
+        let mut rng = SeededRng::new(seed);
+        let pattern = random_pattern(&mut rng, m, k, density);
+        let csr = CsrMatrix::from_rows(k, &pattern);
+        let dense = csr.to_dense();
+        let mut buf = vec![f32::NAN; k];
+        for r in 0..m {
+            csr.row_to_dense_into(r, &mut buf);
+            assert_eq!(&buf[..], dense.row(r), "row {r} m={m} k={k} seed={seed}");
+        }
+        // Batch gather agrees with the row-at-a-time path (reversed order
+        // to catch index mixups) and reuses its workspace.
+        let rows: Vec<usize> = (0..m).rev().collect();
+        let mut ws = Matrix::default();
+        csr.gather_rows_dense_into(&rows, &mut ws);
+        for (local, &r) in rows.iter().enumerate() {
+            assert_eq!(ws.row(local), dense.row(r));
+        }
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: per-row sorted unique column lists for an `m x k` pattern.
+    fn pattern(m: usize, k: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+        proptest::collection::vec(proptest::collection::btree_set(0..k, 0..=k), m)
+            .prop_map(|rows| rows.into_iter().map(|s| s.into_iter().collect()).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn csr_round_trip_and_spmm_match_oracle(
+            m in 1usize..10,
+            k in 1usize..16,
+            n in 1usize..8,
+            rows in (1usize..10, 1usize..16).prop_flat_map(|(m, k)| pattern(m, k)),
+            seed in 0u64..1000,
+        ) {
+            // Clamp the independently drawn pattern onto (m, k).
+            let rows: Vec<Vec<usize>> = rows
+                .into_iter()
+                .take(m)
+                .map(|r| r.into_iter().filter(|&c| c < k).collect())
+                .collect();
+            let mut rows = rows;
+            rows.resize(m, Vec::new());
+            let csr = CsrMatrix::from_rows(k, &rows);
+            let dense = csr.to_dense();
+            prop_assert_eq!(CsrMatrix::scatter_from_dense(&dense), csr.clone());
+            let mut rng = SeededRng::new(seed);
+            let b = rng.normal_matrix(k, n);
+            let oracle = reference::matmul(&dense, &b);
+            for threads in [1usize, 2, 7] {
+                let got = pool::with_threads(threads, || csr.spmm_dense(&b));
+                prop_assert_eq!(got.as_slice(), oracle.as_slice());
+            }
+        }
+    }
+}

@@ -53,6 +53,17 @@ cargo bench -p metadpa-bench --bench kernels -- --smoke --bench-out "$PWD/BENCH_
 cargo run --release -q -p metadpa-bench --bin obs-report -- \
   check BENCH_kernel_ci.json --baseline benchmarks/BENCH_kernel_baseline.json --tolerance 0.5
 
+echo "== sparse bench (streaming generator + CSR input path) + perf gate =="
+# A full chunked-generation pass plus the CSR CVAE-input feed. The bench
+# enforces its own memory floor everywhere: the streaming pass's peak
+# live-bytes watermark must stay under 256 MB (the smoke shape's dense
+# interaction matrix alone would be 1.6 GB), proving nothing of shape
+# n_users x n_items is ever materialized. Wall times are gated against the
+# checked-in baseline with the usual fingerprint downgrade.
+cargo bench -p metadpa-bench --bench sparse -- --smoke --bench-out "$PWD/BENCH_sparse_ci.json"
+cargo run --release -q -p metadpa-bench --bin obs-report -- \
+  check BENCH_sparse_ci.json --baseline benchmarks/BENCH_sparse_baseline.json --tolerance 0.5
+
 echo "== serve smoke (export -> load -> every route -> shutdown) =="
 # Exercise the full serving path end to end: fit + export a tiny artifact,
 # reload it, walk every HTTP route (health, warm/cold recommend, adapt,
