@@ -1,18 +1,26 @@
-//! Blocked-vs-naive kernel microbenchmarks and the zero-allocation hot
-//! path's allocation budget.
+//! Blocked-vs-naive and SIMD-vs-scalar kernel microbenchmarks plus the
+//! zero-allocation hot path's allocation budget.
 //!
-//! Two claims from the cache-blocked kernel rewrite are locked in here as
-//! BENCH blocks (`benchmarks/BENCH_kernel_baseline.json`, gated by
-//! `obs-report check` in CI) instead of being asserted in a commit
-//! message:
+//! Four claims from the kernel work are locked in here as BENCH blocks
+//! (`benchmarks/BENCH_kernel_baseline.json`, gated by `obs-report check`
+//! in CI) instead of being asserted in a commit message:
 //!
 //! 1. **Throughput** — the shipped matmul kernels (cache-blocked, B-panel
-//!    packed, pool-parallel) beat the retained naive reference
-//!    ([`metadpa_tensor::reference`]) by at least `--min-speedup` (default
-//!    1.5×) on 256³-and-up shapes. Like the `parallel` bench, the floor is
-//!    only *enforced* on hosts with 4+ cores; smaller machines downgrade
-//!    to a warning.
-//! 2. **Allocations** — one training epoch driven through the `_into` +
+//!    packed, SIMD-dispatched, pool-parallel) beat the retained naive
+//!    reference ([`metadpa_tensor::reference`]) by at least
+//!    `--min-speedup` (default 2.0×) on 256³-and-up shapes. Like the
+//!    `parallel` bench, the floor is only *enforced* on hosts with 4+
+//!    cores; smaller machines downgrade to a warning.
+//! 2. **SIMD** — the exact AVX2 microkernels beat the scalar blocked
+//!    kernels by at least `--min-simd-speedup` (default 2.0×) at 512².
+//!    Enforced only on hosts where [`metadpa_tensor::simd::available`]
+//!    reports AVX2+FMA; elsewhere a warning (same policy as the core
+//!    rule).
+//! 3. **f32 serving** — fused-FMA catalogue ranking (the f32-precision
+//!    serving path, `simd::Policy::Fused`) beats the forced-scalar path
+//!    by at least `--min-fused-speedup` (default 3.0×). Enforced on AVX2
+//!    hosts only, like the SIMD floor.
+//! 4. **Allocations** — one training epoch driven through the `_into` +
 //!    workspace API allocates at least `--min-alloc-ratio` (default 5×)
 //!    fewer times than the same epoch through the allocating API,
 //!    measured exactly by the CountingAlloc global allocator. This floor
@@ -21,7 +29,8 @@
 //! Flags (after `cargo bench -p metadpa-bench --bench kernels --`):
 //! `--smoke` shrinks the sweep and iteration counts for CI;
 //! `--bench-out <path>` writes a BENCH perf-baseline JSON;
-//! `--min-speedup <x>` / `--min-alloc-ratio <x>` adjust the floors.
+//! `--min-speedup <x>` / `--min-simd-speedup <x>` /
+//! `--min-fused-speedup <x>` / `--min-alloc-ratio <x>` adjust the floors.
 
 use std::sync::Arc;
 
@@ -30,43 +39,49 @@ use metadpa_core::{PreferenceConfig, PreferenceModel};
 use metadpa_nn::loss::{bce_with_logits, bce_with_logits_into};
 use metadpa_nn::module::{zero_grad, Mode, Module};
 use metadpa_nn::optim::Sgd;
-use metadpa_tensor::{reference, Matrix, SeededRng};
+use metadpa_tensor::{reference, simd, Matrix, SeededRng};
 
 struct BenchArgs {
     smoke: bool,
     bench_out: Option<String>,
     min_speedup: f64,
+    min_simd_speedup: f64,
+    min_fused_speedup: f64,
     min_alloc_ratio: f64,
 }
 
 fn parse_args() -> BenchArgs {
-    let mut out =
-        BenchArgs { smoke: false, bench_out: None, min_speedup: 1.5, min_alloc_ratio: 5.0 };
+    let mut out = BenchArgs {
+        smoke: false,
+        bench_out: None,
+        min_speedup: 2.0,
+        min_simd_speedup: 2.0,
+        min_fused_speedup: 3.0,
+        min_alloc_ratio: 5.0,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        let num = |flag: &str, it: &mut dyn Iterator<Item = String>| -> f64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} needs a number"))
+        };
         match arg.as_str() {
             "--smoke" => out.smoke = true,
             "--bench-out" => {
                 out.bench_out =
                     Some(it.next().unwrap_or_else(|| panic!("--bench-out needs a value")));
             }
-            "--min-speedup" => {
-                out.min_speedup = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| panic!("--min-speedup needs a number"));
-            }
-            "--min-alloc-ratio" => {
-                out.min_alloc_ratio = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| panic!("--min-alloc-ratio needs a number"));
-            }
+            "--min-speedup" => out.min_speedup = num("--min-speedup", &mut it),
+            "--min-simd-speedup" => out.min_simd_speedup = num("--min-simd-speedup", &mut it),
+            "--min-fused-speedup" => out.min_fused_speedup = num("--min-fused-speedup", &mut it),
+            "--min-alloc-ratio" => out.min_alloc_ratio = num("--min-alloc-ratio", &mut it),
             // `cargo bench` appends `--bench` to harness = false targets.
             "--bench" => {}
             other => panic!(
                 "unknown flag {other}; supported: --smoke, --bench-out <path>, \
-                 --min-speedup <x>, --min-alloc-ratio <x>"
+                 --min-speedup <x>, --min-simd-speedup <x>, --min-fused-speedup <x>, \
+                 --min-alloc-ratio <x>"
             ),
         }
     }
@@ -104,6 +119,72 @@ fn bench_kernel(kernel: &str, n: usize, iters: u64) -> (BenchResult, BenchResult
         });
     let speedup = naive.p50_ns as f64 / blocked.p50_ns.max(1) as f64;
     (naive, blocked, speedup)
+}
+
+/// Times `matmul` at one size through the scalar blocked kernels
+/// (`Policy::ForcedScalar`) and the exact AVX2 microkernels
+/// (`Policy::Auto`); returns both results and the SIMD speedup. Dense
+/// operands — this row measures pure kernel throughput, not the zero-skip
+/// path.
+fn bench_simd(n: usize, iters: u64) -> (BenchResult, BenchResult, f64) {
+    let mut rng = SeededRng::new(7 + n as u64);
+    let a = rng.normal_matrix(n, n);
+    let b = rng.normal_matrix(n, n);
+    let scalar = microbench::run(&format!("kernels/matmul/scalar/{n}"), iters, || {
+        simd::with_policy(simd::Policy::ForcedScalar, || {
+            drop(std::hint::black_box(a.matmul(&b)));
+        });
+    });
+    let vectored = microbench::run(&format!("kernels/matmul/simd/{n}"), iters, || {
+        simd::with_policy(simd::Policy::Auto, || {
+            drop(std::hint::black_box(a.matmul(&b)));
+        });
+    });
+    let speedup = scalar.p50_ns as f64 / vectored.p50_ns.max(1) as f64;
+    (scalar, vectored, speedup)
+}
+
+/// The serving catalogue-ranking workload: one full-catalogue ranking
+/// pass through a serving-sized preference model. The scalar row is the
+/// scalar-kernel serving path — a full `score_items_into` pass, embedding
+/// the catalogue and scoring it per request. The f32 row is the
+/// f32-precision artifact path exactly as `ArtifactRecommender` runs it:
+/// item embeddings precomputed once at artifact load (outside the timed
+/// loop), per-request scoring through the fused-FMA kernels via
+/// `score_embedded_into`. All widths are multiples of the register tile
+/// so the fused rows measure the vector kernels, not edge handling; one
+/// untimed warm-up call per path fills the workspace buffers so neither
+/// row pays the one-time allocations.
+fn bench_serve_rank(iters: u64) -> (BenchResult, BenchResult, f64) {
+    let config = PreferenceConfig { content_dim: 64, embed_dim: 128, hidden: [256, 128] };
+    let mut rng = SeededRng::new(23);
+    let mut model = PreferenceModel::new(config, &mut rng);
+    let n_items = 4096;
+    let item_content = rng.uniform_matrix(n_items, 64, -1.0, 1.0);
+    let user: Vec<f32> = (0..64).map(|c| 0.03 * c as f32 - 1.0).collect();
+    let catalogue: Vec<usize> = (0..n_items).collect();
+    let mut scores = Vec::new();
+    simd::with_policy(simd::Policy::ForcedScalar, || {
+        model.score_items_into(&user, &item_content, &catalogue, &mut scores);
+    });
+    let scalar = microbench::run("kernels/serve_rank/scalar", iters, || {
+        simd::with_policy(simd::Policy::ForcedScalar, || {
+            model.score_items_into(&user, &item_content, &catalogue, &mut scores);
+            std::hint::black_box(&scores);
+        });
+    });
+    let fused_embeds = simd::with_policy(simd::Policy::Fused, || model.embed_items(&item_content));
+    simd::with_policy(simd::Policy::Fused, || {
+        model.score_embedded_into(&user, &fused_embeds, &catalogue, &mut scores);
+    });
+    let fused = microbench::run("kernels/serve_rank/f32", iters, || {
+        simd::with_policy(simd::Policy::Fused, || {
+            model.score_embedded_into(&user, &fused_embeds, &catalogue, &mut scores);
+            std::hint::black_box(&scores);
+        });
+    });
+    let speedup = scalar.p50_ns as f64 / fused.p50_ns.max(1) as f64;
+    (scalar, fused, speedup)
 }
 
 fn epoch_model(seed: u64) -> (PreferenceModel, Matrix, Matrix, Vec<usize>, Vec<f32>) {
@@ -202,6 +283,35 @@ fn main() {
         }
     }
 
+    // SIMD-vs-scalar and fused serving rows. The floors only make sense
+    // where the AVX2 kernels can actually run; elsewhere the rows still
+    // record (scalar vs scalar ≈ 1.0×) but are warn-only.
+    let simd_sweep: &[usize] = if args.smoke { &[256] } else { &[256, 512] };
+    let mut simd_failures = Vec::new();
+    for &n in simd_sweep {
+        let (scalar, vectored, speedup) = bench_simd(n, iters);
+        println!("  matmul/{n}: simd {speedup:.2}x vs scalar blocked ({})", simd::feature_string());
+        if speedup < args.min_simd_speedup {
+            simd_failures.push(format!(
+                "matmul/{n}: {speedup:.2}x < required {:.2}x",
+                args.min_simd_speedup
+            ));
+        }
+        results.push(scalar);
+        results.push(vectored);
+    }
+    let serve_iters = if args.smoke { 3 } else { 12 };
+    let (serve_scalar, serve_fused, serve_speedup) = bench_serve_rank(serve_iters);
+    println!("  serve_rank: f32 fused {serve_speedup:.2}x vs scalar ({})", simd::feature_string());
+    if serve_speedup < args.min_fused_speedup {
+        simd_failures.push(format!(
+            "serve_rank: {serve_speedup:.2}x < required {:.2}x",
+            args.min_fused_speedup
+        ));
+    }
+    results.push(serve_scalar);
+    results.push(serve_fused);
+
     // Allocation budget of one training epoch, both API styles on
     // identically configured models.
     let epoch_iters = if args.smoke { 2 } else { 4 };
@@ -244,6 +354,22 @@ fn main() {
                  not enforced below 4 cores:"
             );
             for f in &speedup_failures {
+                eprintln!("  {f}");
+            }
+        }
+    }
+    if !simd_failures.is_empty() {
+        if simd::available() {
+            eprintln!("SIMD/fused speedup below floor on an AVX2+FMA host:");
+            for f in &simd_failures {
+                eprintln!("  {f}");
+            }
+            failed = true;
+        } else {
+            eprintln!(
+                "warning: SIMD/fused floors not met, but host lacks AVX2+FMA — not enforced:"
+            );
+            for f in &simd_failures {
                 eprintln!("  {f}");
             }
         }

@@ -20,7 +20,7 @@ use std::fmt;
 use metadpa_data::task::Task;
 use metadpa_metrics::ranking::top_k_indices;
 use metadpa_nn::module::{named_snapshot, restore, restore_named, snapshot};
-use metadpa_tensor::{Matrix, SeededRng};
+use metadpa_tensor::{simd, Matrix, SeededRng};
 
 use crate::augmentation::DiversityReport;
 use crate::maml::{MamlConfig, MetaLearner};
@@ -28,6 +28,35 @@ use crate::preference::PreferenceConfig;
 
 /// Schema identifier embedded in every exported artifact.
 pub const ARTIFACT_SCHEMA: &str = "metadpa-artifact/v1";
+
+/// Numeric serving precision an artifact was exported with.
+///
+/// The model's in-memory parameters are f32 either way; the variants
+/// select the on-disk tensor encoding (f64-LE vs f32-LE, see the serve
+/// crate's checkpoint codec) and the serve-time kernel family. [`Precision::F64`]
+/// is the default and scores bit-identically to the training pipeline;
+/// [`Precision::F32`] opts the whole catalogue-ranking path into the
+/// fused-FMA kernels, trading the bit-identity guarantee for throughput
+/// within the documented epsilon (DESIGN §14).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Precision {
+    /// Default: f64-LE tensor encoding, exact kernels at serve time.
+    #[default]
+    F64,
+    /// Opt-in: f32-LE tensor encoding, fused-FMA kernels at serve time.
+    F32,
+}
+
+impl Precision {
+    /// Stable lowercase name (`"f64"` / `"f32"`), used by the checkpoint
+    /// metadata and the serving `/health` document.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
 
 /// Name prefix of the preference-model tensors in the artifact's table
 /// (`preference.p000`, `preference.p001`, …).
@@ -112,6 +141,10 @@ pub struct ArtifactMeta {
     /// checkpoint to its training trace, BENCH documents and the serving
     /// `/health` document.
     pub run_id: String,
+    /// Serving precision ([`Precision::F64`] unless the artifact was
+    /// exported with `--precision f32`); artifacts written before the
+    /// field existed load as [`Precision::F64`].
+    pub precision: Precision,
 }
 
 /// A self-contained exported model: metadata, named parameter tensors and
@@ -253,12 +286,24 @@ impl Artifact {
             .map_err(ArtifactError::BadParams)?;
         let theta = snapshot(learner.model_mut());
         let catalogue: Vec<usize> = (0..item_content.rows()).collect();
+        // Precompute the item embedding table at θ under the same kernel
+        // policy scoring will use, so every serve instance of this
+        // artifact holds the identical table: per-row accumulation makes
+        // it equal (bitwise) to inline embedding for the θ path.
+        let fused = meta.precision == Precision::F32;
+        let item_embeds = if fused {
+            simd::with_policy(simd::Policy::Fused, || learner.embed_items(&item_content))
+        } else {
+            learner.embed_items(&item_content)
+        };
         Ok(ArtifactRecommender {
             meta,
             learner,
             theta,
             user_content,
             item_content,
+            item_embeds,
+            fused,
             catalogue,
             scores: Vec::new(),
         })
@@ -278,6 +323,14 @@ pub struct ArtifactRecommender {
     theta: Vec<Matrix>,
     user_content: Matrix,
     item_content: Matrix,
+    /// Item embedding table precomputed at θ (`n_items x embed_dim`):
+    /// θ-scoring ranks straight from it, skipping the per-request item
+    /// embedding matmul. Valid only at θ — adapted-parameter requests run
+    /// the full pass over `item_content` instead.
+    item_embeds: Matrix,
+    /// Whether ranking runs under the fused-FMA kernel policy
+    /// (`meta.precision == Precision::F32`).
+    fused: bool,
     /// `0..n_items`, built once at reload: every ranking request scores
     /// the whole catalogue, so the index list never changes.
     catalogue: Vec<usize>,
@@ -412,16 +465,28 @@ impl ArtifactRecommender {
         self.check_user(user)?;
         // Destructure so the user-content row can be borrowed alongside
         // the learner and score buffer (no `.to_vec()` of the row).
-        let Self { learner, theta, user_content, item_content, catalogue, scores, .. } = self;
+        let Self {
+            learner,
+            theta,
+            user_content,
+            item_content,
+            item_embeds,
+            fused,
+            catalogue,
+            scores,
+            ..
+        } = self;
         rank_catalogue(
             learner,
             theta,
             item_content,
+            item_embeds,
             catalogue,
             scores,
             user_content.row(user),
             k,
             params,
+            *fused,
         )
     }
 
@@ -434,8 +499,19 @@ impl ArtifactRecommender {
         params: Option<&[Matrix]>,
     ) -> Result<Vec<(usize, f32)>, ArtifactError> {
         self.check_content(content)?;
-        let Self { learner, theta, item_content, catalogue, scores, .. } = self;
-        rank_catalogue(learner, theta, item_content, catalogue, scores, content, k, params)
+        let Self { learner, theta, item_content, item_embeds, fused, catalogue, scores, .. } = self;
+        rank_catalogue(
+            learner,
+            theta,
+            item_content,
+            item_embeds,
+            catalogue,
+            scores,
+            content,
+            k,
+            params,
+            *fused,
+        )
     }
 
     /// Serve-time MAML adaptation for a known user: runs the trained
@@ -498,28 +574,75 @@ fn rank_catalogue(
     learner: &mut MetaLearner,
     theta: &[Matrix],
     item_content: &Matrix,
+    item_embeds: &Matrix,
     catalogue: &[usize],
     scores: &mut Vec<f32>,
     content: &[f32],
     k: usize,
     params: Option<&[Matrix]>,
+    fused: bool,
 ) -> Result<Vec<(usize, f32)>, ArtifactError> {
     let _sp = metadpa_obs::span!("rank.catalogue");
-    if let Some(p) = params {
-        restore(learner.model_mut(), p);
-    }
-    {
-        let _k = metadpa_obs::span!("kernels.score");
-        learner.score_into(content, item_content, catalogue, scores);
-    }
-    if params.is_some() {
-        restore(learner.model_mut(), theta);
+    if fused {
+        simd::with_policy(simd::Policy::Fused, || {
+            score_catalogue(
+                learner,
+                theta,
+                item_content,
+                item_embeds,
+                catalogue,
+                scores,
+                content,
+                params,
+            );
+        });
+    } else {
+        score_catalogue(
+            learner,
+            theta,
+            item_content,
+            item_embeds,
+            catalogue,
+            scores,
+            content,
+            params,
+        );
     }
     if let Some(item) = scores.iter().position(|s| !s.is_finite()) {
         return Err(ArtifactError::NonFiniteScores { item });
     }
     // The returned ranking allocates by API contract: callers own it.
     Ok(top_k_indices(scores, k).into_iter().map(|i| (i, scores[i])).collect())
+}
+
+/// The scoring half of [`rank_catalogue`]: θ requests rank straight from
+/// the precomputed embedding table; adapted-parameter requests restore the
+/// adapted set, run the full pass over the raw item content (the table was
+/// built at θ and would be stale), and rewind to θ before returning — the
+/// rewind runs *before* the caller's non-finite check, so a poisoned
+/// request cannot corrupt the recommender for later callers.
+#[allow(clippy::too_many_arguments)]
+fn score_catalogue(
+    learner: &mut MetaLearner,
+    theta: &[Matrix],
+    item_content: &Matrix,
+    item_embeds: &Matrix,
+    catalogue: &[usize],
+    scores: &mut Vec<f32>,
+    content: &[f32],
+    params: Option<&[Matrix]>,
+) {
+    if let Some(p) = params {
+        restore(learner.model_mut(), p);
+        {
+            let _k = metadpa_obs::span!("kernels.score");
+            learner.score_into(content, item_content, catalogue, scores);
+        }
+        restore(learner.model_mut(), theta);
+    } else {
+        let _k = metadpa_obs::span!("kernels.score");
+        learner.score_embedded_into(content, item_embeds, catalogue, scores);
+    }
 }
 
 /// Builds an [`Artifact`] directly from a live [`MetaLearner`] plus the
@@ -550,6 +673,7 @@ pub fn artifact_from_learner(
             diversity,
             score_fingerprint,
             run_id,
+            precision: Precision::F64,
         },
         params: named_snapshot(learner.model_mut(), PARAM_PREFIX),
         user_content,

@@ -753,6 +753,25 @@ impl MetaLearner {
     ) {
         self.model.score_items_into(user_content, item_content, items, out);
     }
+
+    /// Precomputes the item embedding table for the model's current
+    /// parameters — see [`PreferenceModel::embed_items`].
+    pub fn embed_items(&mut self, item_content: &Matrix) -> Matrix {
+        self.model.embed_items(item_content)
+    }
+
+    /// [`MetaLearner::score_into`] from a precomputed item embedding table
+    /// — bit-identical to the full pass for the same parameters, see
+    /// [`PreferenceModel::score_embedded_into`].
+    pub fn score_embedded_into(
+        &mut self,
+        user_content: &[f32],
+        item_embeds: &Matrix,
+        items: &[usize],
+        out: &mut Vec<f32>,
+    ) {
+        self.model.score_embedded_into(user_content, item_embeds, items, out);
+    }
 }
 
 #[cfg(test)]

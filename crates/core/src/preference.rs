@@ -136,6 +136,88 @@ impl PreferenceModel {
         self.ws.put(WS_SCORE_IN, input);
         self.ws.put(WS_SCORE_OUT, logits);
     }
+
+    /// Runs the item embedding layer over a full content table, returning
+    /// one `x_i` row per item — the precompute half of the serving fast
+    /// path. Row `i` is bit-identical to the `x_i` the full
+    /// [`PreferenceModel::score_items_into`] pass computes for item `i`:
+    /// every matmul kernel accumulates each output element over the inner
+    /// dimension in ascending order from its own row of the input, so
+    /// embedding all rows at once equals embedding any subset row-by-row.
+    ///
+    /// Only valid for the parameters the model holds *now* — the serving
+    /// layer recomputes (or refuses to use) the table when it restores
+    /// different weights.
+    pub fn embed_items(&mut self, item_content: &Matrix) -> Matrix {
+        assert_eq!(
+            item_content.cols(),
+            self.config.content_dim,
+            "PreferenceModel::embed_items: item content width {} != content_dim {}",
+            item_content.cols(),
+            self.config.content_dim
+        );
+        // `forward_into` steals its input buffer for the backward cache, so
+        // hand it a copy. This runs once per artifact load, not per request.
+        let mut input = item_content.clone();
+        let mut out = Matrix::default();
+        self.item_embed.forward_into(&mut input, Mode::Eval, &mut out);
+        out
+    }
+
+    /// Scores one user against candidate items from a precomputed item
+    /// embedding table (see [`PreferenceModel::embed_items`]) —
+    /// bit-identical to [`PreferenceModel::score_items_into`] for the same
+    /// parameters, but skipping the per-request item embedding matmul and
+    /// the tiled `[c_u ; c_i]` assembly. The user side is embedded as a
+    /// single row (per-row accumulation makes that equal to embedding the
+    /// tiled batch), then the scorer runs over `[x_u ; x_i]` rows built
+    /// straight from the table. Zero steady-state allocations.
+    pub fn score_embedded_into(
+        &mut self,
+        user_content: &[f32],
+        item_embeds: &Matrix,
+        items: &[usize],
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(
+            user_content.len(),
+            self.config.content_dim,
+            "PreferenceModel::score_embedded_into: user content width {} != content_dim {}",
+            user_content.len(),
+            self.config.content_dim
+        );
+        assert_eq!(
+            item_embeds.cols(),
+            self.config.embed_dim,
+            "PreferenceModel::score_embedded_into: embedding width {} != embed_dim {}",
+            item_embeds.cols(),
+            self.config.embed_dim
+        );
+        out.clear();
+        if items.is_empty() {
+            return;
+        }
+        let e = self.config.embed_dim;
+        let mut cu = self.ws.take(WS_CU);
+        let mut xu = self.ws.take(WS_XU);
+        let mut cat = self.ws.take(WS_CAT);
+        let mut logits = self.ws.take(WS_SCORE_OUT);
+        cu.resize_for_overwrite(1, self.config.content_dim);
+        cu.row_mut(0).copy_from_slice(user_content);
+        self.user_embed.forward_into(&mut cu, Mode::Eval, &mut xu);
+        cat.resize_for_overwrite(items.len(), 2 * e);
+        for (row, &item) in items.iter().enumerate() {
+            let r = cat.row_mut(row);
+            r[..e].copy_from_slice(xu.row(0));
+            r[e..].copy_from_slice(item_embeds.row(item));
+        }
+        self.scorer.forward_into(&mut cat, Mode::Eval, &mut logits);
+        out.extend_from_slice(logits.as_slice());
+        self.ws.put(WS_CU, cu);
+        self.ws.put(WS_XU, xu);
+        self.ws.put(WS_CAT, cat);
+        self.ws.put(WS_SCORE_OUT, logits);
+    }
 }
 
 impl Module for PreferenceModel {
@@ -331,6 +413,37 @@ mod tests {
             scores.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             scores_into.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn embedded_scoring_is_bit_identical_to_the_full_pass() {
+        // The serving fast path: precomputed item embeddings + single-row
+        // user embedding must reproduce score_items_into exactly — under
+        // the scalar kernels, the exact SIMD kernels, and the fused
+        // kernels alike (each policy is bit-deterministic on its own, and
+        // the fast path only reorders *which rows* go through the same
+        // per-row accumulation).
+        use metadpa_tensor::simd::{self, Policy};
+        let mut rng = SeededRng::new(11);
+        let mut model = PreferenceModel::new(small(), &mut rng);
+        let item_content = rng.uniform_matrix(37, 6, -1.0, 1.0);
+        let user: Vec<f32> = (0..6).map(|c| 0.3 * c as f32 - 0.9).collect();
+        let items: Vec<usize> = (0..37).rev().collect();
+        for policy in [Policy::ForcedScalar, Policy::Auto, Policy::Fused] {
+            simd::with_policy(policy, || {
+                let embeds = model.embed_items(&item_content);
+                let full = model.score_items(&user, &item_content, &items);
+                let mut fast = Vec::new();
+                model.score_embedded_into(&user, &embeds, &items, &mut fast);
+                assert_eq!(
+                    full.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "fast path drifts under {policy:?}"
+                );
+                model.score_embedded_into(&user, &embeds, &[], &mut fast);
+                assert!(fast.is_empty());
+            });
+        }
     }
 
     #[test]

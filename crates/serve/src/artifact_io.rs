@@ -9,7 +9,7 @@
 //! to the model that was exported.
 
 use metadpa_core::artifact::{
-    Artifact, ArtifactMeta, ScoreFingerprint, ARTIFACT_SCHEMA, PARAM_PREFIX,
+    Artifact, ArtifactMeta, Precision, ScoreFingerprint, ARTIFACT_SCHEMA, PARAM_PREFIX,
 };
 use metadpa_core::augmentation::DiversityReport;
 use metadpa_core::{MamlConfig, PreferenceConfig};
@@ -70,6 +70,13 @@ fn meta_to_json(meta: &ArtifactMeta) -> String {
         .raw_field("diversity", &div.finish())
         .raw_field("score_fingerprint", &fp.finish())
         .str_field("run_id", &meta.run_id);
+    // Emitted only for f32-precision artifacts: the field doubles as the
+    // checkpoint codec's payload-width switch
+    // ([`crate::ckpt::F32_ENCODING_MARKER`]), and omitting it for the
+    // default keeps every f64 export byte-identical to older writers.
+    if meta.precision == Precision::F32 {
+        w.str_field("tensor_encoding", meta.precision.as_str());
+    }
     w.finish()
 }
 
@@ -175,6 +182,15 @@ fn meta_from_json(path: &str, meta_json: &str) -> Result<ArtifactMeta, CkptError
     // no "run_id" and load unstamped.
     let run_id =
         root.get("run_id").and_then(JsonValue::as_str).map(str::to_string).unwrap_or_default();
+    // Optional: absent on every checkpoint written before the f32 tensor
+    // encoding existed, which all used (and keep using) the f64 payload.
+    let precision = match root.get("tensor_encoding").and_then(JsonValue::as_str) {
+        None => Precision::F64,
+        Some("f32") => Precision::F32,
+        Some(other) => {
+            return Err(meta_err(path, format!("unknown tensor_encoding {other:?}")));
+        }
+    };
     Ok(ArtifactMeta {
         schema,
         model_name: get_str(&root, "model", path)?,
@@ -185,6 +201,7 @@ fn meta_from_json(path: &str, meta_json: &str) -> Result<ArtifactMeta, CkptError
         diversity,
         score_fingerprint,
         run_id,
+        precision,
     })
 }
 
@@ -278,6 +295,37 @@ mod tests {
         // And the full byte layout is stable: encode(to_checkpoint(load(x))) == x.
         let bytes = ckpt::encode(&ckpt);
         assert_eq!(ckpt::encode(&to_checkpoint(&back)), bytes);
+    }
+
+    #[test]
+    fn f32_precision_artifacts_round_trip_with_the_narrow_encoding() {
+        let mut artifact = tiny_artifact(8);
+        artifact.meta.precision = Precision::F32;
+        let ckpt = to_checkpoint(&artifact);
+        assert!(
+            ckpt.meta_json.contains(ckpt::F32_ENCODING_MARKER),
+            "f32 metadata must carry the codec's payload-width marker: {}",
+            ckpt.meta_json
+        );
+        let back = from_checkpoint("mem", ckpt.clone()).expect("round trip");
+        assert_eq!(back.meta.precision, Precision::F32);
+        assert_eq!(back.params, artifact.params, "f32 payload is lossless for f32 data");
+        assert_eq!(back.user_content, artifact.user_content);
+        assert_eq!(back.item_content, artifact.item_content);
+        assert_eq!(ckpt::encode(&to_checkpoint(&back)), ckpt::encode(&ckpt), "stable bytes");
+
+        // The default stays the default: no marker, f64 payload, and the
+        // loaded precision field says so.
+        let default = to_checkpoint(&tiny_artifact(8));
+        assert!(!default.meta_json.contains("tensor_encoding"));
+        let back = from_checkpoint("mem", default).expect("default round trip");
+        assert_eq!(back.meta.precision, Precision::F64);
+
+        // An unknown encoding is malformed, not silently misread.
+        let mut alien = to_checkpoint(&artifact);
+        alien.meta_json = alien.meta_json.replace("\"f32\"", "\"f16\"");
+        let err = from_checkpoint("mem", alien).unwrap_err();
+        assert!(err.to_string().contains("tensor_encoding"), "{err}");
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! `metadpa-serve` — export, run and smoke-test serving artifacts.
 //!
 //! ```text
-//! metadpa-serve export --out artifact.ckpt [--seed N]
+//! metadpa-serve export --out artifact.ckpt [--seed N] [--precision f64|f32]
 //!     Fit the fast MetaDPA pipeline on the tiny synthetic world and
-//!     export the result as a metadpa-ckpt/v1 artifact.
+//!     export the result as a metadpa-ckpt/v1 artifact. The default
+//!     (f64) encoding is byte-identical to what earlier builds wrote;
+//!     --precision f32 writes the narrow tensor encoding, and a serve
+//!     process that loads it ranks catalogues through the fused-FMA
+//!     kernels.
 //!
 //! metadpa-serve run --artifact artifact.ckpt [--addr 127.0.0.1:8787] [--workers 4]
 //!     Load an artifact and serve /v1/recommend, /v1/adapt, /health,
@@ -40,6 +44,7 @@ use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use metadpa_core::artifact::Precision;
 use metadpa_core::eval::Recommender;
 use metadpa_core::{MetaDpa, MetaDpaConfig};
 use metadpa_data::generator::generate_world;
@@ -53,7 +58,7 @@ use metadpa_serve::{load_artifact, router, router_with_feedback, save_artifact, 
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: metadpa-serve export --out PATH [--seed N] [--train-trace-out PATH]\n\
+        "usage: metadpa-serve export --out PATH [--seed N] [--precision f64|f32] [--train-trace-out PATH]\n\
          \x20      metadpa-serve run --artifact PATH [--addr HOST:PORT] [--workers N] [--trace-out PATH]\n\
          \x20          [--feedback-log PATH] [--feedback-threshold N] [--adapt-cache-capacity N]\n\
          \x20      metadpa-serve smoke --artifact PATH [--trace-out PATH]"
@@ -79,21 +84,34 @@ fn cmd_export(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let precision = match flag_value(args, "--precision").as_deref() {
+        None | Some("f64") => Precision::F64,
+        Some("f32") => Precision::F32,
+        Some(other) => {
+            eprintln!("export: --precision must be f64 or f32, got {other:?}");
+            return ExitCode::from(2);
+        }
+    };
     eprintln!("fitting the fast MetaDPA pipeline on tiny_world(seed={seed})...");
     let world = generate_world(&tiny_world(seed));
     let splitter = Splitter::new(&world.target, SplitConfig::default());
     let warm = splitter.scenario(ScenarioKind::Warm);
     let mut model = MetaDpa::new(MetaDpaConfig::fast());
     model.fit(&world, &warm);
-    let artifact = model.export_artifact(&world);
+    let mut artifact = model.export_artifact(&world);
+    // Training always runs at the default precision; the flag only picks
+    // the tensor encoding the artifact is written with (and, through the
+    // meta, the fused serving kernels it will rank with when loaded).
+    artifact.meta.precision = precision;
     eprintln!(
-        "exporting {} ({} tensors, {} users, {} items, rev {}, data {})",
+        "exporting {} ({} tensors, {} users, {} items, rev {}, data {}, precision {})",
         artifact.meta.model_name,
         artifact.params.len() + 2,
         artifact.user_content.rows(),
         artifact.item_content.rows(),
         artifact.meta.git_rev,
         artifact.meta.data_fingerprint,
+        artifact.meta.precision.as_str(),
     );
     match save_artifact(&out, &artifact) {
         Ok(()) => {

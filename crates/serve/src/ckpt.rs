@@ -13,14 +13,21 @@
 //!              name       name_len bytes of UTF-8
 //!              rows       u64
 //!              cols       u64
-//!              payload    rows*cols f64 values (f32 widened exactly)
+//!              payload    rows*cols values (see tensor encoding below)
 //! footer     crc32        u32      CRC-32 (IEEE) of everything above
 //! ```
 //!
-//! Values are stored as f64 even though the in-memory
-//! [`metadpa_tensor::Matrix`] is f32: the widening is exact, so a
-//! save → load → save cycle is byte-identical and a loaded model scores
-//! bit-exactly like the one that was saved.
+//! **Tensor encoding.** By default values are stored as f64 even though
+//! the in-memory [`metadpa_tensor::Matrix`] is f32: the widening is
+//! exact, so a save → load → save cycle is byte-identical and a loaded
+//! model scores bit-exactly like the one that was saved. When the
+//! metadata blob contains the literal [`F32_ENCODING_MARKER`]
+//! (`"tensor_encoding":"f32"`, written by `export --precision f32`), the
+//! payload is rows*cols f32-LE values instead — half the bytes, still
+//! lossless (the values *are* f32), still CRC-protected, same version 1
+//! container. Both encodings are read by the same decoder; files without
+//! the marker — every checkpoint written before it existed — decode
+//! exactly as before.
 //!
 //! Loading never panics. Every failure is a [`CkptError`] carrying the
 //! file path, the byte offset where decoding stopped, and a
@@ -44,6 +51,23 @@ pub const CKPT_SCHEMA: &str = "metadpa-ckpt/v1";
 /// Upper bound on a tensor-name length; longer names mean a scrambled
 /// length field, not a real checkpoint.
 const MAX_NAME_LEN: u64 = 4096;
+
+/// Literal metadata substring that switches the tensor payload to f32-LE.
+///
+/// Matched as a substring (the checkpoint layer does not parse the
+/// metadata JSON it transports), so writers must emit it exactly —
+/// [`payload_width`] is shared by encode and decode, which keeps the two
+/// sides consistent by construction.
+pub const F32_ENCODING_MARKER: &str = "\"tensor_encoding\":\"f32\"";
+
+/// Bytes per tensor value for a checkpoint with this metadata blob.
+fn payload_width(meta_json: &str) -> usize {
+    if meta_json.contains(F32_ENCODING_MARKER) {
+        4
+    } else {
+        8
+    }
+}
 
 /// What went wrong while loading a checkpoint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,8 +162,9 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 /// Serializes a checkpoint to the `metadpa-ckpt/v1` byte layout.
 pub fn encode(ckpt: &Checkpoint) -> Vec<u8> {
+    let width = payload_width(&ckpt.meta_json);
     let payload: usize =
-        ckpt.tensors.iter().map(|(n, m)| 24 + n.len() + 8 * m.rows() * m.cols()).sum();
+        ckpt.tensors.iter().map(|(n, m)| 24 + n.len() + width * m.rows() * m.cols()).sum();
     let mut buf = Vec::with_capacity(28 + ckpt.meta_json.len() + payload + 4);
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
@@ -153,7 +178,11 @@ pub fn encode(ckpt: &Checkpoint) -> Vec<u8> {
         buf.extend_from_slice(&(m.rows() as u64).to_le_bytes());
         buf.extend_from_slice(&(m.cols() as u64).to_le_bytes());
         for &v in m.as_slice() {
-            buf.extend_from_slice(&(v as f64).to_le_bytes());
+            if width == 4 {
+                buf.extend_from_slice(&v.to_le_bytes());
+            } else {
+                buf.extend_from_slice(&(v as f64).to_le_bytes());
+            }
         }
     }
     let crc = crc32(&buf);
@@ -247,6 +276,7 @@ pub fn decode(path: &str, buf: &[u8]) -> Result<Checkpoint, CkptError> {
         .map_err(|e| r.err(CkptErrorKind::Malformed, format!("metadata is not UTF-8: {e}")))?
         .to_string();
 
+    let width = payload_width(&meta_json);
     let n_tensors = r.u64("the tensor count")?;
     let mut tensors = Vec::new();
     for t in 0..n_tensors {
@@ -265,7 +295,7 @@ pub fn decode(path: &str, buf: &[u8]) -> Result<Checkpoint, CkptError> {
             .to_string();
         let rows = r.u64("tensor rows")? as usize;
         let cols = r.u64("tensor cols")? as usize;
-        let n = rows.checked_mul(cols).and_then(|n| n.checked_mul(8)).ok_or_else(|| {
+        let n = rows.checked_mul(cols).and_then(|n| n.checked_mul(width)).ok_or_else(|| {
             r.err(
                 CkptErrorKind::Malformed,
                 format!("tensor {name:?} shape {rows}x{cols} overflows"),
@@ -273,11 +303,17 @@ pub fn decode(path: &str, buf: &[u8]) -> Result<Checkpoint, CkptError> {
         })?;
         let payload = r.take(n, "a tensor payload")?;
         let mut data = Vec::with_capacity(rows * cols);
-        for chunk in payload.chunks_exact(8) {
-            let v = f64::from_le_bytes([
-                chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
-            ]);
-            data.push(v as f32);
+        if width == 4 {
+            for chunk in payload.chunks_exact(4) {
+                data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+            }
+        } else {
+            for chunk in payload.chunks_exact(8) {
+                let v = f64::from_le_bytes([
+                    chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+                ]);
+                data.push(v as f32);
+            }
         }
         tensors.push((name, Matrix::from_vec(rows, cols, data)));
     }
@@ -339,6 +375,40 @@ mod tests {
         assert_eq!(back, ckpt);
         // Save → load → save is byte-identical.
         assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn f32_encoding_round_trips_bit_exactly_at_half_the_payload() {
+        let mut f32_ckpt = sample();
+        f32_ckpt.meta_json = format!("{{\"schema\":\"unit\",{F32_ENCODING_MARKER}}}");
+        let f32_bytes = encode(&f32_ckpt);
+        let back = decode("mem", &f32_bytes).expect("decode f32 encoding");
+        assert_eq!(back, f32_ckpt, "f32 values survive the narrow encoding losslessly");
+        assert_eq!(encode(&back), f32_bytes, "save → load → save stays byte-identical");
+
+        // The narrow payload really is half: same tensors, 4 bytes each
+        // instead of 8 (fixed overhead aside).
+        let f64_bytes = encode(&sample());
+        let n_values: usize = f32_ckpt.tensors.iter().map(|(_, m)| m.rows() * m.cols()).sum();
+        let meta_delta = f32_ckpt.meta_json.len() - sample().meta_json.len();
+        assert_eq!(f64_bytes.len() + meta_delta, f32_bytes.len() + 4 * n_values);
+    }
+
+    #[test]
+    fn unmarked_checkpoints_keep_the_f64_encoding() {
+        // Byte-layout stability for every pre-existing checkpoint: without
+        // the marker the payload stays 8 bytes per value, so files written
+        // before the f32 encoding existed decode unchanged (and the
+        // default export path still produces bit-identical files).
+        let ckpt = sample();
+        let bytes = encode(&ckpt);
+        let n_values: usize = ckpt.tensors.iter().map(|(_, m)| m.rows() * m.cols()).sum();
+        let fixed: usize = 8 + 4 + 8 + ckpt.meta_json.len() // magic, version, meta_len, meta
+            + 8                                             // n_tensors
+            + ckpt.tensors.iter().map(|(n, _)| 24 + n.len()).sum::<usize>()
+            + 4; // crc
+        assert_eq!(bytes.len(), fixed + 8 * n_values, "8-byte payload without the marker");
+        assert_eq!(decode("mem", &bytes).expect("decode"), ckpt);
     }
 
     #[test]

@@ -150,6 +150,8 @@ fn health(engine: &Engine, feedback_enabled: bool) -> Response {
         .str_field("git_rev", &meta.git_rev)
         .str_field("data_fingerprint", &meta.data_fingerprint)
         .str_field("run_id", &meta.run_id)
+        .str_field("simd", metadpa_tensor::simd::feature_string())
+        .str_field("precision", meta.precision.as_str())
         .u64_field("n_users", engine.n_users() as u64)
         .u64_field("n_items", engine.n_items() as u64)
         .u64_field("content_dim", engine.content_dim() as u64)
@@ -432,6 +434,9 @@ fn seed_serve_metrics() {
     metadpa_obs::counter_add!("tensor.matmul.packed_panels", 0);
     metadpa_obs::counter_add!("tensor.matmul.dispatch.serial", 0);
     metadpa_obs::counter_add!("tensor.matmul.dispatch.blocked", 0);
+    metadpa_obs::counter_add!("tensor.matmul.dispatch.simd", 0);
+    metadpa_obs::counter_add!("tensor.matmul.dispatch.scalar_forced", 0);
+    metadpa_obs::counter_add!("tensor.matmul.packed_tiles", 0);
     metadpa_obs::counter_add!("serve.requests", 0);
     metadpa_obs::counter_add!("serve.state.warm", 0);
     metadpa_obs::counter_add!("serve.state.cold", 0);
@@ -635,6 +640,15 @@ mod tests {
             body.contains("\"run_id\":\"run-000000000000001f-00000000cafef00d-1\""),
             "/health must surface the artifact's run-ledger key: {body}"
         );
+        let simd_field = format!("\"simd\":\"{}\"", metadpa_tensor::simd::feature_string());
+        assert!(
+            body.contains(&simd_field),
+            "/health must surface the detected kernel feature set: {body}"
+        );
+        assert!(
+            body.contains("\"precision\":\"f64\""),
+            "/health must surface the artifact's tensor precision: {body}"
+        );
 
         // Warm recommend.
         let (status, body) = post(addr, "/v1/recommend", r#"{"user_id":1,"k":3}"#);
@@ -698,6 +712,11 @@ mod tests {
             "tensor_matmul_packed_panels",
             "tensor_matmul_dispatch_serial",
             "tensor_matmul_dispatch_blocked",
+            // SIMD dispatch schema: zero-seeded so a scalar-only host (or
+            // METADPA_SIMD=off) still renders the rows dashboards key on.
+            "tensor_matmul_dispatch_simd",
+            "tensor_matmul_dispatch_scalar_forced",
+            "tensor_matmul_packed_tiles",
             // Zero-seeded serve schema: per-state counters, drift gauges,
             // windowed latency digests, and the error taxonomy — all
             // present before (or regardless of) matching traffic.

@@ -18,18 +18,26 @@
 //!   panel-packed kernels (bit-identical to the naive oracles retained in
 //!   [`reference`]) and every hot operation has an `_into` variant that
 //!   writes into a reused caller-owned matrix, so steady-state training
-//!   allocates nothing per op.
-//! * No unsafe code. Parallelism goes through [`pool`] — scoped threads with
-//!   deterministic work partitioning — so every kernel is bit-identical at
-//!   any `METADPA_THREADS` setting, including the serial `1`.
+//!   allocates nothing per op. On AVX2 hosts the blocked kernels dispatch
+//!   to explicit SIMD microkernels (see [`simd`]): the default path is
+//!   still bit-identical to the scalar oracles (mul-round/add-round per
+//!   lane, ascending-`k`), and an opt-in FMA-fused path trades bit-parity
+//!   with the exact kernels for speed within a documented epsilon.
+//! * No unsafe code outside [`simd`] (`#![deny(unsafe_code)]` at the crate
+//!   root; that one module carries a scoped allow for the `std::arch`
+//!   intrinsic calls, each behind a cached runtime feature check).
+//!   Parallelism goes through [`pool`] — scoped threads with deterministic
+//!   work partitioning — so every kernel is bit-identical at any
+//!   `METADPA_THREADS` setting, including the serial `1`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod matrix;
 pub mod pool;
 pub mod reference;
 pub mod rng;
+pub mod simd;
 pub mod sparse;
 pub mod stats;
 

@@ -638,12 +638,31 @@ impl Matrix {
             crate::reference::matmul_rows(self, other, 0..m, skip_zeros, &mut out.data);
         } else {
             metadpa_obs::counter_add!("tensor.matmul.dispatch.blocked", 1u64);
-            with_b_panels(&other.data, k, n, |panels, panel_w| {
-                run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
-                    let arows = &self.data[rows.start * k..rows.end * k];
-                    blocked_rows(arows, rows.len(), k, panels, panel_w, n, skip_zeros, tile);
+            let path = crate::simd::resolve_and_count();
+            if path == crate::simd::Path::Scalar {
+                with_b_panels(&other.data, k, n, |panels, panel_w| {
+                    run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
+                        let arows = &self.data[rows.start * k..rows.end * k];
+                        blocked_rows(arows, rows.len(), k, panels, panel_w, n, skip_zeros, tile);
+                    });
                 });
-            });
+            } else {
+                crate::simd::with_b_tiles(&other.data, k, n, |tiles| {
+                    run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
+                        let arows = &self.data[rows.start * k..rows.end * k];
+                        crate::simd::blocked_rows_simd(
+                            arows,
+                            rows.len(),
+                            k,
+                            tiles,
+                            n,
+                            skip_zeros,
+                            path.fused(),
+                            tile,
+                        );
+                    });
+                });
+            }
         }
         record_skipped(skipped, n);
     }
@@ -681,18 +700,49 @@ impl Matrix {
             crate::reference::matmul_tn_rows(self, other, 0..m, skip_zeros, &mut out.data);
         } else {
             metadpa_obs::counter_add!("tensor.matmul.dispatch.blocked", 1u64);
-            with_b_panels(&other.data, k, n, |panels, panel_w| {
-                run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
-                    // The transposed operand is accessed with stride `m`;
-                    // pack this task's A^T rows contiguous once, then run
-                    // the same blocked kernel as the NN case.
-                    PACK_A.with(|buf| {
-                        let mut apack = buf.borrow_mut();
-                        pack_at_rows(&self.data, k, m, rows.clone(), &mut apack);
-                        blocked_rows(&apack, rows.len(), k, panels, panel_w, n, skip_zeros, tile);
+            let path = crate::simd::resolve_and_count();
+            if path == crate::simd::Path::Scalar {
+                with_b_panels(&other.data, k, n, |panels, panel_w| {
+                    run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
+                        // The transposed operand is accessed with stride `m`;
+                        // pack this task's A^T rows contiguous once, then run
+                        // the same blocked kernel as the NN case.
+                        PACK_A.with(|buf| {
+                            let mut apack = buf.borrow_mut();
+                            pack_at_rows(&self.data, k, m, rows.clone(), &mut apack);
+                            blocked_rows(
+                                &apack,
+                                rows.len(),
+                                k,
+                                panels,
+                                panel_w,
+                                n,
+                                skip_zeros,
+                                tile,
+                            );
+                        });
                     });
                 });
-            });
+            } else {
+                crate::simd::with_b_tiles(&other.data, k, n, |tiles| {
+                    run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
+                        PACK_A.with(|buf| {
+                            let mut apack = buf.borrow_mut();
+                            pack_at_rows(&self.data, k, m, rows.clone(), &mut apack);
+                            crate::simd::blocked_rows_simd(
+                                &apack,
+                                rows.len(),
+                                k,
+                                tiles,
+                                n,
+                                skip_zeros,
+                                path.fused(),
+                                tile,
+                            );
+                        });
+                    });
+                });
+            }
         }
         record_skipped(skipped, n);
     }
@@ -730,14 +780,33 @@ impl Matrix {
             crate::reference::matmul_nt_rows(self, other, 0..m, &mut out.data);
         } else {
             metadpa_obs::counter_add!("tensor.matmul.dispatch.blocked", 1u64);
-            with_bt_panels(&other.data, k, n, |panels, panel_w| {
-                run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
-                    let arows = &self.data[rows.start * k..rows.end * k];
-                    // No zero-skip: the nt form never had one, and eliding
-                    // terms here would change which elements see 0·NaN.
-                    blocked_rows(arows, rows.len(), k, panels, panel_w, n, false, tile);
+            let path = crate::simd::resolve_and_count();
+            if path == crate::simd::Path::Scalar {
+                with_bt_panels(&other.data, k, n, |panels, panel_w| {
+                    run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
+                        let arows = &self.data[rows.start * k..rows.end * k];
+                        // No zero-skip: the nt form never had one, and eliding
+                        // terms here would change which elements see 0·NaN.
+                        blocked_rows(arows, rows.len(), k, panels, panel_w, n, false, tile);
+                    });
                 });
-            });
+            } else {
+                crate::simd::with_bt_tiles(&other.data, k, n, |tiles| {
+                    run_rows(m, m * k * n, &mut out.data, n, |rows, tile| {
+                        let arows = &self.data[rows.start * k..rows.end * k];
+                        crate::simd::blocked_rows_simd(
+                            arows,
+                            rows.len(),
+                            k,
+                            tiles,
+                            n,
+                            false,
+                            path.fused(),
+                            tile,
+                        );
+                    });
+                });
+            }
         }
     }
 
@@ -794,7 +863,9 @@ const JT: usize = 128;
 
 /// Output rows processed together by the register-tile microkernel. Each
 /// loaded B row is reused `MR` times from registers/L1 instead of re-read
-/// per output row — the main cache win over the naive ikj kernel.
+/// per output row — the main cache win over the naive ikj kernel. (The
+/// AVX2 microkernels in [`crate::simd`] use their own, taller strip
+/// height.)
 const MR: usize = 4;
 
 /// Columns per register tile: two 8-lane f32 vectors, so an `MR x NR`
@@ -953,6 +1024,14 @@ fn run_rows(
 /// accumulator sums the `k` addends in ascending `p` order starting from
 /// `+0.0` — the identical addends in the identical order as the naive
 /// kernel, hence bit-identical results (DESIGN §9).
+///
+/// This is the scalar kernel family: when [`crate::simd`] dispatch selects
+/// an AVX2 path, the matmul entry points route to
+/// [`crate::simd::blocked_rows_simd`] over lane-tile packed panels instead,
+/// and this function (and its packing) stays byte-for-byte the pre-SIMD
+/// code — the `METADPA_SIMD=off` fallback. The exact SIMD kernel performs
+/// the identical mul-round/add-round sequence per element, so the
+/// scalar/SIMD choice never changes a bit either (DESIGN §14).
 #[allow(clippy::too_many_arguments)]
 fn blocked_rows(
     arows: &[f32],

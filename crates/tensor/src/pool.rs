@@ -157,6 +157,7 @@ impl Pool {
         let slots: Vec<Mutex<Option<R>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
         let parent = metadpa_obs::span::current_path();
         let request = metadpa_obs::span::current_request();
+        let simd_policy = crate::simd::current_policy();
         let run = |on_worker: bool| {
             // Workers must not recursively fan out: a matmul inside a
             // parallel MAML task runs serially on its worker.
@@ -180,7 +181,10 @@ impl Pool {
                     .spawn_scoped(scope, move || {
                         let _root = metadpa_obs::span::inherit_root(parent);
                         let _req = metadpa_obs::span::enter_request(request);
-                        run(true);
+                        // Workers inherit the dispatching thread's SIMD
+                        // policy, so a `simd::with_policy` scope covers
+                        // matmuls inside fanned-out tasks too.
+                        crate::simd::with_policy(simd_policy, || run(true));
                     })
                     .expect("pool: failed to spawn scoped worker");
             }
@@ -222,6 +226,7 @@ impl Pool {
         metadpa_obs::counter_add!("pool.steal", (n - 1) as u64);
         let parent = metadpa_obs::span::current_path();
         let request = metadpa_obs::span::current_request();
+        let simd_policy = crate::simd::current_policy();
         let mut iter = parts.into_iter();
         let first = iter.next().expect("run_parts: parts is non-empty");
         std::thread::scope(|scope| {
@@ -233,7 +238,7 @@ impl Pool {
                     .spawn_scoped(scope, move || {
                         let _root = metadpa_obs::span::inherit_root(parent);
                         let _req = metadpa_obs::span::enter_request(request);
-                        with_threads(1, || f(part));
+                        crate::simd::with_policy(simd_policy, || with_threads(1, || f(part)));
                     })
                     .expect("pool: failed to spawn scoped worker");
             }

@@ -16,6 +16,16 @@ echo "== cargo test (METADPA_THREADS=1, exact serial path) =="
 # determinism tests.
 METADPA_THREADS=1 cargo test --workspace -q
 
+echo "== cargo test (METADPA_SIMD=off, forced-scalar kernels) =="
+# The SIMD dispatch contract: METADPA_SIMD=off resolves every matmul to
+# the scalar kernel family — the byte-for-byte pre-SIMD code path — and
+# the exact SIMD kernels the default dispatch picks on AVX2 hosts are
+# bit-identical to it. Running the whole suite again with the env switch
+# set proves the fallback is complete (no test depends on SIMD being on)
+# and drives the differential suites' scalar side through the real
+# process-global override, not just the thread-local test hook.
+METADPA_SIMD=off cargo test --workspace -q
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -43,12 +53,15 @@ cargo bench -p metadpa-bench --bench parallel -- --smoke --bench-out "$PWD/BENCH
 cargo run --release -q -p metadpa-bench --bin obs-report -- \
   check BENCH_parallel_ci.json --baseline benchmarks/BENCH_parallel_baseline.json --tolerance 0.5
 
-echo "== blocked kernels bench + alloc gate =="
-# Blocked-vs-naive matmul throughput and the training epoch's allocation
-# budget. The bench enforces its own floors: >= 1.5x blocked throughput on
-# 4+ core hosts (warn-only below) and >= 5x fewer allocations per epoch
-# through the workspace API everywhere. The BENCH record is additionally
-# gated against the checked-in baseline.
+echo "== blocked kernels bench + SIMD/alloc gates =="
+# Blocked-vs-naive matmul throughput, the SIMD and f32-serving rows, and
+# the training epoch's allocation budget. The bench enforces its own
+# floors: >= 2x blocked throughput on 4+ core hosts (warn-only below),
+# >= 2x exact-SIMD matmul and >= 3x fused f32 catalogue ranking on hosts
+# with AVX2+FMA (warn-only elsewhere — the rows compare dispatch paths
+# that don't exist without the features), and >= 5x fewer allocations per
+# epoch through the workspace API everywhere. The BENCH record is
+# additionally gated against the checked-in baseline.
 cargo bench -p metadpa-bench --bench kernels -- --smoke --bench-out "$PWD/BENCH_kernel_ci.json"
 cargo run --release -q -p metadpa-bench --bin obs-report -- \
   check BENCH_kernel_ci.json --baseline benchmarks/BENCH_kernel_baseline.json --tolerance 0.5
